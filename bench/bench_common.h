@@ -1,0 +1,68 @@
+// Shared helpers for the figure/table bench binaries: argument parsing
+// (--scale=tiny|small|medium, --csv) and bundle caching.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+namespace graphbig::bench {
+
+struct BenchArgs {
+  datagen::Scale scale = datagen::Scale::kSmall;
+  bool csv = false;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale=tiny") {
+      args.scale = datagen::Scale::kTiny;
+    } else if (arg == "--scale=small") {
+      args.scale = datagen::Scale::kSmall;
+    } else if (arg == "--scale=medium") {
+      args.scale = datagen::Scale::kMedium;
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--scale=tiny|small|medium] [--csv]\n";
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+/// Lazily loads and caches dataset bundles within one bench process.
+class BundleCache {
+ public:
+  explicit BundleCache(datagen::Scale scale) : scale_(scale) {}
+
+  const harness::DatasetBundle& get(datagen::DatasetId id) {
+    auto it = cache_.find(id);
+    if (it == cache_.end()) {
+      it = cache_.emplace(id, harness::load_bundle(id, scale_)).first;
+    }
+    return it->second;
+  }
+
+  datagen::Scale scale() const { return scale_; }
+
+ private:
+  datagen::Scale scale_;
+  std::map<datagen::DatasetId, harness::DatasetBundle> cache_;
+};
+
+inline void emit(const harness::Table& table, const BenchArgs& args) {
+  if (args.csv) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace graphbig::bench

@@ -1,0 +1,39 @@
+// Figure 1: fraction of execution time spent inside framework primitives.
+// The paper reports an average of 76% in-framework time on System G, with
+// traversal-based workloads highest.
+#include <iostream>
+
+#include "bench_common.h"
+#include "harness/tables.h"
+#include "workloads/workload.h"
+
+using namespace graphbig;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::BundleCache bundles(args.scale);
+  const auto& ldbc = bundles.get(datagen::DatasetId::kLdbc);
+
+  harness::Table t("Figure 1: Execution Time of Framework (LDBC)",
+                   {"Workload", "CompType", "Total", "InFramework",
+                    "Framework%"});
+  double fraction_sum = 0.0;
+  int count = 0;
+  for (const workloads::Workload* w : workloads::all_cpu_workloads()) {
+    const auto r = harness::run_cpu_framework_time(*w, ldbc);
+    fraction_sum += r.framework_fraction();
+    ++count;
+    t.add_row({w->acronym(), workloads::to_string(w->computation_type()),
+               harness::fmt(r.total_seconds, 3) + "s",
+               harness::fmt(r.framework_seconds, 3) + "s",
+               harness::fmt_pct(100.0 * r.framework_fraction())});
+  }
+  t.add_row({"AVERAGE", "", "", "",
+             harness::fmt_pct(100.0 * fraction_sum / count)});
+  bench::emit(t, args);
+
+  std::cout << "Paper reference: in-framework time is the majority of "
+               "execution for most workloads, highest for traversal-based "
+               "ones; average 76%.\n";
+  return 0;
+}

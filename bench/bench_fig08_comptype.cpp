@@ -1,0 +1,58 @@
+// Figure 8: average architectural behavior per computation type
+// (CompStruct / CompProp / CompDyn): L2+L3 MPKI, DTLB penalty, branch
+// miss rate, and IPC. Paper shape: CompStruct has the highest MPKI and
+// DTLB penalty and the lowest IPC; CompProp the opposite (but a higher
+// branch miss rate); CompDyn sits between.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "harness/tables.h"
+#include "workloads/workload.h"
+
+using namespace graphbig;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::BundleCache bundles(args.scale);
+  const auto& ldbc = bundles.get(datagen::DatasetId::kLdbc);
+
+  struct Acc {
+    double l2_mpki = 0, l3_mpki = 0, dtlb = 0, branch = 0, ipc = 0;
+    int n = 0;
+  };
+  std::map<workloads::ComputationType, Acc> acc;
+
+  for (const workloads::Workload* w : workloads::all_cpu_workloads()) {
+    const auto r = harness::run_cpu_profiled(*w, ldbc);
+    Acc& a = acc[w->computation_type()];
+    a.l2_mpki += r.metrics.l2_mpki;
+    a.l3_mpki += r.metrics.l3_mpki;
+    a.dtlb += r.metrics.dtlb_penalty_pct;
+    a.branch += 100.0 * r.metrics.branch_miss_rate;
+    a.ipc += r.metrics.ipc;
+    ++a.n;
+  }
+
+  harness::Table t("Figure 8: Average Behavior by Computation Type (LDBC)",
+                   {"CompType", "L2-MPKI", "L3-MPKI", "DTLBCycle%",
+                    "BranchMiss%", "IPC"});
+  for (const auto type :
+       {workloads::ComputationType::kStructure,
+        workloads::ComputationType::kProperty,
+        workloads::ComputationType::kDynamic}) {
+    const Acc& a = acc[type];
+    t.add_row({workloads::to_string(type),
+               harness::fmt(a.l2_mpki / a.n, 1),
+               harness::fmt(a.l3_mpki / a.n, 1),
+               harness::fmt(a.dtlb / a.n, 1),
+               harness::fmt(a.branch / a.n, 1),
+               harness::fmt(a.ipc / a.n, 2)});
+  }
+  bench::emit(t, args);
+
+  std::cout << "Paper reference: CompStruct has the highest MPKI/DTLB and "
+               "lowest IPC; CompProp has the highest IPC and branch miss "
+               "rate; CompDyn is intermediate.\n";
+  return 0;
+}

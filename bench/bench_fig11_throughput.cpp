@@ -1,0 +1,36 @@
+// Figure 11: modeled GPU device-memory throughput (read/write GB/s) and
+// per-SM IPC of the 8 GPU workloads on LDBC. Paper shape: CComp has the
+// highest read throughput (89.9 GB/s on a 288 GB/s part), DCentr close
+// behind but atomics-bound, TC lowest throughput (2 GB/s) yet the highest
+// IPC (compare-dominated).
+#include <iostream>
+
+#include "bench_common.h"
+#include "harness/tables.h"
+#include "workloads/gpu/gpu_workload.h"
+
+using namespace graphbig;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::BundleCache bundles(args.scale);
+  const auto& ldbc = bundles.get(datagen::DatasetId::kLdbc);
+
+  harness::Table t("Figure 11: GPU Memory Throughput and IPC (LDBC)",
+                   {"Workload", "Read GB/s", "Write GB/s", "IPC",
+                    "AtomicConflicts"});
+  for (const auto* w : workloads::gpu::all_gpu_workloads()) {
+    const auto r = harness::run_gpu(*w, ldbc);
+    t.add_row({w->acronym(),
+               harness::fmt(r.timing.read_throughput_gbs, 1),
+               harness::fmt(r.timing.write_throughput_gbs, 1),
+               harness::fmt(r.timing.ipc, 3),
+               harness::fmt_int(r.result.stats.atomic_conflicts)});
+  }
+  bench::emit(t, args);
+
+  std::cout << "Paper reference: peak read throughput ~90 GB/s (CComp) of "
+               "288 GB/s peak; DCentr high throughput but atomics-bound; "
+               "TC ~2 GB/s read yet the highest IPC.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Microbenchmarks of dataset generation and representation conversion
+// (the "graph populating" path of the paper's GPU benchmarks).
+#include <benchmark/benchmark.h>
+
+#include "datagen/generators.h"
+#include "graph/csr.h"
+
+using namespace graphbig;
+
+namespace {
+
+void BM_GenerateRmat(benchmark::State& state) {
+  datagen::RmatConfig cfg;
+  cfg.scale = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datagen::generate_rmat(cfg));
+  }
+}
+BENCHMARK(BM_GenerateRmat)->Arg(12)->Arg(14);
+
+void BM_GenerateLdbc(benchmark::State& state) {
+  datagen::LdbcConfig cfg;
+  cfg.num_vertices = std::uint64_t{1} << state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datagen::generate_ldbc(cfg));
+  }
+}
+BENCHMARK(BM_GenerateLdbc)->Arg(12)->Arg(14);
+
+void BM_GenerateRoad(benchmark::State& state) {
+  datagen::RoadConfig cfg;
+  cfg.rows = cfg.cols = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datagen::generate_road(cfg));
+  }
+}
+BENCHMARK(BM_GenerateRoad)->Arg(96)->Arg(192);
+
+void BM_BuildPropertyGraph(benchmark::State& state) {
+  datagen::RmatConfig cfg;
+  cfg.scale = static_cast<int>(state.range(0));
+  const datagen::EdgeList el = datagen::generate_rmat(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datagen::build_property_graph(el));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(el.num_edges()));
+}
+BENCHMARK(BM_BuildPropertyGraph)->Arg(12)->Arg(14);
+
+void BM_BuildCsr(benchmark::State& state) {
+  // The dynamic -> CSR conversion of the GPU populate step.
+  datagen::RmatConfig cfg;
+  cfg.scale = static_cast<int>(state.range(0));
+  const graph::PropertyGraph g =
+      datagen::build_property_graph(datagen::generate_rmat(cfg));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_csr(g));
+  }
+}
+BENCHMARK(BM_BuildCsr)->Arg(12)->Arg(14);
+
+void BM_Symmetrize(benchmark::State& state) {
+  datagen::RmatConfig cfg;
+  cfg.scale = static_cast<int>(state.range(0));
+  const graph::Csr csr = graph::build_csr(
+      datagen::build_property_graph(datagen::generate_rmat(cfg)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::symmetrize(csr));
+  }
+}
+BENCHMARK(BM_Symmetrize)->Arg(12)->Arg(14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

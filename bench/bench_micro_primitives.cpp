@@ -1,0 +1,133 @@
+// Microbenchmarks of the framework primitives (find/add/delete
+// vertex/edge, neighbor traversal, property update) -- the operations
+// Figure 1 shows dominating execution time in industrial frameworks.
+#include <benchmark/benchmark.h>
+
+#include "datagen/generators.h"
+#include "graph/property_graph.h"
+#include "workloads/workload.h"
+
+using namespace graphbig;
+
+namespace {
+
+graph::PropertyGraph make_graph(int scale) {
+  datagen::RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 8;
+  return datagen::build_property_graph(datagen::generate_rmat(cfg));
+}
+
+void BM_FindVertex(benchmark::State& state) {
+  graph::PropertyGraph g = make_graph(static_cast<int>(state.range(0)));
+  const auto n = static_cast<graph::VertexId>(1) << state.range(0);
+  graph::VertexId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.find_vertex(id));
+    id = (id * 2862933555777941757ull + 3037000493ull) % n;
+  }
+}
+BENCHMARK(BM_FindVertex)->Arg(10)->Arg(14);
+
+void BM_AddVertex(benchmark::State& state) {
+  graph::PropertyGraph g;
+  graph::VertexId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.add_vertex(id++));
+  }
+}
+BENCHMARK(BM_AddVertex);
+
+void BM_AddEdge(benchmark::State& state) {
+  graph::PropertyGraph g;
+  g.set_allow_parallel_edges(true);
+  constexpr graph::VertexId kVertices = 1 << 12;
+  for (graph::VertexId v = 0; v < kVertices; ++v) g.add_vertex(v);
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const graph::VertexId src = (x >> 20) % kVertices;
+    const graph::VertexId dst = (x >> 40) % kVertices;
+    benchmark::DoNotOptimize(g.add_edge(src, dst));
+  }
+}
+BENCHMARK(BM_AddEdge);
+
+void BM_DeleteEdge(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    graph::PropertyGraph g;
+    constexpr graph::VertexId kVertices = 2048;
+    for (graph::VertexId v = 0; v < kVertices; ++v) g.add_vertex(v);
+    for (graph::VertexId v = 0; v + 1 < kVertices; ++v) g.add_edge(v, v + 1);
+    state.ResumeTiming();
+    for (graph::VertexId v = 0; v + 1 < kVertices; ++v) {
+      benchmark::DoNotOptimize(g.delete_edge(v, v + 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2047);
+}
+BENCHMARK(BM_DeleteEdge);
+
+void BM_TraverseNeighbors(benchmark::State& state) {
+  graph::PropertyGraph g = make_graph(12);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    g.for_each_vertex([&](const graph::VertexRecord& v) {
+      g.for_each_out_edge(v, [&](const graph::EdgeRecord& e) {
+        sum += e.target;
+      });
+    });
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_TraverseNeighbors);
+
+void BM_PropertyUpdate(benchmark::State& state) {
+  graph::PropertyGraph g = make_graph(10);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    g.for_each_vertex([&](graph::VertexRecord& rec) {
+      rec.props.set_int(workloads::props::kMarked, v++);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_vertices()));
+}
+BENCHMARK(BM_PropertyUpdate);
+
+void BM_PropertyRead(benchmark::State& state) {
+  graph::PropertyGraph g = make_graph(10);
+  g.for_each_vertex([&](graph::VertexRecord& rec) {
+    rec.props.set_int(workloads::props::kMarked, 1);
+  });
+  std::int64_t sum = 0;
+  for (auto _ : state) {
+    g.for_each_vertex([&](const graph::VertexRecord& rec) {
+      sum += rec.props.get_int(workloads::props::kMarked);
+    });
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_PropertyRead);
+
+void BM_TraceOverheadWhenDisabled(benchmark::State& state) {
+  // The hook must cost ~one branch when no sink is installed.
+  graph::PropertyGraph g = make_graph(10);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    g.for_each_vertex([&](const graph::VertexRecord& v) {
+      g.for_each_out_edge(v, [&](const graph::EdgeRecord& e) {
+        sum += e.target;
+      });
+    });
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_TraceOverheadWhenDisabled);
+
+}  // namespace
+
+BENCHMARK_MAIN();

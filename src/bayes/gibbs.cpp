@@ -1,0 +1,109 @@
+#include "bayes/gibbs.h"
+
+#include <stdexcept>
+
+#include "platform/rng.h"
+#include "trace/access.h"
+
+namespace graphbig::bayes {
+
+GibbsResult run_gibbs(const BayesNet& net, const GibbsConfig& cfg) {
+  const std::size_t n = net.num_nodes();
+  GibbsResult result;
+  result.marginals.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.marginals[i].assign(net.node(i).cardinality, 0.0);
+  }
+  if (n == 0) return result;
+
+  platform::Xoshiro256 rng(cfg.seed);
+
+  // Initial assignment: uniform random, then clamp evidence.
+  std::vector<std::uint32_t> assignment(n);
+  std::vector<bool> clamped(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    assignment[i] =
+        static_cast<std::uint32_t>(rng.bounded(net.node(i).cardinality));
+  }
+  for (const auto& ev : cfg.evidence) {
+    if (ev.node >= n || ev.state >= net.node(ev.node).cardinality) {
+      throw std::invalid_argument("run_gibbs: evidence out of range");
+    }
+    assignment[ev.node] = ev.state;
+    clamped[ev.node] = true;
+  }
+
+  std::vector<double> weights;
+  const int total_sweeps = cfg.burn_in_sweeps + cfg.sample_sweeps;
+  for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (clamped[i]) continue;
+      const BayesNode& node = net.node(i);
+      trace::block(trace::kBlockWorkloadKernel);
+      weights.assign(node.cardinality, 0.0);
+      // Full conditional over the Markov blanket:
+      //   P(x_i = s | rest) ∝ P(x_i = s | pa_i) * Π_c P(x_c | pa_c)
+      double total = 0.0;
+      const std::uint32_t saved = assignment[i];
+      for (std::uint32_t s = 0; s < node.cardinality; ++s) {
+        assignment[i] = s;
+        double w = net.conditional(i, assignment, s);
+        for (const auto child : node.children) {
+          w *= net.conditional(child, assignment, assignment[child]);
+          trace::alu(1);
+        }
+        weights[s] = w;
+        total += w;
+        trace::write(trace::MemKind::kMetadata, &weights[s],
+                     sizeof(double));
+        trace::alu(4);  // accumulate + loop bookkeeping
+      }
+      trace::alu(10);  // RNG draw for the inverse-CDF sample below
+      assignment[i] = saved;
+      // Sample from the normalized weights.
+      std::uint32_t chosen = node.cardinality - 1;
+      if (total > 0.0) {
+        const double u = rng.uniform() * total;
+        double acc = 0.0;
+        // Branchless inverse-CDF scan over the (short) weight row: the
+        // select compiles to predicated updates, so it contributes ALU
+        // work rather than unpredictable branches.
+        for (std::uint32_t s = 0; s < node.cardinality; ++s) {
+          acc += weights[s];
+          trace::alu(3);
+          if (acc >= u) {
+            chosen = s;
+            break;
+          }
+        }
+      } else {
+        chosen = static_cast<std::uint32_t>(rng.bounded(node.cardinality));
+      }
+      assignment[i] = chosen;
+      trace::write(trace::MemKind::kMetadata, &assignment[i],
+                   sizeof(std::uint32_t));
+      ++result.resample_steps;
+
+      if (sweep >= cfg.burn_in_sweeps) {
+        result.marginals[i][chosen] += 1.0;
+      }
+    }
+  }
+
+  // Evidence nodes get a delta distribution; others are normalized counts.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (clamped[i]) {
+      result.marginals[i].assign(net.node(i).cardinality, 0.0);
+      result.marginals[i][assignment[i]] = 1.0;
+      continue;
+    }
+    double sum = 0.0;
+    for (const auto c : result.marginals[i]) sum += c;
+    if (sum > 0.0) {
+      for (auto& c : result.marginals[i]) c /= sum;
+    }
+  }
+  return result;
+}
+
+}  // namespace graphbig::bayes

@@ -1,0 +1,35 @@
+// Gibbs sampling for approximate inference in Bayesian networks -- the
+// computational core of the GibbsInf workload (CompProp category).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bayes/bayes_net.h"
+
+namespace graphbig::bayes {
+
+struct Evidence {
+  std::size_t node = 0;
+  std::uint32_t state = 0;
+};
+
+struct GibbsConfig {
+  int burn_in_sweeps = 50;
+  int sample_sweeps = 200;
+  std::uint64_t seed = 42;
+  std::vector<Evidence> evidence;
+};
+
+struct GibbsResult {
+  /// marginals[i][s] = estimated P(node i = s | evidence).
+  std::vector<std::vector<double>> marginals;
+  std::uint64_t resample_steps = 0;
+};
+
+/// Runs Gibbs sampling: repeatedly resamples every non-evidence node from
+/// its full conditional (CPT of the node times CPTs of its children --
+/// the Markov blanket), then averages the post-burn-in states.
+GibbsResult run_gibbs(const BayesNet& net, const GibbsConfig& cfg);
+
+}  // namespace graphbig::bayes

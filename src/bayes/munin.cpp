@@ -1,0 +1,73 @@
+#include "bayes/munin.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "bayes/bayes_net.h"
+#include "platform/rng.h"
+
+namespace graphbig::bayes {
+
+graph::PropertyGraph generate_munin(const MuninSpec& spec) {
+  platform::Xoshiro256 rng(spec.seed);
+  graph::PropertyGraph g;
+  g.reserve(spec.num_vertices);
+  for (std::uint64_t v = 0; v < spec.num_vertices; ++v) g.add_vertex(v);
+
+  // 1. DAG topology with exactly num_edges edges: each edge points from a
+  //    lower id to a higher id, parents drawn from a local window (the real
+  //    MUNIN is a chain of muscle/nerve sections with local dependencies).
+  std::uint64_t edges = 0;
+  std::vector<std::vector<std::uint64_t>> parents(spec.num_vertices);
+  while (edges < spec.num_edges) {
+    const std::uint64_t child = 1 + rng.bounded(spec.num_vertices - 1);
+    const std::uint64_t window = std::min<std::uint64_t>(child, 40);
+    const std::uint64_t parent = child - 1 - rng.bounded(window);
+    if (parents[child].size() >= 3) continue;  // CPTs stay tractable
+    if (g.add_edge(parent, child) != nullptr) {
+      parents[child].push_back(parent);
+      ++edges;
+    }
+  }
+
+  // 2. Assign cardinalities. Roots get a larger range (sensor nodes); the
+  //    global scale factor is then tuned so that
+  //    sum_v card(v) * prod_parents card(p) ~= target_parameters.
+  std::vector<std::uint32_t> card(spec.num_vertices);
+  for (std::uint64_t v = 0; v < spec.num_vertices; ++v) {
+    card[v] = 2 + static_cast<std::uint32_t>(rng.bounded(5));  // 2..6
+  }
+  auto total_params = [&]() {
+    std::uint64_t total = 0;
+    for (std::uint64_t v = 0; v < spec.num_vertices; ++v) {
+      std::uint64_t rows = 1;
+      for (const auto p : parents[v]) rows *= card[p];
+      total += rows * card[v];
+    }
+    return total;
+  };
+  // Greedy adjustment: bump/shrink random vertices until within 2%.
+  const auto target = spec.target_parameters;
+  for (int iter = 0; iter < 200000; ++iter) {
+    const std::uint64_t current = total_params();
+    if (current > target * 98 / 100 && current < target * 102 / 100) break;
+    const std::uint64_t v = rng.bounded(spec.num_vertices);
+    if (current < target) {
+      if (card[v] < 21) ++card[v];  // MUNIN's max state count is 21
+    } else {
+      if (card[v] > 2) --card[v];
+    }
+  }
+
+  // 3. Random CPTs (normalized by set_bayes_node).
+  for (std::uint64_t v = 0; v < spec.num_vertices; ++v) {
+    std::uint64_t rows = 1;
+    for (const auto p : parents[v]) rows *= card[p];
+    std::vector<double> cpt(rows * card[v]);
+    for (auto& x : cpt) x = 0.05 + rng.uniform();
+    set_bayes_node(g, v, card[v], std::move(cpt));
+  }
+  return g;
+}
+
+}  // namespace graphbig::bayes

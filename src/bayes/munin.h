@@ -1,0 +1,29 @@
+// MUNIN-scale Bayesian network generator.
+//
+// The paper runs GibbsInf on the MUNIN expert-EMG network: 1041 vertices,
+// 1397 edges, 80592 parameters. The real network ships with commercial
+// tooling, so we generate a synthetic network with the same vertex/edge
+// count and (approximately) the same parameter budget: a sparse layered DAG
+// whose node cardinalities are drawn to hit the CPT parameter total.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/property_graph.h"
+
+namespace graphbig::bayes {
+
+struct MuninSpec {
+  std::uint64_t num_vertices = 1041;
+  std::uint64_t num_edges = 1397;
+  std::uint64_t target_parameters = 80592;
+  std::uint64_t seed = 3;
+};
+
+/// Generates a Bayesian network with the MUNIN shape: DAG topology with the
+/// requested vertex/edge counts, cardinalities sized so the total CPT
+/// parameter count lands within ~2% of target_parameters, and random
+/// normalized CPTs.
+graph::PropertyGraph generate_munin(const MuninSpec& spec = {});
+
+}  // namespace graphbig::bayes

@@ -1,0 +1,46 @@
+#include <algorithm>
+
+#include "datagen/generators.h"
+#include "platform/rng.h"
+
+namespace graphbig::datagen {
+
+// Layered DAG: vertices are assigned to layers; each non-root vertex picks
+// parents from the few preceding layers. Edges always point from lower to
+// higher vertex id, guaranteeing acyclicity (needed by TMorph and the
+// Bayesian-network workloads).
+EdgeList generate_dag(const DagConfig& cfg) {
+  EdgeList el;
+  el.num_vertices = cfg.num_vertices;
+  el.directed = true;
+  platform::Xoshiro256 rng(cfg.seed);
+
+  const int layers = std::max(2, cfg.num_layers);
+  const std::uint64_t per_layer =
+      std::max<std::uint64_t>(1, cfg.num_vertices / layers);
+
+  for (std::uint64_t v = per_layer; v < cfg.num_vertices; ++v) {
+    const std::uint64_t layer = v / per_layer;
+    const std::uint64_t window_lo =
+        layer >= 3 ? (layer - 3) * per_layer : 0;
+    const std::uint64_t window_hi = layer * per_layer;
+    if (window_hi <= window_lo) continue;
+    // Poisson-ish parent count around avg_parents.
+    std::uint64_t parents = 1;
+    double p = cfg.avg_parents - 1.0;
+    while (p > 0 && rng.chance(std::min(1.0, p))) {
+      ++parents;
+      p -= 1.0;
+    }
+    for (std::uint64_t k = 0; k < parents; ++k) {
+      const std::uint64_t parent =
+          window_lo + rng.bounded(window_hi - window_lo);
+      el.edges.emplace_back(static_cast<std::uint32_t>(parent),
+                            static_cast<std::uint32_t>(v));
+    }
+  }
+  canonicalize(el);
+  return el;
+}
+
+}  // namespace graphbig::datagen

@@ -1,0 +1,89 @@
+#include "datagen/edge_list.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace graphbig::datagen {
+
+void canonicalize(EdgeList& el) {
+  const bool weighted = !el.weights.empty();
+  std::vector<std::size_t> order(el.edges.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return el.edges[a] < el.edges[b];
+  });
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  std::vector<double> weights;
+  edges.reserve(el.edges.size());
+  for (const std::size_t i : order) {
+    const auto& e = el.edges[i];
+    if (e.first == e.second) continue;
+    if (!edges.empty() && edges.back() == e) continue;
+    edges.push_back(e);
+    if (weighted) weights.push_back(el.weights[i]);
+  }
+  el.edges = std::move(edges);
+  el.weights = std::move(weights);
+}
+
+graph::PropertyGraph build_property_graph(const EdgeList& el) {
+  graph::PropertyGraph g;
+  // Generator output is already deduplicated, so skip the per-insert
+  // duplicate scan (quadratic on hub vertices of heavy-tailed graphs).
+  g.set_allow_parallel_edges(true);
+  g.reserve(el.num_vertices);
+  for (std::uint64_t v = 0; v < el.num_vertices; ++v) {
+    g.add_vertex(v);
+  }
+  const bool weighted = !el.weights.empty();
+  for (std::size_t i = 0; i < el.edges.size(); ++i) {
+    const auto [s, d] = el.edges[i];
+    const double w = weighted ? el.weights[i] : 1.0;
+    g.add_edge(s, d, w);
+    if (!el.directed) g.add_edge(d, s, w);
+  }
+  // Restore duplicate rejection for subsequent dynamic mutation (GUp,
+  // TMorph and user code rely on set semantics).
+  g.set_allow_parallel_edges(false);
+  return g;
+}
+
+void write_edge_list(const EdgeList& el, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << el.num_vertices << ' ' << (el.directed ? 1 : 0) << '\n';
+  const bool weighted = !el.weights.empty();
+  for (std::size_t i = 0; i < el.edges.size(); ++i) {
+    out << el.edges[i].first << ' ' << el.edges[i].second;
+    if (weighted) out << ' ' << el.weights[i];
+    out << '\n';
+  }
+}
+
+EdgeList read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  EdgeList el;
+  int directed = 1;
+  if (!(in >> el.num_vertices >> directed)) {
+    throw std::runtime_error("malformed edge list header: " + path);
+  }
+  el.directed = directed != 0;
+  std::uint32_t s = 0, d = 0;
+  std::string rest;
+  while (in >> s >> d) {
+    el.edges.emplace_back(s, d);
+    // Optional weight until end of line.
+    if (in.peek() == ' ') {
+      double w = 1.0;
+      if (in >> w) el.weights.push_back(w);
+    }
+  }
+  if (!el.weights.empty() && el.weights.size() != el.edges.size()) {
+    throw std::runtime_error("inconsistent weights in edge list: " + path);
+  }
+  return el;
+}
+
+}  // namespace graphbig::datagen

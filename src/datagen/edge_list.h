@@ -1,0 +1,37 @@
+// Edge-list intermediate form shared by all generators, plus conversion to
+// the dynamic property graph and plain-text I/O (the same "vertex pair per
+// line" format the original GraphBIG datasets ship in).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace graphbig::datagen {
+
+struct EdgeList {
+  std::uint64_t num_vertices = 0;
+  bool directed = true;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  /// Optional per-edge weights; empty means unit weights.
+  std::vector<double> weights;
+
+  std::size_t num_edges() const { return edges.size(); }
+};
+
+/// Removes self loops and duplicate edges (keeping the first weight).
+void canonicalize(EdgeList& el);
+
+/// Builds the dynamic vertex-centric graph through framework primitives
+/// (the same population path GCons exercises). For undirected edge lists
+/// each edge is inserted in both directions.
+graph::PropertyGraph build_property_graph(const EdgeList& el);
+
+/// Plain-text serialization: header line "num_vertices directed", then one
+/// "src dst [weight]" line per edge.
+void write_edge_list(const EdgeList& el, const std::string& path);
+EdgeList read_edge_list(const std::string& path);
+
+}  // namespace graphbig::datagen

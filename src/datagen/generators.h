@@ -1,0 +1,92 @@
+// Synthetic graph generators standing in for the paper's datasets.
+//
+// The real Twitter sample, IBM Knowledge Repo and IBM Watson Gene graphs
+// are proprietary; each generator below reproduces the topology *class* of
+// its data source as characterized in Table 2 of the paper, at configurable
+// scale. See DESIGN.md ("Substitutions") for the mapping.
+#pragma once
+
+#include <cstdint>
+
+#include "datagen/edge_list.h"
+
+namespace graphbig::datagen {
+
+/// R-MAT / Kronecker generator (Graph500-style). With the default
+/// (a,b,c,d) = (.57,.19,.19,.05) skew it produces the heavy-tailed degree
+/// distribution of a social/interaction graph -- our stand-in for the
+/// sampled Twitter graph (data source type 1).
+struct RmatConfig {
+  int scale = 14;            // 2^scale vertices
+  int edge_factor = 8;       // edges per vertex
+  double a = 0.57, b = 0.19, c = 0.19;
+  std::uint64_t seed = 1;
+};
+EdgeList generate_rmat(const RmatConfig& cfg);
+
+/// LDBC-like social network generator. Mimics the S3G2/LDBC generator's
+/// structure-correlated output: vertices are partitioned into communities
+/// with power-law sizes, most edges stay inside the community, and a
+/// power-law attachment process adds cross-community "celebrity" edges.
+/// Produces facebook-like graphs with large connected components, short
+/// paths and unbalanced degrees spread over many vertices (the feature the
+/// paper cites for LDBC's high warp divergence).
+struct LdbcConfig {
+  std::uint64_t num_vertices = 1 << 16;
+  double avg_degree = 16.0;
+  double community_exponent = 1.8;   // community-size power law
+  double intra_fraction = 0.55;      // fraction of edges inside community
+  std::uint64_t seed = 7;
+};
+EdgeList generate_ldbc(const LdbcConfig& cfg);
+
+/// Bipartite user/document graph -- stand-in for IBM Knowledge Repo (data
+/// source type 2, information network): "large vertex degrees, large
+/// two-hop neighbourhoods". Users access documents with Zipf-distributed
+/// document popularity.
+struct BipartiteConfig {
+  std::uint64_t num_users = 1 << 14;
+  std::uint64_t num_docs = 1 << 12;
+  double avg_accesses_per_user = 12.0;
+  double doc_popularity_exponent = 0.9;
+  std::uint64_t seed = 11;
+};
+EdgeList generate_bipartite(const BipartiteConfig& cfg);
+
+/// Gene/chemical/drug interaction network -- stand-in for IBM Watson Gene
+/// (data source type 3, nature network): "complex properties, structured
+/// topology". Entities form typed modules (pathways); interactions are
+/// dense inside modules with sparse bridges between related modules.
+struct GeneConfig {
+  std::uint64_t num_entities = 1 << 15;
+  std::uint64_t module_size = 24;
+  double intra_module_p = 0.35;
+  double bridge_per_module = 3.0;
+  std::uint64_t seed = 13;
+};
+EdgeList generate_gene(const GeneConfig& cfg);
+
+/// Road network -- stand-in for the CA road network (data source type 4,
+/// man-made technology network): "regular topology, small vertex degrees".
+/// A jittered 2D grid with a fraction of removed and diagonal edges,
+/// undirected, mean degree ~2.9 like the real CA-RoadNet.
+struct RoadConfig {
+  std::uint64_t rows = 384;
+  std::uint64_t cols = 384;
+  double removal_fraction = 0.22;
+  double diagonal_fraction = 0.05;
+  std::uint64_t seed = 17;
+};
+EdgeList generate_road(const RoadConfig& cfg);
+
+/// Layered directed acyclic graph; input for TMorph (moralization) and the
+/// Bayesian-network generator.
+struct DagConfig {
+  std::uint64_t num_vertices = 1 << 12;
+  int num_layers = 24;
+  double avg_parents = 2.0;
+  std::uint64_t seed = 23;
+};
+EdgeList generate_dag(const DagConfig& cfg);
+
+}  // namespace graphbig::datagen

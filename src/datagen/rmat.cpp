@@ -1,0 +1,35 @@
+#include "datagen/generators.h"
+#include "platform/rng.h"
+
+namespace graphbig::datagen {
+
+EdgeList generate_rmat(const RmatConfig& cfg) {
+  EdgeList el;
+  el.num_vertices = std::uint64_t{1} << cfg.scale;
+  el.directed = true;
+  const std::uint64_t target_edges = el.num_vertices *
+                                     static_cast<std::uint64_t>(cfg.edge_factor);
+  el.edges.reserve(target_edges);
+
+  platform::Xoshiro256 rng(cfg.seed);
+  const double ab = cfg.a + cfg.b;
+  const double abc = ab + cfg.c;
+  for (std::uint64_t i = 0; i < target_edges; ++i) {
+    std::uint64_t src = 0, dst = 0;
+    for (int bit = 0; bit < cfg.scale; ++bit) {
+      const double r = rng.uniform();
+      // Pick one of the four quadrants per recursion level.
+      const std::uint64_t sbit = (r >= ab) ? 1u : 0u;
+      const std::uint64_t dbit = (r >= cfg.a && r < ab) || (r >= abc) ? 1u : 0u;
+      src = (src << 1) | sbit;
+      dst = (dst << 1) | dbit;
+    }
+    if (src == dst) continue;  // drop self loops as they are generated
+    el.edges.emplace_back(static_cast<std::uint32_t>(src),
+                          static_cast<std::uint32_t>(dst));
+  }
+  canonicalize(el);
+  return el;
+}
+
+}  // namespace graphbig::datagen

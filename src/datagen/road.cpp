@@ -1,0 +1,43 @@
+#include "datagen/generators.h"
+#include "platform/rng.h"
+
+namespace graphbig::datagen {
+
+// Jittered 2D lattice. Intersections are grid points; a fraction of grid
+// edges is removed (rivers, mountains, unbuilt blocks) and a small fraction
+// of diagonal shortcuts is added (highways). Mean degree lands near the
+// real CA road network's ~2.9, with near-planar regular topology and the
+// large diameter that gives road graphs their long BFS tails.
+EdgeList generate_road(const RoadConfig& cfg) {
+  EdgeList el;
+  el.num_vertices = cfg.rows * cfg.cols;
+  el.directed = false;
+  platform::Xoshiro256 rng(cfg.seed);
+
+  auto vid = [&](std::uint64_t r, std::uint64_t c) {
+    return static_cast<std::uint32_t>(r * cfg.cols + c);
+  };
+
+  el.weights.reserve(el.num_vertices * 2);
+  for (std::uint64_t r = 0; r < cfg.rows; ++r) {
+    for (std::uint64_t c = 0; c < cfg.cols; ++c) {
+      // Edge lengths jittered around 1.0 to act as road distances.
+      if (c + 1 < cfg.cols && !rng.chance(cfg.removal_fraction)) {
+        el.edges.emplace_back(vid(r, c), vid(r, c + 1));
+        el.weights.push_back(rng.uniform(0.5, 1.5));
+      }
+      if (r + 1 < cfg.rows && !rng.chance(cfg.removal_fraction)) {
+        el.edges.emplace_back(vid(r, c), vid(r + 1, c));
+        el.weights.push_back(rng.uniform(0.5, 1.5));
+      }
+      if (r + 1 < cfg.rows && c + 1 < cfg.cols &&
+          rng.chance(cfg.diagonal_fraction)) {
+        el.edges.emplace_back(vid(r, c), vid(r + 1, c + 1));
+        el.weights.push_back(rng.uniform(0.7, 2.1));
+      }
+    }
+  }
+  return el;
+}
+
+}  // namespace graphbig::datagen

@@ -1,0 +1,68 @@
+// Compact static graph representations: CSR and COO.
+//
+// Following the paper (Section 4.1), the GPU side of GraphBIG does not run
+// on the dynamic vertex-centric structure. In the graph populating step the
+// dynamic graph in CPU memory is converted to CSR/COO and "transferred" to
+// the device. In this reproduction the SIMT simulator consumes the same
+// CSR/COO arrays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "platform/aligned.h"
+
+namespace graphbig::graph {
+
+/// Compressed Sparse Row graph (Figure 2(b)). Vertices are renumbered into
+/// a dense [0, n) range in slot order; `orig_id[i]` maps back to the
+/// external id in the property graph.
+struct Csr {
+  std::uint32_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  platform::DeviceVector<std::uint64_t> row_ptr;   // size num_vertices + 1
+  platform::DeviceVector<std::uint32_t> col;       // size num_edges
+  platform::DeviceVector<float> weight;            // size num_edges
+  std::vector<VertexId> orig_id;        // size num_vertices
+
+  std::uint64_t degree(std::uint32_t v) const {
+    return row_ptr[v + 1] - row_ptr[v];
+  }
+
+  /// Bytes of device memory the representation would occupy.
+  std::size_t footprint_bytes() const {
+    return row_ptr.size() * sizeof(std::uint64_t) +
+           col.size() * sizeof(std::uint32_t) +
+           weight.size() * sizeof(float) + orig_id.size() * sizeof(VertexId);
+  }
+};
+
+/// Coordinate-list graph: one (src, dst) pair per edge. Used by the
+/// edge-centric GPU kernels (CComp, TC).
+struct Coo {
+  std::uint32_t num_vertices = 0;
+  platform::DeviceVector<std::uint32_t> src;
+  platform::DeviceVector<std::uint32_t> dst;
+
+  std::uint64_t num_edges() const { return src.size(); }
+};
+
+/// Converts the dynamic property graph into CSR (the "graph populating"
+/// step of the paper's GPU benchmarks). Neighbor lists are sorted by
+/// destination id, which the intersection-based kernels (TC) require.
+Csr build_csr(const PropertyGraph& graph);
+
+/// Derives COO from CSR.
+Coo build_coo(const Csr& csr);
+
+/// Builds the transpose (reverse edges) of a CSR graph.
+Csr transpose(const Csr& csr);
+
+/// Builds an undirected (symmetrized, deduplicated) CSR from a directed one.
+Csr symmetrize(const Csr& csr);
+
+/// Structural equality check used by conversion tests.
+bool csr_equal(const Csr& a, const Csr& b);
+
+}  // namespace graphbig::graph

@@ -1,0 +1,263 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace graphbig::graph {
+
+// ---------------------------------------------------------------------------
+// fwk time accounting
+// ---------------------------------------------------------------------------
+
+namespace fwk {
+
+namespace {
+std::atomic<bool> g_accounting{false};
+}  // namespace
+
+void set_accounting(bool enabled) {
+  g_accounting.store(enabled, std::memory_order_relaxed);
+}
+
+bool accounting_enabled() {
+  return g_accounting.load(std::memory_order_relaxed);
+}
+
+detail::ThreadState& detail::tls() {
+  thread_local ThreadState state;
+  return state;
+}
+
+std::uint64_t thread_time_ns() { return detail::tls().total_ns; }
+
+void reset_thread_time() { detail::tls().total_ns = 0; }
+
+}  // namespace fwk
+
+// ---------------------------------------------------------------------------
+// PropertyGraph
+// ---------------------------------------------------------------------------
+
+void PropertyGraph::reserve(std::size_t vertices) {
+  slots_.reserve(vertices);
+  index_.reserve(vertices);
+}
+
+VertexRecord* PropertyGraph::find_vertex_impl(VertexId id) const {
+  trace::block(trace::kBlockFindVertex);
+  auto it = index_.find(id);
+  trace::read(trace::MemKind::kTopology, &index_, sizeof(void*) * 2);
+  trace::branch(trace::kBranchHashProbe, it != index_.end());
+  if (it == index_.end()) return nullptr;
+  const auto& slot = slots_[it->second];
+  trace::read(trace::MemKind::kTopology, &slot, sizeof(void*));
+  VertexRecord* v = slot.get();
+  if (v == nullptr || !v->alive) return nullptr;
+  trace::read(trace::MemKind::kTopology, v, sizeof(VertexId) + sizeof(bool));
+  return v;
+}
+
+VertexRecord* PropertyGraph::add_vertex(VertexId id) {
+  fwk::PrimitiveScope scope;
+  trace::block(trace::kBlockAddVertex);
+  if (find_vertex_impl(id) != nullptr) return nullptr;
+  auto record = std::make_unique<VertexRecord>();
+  record->id = id;
+  record->alive = true;
+  VertexRecord* raw = record.get();
+  const auto slot = static_cast<SlotIndex>(slots_.size());
+  slots_.push_back(std::move(record));
+  index_[id] = slot;
+  ++num_vertices_;
+  next_auto_id_ = std::max(next_auto_id_, id + 1);
+  trace::write(trace::MemKind::kTopology, raw, sizeof(VertexRecord));
+  return raw;
+}
+
+VertexRecord* PropertyGraph::add_vertex() { return add_vertex(next_auto_id_); }
+
+VertexRecord* PropertyGraph::find_vertex(VertexId id) {
+  fwk::PrimitiveScope scope;
+  return find_vertex_impl(id);
+}
+
+const VertexRecord* PropertyGraph::find_vertex(VertexId id) const {
+  fwk::PrimitiveScope scope;
+  return find_vertex_impl(id);
+}
+
+bool PropertyGraph::delete_vertex(VertexId id) {
+  fwk::PrimitiveScope scope;
+  trace::block(trace::kBlockDeleteVertex);
+  VertexRecord* v = find_vertex_impl(id);
+  if (v == nullptr) return false;
+
+  // Remove edges v -> t from every target's incoming list. The unlink
+  // scans read every element they step over, and the trace reflects that.
+  for (const EdgeRecord& e : v->out) {
+    trace::read(trace::MemKind::kTopology, &e, sizeof(EdgeRecord));
+    VertexRecord* t = find_vertex_impl(e.target);
+    if (t != nullptr) {
+      auto it = t->in.begin();
+      for (; it != t->in.end(); ++it) {
+        trace::read(trace::MemKind::kTopology, &*it, sizeof(VertexId));
+        trace::alu(1);
+        if (*it == id) break;
+      }
+      if (it != t->in.end()) {
+        *it = t->in.back();
+        t->in.pop_back();
+        trace::write(trace::MemKind::kTopology, &*t->in.begin(),
+                     sizeof(VertexId));
+      }
+    }
+  }
+  num_edges_ -= v->out.size();
+
+  // Remove edges s -> v from every source's outgoing list.
+  for (const VertexId src : v->in) {
+    trace::read(trace::MemKind::kTopology, &src, sizeof(VertexId));
+    VertexRecord* s = find_vertex_impl(src);
+    if (s == nullptr) continue;
+    auto it = s->out.begin();
+    for (; it != s->out.end(); ++it) {
+      trace::read(trace::MemKind::kTopology, &*it, sizeof(EdgeRecord));
+      trace::alu(1);
+      if (it->target == id) break;
+    }
+    if (it != s->out.end()) {
+      *it = std::move(s->out.back());
+      s->out.pop_back();
+      --num_edges_;
+      trace::write(trace::MemKind::kTopology, s, sizeof(EdgeRecord));
+    }
+  }
+
+  // Tombstone the slot; the index entry goes away so the id can be reused.
+  v->alive = false;
+  v->out.clear();
+  v->out.shrink_to_fit();
+  v->in.clear();
+  v->in.shrink_to_fit();
+  v->props.clear();
+  index_.erase(id);
+  --num_vertices_;
+  trace::write(trace::MemKind::kTopology, v, sizeof(VertexRecord));
+  return true;
+}
+
+EdgeRecord* PropertyGraph::add_edge(VertexId src, VertexId dst,
+                                    double weight) {
+  fwk::PrimitiveScope scope;
+  trace::block(trace::kBlockAddEdge);
+  VertexRecord* s = find_vertex_impl(src);
+  VertexRecord* d = find_vertex_impl(dst);
+  if (s == nullptr || d == nullptr) return nullptr;
+  if (!allow_parallel_edges_) {
+    for (const EdgeRecord& e : s->out) {
+      trace::read(trace::MemKind::kTopology, &e, sizeof(EdgeRecord));
+      if (e.target == dst) return nullptr;
+    }
+  }
+  s->out.push_back(EdgeRecord{dst, weight, {}});
+  d->in.push_back(src);
+  ++num_edges_;
+  trace::write(trace::MemKind::kTopology, &s->out.back(),
+               sizeof(EdgeRecord));
+  trace::write(trace::MemKind::kTopology, &d->in.back(), sizeof(VertexId));
+  return &s->out.back();
+}
+
+EdgeRecord* PropertyGraph::find_edge(VertexId src, VertexId dst) {
+  return const_cast<EdgeRecord*>(
+      static_cast<const PropertyGraph*>(this)->find_edge(src, dst));
+}
+
+const EdgeRecord* PropertyGraph::find_edge(VertexId src, VertexId dst) const {
+  fwk::PrimitiveScope scope;
+  trace::block(trace::kBlockFindVertex);
+  const VertexRecord* s = find_vertex_impl(src);
+  if (s == nullptr) return nullptr;
+  for (const EdgeRecord& e : s->out) {
+    trace::read(trace::MemKind::kTopology, &e, sizeof(EdgeRecord));
+    trace::branch(trace::kBranchCompare, e.target == dst);
+    if (e.target == dst) return &e;
+  }
+  return nullptr;
+}
+
+bool PropertyGraph::delete_edge(VertexId src, VertexId dst) {
+  fwk::PrimitiveScope scope;
+  trace::block(trace::kBlockDeleteEdge);
+  VertexRecord* s = find_vertex_impl(src);
+  VertexRecord* d = find_vertex_impl(dst);
+  if (s == nullptr || d == nullptr) return false;
+  auto it = std::find_if(s->out.begin(), s->out.end(),
+                         [&](const EdgeRecord& e) { return e.target == dst; });
+  if (it == s->out.end()) return false;
+  *it = std::move(s->out.back());
+  s->out.pop_back();
+  auto in_it = std::find(d->in.begin(), d->in.end(), src);
+  if (in_it != d->in.end()) {
+    *in_it = d->in.back();
+    d->in.pop_back();
+  }
+  --num_edges_;
+  trace::write(trace::MemKind::kTopology, s, sizeof(EdgeRecord));
+  return true;
+}
+
+SlotIndex PropertyGraph::slot_of(VertexId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? kInvalidSlot : it->second;
+}
+
+std::size_t PropertyGraph::footprint_bytes() const {
+  std::size_t total = slots_.capacity() * sizeof(void*) +
+                      index_.size() * (sizeof(VertexId) + sizeof(SlotIndex) +
+                                       2 * sizeof(void*));
+  for (const auto& slot : slots_) {
+    if (slot == nullptr) continue;
+    total += sizeof(VertexRecord);
+    total += slot->out.capacity() * sizeof(EdgeRecord);
+    total += slot->in.capacity() * sizeof(VertexId);
+    total += slot->props.footprint_bytes();
+    for (const auto& e : slot->out) total += e.props.footprint_bytes();
+  }
+  return total;
+}
+
+bool PropertyGraph::validate() const {
+  std::size_t live = 0;
+  std::size_t out_edges = 0;
+  for (SlotIndex s = 0; s < slots_.size(); ++s) {
+    const VertexRecord* v = slots_[s].get();
+    if (v == nullptr || !v->alive) continue;
+    ++live;
+    out_edges += v->out.size();
+    auto it = index_.find(v->id);
+    if (it == index_.end() || it->second != s) return false;
+    // Every outgoing edge must be mirrored in the target's incoming list.
+    for (const EdgeRecord& e : v->out) {
+      const VertexRecord* t = find_vertex_impl(e.target);
+      if (t == nullptr) return false;
+      if (std::count(t->in.begin(), t->in.end(), v->id) <
+          1) {
+        return false;
+      }
+    }
+    // Every incoming entry must correspond to a real edge.
+    for (const VertexId src : v->in) {
+      const VertexRecord* srec = find_vertex_impl(src);
+      if (srec == nullptr) return false;
+      const bool found = std::any_of(
+          srec->out.begin(), srec->out.end(),
+          [&](const EdgeRecord& e) { return e.target == v->id; });
+      if (!found) return false;
+    }
+  }
+  return live == num_vertices_ && out_edges == num_edges_ &&
+         index_.size() == num_vertices_;
+}
+
+}  // namespace graphbig::graph

@@ -1,0 +1,244 @@
+// The System-G-style graph framework: a dynamic, vertex-centric property
+// graph accessed through framework primitives.
+//
+// Representation (paper Figure 2(c)): a vertex is the basic unit of the
+// graph. The vertex property and the outgoing edge list live inside the
+// same vertex structure; all vertex structures form an adjacency list with
+// an index. The representation is fully dynamic -- vertices and edges can
+// be added and deleted at any time -- unlike the static CSR used by
+// algorithm prototypes.
+//
+// All graph access in the workloads goes through the primitives defined
+// here (find/add/delete vertex/edge, neighbor traversal, property update);
+// the primitives attribute their execution time to the framework (Figure 1)
+// and emit memory-access trace events for the perfmodel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/property.h"
+#include "platform/timer.h"
+#include "trace/access.h"
+
+namespace graphbig::graph {
+
+using VertexId = std::uint64_t;
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+
+/// Internal dense slot index of a vertex inside the graph's vertex table.
+using SlotIndex = std::uint32_t;
+inline constexpr SlotIndex kInvalidSlot = ~SlotIndex{0};
+
+// ---------------------------------------------------------------------------
+// In-framework time accounting (Figure 1)
+// ---------------------------------------------------------------------------
+
+/// Global switch + per-thread accumulator for time spent inside framework
+/// primitives. Nested primitive calls (add_edge -> find_vertex) are counted
+/// once via a depth counter. Accounting is off by default; Figure 1 runs
+/// enable it explicitly.
+namespace fwk {
+
+void set_accounting(bool enabled);
+bool accounting_enabled();
+
+/// Nanoseconds this thread has spent inside framework primitives since the
+/// last reset_thread_time().
+std::uint64_t thread_time_ns();
+void reset_thread_time();
+
+namespace detail {
+struct ThreadState {
+  std::uint64_t total_ns = 0;
+  int depth = 0;
+};
+ThreadState& tls();
+}  // namespace detail
+
+/// RAII guard marking a framework-primitive scope.
+class PrimitiveScope {
+ public:
+  PrimitiveScope() : active_(accounting_enabled()) {
+    if (active_ && detail::tls().depth++ == 0) timer_.reset();
+  }
+  ~PrimitiveScope() {
+    if (active_ && --detail::tls().depth == 0) {
+      detail::tls().total_ns += timer_.nanoseconds();
+    }
+  }
+  PrimitiveScope(const PrimitiveScope&) = delete;
+  PrimitiveScope& operator=(const PrimitiveScope&) = delete;
+
+ private:
+  bool active_;
+  platform::WallTimer timer_;
+};
+
+}  // namespace fwk
+
+// ---------------------------------------------------------------------------
+// Graph storage
+// ---------------------------------------------------------------------------
+
+/// An outgoing edge stored inside its source vertex (vertex-centric layout).
+struct EdgeRecord {
+  VertexId target = kInvalidVertex;
+  double weight = 1.0;
+  PropertyMap props;
+};
+
+/// A vertex record: external id, property payload, and both adjacency
+/// directions. Outgoing edges carry full edge records; incoming adjacency
+/// stores source ids only (enough for reverse traversal, moralization, and
+/// vertex deletion).
+struct VertexRecord {
+  VertexId id = kInvalidVertex;
+  bool alive = false;
+  PropertyMap props;
+  std::vector<EdgeRecord> out;
+  std::vector<VertexId> in;
+};
+
+/// Dynamic vertex-centric property graph (directed multigraph by default;
+/// add_edge refuses duplicates unless allow_parallel_edges is set).
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  /// Reserve capacity for an expected number of vertices.
+  void reserve(std::size_t vertices);
+
+  // ---- vertex primitives ----
+
+  /// Adds a vertex with the given external id. Returns the record, or
+  /// nullptr if the id already exists.
+  VertexRecord* add_vertex(VertexId id);
+
+  /// Adds a vertex with a fresh auto-assigned id.
+  VertexRecord* add_vertex();
+
+  /// Finds a live vertex by external id; nullptr if absent.
+  VertexRecord* find_vertex(VertexId id);
+  const VertexRecord* find_vertex(VertexId id) const;
+
+  /// Deletes a vertex and every edge incident to it (both directions).
+  /// Returns false if the vertex does not exist.
+  bool delete_vertex(VertexId id);
+
+  // ---- edge primitives ----
+
+  /// Adds a directed edge src -> dst with the given weight. Returns the
+  /// edge record, or nullptr if either endpoint is missing or the edge
+  /// already exists (and parallel edges are disabled).
+  EdgeRecord* add_edge(VertexId src, VertexId dst, double weight = 1.0);
+
+  /// Finds an edge src -> dst; nullptr if absent.
+  EdgeRecord* find_edge(VertexId src, VertexId dst);
+  const EdgeRecord* find_edge(VertexId src, VertexId dst) const;
+
+  /// Deletes edge src -> dst. Returns false if absent.
+  bool delete_edge(VertexId src, VertexId dst);
+
+  // ---- traversal primitives ----
+
+  /// Calls fn(const EdgeRecord&) for each outgoing edge of v.
+  template <typename Fn>
+  void for_each_out_edge(const VertexRecord& v, Fn&& fn) const {
+    fwk::PrimitiveScope scope;
+    trace::block(trace::kBlockTraverseNeighbors);
+    // Loop back-edges are emitted as taken branches; the exit branch is
+    // omitted (modern frontends predict short-trip loop exits via the
+    // loop stream detector, and modeling every exit as a gshare miss
+    // overstates traversal misprediction badly).
+    for (const EdgeRecord& e : v.out) {
+      trace::read(trace::MemKind::kTopology, &e, sizeof(EdgeRecord));
+      trace::branch(trace::kBranchLoopCond, true);
+      fn(e);
+    }
+  }
+
+  template <typename Fn>
+  void for_each_out_edge(const VertexRecord& v, Fn&& fn) {
+    static_cast<const PropertyGraph*>(this)->for_each_out_edge(
+        v, [&](const EdgeRecord& e) { fn(const_cast<EdgeRecord&>(e)); });
+  }
+
+  /// Calls fn(VertexId source) for each incoming edge of v.
+  template <typename Fn>
+  void for_each_in_neighbor(const VertexRecord& v, Fn&& fn) const {
+    fwk::PrimitiveScope scope;
+    trace::block(trace::kBlockTraverseNeighbors);
+    for (const VertexId src : v.in) {
+      trace::read(trace::MemKind::kTopology, &src, sizeof(VertexId));
+      trace::branch(trace::kBranchLoopCond, true);
+      fn(src);
+    }
+  }
+
+  /// Calls fn(VertexRecord&) for every live vertex, in slot order.
+  template <typename Fn>
+  void for_each_vertex(Fn&& fn) {
+    for (auto& slot : slots_) {
+      if (slot != nullptr && slot->alive) fn(*slot);
+    }
+  }
+
+  template <typename Fn>
+  void for_each_vertex(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot != nullptr && slot->alive) fn(*slot);
+    }
+  }
+
+  // ---- dense-slot access (used by level-synchronous workloads) ----
+
+  /// Number of slots ever allocated (>= num_vertices; deleted vertices
+  /// leave dead slots behind, as tombstones).
+  std::size_t slot_count() const { return slots_.size(); }
+
+  /// The vertex in a slot; nullptr for dead/tombstoned slots. Emits a
+  /// topology read for the slot-table lookup.
+  VertexRecord* vertex_at(SlotIndex slot) {
+    trace::read(trace::MemKind::kTopology, &slots_[slot], sizeof(void*));
+    VertexRecord* v = slots_[slot].get();
+    return (v != nullptr && v->alive) ? v : nullptr;
+  }
+  const VertexRecord* vertex_at(SlotIndex slot) const {
+    trace::read(trace::MemKind::kTopology, &slots_[slot], sizeof(void*));
+    const VertexRecord* v = slots_[slot].get();
+    return (v != nullptr && v->alive) ? v : nullptr;
+  }
+
+  /// Slot of a live vertex id, or kInvalidSlot.
+  SlotIndex slot_of(VertexId id) const;
+
+  // ---- statistics ----
+
+  std::size_t num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Approximate resident bytes of the graph structure (Table 7 context).
+  std::size_t footprint_bytes() const;
+
+  void set_allow_parallel_edges(bool allow) { allow_parallel_edges_ = allow; }
+
+  /// Checks internal invariants (index consistency, in/out symmetry,
+  /// counts). Returns true when consistent; used by tests and debug builds.
+  bool validate() const;
+
+ private:
+  VertexRecord* find_vertex_impl(VertexId id) const;
+
+  std::vector<std::unique_ptr<VertexRecord>> slots_;
+  std::unordered_map<VertexId, SlotIndex> index_;
+  std::size_t num_vertices_ = 0;
+  std::size_t num_edges_ = 0;
+  VertexId next_auto_id_ = 0;
+  bool allow_parallel_edges_ = false;
+};
+
+}  // namespace graphbig::graph

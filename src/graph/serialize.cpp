@@ -1,0 +1,222 @@
+// Text format:
+//
+//   graphbig-graph 1
+//   vertices <count>
+//   edges <count>
+//   v <id> <num_props> [<prop>...]
+//   e <src> <dst> <weight> <num_props> [<prop>...]
+//
+// where <prop> is one of
+//   i <key> <int64>
+//   d <key> <double>           (hex float, lossless)
+//   s <key> <len> <bytes>      (raw bytes after one separating space)
+//   t <key> <n> <double>*n     (probability tables etc.)
+//
+// Vertices are emitted in slot order, edges per source vertex, so the
+// format is deterministic for a given graph.
+#include "graph/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace graphbig::graph {
+
+namespace {
+
+void write_double(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);  // hex float: lossless
+  out << buf;
+}
+
+double read_double(std::istream& in) {
+  std::string token;
+  if (!(in >> token)) throw std::runtime_error("graph: expected double");
+  return std::strtod(token.c_str(), nullptr);
+}
+
+void write_props(std::ostream& out, const PropertyMap& props) {
+  out << ' ' << props.size();
+  props.for_each([&](PropKey key, const PropertyValue& value) {
+    if (const auto* i = std::get_if<std::int64_t>(&value)) {
+      out << " i " << key << ' ' << *i;
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      out << " d " << key << ' ';
+      write_double(out, *d);
+    } else if (const auto* s = std::get_if<std::string>(&value)) {
+      out << " s " << key << ' ' << s->size() << ' ' << *s;
+    } else if (const auto* t = std::get_if<std::vector<double>>(&value)) {
+      out << " t " << key << ' ' << t->size();
+      for (const double x : *t) {
+        out << ' ';
+        write_double(out, x);
+      }
+    }
+  });
+}
+
+void read_props(std::istream& in, PropertyMap& props) {
+  std::size_t count = 0;
+  if (!(in >> count)) throw std::runtime_error("graph: expected prop count");
+  for (std::size_t p = 0; p < count; ++p) {
+    char type = 0;
+    PropKey key = 0;
+    if (!(in >> type >> key)) {
+      throw std::runtime_error("graph: expected property header");
+    }
+    switch (type) {
+      case 'i': {
+        std::int64_t v = 0;
+        if (!(in >> v)) throw std::runtime_error("graph: bad int prop");
+        props.set(key, PropertyValue{v});
+        break;
+      }
+      case 'd': {
+        props.set(key, PropertyValue{read_double(in)});
+        break;
+      }
+      case 's': {
+        std::size_t len = 0;
+        if (!(in >> len)) throw std::runtime_error("graph: bad str len");
+        in.get();  // the single separating space
+        std::string s(len, '\0');
+        in.read(s.data(), static_cast<std::streamsize>(len));
+        if (in.gcount() != static_cast<std::streamsize>(len)) {
+          throw std::runtime_error("graph: truncated string prop");
+        }
+        props.set(key, PropertyValue{std::move(s)});
+        break;
+      }
+      case 't': {
+        std::size_t n = 0;
+        if (!(in >> n)) throw std::runtime_error("graph: bad table len");
+        std::vector<double> table(n);
+        for (auto& x : table) x = read_double(in);
+        props.set(key, PropertyValue{std::move(table)});
+        break;
+      }
+      default:
+        throw std::runtime_error("graph: unknown property type");
+    }
+  }
+}
+
+}  // namespace
+
+void write_graph(const PropertyGraph& graph, std::ostream& out) {
+  out << "graphbig-graph 1\n";
+  out << "vertices " << graph.num_vertices() << '\n';
+  out << "edges " << graph.num_edges() << '\n';
+  graph.for_each_vertex([&](const VertexRecord& v) {
+    out << "v " << v.id;
+    write_props(out, v.props);
+    out << '\n';
+  });
+  graph.for_each_vertex([&](const VertexRecord& v) {
+    for (const EdgeRecord& e : v.out) {
+      out << "e " << v.id << ' ' << e.target << ' ';
+      write_double(out, e.weight);
+      write_props(out, e.props);
+      out << '\n';
+    }
+  });
+}
+
+void save_graph(const PropertyGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_graph(graph, out);
+}
+
+PropertyGraph read_graph(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "graphbig-graph" ||
+      version != 1) {
+    throw std::runtime_error("graph: bad header");
+  }
+  std::string word;
+  std::size_t num_vertices = 0, num_edges = 0;
+  if (!(in >> word >> num_vertices) || word != "vertices") {
+    throw std::runtime_error("graph: bad vertex count");
+  }
+  if (!(in >> word >> num_edges) || word != "edges") {
+    throw std::runtime_error("graph: bad edge count");
+  }
+
+  PropertyGraph g;
+  g.reserve(num_vertices);
+  g.set_allow_parallel_edges(true);  // writer emitted a valid edge set
+  char tag = 0;
+  while (in >> tag) {
+    if (tag == 'v') {
+      VertexId id = 0;
+      if (!(in >> id)) throw std::runtime_error("graph: bad vertex id");
+      VertexRecord* v = g.add_vertex(id);
+      if (v == nullptr) throw std::runtime_error("graph: duplicate vertex");
+      read_props(in, v->props);
+    } else if (tag == 'e') {
+      VertexId src = 0, dst = 0;
+      if (!(in >> src >> dst)) {
+        throw std::runtime_error("graph: bad edge endpoints");
+      }
+      const double weight = read_double(in);
+      EdgeRecord* e = g.add_edge(src, dst, weight);
+      if (e == nullptr) throw std::runtime_error("graph: bad edge");
+      read_props(in, e->props);
+    } else {
+      throw std::runtime_error("graph: unknown record tag");
+    }
+  }
+  g.set_allow_parallel_edges(false);
+  if (g.num_vertices() != num_vertices || g.num_edges() != num_edges) {
+    throw std::runtime_error("graph: count mismatch");
+  }
+  return g;
+}
+
+PropertyGraph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return read_graph(in);
+}
+
+bool graphs_equal(const PropertyGraph& a, const PropertyGraph& b) {
+  if (a.num_vertices() != b.num_vertices() ||
+      a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  // Serialize both and compare: the writer is deterministic in slot
+  // order, but the two graphs may have different slot orders, so compare
+  // per-vertex through lookups instead.
+  bool equal = true;
+  a.for_each_vertex([&](const VertexRecord& va) {
+    const VertexRecord* vb = b.find_vertex(va.id);
+    if (vb == nullptr || va.props.size() != vb->props.size() ||
+        va.out.size() != vb->out.size()) {
+      equal = false;
+      return;
+    }
+    va.props.for_each([&](PropKey key, const PropertyValue& value) {
+      const PropertyValue* other = vb->props.get(key);
+      if (other == nullptr || !(*other == value)) equal = false;
+    });
+    for (const EdgeRecord& ea : va.out) {
+      const EdgeRecord* eb = b.find_edge(va.id, ea.target);
+      if (eb == nullptr || eb->weight != ea.weight ||
+          eb->props.size() != ea.props.size()) {
+        equal = false;
+        return;
+      }
+      ea.props.for_each([&](PropKey key, const PropertyValue& value) {
+        const PropertyValue* other = eb->props.get(key);
+        if (other == nullptr || !(*other == value)) equal = false;
+      });
+    }
+  });
+  return equal;
+}
+
+}  // namespace graphbig::graph

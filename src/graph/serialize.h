@@ -1,0 +1,27 @@
+// Full property-graph serialization (vertices, edges, weights, typed
+// properties). The plain edge-list I/O in datagen covers topology-only
+// exchange; this format round-trips everything the framework stores, so a
+// populated graph (e.g. a Bayesian network with CPT properties) can be
+// saved and reloaded -- the "graph store" role industrial frameworks play.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/property_graph.h"
+
+namespace graphbig::graph {
+
+/// Writes the graph in the text format described in serialize.cpp.
+void write_graph(const PropertyGraph& graph, std::ostream& out);
+void save_graph(const PropertyGraph& graph, const std::string& path);
+
+/// Reads a graph previously written by write_graph. Throws
+/// std::runtime_error on malformed input.
+PropertyGraph read_graph(std::istream& in);
+PropertyGraph load_graph(const std::string& path);
+
+/// Deep structural + property equality (used by round-trip tests).
+bool graphs_equal(const PropertyGraph& a, const PropertyGraph& b);
+
+}  // namespace graphbig::graph

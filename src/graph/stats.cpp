@@ -1,0 +1,147 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "platform/rng.h"
+
+namespace graphbig::graph {
+
+DegreeStats degree_stats(const Csr& csr) {
+  DegreeStats s;
+  if (csr.num_vertices == 0) return s;
+  std::vector<std::uint64_t> degrees(csr.num_vertices);
+  double sum = 0.0;
+  s.min = ~std::uint64_t{0};
+  for (std::uint32_t v = 0; v < csr.num_vertices; ++v) {
+    degrees[v] = csr.degree(v);
+    sum += static_cast<double>(degrees[v]);
+    s.min = std::min(s.min, degrees[v]);
+    s.max = std::max(s.max, degrees[v]);
+  }
+  s.mean = sum / csr.num_vertices;
+  double var = 0.0;
+  for (const auto d : degrees) {
+    const double delta = static_cast<double>(d) - s.mean;
+    var += delta * delta;
+  }
+  s.variance = var / csr.num_vertices;
+  s.cv = s.mean > 0 ? std::sqrt(s.variance) / s.mean : 0.0;
+
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(1, csr.num_vertices / 100);
+  std::uint64_t top_edges = 0;
+  for (std::size_t i = 0; i < top; ++i) top_edges += degrees[i];
+  s.top1pct_edge_share =
+      csr.num_edges > 0
+          ? static_cast<double>(top_edges) / static_cast<double>(csr.num_edges)
+          : 0.0;
+  return s;
+}
+
+ComponentStats component_stats(const Csr& csr) {
+  const Csr undirected = symmetrize(csr);
+  ComponentStats stats;
+  std::vector<bool> visited(undirected.num_vertices, false);
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t root = 0; root < undirected.num_vertices; ++root) {
+    if (visited[root]) continue;
+    ++stats.num_components;
+    std::size_t size = 0;
+    queue.clear();
+    queue.push_back(root);
+    visited[root] = true;
+    while (!queue.empty()) {
+      const std::uint32_t v = queue.back();
+      queue.pop_back();
+      ++size;
+      for (std::uint64_t e = undirected.row_ptr[v];
+           e < undirected.row_ptr[v + 1]; ++e) {
+        const std::uint32_t d = undirected.col[e];
+        if (!visited[d]) {
+          visited[d] = true;
+          queue.push_back(d);
+        }
+      }
+    }
+    stats.largest = std::max(stats.largest, size);
+  }
+  return stats;
+}
+
+double estimate_mean_path_length(const Csr& csr, int samples,
+                                 std::uint64_t seed) {
+  if (csr.num_vertices == 0) return 0.0;
+  const Csr undirected = symmetrize(csr);
+  platform::Xoshiro256 rng(seed);
+  double total = 0.0;
+  std::uint64_t reached = 0;
+  std::vector<std::int32_t> depth(undirected.num_vertices);
+  for (int s = 0; s < samples; ++s) {
+    const auto root =
+        static_cast<std::uint32_t>(rng.bounded(undirected.num_vertices));
+    std::fill(depth.begin(), depth.end(), -1);
+    std::queue<std::uint32_t> q;
+    q.push(root);
+    depth[root] = 0;
+    while (!q.empty()) {
+      const std::uint32_t v = q.front();
+      q.pop();
+      for (std::uint64_t e = undirected.row_ptr[v];
+           e < undirected.row_ptr[v + 1]; ++e) {
+        const std::uint32_t d = undirected.col[e];
+        if (depth[d] < 0) {
+          depth[d] = depth[v] + 1;
+          total += depth[d];
+          ++reached;
+          q.push(d);
+        }
+      }
+    }
+  }
+  return reached > 0 ? total / static_cast<double>(reached) : 0.0;
+}
+
+double estimate_two_hop_size(const Csr& csr, int samples,
+                             std::uint64_t seed) {
+  if (csr.num_vertices == 0) return 0.0;
+  platform::Xoshiro256 rng(seed);
+  double total = 0.0;
+  std::vector<std::uint32_t> marked;
+  std::vector<bool> seen(csr.num_vertices, false);
+  for (int s = 0; s < samples; ++s) {
+    const auto root =
+        static_cast<std::uint32_t>(rng.bounded(csr.num_vertices));
+    marked.clear();
+    auto mark = [&](std::uint32_t v) {
+      if (!seen[v]) {
+        seen[v] = true;
+        marked.push_back(v);
+      }
+    };
+    for (std::uint64_t e = csr.row_ptr[root]; e < csr.row_ptr[root + 1];
+         ++e) {
+      const std::uint32_t n1 = csr.col[e];
+      mark(n1);
+      for (std::uint64_t e2 = csr.row_ptr[n1]; e2 < csr.row_ptr[n1 + 1];
+           ++e2) {
+        mark(csr.col[e2]);
+      }
+    }
+    total += static_cast<double>(marked.size());
+    for (const auto v : marked) seen[v] = false;
+  }
+  return total / samples;
+}
+
+std::vector<std::uint64_t> degree_histogram(const Csr& csr,
+                                            std::uint64_t max_degree) {
+  std::vector<std::uint64_t> hist(max_degree + 1, 0);
+  for (std::uint32_t v = 0; v < csr.num_vertices; ++v) {
+    ++hist[std::min<std::uint64_t>(csr.degree(v), max_degree)];
+  }
+  return hist;
+}
+
+}  // namespace graphbig::graph

@@ -1,0 +1,47 @@
+// Topology statistics used by the dataset tables (Table 5/7) and by tests
+// that check the generators reproduce each data source's published features
+// (Table 2): degree variance, connected-component structure, path lengths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace graphbig::graph {
+
+struct DegreeStats {
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  /// Coefficient of variation (stddev / mean); >1 indicates a heavy tail.
+  double cv = 0.0;
+  /// Fraction of edges owned by the top 1% highest-degree vertices.
+  double top1pct_edge_share = 0.0;
+};
+
+DegreeStats degree_stats(const Csr& csr);
+
+/// Number of weakly connected components and size of the largest one.
+struct ComponentStats {
+  std::size_t num_components = 0;
+  std::size_t largest = 0;
+};
+
+ComponentStats component_stats(const Csr& csr);
+
+/// Mean shortest-path length (in hops) estimated by BFS from `samples`
+/// random sources, restricted to reached vertices.
+double estimate_mean_path_length(const Csr& csr, int samples,
+                                 std::uint64_t seed);
+
+/// Average two-hop neighbourhood size from `samples` random sources
+/// (the "large two-hop neighbourhood" feature of information networks).
+double estimate_two_hop_size(const Csr& csr, int samples, std::uint64_t seed);
+
+/// Full degree histogram (index = degree, clamped at max_degree).
+std::vector<std::uint64_t> degree_histogram(const Csr& csr,
+                                            std::uint64_t max_degree);
+
+}  // namespace graphbig::graph

@@ -1,0 +1,54 @@
+#include "graph/subgraph.h"
+
+#include <queue>
+#include <unordered_set>
+
+namespace graphbig::graph {
+
+PropertyGraph induced_subgraph(
+    const PropertyGraph& graph,
+    const std::function<bool(const VertexRecord&)>& keep) {
+  PropertyGraph out;
+  // Pass 1: vertices (with properties).
+  graph.for_each_vertex([&](const VertexRecord& v) {
+    if (!keep(v)) return;
+    VertexRecord* copy = out.add_vertex(v.id);
+    copy->props = v.props;
+  });
+  // Pass 2: edges whose endpoints both survived.
+  graph.for_each_vertex([&](const VertexRecord& v) {
+    if (out.find_vertex(v.id) == nullptr) return;
+    for (const EdgeRecord& e : v.out) {
+      if (out.find_vertex(e.target) == nullptr) continue;
+      EdgeRecord* copy = out.add_edge(v.id, e.target, e.weight);
+      if (copy != nullptr) copy->props = e.props;
+    }
+  });
+  return out;
+}
+
+PropertyGraph k_hop_neighborhood(const PropertyGraph& graph, VertexId root,
+                                 int hops) {
+  std::unordered_set<VertexId> within;
+  if (graph.find_vertex(root) != nullptr) {
+    std::queue<std::pair<VertexId, int>> frontier;
+    frontier.emplace(root, 0);
+    within.insert(root);
+    while (!frontier.empty()) {
+      const auto [vid, depth] = frontier.front();
+      frontier.pop();
+      if (depth >= hops) continue;
+      const VertexRecord* v = graph.find_vertex(vid);
+      for (const EdgeRecord& e : v->out) {
+        if (within.insert(e.target).second) {
+          frontier.emplace(e.target, depth + 1);
+        }
+      }
+    }
+  }
+  return induced_subgraph(graph, [&](const VertexRecord& v) {
+    return within.count(v.id) > 0;
+  });
+}
+
+}  // namespace graphbig::graph

@@ -1,0 +1,25 @@
+// Subgraph extraction: induced subgraphs by vertex predicate and k-hop
+// neighborhoods. These are the framework-level operations behind the
+// paper's data-exploration and 360-degree-view use cases (Figure 4):
+// clients carve a working subgraph out of the store and analyze it.
+#pragma once
+
+#include <functional>
+
+#include "graph/property_graph.h"
+
+namespace graphbig::graph {
+
+/// Returns the subgraph induced by the vertices for which `keep` returns
+/// true. Vertex and edge properties (and weights) are copied.
+PropertyGraph induced_subgraph(
+    const PropertyGraph& graph,
+    const std::function<bool(const VertexRecord&)>& keep);
+
+/// Returns the induced subgraph of all vertices within `hops` of `root`
+/// following outgoing edges (root included). Empty graph if root is
+/// missing.
+PropertyGraph k_hop_neighborhood(const PropertyGraph& graph, VertexId root,
+                                 int hops);
+
+}  // namespace graphbig::graph

@@ -1,0 +1,179 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "bayes/munin.h"
+#include "datagen/generators.h"
+#include "platform/timer.h"
+#include "trace/access.h"
+
+namespace graphbig::harness {
+
+namespace {
+
+/// Orients every edge from lower to higher id, producing a DAG with the
+/// dataset's topology (TMorph input on arbitrary datasets).
+datagen::EdgeList dagize(const datagen::EdgeList& el) {
+  datagen::EdgeList out;
+  out.num_vertices = el.num_vertices;
+  out.directed = true;
+  out.edges.reserve(el.edges.size());
+  for (const auto& [s, d] : el.edges) {
+    if (s == d) continue;
+    out.edges.emplace_back(std::min(s, d), std::max(s, d));
+  }
+  datagen::canonicalize(out);
+  // Cap in-degree (parent count). Moralization marries all parent pairs,
+  // which is quadratic in parent count; real Bayesian-network DAGs have
+  // bounded parent sets, and an uncapped zipf hub would blow the moral
+  // graph up to millions of marriage edges.
+  constexpr std::size_t kMaxParents = 16;
+  std::vector<std::size_t> in_count(el.num_vertices, 0);
+  datagen::EdgeList capped;
+  capped.num_vertices = out.num_vertices;
+  capped.directed = true;
+  capped.edges.reserve(out.edges.size());
+  for (const auto& [s, d] : out.edges) {
+    if (in_count[d] >= kMaxParents) continue;
+    ++in_count[d];
+    capped.edges.emplace_back(s, d);
+  }
+  return capped;
+}
+
+graph::VertexId pick_root(const graph::PropertyGraph& g) {
+  graph::VertexId best = 0;
+  std::size_t best_degree = 0;
+  bool found = false;
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    if (!found || v.out.size() > best_degree) {
+      best = v.id;
+      best_degree = v.out.size();
+      found = true;
+    }
+  });
+  return best;
+}
+
+}  // namespace
+
+DatasetBundle load_bundle(datagen::DatasetId id, datagen::Scale scale) {
+  DatasetBundle bundle;
+  bundle.id = id;
+  bundle.scale = scale;
+  bundle.edge_list = datagen::generate_dataset(id, scale);
+  bundle.graph = datagen::build_property_graph(bundle.edge_list);
+  bundle.csr = graph::build_csr(bundle.graph);
+  bundle.sym = graph::symmetrize(bundle.csr);
+  bundle.coo = graph::build_coo(bundle.sym);
+  bundle.root = pick_root(bundle.graph);
+  for (std::uint32_t v = 0; v < bundle.csr.num_vertices; ++v) {
+    if (bundle.csr.orig_id[v] == bundle.root) {
+      bundle.gpu_root = v;
+      break;
+    }
+  }
+  return bundle;
+}
+
+graph::PropertyGraph make_input_graph(const workloads::Workload& w,
+                                      const DatasetBundle& bundle) {
+  if (w.needs_bayes_input()) {
+    return bayes::generate_munin();
+  }
+  if (w.needs_dag_input()) {
+    return datagen::build_property_graph(dagize(bundle.edge_list));
+  }
+  if (w.acronym() == "GCons") {
+    return graph::PropertyGraph{};  // GCons builds from scratch
+  }
+  // Every workload gets a fresh copy so runs are independent (CompDyn
+  // mutates; analytics attach state properties).
+  return datagen::build_property_graph(bundle.edge_list);
+}
+
+workloads::RunContext make_cpu_context(const workloads::Workload& w,
+                                       graph::PropertyGraph& graph,
+                                       const DatasetBundle& bundle) {
+  workloads::RunContext ctx;
+  ctx.graph = &graph;
+  ctx.seed = 12345;
+  ctx.root = bundle.root;
+  if (w.acronym() == "GCons") ctx.edge_list = &bundle.edge_list;
+  if (w.needs_bayes_input() || w.needs_dag_input()) {
+    // MUNIN/DAG inputs pick their own roots deterministically.
+    ctx.root = 0;
+  }
+  return ctx;
+}
+
+CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
+                                const DatasetBundle& bundle,
+                                const perfmodel::MachineConfig& machine) {
+  graph::PropertyGraph input = make_input_graph(w, bundle);
+  workloads::RunContext ctx = make_cpu_context(w, input, bundle);
+
+  perfmodel::Profiler profiler(machine);
+  CpuProfiledRun out;
+  {
+    trace::ScopedSink sink(&profiler);
+    out.run = w.run(ctx);
+  }
+  out.counters = profiler.counters();
+  out.metrics = profiler.breakdown();
+  return out;
+}
+
+CpuTimedRun run_cpu_timed(const workloads::Workload& w,
+                          const DatasetBundle& bundle, int threads) {
+  graph::PropertyGraph input = make_input_graph(w, bundle);
+  workloads::RunContext ctx = make_cpu_context(w, input, bundle);
+
+  std::unique_ptr<platform::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<platform::ThreadPool>(threads);
+    ctx.pool = pool.get();
+  }
+
+  CpuTimedRun out;
+  platform::WallTimer timer;
+  out.run = w.run(ctx);
+  out.seconds = timer.seconds();
+  return out;
+}
+
+FrameworkTimeRun run_cpu_framework_time(const workloads::Workload& w,
+                                        const DatasetBundle& bundle) {
+  graph::PropertyGraph input = make_input_graph(w, bundle);
+  workloads::RunContext ctx = make_cpu_context(w, input, bundle);
+
+  graph::fwk::set_accounting(true);
+  graph::fwk::reset_thread_time();
+  FrameworkTimeRun out;
+  platform::WallTimer timer;
+  w.run(ctx);
+  out.total_seconds = timer.seconds();
+  out.framework_seconds =
+      static_cast<double>(graph::fwk::thread_time_ns()) * 1e-9;
+  graph::fwk::set_accounting(false);
+  return out;
+}
+
+GpuRun run_gpu(const workloads::gpu::GpuWorkload& w,
+               const DatasetBundle& bundle, const simt::SimtConfig& config) {
+  simt::SimtEngine engine(config);
+  workloads::gpu::GpuRunContext ctx;
+  ctx.csr = &bundle.csr;
+  ctx.sym = &bundle.sym;
+  ctx.coo = &bundle.coo;
+  ctx.engine = &engine;
+  ctx.root = bundle.gpu_root;
+  ctx.seed = 12345;
+
+  GpuRun out;
+  out.result = w.run(ctx);
+  out.timing = simt::model_timing(out.result.stats, config);
+  return out;
+}
+
+}  // namespace graphbig::harness

@@ -1,0 +1,94 @@
+// Experiment harness: prepares dataset bundles (dynamic graph + CSR/COO
+// views), routes each workload to its required input (generic dataset /
+// DAG / Bayesian network / scratch copy), and runs it under the CPU
+// profiler, the SIMT engine, or a wall-clock timer. All bench binaries are
+// thin wrappers over these entry points.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "datagen/registry.h"
+#include "graph/csr.h"
+#include "perfmodel/profiler.h"
+#include "platform/thread_pool.h"
+#include "simt/engine.h"
+#include "workloads/gpu/gpu_workload.h"
+#include "workloads/workload.h"
+
+namespace graphbig::harness {
+
+/// A dataset prepared for both CPU and GPU sides.
+struct DatasetBundle {
+  datagen::DatasetId id;
+  datagen::Scale scale;
+  datagen::EdgeList edge_list;
+  graph::PropertyGraph graph;  // dynamic vertex-centric (CPU side)
+  graph::Csr csr;              // directed CSR (GPU side)
+  graph::Csr sym;              // symmetrized CSR (undirected kernels)
+  graph::Coo coo;              // COO of sym (edge-centric kernels)
+  graph::VertexId root = 0;    // traversal root: max-out-degree vertex
+  std::uint32_t gpu_root = 0;  // same root as dense CSR id
+};
+
+DatasetBundle load_bundle(datagen::DatasetId id, datagen::Scale scale);
+
+/// Result of a profiled (trace-replayed) CPU run.
+struct CpuProfiledRun {
+  workloads::RunResult run;
+  perfmodel::PerfCounters counters;
+  perfmodel::CycleBreakdown metrics;
+};
+
+/// Runs a CPU workload sequentially under the perfmodel profiler. Handles
+/// input routing: GibbsInf gets a MUNIN network, TMorph a DAG-ized copy of
+/// the dataset, CompDyn workloads a scratch copy.
+CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
+                                const DatasetBundle& bundle,
+                                const perfmodel::MachineConfig& machine = {});
+
+/// Result of a wall-clock (untraced) CPU run.
+struct CpuTimedRun {
+  workloads::RunResult run;
+  double seconds = 0;
+};
+
+/// Runs a CPU workload with `threads` workers (0 = sequential), untraced.
+CpuTimedRun run_cpu_timed(const workloads::Workload& w,
+                          const DatasetBundle& bundle, int threads);
+
+/// Figure 1: fraction of execution time spent inside framework primitives.
+struct FrameworkTimeRun {
+  double total_seconds = 0;
+  double framework_seconds = 0;
+  double framework_fraction() const {
+    return total_seconds > 0 ? framework_seconds / total_seconds : 0.0;
+  }
+};
+
+FrameworkTimeRun run_cpu_framework_time(const workloads::Workload& w,
+                                        const DatasetBundle& bundle);
+
+/// Result of a GPU (SIMT-simulated) run.
+struct GpuRun {
+  workloads::gpu::GpuRunResult result;
+  simt::GpuTiming timing;
+};
+
+GpuRun run_gpu(const workloads::gpu::GpuWorkload& w,
+               const DatasetBundle& bundle,
+               const simt::SimtConfig& config = {});
+
+/// Scaled MUNIN sweep counts used in profiled Gibbs runs (keeps the
+/// CompProp instruction volume comparable to the other workloads).
+workloads::RunContext make_cpu_context(const workloads::Workload& w,
+                                       graph::PropertyGraph& graph,
+                                       const DatasetBundle& bundle);
+
+/// Builds the workload's actual input graph (dataset copy, DAG-ized copy,
+/// or MUNIN) -- exposed for tests.
+graph::PropertyGraph make_input_graph(const workloads::Workload& w,
+                                      const DatasetBundle& bundle);
+
+}  // namespace graphbig::harness

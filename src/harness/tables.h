@@ -1,0 +1,39 @@
+// ASCII/CSV table output for the benchmark harness. Every bench binary
+// prints its figure/table in this format so EXPERIMENTS.md can be built
+// from the raw output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace graphbig::harness {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Pretty-prints with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Machine-readable form: header line plus comma-separated rows.
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Numeric formatting helpers (fixed precision, percents).
+std::string fmt(double value, int precision = 2);
+std::string fmt_pct(double fraction_0_100, int precision = 1);
+std::string fmt_int(std::uint64_t value);
+
+}  // namespace graphbig::harness

@@ -1,0 +1,41 @@
+#include "perfmodel/branch.h"
+
+namespace graphbig::perfmodel {
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig& config)
+    : config_(config) {
+  const std::size_t table = std::size_t{1} << config.table_bits;
+  gshare_.assign(table, 2);   // weakly taken
+  bimodal_.assign(table, 2);
+  choice_.assign(table, 2);   // weakly prefer gshare
+}
+
+bool BranchPredictor::predict_and_train(std::uint32_t site, bool taken) {
+  ++branches_;
+  const std::uint64_t history_mask =
+      (std::uint64_t{1} << config_.history_bits) - 1;
+  const std::uint64_t table_mask = gshare_.size() - 1;
+  const std::uint64_t pc = static_cast<std::uint64_t>(site) * 0x9e3779b9u;
+  const auto g_idx = static_cast<std::size_t>(
+      (pc ^ (history_ & history_mask)) & table_mask);
+  const auto b_idx = static_cast<std::size_t>(pc & table_mask);
+
+  const bool g_pred = counter_taken(gshare_[g_idx]);
+  const bool b_pred = counter_taken(bimodal_[b_idx]);
+  const bool use_gshare = counter_taken(choice_[b_idx]);
+  const bool prediction = use_gshare ? g_pred : b_pred;
+  const bool correct = prediction == taken;
+  if (!correct) ++mispredicts_;
+
+  // Train both components; train the chooser toward whichever component
+  // was right when they disagreed.
+  if (g_pred != b_pred) {
+    train_counter(choice_[b_idx], g_pred == taken);
+  }
+  train_counter(gshare_[g_idx], taken);
+  train_counter(bimodal_[b_idx], taken);
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask;
+  return correct;
+}
+
+}  // namespace graphbig::perfmodel

@@ -1,0 +1,54 @@
+// Tournament branch predictor model (Alpha 21264-style): a gshare
+// (global-history) component, a per-site bimodal component, and a choice
+// table that learns which component predicts each branch better. This is
+// closer to the paper's Ivy-Bridge-class hardware than plain gshare:
+// strongly biased branches (visited checks) go bimodal, pattern-following
+// branches (loop structures) go global.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace graphbig::perfmodel {
+
+struct BranchPredictorConfig {
+  std::uint32_t history_bits = 12;   // global history register width
+  std::uint32_t table_bits = 14;     // log2 of each 2-bit counter table
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorConfig& config = {});
+
+  /// Predicts the branch at `site`, then trains with the actual direction.
+  /// Returns true if the prediction was correct.
+  bool predict_and_train(std::uint32_t site, bool taken);
+
+  std::uint64_t branches() const { return branches_; }
+  std::uint64_t mispredicts() const { return mispredicts_; }
+  double miss_rate() const {
+    return branches_ > 0 ? static_cast<double>(mispredicts_) /
+                               static_cast<double>(branches_)
+                         : 0.0;
+  }
+
+ private:
+  static bool counter_taken(std::uint8_t c) { return c >= 2; }
+  static void train_counter(std::uint8_t& c, bool taken) {
+    if (taken) {
+      if (c < 3) ++c;
+    } else {
+      if (c > 0) --c;
+    }
+  }
+
+  BranchPredictorConfig config_;
+  std::vector<std::uint8_t> gshare_;   // 2-bit, pc ^ history indexed
+  std::vector<std::uint8_t> bimodal_;  // 2-bit, pc indexed
+  std::vector<std::uint8_t> choice_;   // 2-bit, pc indexed; >=2 -> gshare
+  std::uint64_t history_ = 0;
+  std::uint64_t branches_ = 0;
+  std::uint64_t mispredicts_ = 0;
+};
+
+}  // namespace graphbig::perfmodel

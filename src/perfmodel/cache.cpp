@@ -1,0 +1,75 @@
+#include "perfmodel/cache.h"
+
+#include <stdexcept>
+
+namespace graphbig::perfmodel {
+
+namespace {
+
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+CacheLevel::CacheLevel(const CacheConfig& config) : config_(config) {
+  if (!is_pow2(config.line_bytes) || config.associativity == 0) {
+    throw std::invalid_argument("CacheLevel: bad geometry");
+  }
+  const std::uint64_t lines = config.size_bytes / config.line_bytes;
+  num_sets_ = static_cast<std::uint32_t>(lines / config.associativity);
+  if (num_sets_ == 0 || !is_pow2(num_sets_)) {
+    throw std::invalid_argument("CacheLevel: set count must be a power of 2");
+  }
+  tags_.assign(static_cast<std::size_t>(num_sets_) * config.associativity, 0);
+  lru_.assign(tags_.size(), 0);
+}
+
+bool CacheLevel::access(std::uint64_t line_addr) {
+  ++accesses_;
+  ++clock_;
+  const std::uint32_t set =
+      static_cast<std::uint32_t>(line_addr & (num_sets_ - 1));
+  // Shift so a valid tag is never 0.
+  const std::uint64_t tag = (line_addr / num_sets_) + 1;
+  const std::size_t base =
+      static_cast<std::size_t>(set) * config_.associativity;
+  std::size_t victim = base;
+  std::uint64_t victim_stamp = ~std::uint64_t{0};
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (tags_[base + w] == tag) {
+      lru_[base + w] = clock_;
+      return true;
+    }
+    if (lru_[base + w] < victim_stamp) {
+      victim_stamp = lru_[base + w];
+      victim = base + w;
+    }
+  }
+  ++misses_;
+  tags_[victim] = tag;
+  lru_[victim] = clock_;
+  return false;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2,
+                               const CacheConfig& l3)
+    : l1_(l1), l2_(l2), l3_(l3), line_bytes_(l1.line_bytes) {}
+
+HitLevel CacheHierarchy::access_line(std::uint64_t line_addr) {
+  if (l1_.access(line_addr)) return HitLevel::kL1;
+  if (l2_.access(line_addr)) return HitLevel::kL2;
+  if (l3_.access(line_addr)) return HitLevel::kL3;
+  return HitLevel::kMemory;
+}
+
+HitLevel CacheHierarchy::access(std::uint64_t addr, std::uint32_t size) {
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last =
+      (addr + (size > 0 ? size - 1 : 0)) / line_bytes_;
+  const HitLevel result = access_line(first);
+  for (std::uint64_t line = first + 1; line <= last; ++line) {
+    access_line(line);
+  }
+  return result;
+}
+
+}  // namespace graphbig::perfmodel

@@ -1,0 +1,80 @@
+// Software cache-hierarchy model.
+//
+// Substitutes for the hardware performance counters of the paper's Xeon
+// testbed (Table 6): the framework's access-trace stream is replayed
+// through a three-level set-associative LRU hierarchy to obtain L1D/L2/LLC
+// MPKI (Figure 7) and per-level hit rates (Figure 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace graphbig::perfmodel {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t associativity = 8;
+  std::uint32_t line_bytes = 64;
+};
+
+/// One set-associative LRU cache level.
+class CacheLevel {
+ public:
+  explicit CacheLevel(const CacheConfig& config);
+
+  /// Looks up (and on miss, fills) the line containing `line_addr`
+  /// (already shifted to line granularity). Returns true on hit.
+  bool access(std::uint64_t line_addr);
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t misses() const { return misses_; }
+  double miss_rate() const {
+    return accesses_ > 0
+               ? static_cast<double>(misses_) / static_cast<double>(accesses_)
+               : 0.0;
+  }
+  const CacheConfig& config() const { return config_; }
+
+  void reset_stats() { accesses_ = misses_ = 0; }
+
+ private:
+  CacheConfig config_;
+  std::uint32_t num_sets_;
+  // tags_[set * assoc + way]; 0 = invalid (tags are shifted so 0 is unused).
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> lru_;  // per-way last-use stamp
+  std::uint64_t clock_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Result of a hierarchy access: the level that satisfied it.
+enum class HitLevel : std::uint8_t { kL1 = 0, kL2 = 1, kL3 = 2, kMemory = 3 };
+
+/// Three-level inclusive-fill hierarchy (misses fill all levels above).
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2,
+                 const CacheConfig& l3);
+
+  /// Accesses [addr, addr+size); accesses spanning multiple lines touch
+  /// each line. Returns the deepest miss level of the *first* line.
+  HitLevel access(std::uint64_t addr, std::uint32_t size);
+
+  CacheLevel& l1() { return l1_; }
+  CacheLevel& l2() { return l2_; }
+  CacheLevel& l3() { return l3_; }
+  const CacheLevel& l1() const { return l1_; }
+  const CacheLevel& l2() const { return l2_; }
+  const CacheLevel& l3() const { return l3_; }
+
+ private:
+  HitLevel access_line(std::uint64_t line_addr);
+
+  CacheLevel l1_;
+  CacheLevel l2_;
+  CacheLevel l3_;
+  std::uint32_t line_bytes_;
+};
+
+}  // namespace graphbig::perfmodel

@@ -1,0 +1,81 @@
+#include "perfmodel/cycle_model.h"
+
+#include <algorithm>
+
+namespace graphbig::perfmodel {
+
+std::uint64_t PerfCounters::instructions() const {
+  // Each traced event stands for one instruction; a block entry adds the
+  // call/prologue overhead of invoking the primitive.
+  return loads + stores + alu_ops + branches + block_entries * 3;
+}
+
+CycleBreakdown account_cycles(const PerfCounters& c,
+                              const CoreConfig& cfg) {
+  CycleBreakdown out;
+  const double instructions = static_cast<double>(c.instructions());
+  if (instructions <= 0) return out;
+
+  // Retiring: useful slots at the machine width.
+  const double retiring = instructions / cfg.issue_width;
+
+  // Bad speculation: pipeline flushes from mispredicted branches.
+  const double bad_spec =
+      static_cast<double>(c.branch_mispredicts) * cfg.branch_flush_cycles;
+
+  // Frontend: instruction-fetch misses (decode itself overlaps with issue).
+  const double frontend =
+      static_cast<double>(c.icache_misses) * cfg.icache_miss_cycles +
+      retiring * 0.02;
+
+  // Backend: exposed memory latency beyond L1, divided by the effective
+  // MLP, plus TLB penalties and a fixed per-instruction execution cost.
+  const double l2_stall = static_cast<double>(c.l2_hits) *
+                          (cfg.l2_latency - cfg.l1_latency);
+  const double l3_stall = static_cast<double>(c.l3_hits) *
+                          (cfg.l3_latency - cfg.l1_latency);
+  const double mem_stall = static_cast<double>(c.memory_accesses) *
+                           (cfg.memory_latency - cfg.l1_latency);
+  const double memory_cycles =
+      (l2_stall + l3_stall + mem_stall) / cfg.memory_level_parallelism;
+  const double dtlb_cycles = static_cast<double>(c.dtlb_penalty_cycles);
+  const double backend =
+      memory_cycles + dtlb_cycles + retiring * cfg.core_backend_fraction;
+
+  const double total = retiring + bad_spec + frontend + backend;
+  out.total_cycles = total;
+  out.retiring_pct = 100.0 * retiring / total;
+  out.bad_speculation_pct = 100.0 * bad_spec / total;
+  out.frontend_pct = 100.0 * frontend / total;
+  out.backend_pct = 100.0 * backend / total;
+  out.ipc = instructions / total;
+  out.dtlb_penalty_pct = 100.0 * dtlb_cycles / total;
+
+  const double kilo_instr = instructions / 1000.0;
+  out.l1d_mpki = static_cast<double>(c.l1d_misses) / kilo_instr;
+  out.l2_mpki =
+      static_cast<double>(c.l3_hits + c.memory_accesses) / kilo_instr;
+  out.l3_mpki = static_cast<double>(c.memory_accesses) / kilo_instr;
+  out.icache_mpki = static_cast<double>(c.icache_misses) / kilo_instr;
+
+  out.l1d_hit_rate =
+      c.l1d_accesses > 0
+          ? 1.0 - static_cast<double>(c.l1d_misses) /
+                      static_cast<double>(c.l1d_accesses)
+          : 0.0;
+  out.l2_hit_rate =
+      c.l1d_misses > 0 ? static_cast<double>(c.l2_hits) /
+                             static_cast<double>(c.l1d_misses)
+                       : 0.0;
+  const std::uint64_t l3_accesses = c.l1d_misses - c.l2_hits;
+  out.l3_hit_rate = l3_accesses > 0 ? static_cast<double>(c.l3_hits) /
+                                          static_cast<double>(l3_accesses)
+                                    : 0.0;
+  out.branch_miss_rate =
+      c.branches > 0 ? static_cast<double>(c.branch_mispredicts) /
+                           static_cast<double>(c.branches)
+                     : 0.0;
+  return out;
+}
+
+}  // namespace graphbig::perfmodel

@@ -1,0 +1,85 @@
+// Top-down cycle accounting.
+//
+// The paper decomposes execution cycles into Frontend / Backend / Retiring /
+// BadSpeculation using the standard top-down methodology on hardware
+// counters (Figure 5). This model performs the same decomposition from the
+// replayed trace: retiring slots come from the instruction estimate,
+// bad speculation from branch-predictor flushes, frontend from ICache
+// behavior, and backend from the cache/TLB models.
+#pragma once
+
+#include <cstdint>
+
+namespace graphbig::perfmodel {
+
+/// Latency/width parameters of the modeled core. Defaults approximate the
+/// paper's Xeon E5-2670-class testbed (Table 6).
+struct CoreConfig {
+  std::uint32_t issue_width = 4;
+  std::uint32_t l1_latency = 4;          // hidden by the pipeline
+  std::uint32_t l2_latency = 12;
+  std::uint32_t l3_latency = 42;
+  std::uint32_t memory_latency = 200;
+  std::uint32_t branch_flush_cycles = 15;
+  std::uint32_t icache_miss_cycles = 20;
+  /// Effective memory-level parallelism: graph codes chase pointers, so
+  /// few misses overlap. Divides the summed miss latency.
+  double memory_level_parallelism = 1.8;
+  /// Fixed per-instruction backend cost fraction (execution ports, RAW
+  /// hazards) independent of memory.
+  double core_backend_fraction = 0.08;
+};
+
+/// Raw event totals accumulated by the profiler.
+struct PerfCounters {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t alu_ops = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_mispredicts = 0;
+  std::uint64_t block_entries = 0;
+
+  std::uint64_t l1d_accesses = 0;
+  std::uint64_t l1d_misses = 0;   // accesses that went past L1
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l3_hits = 0;
+  std::uint64_t memory_accesses = 0;
+
+  std::uint64_t dtlb_accesses = 0;
+  std::uint64_t dtlb_l1_misses = 0;
+  std::uint64_t dtlb_walks = 0;
+  std::uint64_t dtlb_penalty_cycles = 0;
+
+  std::uint64_t icache_fetch_lines = 0;
+  std::uint64_t icache_misses = 0;
+
+  /// Estimated dynamic instruction count (loads+stores+alu+branches plus
+  /// per-block call overhead).
+  std::uint64_t instructions() const;
+};
+
+/// Derived metrics in the units the paper reports.
+struct CycleBreakdown {
+  double total_cycles = 0;
+  double frontend_pct = 0;
+  double backend_pct = 0;
+  double retiring_pct = 0;
+  double bad_speculation_pct = 0;
+
+  double ipc = 0;
+  double dtlb_penalty_pct = 0;   // % of total cycles lost to DTLB misses
+  double l1d_mpki = 0;
+  double l2_mpki = 0;
+  double l3_mpki = 0;
+  double l1d_hit_rate = 0;
+  double l2_hit_rate = 0;        // hits / accesses reaching L2
+  double l3_hit_rate = 0;
+  double icache_mpki = 0;
+  double branch_miss_rate = 0;
+};
+
+/// Runs the top-down decomposition.
+CycleBreakdown account_cycles(const PerfCounters& counters,
+                              const CoreConfig& config = {});
+
+}  // namespace graphbig::perfmodel

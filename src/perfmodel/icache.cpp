@@ -1,0 +1,17 @@
+#include "perfmodel/icache.h"
+
+namespace graphbig::perfmodel {
+
+ICacheModel::ICacheModel(const ICacheConfig& config)
+    : config_(config), icache_(config.cache) {}
+
+void ICacheModel::enter_block(std::uint32_t block_id) {
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(block_id) * config_.block_stride_bytes;
+  const std::uint32_t line = config_.cache.line_bytes;
+  for (std::uint32_t off = 0; off < config_.block_code_bytes; off += line) {
+    icache_.access((base + off) / line);
+  }
+}
+
+}  // namespace graphbig::perfmodel

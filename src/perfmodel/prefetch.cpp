@@ -1,0 +1,71 @@
+#include "perfmodel/prefetch.h"
+
+#include <cstdlib>
+
+namespace graphbig::perfmodel {
+
+Prefetcher::Prefetcher(const PrefetcherConfig& config) : config_(config) {
+  streams_.resize(config.stream_table_entries);
+}
+
+void Prefetcher::observe(std::uint64_t line_addr,
+                         std::vector<std::uint64_t>& out) {
+  ++clock_;
+
+  if (config_.next_line) {
+    out.push_back(line_addr + 1);
+    ++issued_;
+  }
+  if (!config_.stride) return;
+
+  // Find a stream whose predicted next line matches, or one close enough
+  // to retrain (within 64 lines), else allocate the LRU entry.
+  Stream* match = nullptr;
+  Stream* victim = &streams_[0];
+  for (auto& s : streams_) {
+    if (!s.valid) {
+      victim = &s;
+      continue;
+    }
+    if (s.last_use < victim->last_use) victim = &s;
+    const std::int64_t delta =
+        static_cast<std::int64_t>(line_addr) -
+        static_cast<std::int64_t>(s.last_line);
+    if (delta != 0 && std::llabs(delta) <= 64) {
+      match = &s;
+      break;
+    }
+  }
+
+  if (match == nullptr) {
+    victim->valid = true;
+    victim->last_line = line_addr;
+    victim->stride = 0;
+    victim->confidence = 0;
+    victim->last_use = clock_;
+    return;
+  }
+
+  const std::int64_t delta = static_cast<std::int64_t>(line_addr) -
+                             static_cast<std::int64_t>(match->last_line);
+  if (delta == match->stride) {
+    if (match->confidence < 8) ++match->confidence;
+  } else {
+    match->stride = delta;
+    match->confidence = 1;
+  }
+  match->last_line = line_addr;
+  match->last_use = clock_;
+
+  if (match->confidence >= config_.train_threshold && match->stride != 0) {
+    std::uint64_t next = line_addr;
+    for (std::uint32_t d = 0; d < config_.prefetch_degree; ++d) {
+      next = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(next) + match->stride);
+      out.push_back(next);
+      ++issued_;
+    }
+  }
+}
+
+}  // namespace graphbig::perfmodel

@@ -1,0 +1,52 @@
+// Hardware-prefetcher models: next-line and stride (IP-agnostic stream
+// table). The paper's Xeon has both L1/L2 prefetchers enabled; the
+// baseline perf model omits them (the calibrated shapes in EXPERIMENTS.md
+// are prefetch-off), and bench_abl_prefetch quantifies how much of the
+// graph-workload miss traffic a prefetcher could absorb -- very little for
+// pointer-chasing traversals, a lot for the streaming passes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace graphbig::perfmodel {
+
+struct PrefetcherConfig {
+  bool next_line = true;
+  bool stride = true;
+  std::uint32_t stream_table_entries = 16;
+  /// Confidence threshold before a stream starts issuing prefetches.
+  std::uint32_t train_threshold = 2;
+  /// Lines fetched ahead once a stream is confirmed.
+  std::uint32_t prefetch_degree = 2;
+};
+
+/// Observes the demand-miss line stream and decides which lines to
+/// prefetch. The caller (Profiler) feeds prefetched lines into the cache
+/// hierarchy and credits hits on them.
+class Prefetcher {
+ public:
+  explicit Prefetcher(const PrefetcherConfig& config = {});
+
+  /// Called on every demand access (line granularity). Appends the lines
+  /// to prefetch into `out` (may be empty).
+  void observe(std::uint64_t line_addr, std::vector<std::uint64_t>& out);
+
+  std::uint64_t prefetches_issued() const { return issued_; }
+
+ private:
+  struct Stream {
+    std::uint64_t last_line = 0;
+    std::int64_t stride = 0;
+    std::uint32_t confidence = 0;
+    bool valid = false;
+    std::uint64_t last_use = 0;
+  };
+
+  PrefetcherConfig config_;
+  std::vector<Stream> streams_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace graphbig::perfmodel

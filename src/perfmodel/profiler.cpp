@@ -1,0 +1,86 @@
+#include "perfmodel/profiler.h"
+
+namespace graphbig::perfmodel {
+
+Profiler::Profiler(const MachineConfig& config)
+    : config_(config),
+      caches_(config.l1d, config.l2, config.l3),
+      dtlb_(config.dtlb),
+      branch_(config.branch),
+      icache_(config.icache),
+      prefetcher_(config.prefetcher) {}
+
+void Profiler::on_access(const void* addr, std::uint32_t size, bool write) {
+  const auto a = reinterpret_cast<std::uint64_t>(addr);
+  dtlb_.access(a);
+  const HitLevel level = caches_.access(a, size);
+  ++counters_.l1d_accesses;
+  switch (level) {
+    case HitLevel::kL1:
+      break;
+    case HitLevel::kL2:
+      ++counters_.l1d_misses;
+      ++counters_.l2_hits;
+      break;
+    case HitLevel::kL3:
+      ++counters_.l1d_misses;
+      ++counters_.l3_hits;
+      break;
+    case HitLevel::kMemory:
+      ++counters_.l1d_misses;
+      ++counters_.memory_accesses;
+      break;
+  }
+  if (write) {
+    ++counters_.stores;
+  } else {
+    ++counters_.loads;
+  }
+
+  if (config_.enable_prefetch) {
+    // Prefetches fill the hierarchy but are not demand accesses: they do
+    // not appear in the load/store or miss counters; their benefit shows
+    // up as later demand hits.
+    prefetch_buffer_.clear();
+    prefetcher_.observe(a / config_.l1d.line_bytes, prefetch_buffer_);
+    for (const auto line : prefetch_buffer_) {
+      caches_.access(line * config_.l1d.line_bytes, 1);
+    }
+  }
+}
+
+void Profiler::on_read(trace::MemKind, const void* addr, std::uint32_t size) {
+  on_access(addr, size, /*write=*/false);
+}
+
+void Profiler::on_write(trace::MemKind, const void* addr,
+                        std::uint32_t size) {
+  on_access(addr, size, /*write=*/true);
+}
+
+void Profiler::on_branch(std::uint32_t site, bool taken) {
+  ++counters_.branches;
+  if (!branch_.predict_and_train(site, taken)) {
+    ++counters_.branch_mispredicts;
+  }
+}
+
+void Profiler::on_alu(std::uint32_t n) { counters_.alu_ops += n; }
+
+void Profiler::on_block(std::uint32_t block) {
+  ++counters_.block_entries;
+  icache_.enter_block(block);
+}
+
+PerfCounters Profiler::counters() const {
+  PerfCounters c = counters_;
+  c.dtlb_accesses = dtlb_.accesses();
+  c.dtlb_l1_misses = dtlb_.l1_misses();
+  c.dtlb_walks = dtlb_.walks();
+  c.dtlb_penalty_cycles = dtlb_.penalty_cycles();
+  c.icache_fetch_lines = icache_.fetch_lines();
+  c.icache_misses = icache_.misses();
+  return c;
+}
+
+}  // namespace graphbig::perfmodel

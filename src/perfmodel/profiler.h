@@ -1,0 +1,71 @@
+// CPU profiler: the trace::AccessSink that stands in for perf_event +
+// libpfm. Install it around a workload run (trace::ScopedSink) and every
+// framework memory access, branch, and block entry is replayed through the
+// cache hierarchy, DTLB, branch predictor, and ICache models. finish()
+// yields the counter totals and the derived Figure 5-9 metrics.
+#pragma once
+
+#include <vector>
+
+#include "perfmodel/branch.h"
+#include "perfmodel/cache.h"
+#include "perfmodel/cycle_model.h"
+#include "perfmodel/icache.h"
+#include "perfmodel/prefetch.h"
+#include "perfmodel/tlb.h"
+#include "trace/access.h"
+
+namespace graphbig::perfmodel {
+
+/// Full machine configuration (Table 6 analogue).
+struct MachineConfig {
+  CacheConfig l1d{32 * 1024, 8, 64};
+  CacheConfig l2{256 * 1024, 8, 64};
+  // Paper's Xeon has a 20MB LLC; we model the nearest power-of-two-set
+  // geometry (16MB, 16-way).
+  CacheConfig l3{16 * 1024 * 1024, 16, 64};
+  TlbConfig dtlb{};
+  BranchPredictorConfig branch{};
+  ICacheConfig icache{};
+  CoreConfig core{};
+  /// Hardware prefetching. Off in the calibrated baseline (see DESIGN.md);
+  /// bench_abl_prefetch measures its effect per workload.
+  bool enable_prefetch = false;
+  PrefetcherConfig prefetcher{};
+};
+
+class Profiler final : public trace::AccessSink {
+ public:
+  explicit Profiler(const MachineConfig& config = {});
+
+  // trace::AccessSink
+  void on_read(trace::MemKind kind, const void* addr,
+               std::uint32_t size) override;
+  void on_write(trace::MemKind kind, const void* addr,
+                std::uint32_t size) override;
+  void on_branch(std::uint32_t site, bool taken) override;
+  void on_alu(std::uint32_t n) override;
+  void on_block(std::uint32_t block) override;
+
+  /// Raw totals so far.
+  PerfCounters counters() const;
+
+  /// Derived Figure 5-9 metrics.
+  CycleBreakdown breakdown() const { return account_cycles(counters(), config_.core); }
+
+  const MachineConfig& config() const { return config_; }
+
+ private:
+  void on_access(const void* addr, std::uint32_t size, bool write);
+
+  MachineConfig config_;
+  CacheHierarchy caches_;
+  Tlb dtlb_;
+  BranchPredictor branch_;
+  ICacheModel icache_;
+  Prefetcher prefetcher_;
+  std::vector<std::uint64_t> prefetch_buffer_;
+  PerfCounters counters_;
+};
+
+}  // namespace graphbig::perfmodel

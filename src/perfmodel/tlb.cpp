@@ -1,0 +1,73 @@
+#include "perfmodel/tlb.h"
+
+#include <stdexcept>
+
+namespace graphbig::perfmodel {
+
+namespace {
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+Tlb::Tlb(const TlbConfig& config) : config_(config) {
+  if (!is_pow2(config.page_bytes)) {
+    throw std::invalid_argument("Tlb: page size must be a power of two");
+  }
+  l1_pages_.assign(config.l1_entries, ~std::uint64_t{0});
+  l1_lru_.assign(config.l1_entries, 0);
+  l2_sets_ = config.l2_entries / config.l2_associativity;
+  if (l2_sets_ == 0 || !is_pow2(l2_sets_)) {
+    throw std::invalid_argument("Tlb: bad STLB geometry");
+  }
+  l2_pages_.assign(config.l2_entries, ~std::uint64_t{0});
+  l2_lru_.assign(config.l2_entries, 0);
+}
+
+bool Tlb::lookup_l1(std::uint64_t page) {
+  std::size_t victim = 0;
+  std::uint64_t victim_stamp = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < l1_pages_.size(); ++i) {
+    if (l1_pages_[i] == page) {
+      l1_lru_[i] = clock_;
+      return true;
+    }
+    if (l1_lru_[i] < victim_stamp) {
+      victim_stamp = l1_lru_[i];
+      victim = i;
+    }
+  }
+  l1_pages_[victim] = page;
+  l1_lru_[victim] = clock_;
+  return false;
+}
+
+bool Tlb::lookup_l2(std::uint64_t page) {
+  const std::uint32_t set = static_cast<std::uint32_t>(page & (l2_sets_ - 1));
+  const std::size_t base =
+      static_cast<std::size_t>(set) * config_.l2_associativity;
+  std::size_t victim = base;
+  std::uint64_t victim_stamp = ~std::uint64_t{0};
+  for (std::uint32_t w = 0; w < config_.l2_associativity; ++w) {
+    if (l2_pages_[base + w] == page) {
+      l2_lru_[base + w] = clock_;
+      return true;
+    }
+    if (l2_lru_[base + w] < victim_stamp) {
+      victim_stamp = l2_lru_[base + w];
+      victim = base + w;
+    }
+  }
+  l2_pages_[victim] = page;
+  l2_lru_[victim] = clock_;
+  return false;
+}
+
+void Tlb::access(std::uint64_t addr) {
+  ++accesses_;
+  ++clock_;
+  const std::uint64_t page = addr / config_.page_bytes;
+  if (lookup_l1(page)) return;
+  ++l1_misses_;
+  if (!lookup_l2(page)) ++walks_;
+}
+
+}  // namespace graphbig::perfmodel

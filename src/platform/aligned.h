@@ -1,0 +1,44 @@
+// Aligned allocation support. GPU device allocators return 256-byte-aligned
+// buffers, so real kernels' coalescing behavior does not depend on where
+// the host heap happened to place an array. Aligning the simulator's
+// device-side arrays the same way makes the divergence metrics (replays,
+// MDR) exactly reproducible across runs and processes.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace graphbig::platform {
+
+template <typename T, std::size_t Alignment = 128>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{Alignment};
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+
+  void deallocate(T* p, std::size_t) { ::operator delete(p, kAlign); }
+
+  bool operator==(const AlignedAllocator&) const { return true; }
+  bool operator!=(const AlignedAllocator&) const { return false; }
+};
+
+/// Vector whose data() is 128-byte (device-segment) aligned.
+template <typename T>
+using DeviceVector = std::vector<T, AlignedAllocator<T, 128>>;
+
+}  // namespace graphbig::platform

@@ -1,0 +1,36 @@
+#include "platform/arena.h"
+
+#include <algorithm>
+
+namespace graphbig::platform {
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  // Align the cursor.
+  auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+  const std::size_t pad = (align - (addr & (align - 1))) & (align - 1);
+  if (pad + bytes > remaining_) {
+    const std::size_t need = std::max(chunk_bytes_, bytes + align);
+    chunks_.push_back(std::make_unique<std::byte[]>(need));
+    cursor_ = chunks_.back().get();
+    remaining_ = need;
+    bytes_reserved_ += need;
+    return allocate(bytes, align);
+  }
+  cursor_ += pad;
+  remaining_ -= pad;
+  void* result = cursor_;
+  cursor_ += bytes;
+  remaining_ -= bytes;
+  bytes_allocated_ += bytes;
+  return result;
+}
+
+void Arena::reset() {
+  chunks_.clear();
+  cursor_ = nullptr;
+  remaining_ = 0;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+}  // namespace graphbig::platform

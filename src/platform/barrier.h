@@ -1,0 +1,40 @@
+// Sense-reversing spin barrier for level-synchronous parallel algorithms.
+#pragma once
+
+#include <atomic>
+
+namespace graphbig::platform {
+
+/// Reusable barrier for a fixed number of participants. Spin-based: the
+/// workloads synchronize at frontier boundaries many times per run, and
+/// futex-based barriers cost too much at that frequency.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int participants)
+      : participants_(participants), waiting_(0), sense_(false) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) ==
+        participants_ - 1) {
+      waiting_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        // Busy wait; participants equal core count so this is short.
+      }
+    }
+  }
+
+  int participants() const { return participants_; }
+
+ private:
+  const int participants_;
+  std::atomic<int> waiting_;
+  std::atomic<bool> sense_;
+};
+
+}  // namespace graphbig::platform

@@ -1,0 +1,22 @@
+#include "platform/bitset.h"
+
+namespace graphbig::platform {
+
+std::size_t Bitset::count() const {
+  std::size_t n = 0;
+  for (const auto w : words_) {
+    n += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return n;
+}
+
+std::size_t AtomicBitset::count() const {
+  std::size_t n = 0;
+  for (const auto& w : words_) {
+    n += static_cast<std::size_t>(
+        __builtin_popcountll(w.load(std::memory_order_relaxed)));
+  }
+  return n;
+}
+
+}  // namespace graphbig::platform

@@ -1,0 +1,94 @@
+// Dynamic bitsets used as frontiers and visited markers in the traversal
+// workloads. Two variants: a plain sequential one and an atomic one for
+// concurrent marking by multiple workers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace graphbig::platform {
+
+/// Sequential dynamic bitset.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  std::size_t size() const { return bits_; }
+
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) { words_[i >> 6] |= (1ull << (i & 63)); }
+  void clear(std::size_t i) { words_[i >> 6] &= ~(1ull << (i & 63)); }
+
+  void clear_all() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Number of set bits.
+  std::size_t count() const;
+
+  /// Calls fn(i) for every set bit in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const unsigned bit =
+            static_cast<unsigned>(__builtin_ctzll(word));
+        fn(w * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Bitset with atomic set/test-and-set, for concurrent frontier marking.
+class AtomicBitset {
+ public:
+  AtomicBitset() = default;
+  explicit AtomicBitset(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_ = std::vector<std::atomic<std::uint64_t>>((bits + 63) / 64);
+    clear_all();
+  }
+
+  std::size_t size() const { return bits_; }
+
+  bool test(std::size_t i) const {
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1u;
+  }
+
+  /// Atomically sets bit i; returns true if this call changed it 0 -> 1.
+  bool test_and_set(std::size_t i) {
+    const std::uint64_t mask = 1ull << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+    return (prev & mask) == 0;
+  }
+
+  void clear_all() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t count() const;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace graphbig::platform

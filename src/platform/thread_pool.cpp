@@ -1,0 +1,129 @@
+#include "platform/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace graphbig::platform {
+
+namespace {
+
+void pin_to_core(unsigned core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % std::max(1u, std::thread::hardware_concurrency()), &set);
+  // Best effort: containers and restricted environments may refuse.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads, bool pin_threads) {
+  int n = num_threads;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  if (pin_threads) pin_to_core(0);
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    workers_.emplace_back([this, i, pin_threads] {
+      if (pin_threads) pin_to_core(static_cast<unsigned>(i));
+      worker_loop(i);
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(int id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int, int)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock,
+                     [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      body = body_;
+    }
+    (*body)(id, num_threads());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(int, int)>& fn) {
+  if (workers_.empty()) {
+    fn(0, 1);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &fn;
+    pending_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  fn(0, num_threads());
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const int nt = num_threads();
+  if (nt == 1 || total < 2) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  run_on_all([&](int id, int n) {
+    const std::size_t chunk = (total + static_cast<std::size_t>(n) - 1) /
+                              static_cast<std::size_t>(n);
+    const std::size_t lo = begin + chunk * static_cast<std::size_t>(id);
+    const std::size_t hi = std::min(end, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const int nt = num_threads();
+  if (nt == 1) {
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+  std::atomic<std::size_t> cursor{begin};
+  run_on_all([&](int, int) {
+    for (;;) {
+      const std::size_t lo = cursor.fetch_add(grain);
+      if (lo >= end) break;
+      fn(lo, std::min(end, lo + grain));
+    }
+  });
+}
+
+}  // namespace graphbig::platform

@@ -1,0 +1,73 @@
+// A small work-sharing thread pool used by the parallel CPU workloads.
+//
+// The paper pins one software thread per hardware core to avoid OS
+// scheduling noise (Section 5.1). We reproduce the same model: a fixed set
+// of worker threads created once, each optionally pinned to a core, with
+// fork/join parallel_for style dispatch. Workloads are level-synchronous
+// (BFS frontiers, Luby-Jones rounds, ...), which maps directly onto this.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace graphbig::platform {
+
+/// Fixed-size fork/join thread pool.
+///
+/// Usage:
+///   ThreadPool pool(8);
+///   pool.parallel_for(0, n, [&](std::size_t i) { ... });
+///   pool.run_on_all([&](int worker_id, int num_workers) { ... });
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. `num_threads == 0` means
+  /// hardware_concurrency. If `pin_threads` is set, worker k is pinned to
+  /// core k % cores (best effort; ignored on failure).
+  explicit ThreadPool(int num_threads = 0, bool pin_threads = false);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(worker_id, num_threads) on every worker including the calling
+  /// thread (which acts as worker 0). Blocks until all are done.
+  void run_on_all(const std::function<void(int, int)>& fn);
+
+  /// Statically partitioned parallel loop over [begin, end).
+  /// fn is invoked once per index.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Dynamically scheduled parallel loop over [begin, end) in chunks of
+  /// `grain` indices; better for skewed per-index work (e.g. power-law
+  /// degree distributions). fn is invoked once per chunk [lo, hi).
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Task {
+    const std::function<void(int, int)>* body = nullptr;
+    std::uint64_t epoch = 0;
+  };
+
+  void worker_loop(int id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int, int)>* body_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace graphbig::platform

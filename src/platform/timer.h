@@ -1,0 +1,65 @@
+// Wall-clock timing utilities used both by the benchmark harness and by the
+// framework's in-framework time accounting (Figure 1 of the paper).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace graphbig::platform {
+
+/// Monotonic wall-clock timer with nanosecond resolution.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  std::uint64_t nanoseconds() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across many short intervals; used to attribute execution
+/// time to framework primitives vs. application code.
+class TimeAccumulator {
+ public:
+  void add(std::uint64_t nanos) { total_ns_ += nanos; }
+  void clear() { total_ns_ = 0; }
+  std::uint64_t nanos() const { return total_ns_; }
+  double seconds() const { return static_cast<double>(total_ns_) * 1e-9; }
+
+ private:
+  std::uint64_t total_ns_ = 0;
+};
+
+/// RAII scope that adds its lifetime to a TimeAccumulator.
+class ScopedAccumulate {
+ public:
+  explicit ScopedAccumulate(TimeAccumulator& acc) : acc_(acc) {}
+  ~ScopedAccumulate() { acc_.add(timer_.nanoseconds()); }
+
+  ScopedAccumulate(const ScopedAccumulate&) = delete;
+  ScopedAccumulate& operator=(const ScopedAccumulate&) = delete;
+
+ private:
+  TimeAccumulator& acc_;
+  WallTimer timer_;
+};
+
+/// Formats a duration as a human-readable string ("1.23 ms", "45.6 s").
+std::string format_duration(double seconds);
+
+}  // namespace graphbig::platform

@@ -1,0 +1,49 @@
+#include "simt/coalescer.h"
+
+#include <algorithm>
+#include <array>
+
+namespace graphbig::simt {
+
+CoalesceResult coalesce(std::span<const std::uint64_t> addrs,
+                        std::span<const std::uint32_t> sizes,
+                        std::uint32_t segment_bytes) {
+  CoalesceResult result;
+  if (addrs.empty()) return result;
+
+  // A warp has at most 32 lanes and each access can straddle one boundary,
+  // so a small fixed buffer suffices.
+  std::array<std::uint64_t, 64> segments{};
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    const std::uint64_t first = addrs[i] / segment_bytes;
+    const std::uint32_t size = i < sizes.size() ? sizes[i] : 4;
+    const std::uint64_t last =
+        (addrs[i] + (size > 0 ? size - 1 : 0)) / segment_bytes;
+    for (std::uint64_t s = first; s <= last && count < segments.size(); ++s) {
+      segments[count++] = s;
+    }
+  }
+  std::sort(segments.begin(), segments.begin() + count);
+  result.segments = static_cast<std::uint32_t>(
+      std::unique(segments.begin(), segments.begin() + count) -
+      segments.begin());
+  result.segment_ids_count = result.segments;
+  for (std::uint32_t i = 0; i < result.segments; ++i) {
+    result.segment_ids[i] = segments[i];
+  }
+
+  // Same-address conflicts (word granularity).
+  std::array<std::uint64_t, 32> words{};
+  std::size_t wcount = 0;
+  for (std::size_t i = 0; i < addrs.size() && wcount < words.size(); ++i) {
+    words[wcount++] = addrs[i] / 4;
+  }
+  std::sort(words.begin(), words.begin() + wcount);
+  for (std::size_t i = 1; i < wcount; ++i) {
+    if (words[i] == words[i - 1]) ++result.conflicts;
+  }
+  return result;
+}
+
+}  // namespace graphbig::simt

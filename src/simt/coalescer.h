@@ -1,0 +1,30 @@
+// Memory-coalescing model: maps the per-lane addresses of one warp memory
+// instruction onto 128-byte device-memory segments (Kepler's transaction
+// granularity). One segment = one issue; each extra segment is a replay.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace graphbig::simt {
+
+struct CoalesceResult {
+  /// Number of distinct 128-byte segments the lanes touch (>= 1 if any
+  /// lane is active).
+  std::uint32_t segments = 0;
+  /// Same-address conflict count: sum over addresses of (lanes - 1) among
+  /// lanes hitting the identical word; relevant for atomics.
+  std::uint32_t conflicts = 0;
+  /// The distinct segment ids (for the device-L2 model). A warp of 32
+  /// lanes whose accesses each straddle one boundary touches at most 64.
+  std::uint32_t segment_ids_count = 0;
+  std::uint64_t segment_ids[64] = {};
+};
+
+/// Analyzes the active lanes' addresses. Addresses spanning a segment
+/// boundary count both segments.
+CoalesceResult coalesce(std::span<const std::uint64_t> addrs,
+                        std::span<const std::uint32_t> sizes,
+                        std::uint32_t segment_bytes);
+
+}  // namespace graphbig::simt

@@ -1,0 +1,96 @@
+// SIMT execution engine.
+//
+// Substitutes for the Tesla K40 + nvprof of the paper's GPU experiments.
+// Kernels are ordinary C++ callables invoked once per logical thread; the
+// Lane handle records every load/store/atomic/ALU op the thread performs.
+// The engine then re-executes each warp's recorded op streams in lockstep:
+// at every issue slot it measures how many of the 32 lanes are active
+// (branch divergence, Figure 10's BDR) and coalesces the active lanes'
+// addresses into 128-byte transactions (memory divergence, MDR). The
+// computation itself is real -- kernels read and write the actual CSR/COO
+// arrays -- so GPU results can be validated against the CPU workloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "perfmodel/cache.h"
+#include "simt/coalescer.h"
+#include "simt/metrics.h"
+
+namespace graphbig::simt {
+
+/// One recorded per-thread operation.
+struct Op {
+  enum class Kind : std::uint8_t { kLoad, kStore, kAtomic, kAlu };
+  Kind kind = Kind::kAlu;
+  std::uint64_t addr = 0;
+  std::uint32_t size = 0;
+};
+
+/// Recording handle passed to kernels, one per logical thread.
+class Lane {
+ public:
+  explicit Lane(std::vector<Op>& ops) : ops_(ops) {}
+
+  /// Records a global-memory load of [addr, addr+size).
+  void ld(const void* addr, std::uint32_t size) {
+    ops_.push_back(Op{Op::Kind::kLoad,
+                      reinterpret_cast<std::uint64_t>(addr), size});
+  }
+
+  /// Records a global-memory store.
+  void st(const void* addr, std::uint32_t size) {
+    ops_.push_back(Op{Op::Kind::kStore,
+                      reinterpret_cast<std::uint64_t>(addr), size});
+  }
+
+  /// Records an atomic read-modify-write (the caller performs the actual
+  /// update; lanes of a CPU-simulated warp run sequentially so plain
+  /// updates are already atomic within a warp).
+  void atomic(const void* addr, std::uint32_t size) {
+    ops_.push_back(Op{Op::Kind::kAtomic,
+                      reinterpret_cast<std::uint64_t>(addr), size});
+  }
+
+  /// Records `n` arithmetic ops.
+  void alu(std::uint32_t n = 1) {
+    ops_.push_back(Op{Op::Kind::kAlu, 0, n});
+  }
+
+ private:
+  std::vector<Op>& ops_;
+};
+
+/// Kernel signature: fn(thread_id, lane).
+using Kernel = std::function<void(std::uint64_t, Lane&)>;
+
+class SimtEngine {
+ public:
+  explicit SimtEngine(const SimtConfig& config = {});
+
+  /// Launches `num_threads` logical threads; returns this launch's stats
+  /// and folds them into the running total.
+  KernelStats launch(std::uint64_t num_threads, const Kernel& kernel);
+
+  const KernelStats& total() const { return total_; }
+  const SimtConfig& config() const { return config_; }
+
+  GpuTiming timing() const { return model_timing(total_, config_); }
+
+  void reset() { total_ = KernelStats{}; }
+
+ private:
+  void score_warp(std::uint32_t lanes_in_warp, KernelStats& stats);
+
+  SimtConfig config_;
+  KernelStats total_;
+  /// Shared device L2; transactions that hit here do not count as DRAM
+  /// traffic in the throughput figures.
+  perfmodel::CacheLevel l2_;
+  // Per-lane op buffers, reused across warps.
+  std::vector<std::vector<Op>> lane_ops_;
+};
+
+}  // namespace graphbig::simt

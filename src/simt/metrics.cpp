@@ -1,0 +1,66 @@
+#include "simt/metrics.h"
+
+#include <algorithm>
+
+namespace graphbig::simt {
+
+KernelStats& KernelStats::operator+=(const KernelStats& other) {
+  launches += other.launches;
+  threads += other.threads;
+  warps += other.warps;
+  base_instructions += other.base_instructions;
+  replays += other.replays;
+  inactive_lane_slots += other.inactive_lane_slots;
+  lane_slots += other.lane_slots;
+  load_segments += other.load_segments;
+  store_segments += other.store_segments;
+  load_dram_segments += other.load_dram_segments;
+  store_dram_segments += other.store_dram_segments;
+  l2_hits += other.l2_hits;
+  atomic_ops += other.atomic_ops;
+  atomic_conflicts += other.atomic_conflicts;
+  return *this;
+}
+
+GpuTiming model_timing(const KernelStats& stats, const SimtConfig& cfg) {
+  GpuTiming t;
+  const double cycles_hz = cfg.clock_ghz * 1e9;
+  if (cycles_hz <= 0) return t;
+
+  // Compute side: one warp instruction per SM per cycle, warps spread
+  // across SMs with perfect latency hiding.
+  const double compute_cycles =
+      static_cast<double>(stats.issued()) / cfg.num_sms;
+
+  // Memory side: total segment traffic at the achievable (not spec-sheet)
+  // bandwidth; warp divergence reduces memory-level parallelism and with
+  // it the sustainable DRAM utilization.
+  const double total_bytes = static_cast<double>(
+      stats.load_bytes(cfg) + stats.store_bytes(cfg));
+  const double utilization =
+      cfg.base_bw_utilization *
+      std::max(0.05, 1.0 - cfg.bdr_bandwidth_loss * stats.bdr());
+  const double bytes_per_cycle =
+      cfg.mem_bandwidth_gbs * 1e9 * utilization / cycles_hz;
+  const double memory_cycles = total_bytes / bytes_per_cycle;
+
+  // Atomics serialize on top of whichever side dominates.
+  const double atomic_cycles =
+      static_cast<double>(stats.atomic_conflicts) *
+      cfg.atomic_serialize_cycles / cfg.num_sms;
+
+  const double total_cycles =
+      std::max(compute_cycles, memory_cycles) + atomic_cycles;
+  if (total_cycles <= 0) return t;
+
+  t.seconds = total_cycles / cycles_hz;
+  t.read_throughput_gbs =
+      static_cast<double>(stats.load_bytes(cfg)) / t.seconds / 1e9;
+  t.write_throughput_gbs =
+      static_cast<double>(stats.store_bytes(cfg)) / t.seconds / 1e9;
+  t.ipc = static_cast<double>(stats.issued()) /
+          (total_cycles * cfg.num_sms);
+  return t;
+}
+
+}  // namespace graphbig::simt

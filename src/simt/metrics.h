@@ -1,0 +1,105 @@
+// GPU metrics in the paper's nvprof-derived terms.
+//
+//   BDR (branch divergence rate)  = avg inactive threads per warp / warp size
+//   MDR (memory divergence rate)  = replayed instructions / issued instructions
+//
+// plus the device-memory throughput and per-SM IPC of Figure 11 and the
+// kernel timing used for the Figure 12 speedups.
+#pragma once
+
+#include <cstdint>
+
+namespace graphbig::simt {
+
+/// Modeled device. Defaults approximate the paper's Tesla K40: 15 SMX,
+/// 745 MHz boost base, 288 GB/s GDDR5, 128-byte memory transactions.
+struct SimtConfig {
+  std::uint32_t warp_size = 32;
+  std::uint32_t num_sms = 15;
+  double clock_ghz = 0.745;
+  double mem_bandwidth_gbs = 288.0;
+  std::uint32_t segment_bytes = 128;
+  /// Serialization cost charged per conflicting atomic (same-address
+  /// atomics within a warp execute one at a time).
+  double atomic_serialize_cycles = 32.0;
+  /// Peak-bandwidth utilization achievable by a perfectly-converged kernel.
+  /// Real graph kernels never reach the spec sheet number: the paper's best
+  /// case (CComp) sustains 89.9 of 288 GB/s. Divergence lowers it further
+  /// (idle lanes issue no loads, breaking memory-level parallelism), which
+  /// the model captures by scaling with (1 - bdr_bandwidth_loss * BDR).
+  double base_bw_utilization = 0.33;
+  double bdr_bandwidth_loss = 0.6;
+  /// Shared device L2 cache. The K40 has 1.5MB; the model default is
+  /// scaled down in proportion to the reduced dataset sizes this
+  /// reproduction runs (see DESIGN.md), so that streaming arrays miss --
+  /// as they do at paper scale -- while hot structures (intersection tree
+  /// tops, frontier heads) hit.
+  std::uint64_t l2_bytes = 64 * 1024;
+  std::uint32_t l2_associativity = 16;
+};
+
+/// Aggregated execution statistics for one or more kernel launches.
+struct KernelStats {
+  std::uint64_t launches = 0;
+  std::uint64_t threads = 0;
+  std::uint64_t warps = 0;
+
+  /// Warp-instruction issue slots, excluding replays.
+  std::uint64_t base_instructions = 0;
+  /// Memory-transaction replays (extra issues beyond the first).
+  std::uint64_t replays = 0;
+  /// Total issue slots including replays.
+  std::uint64_t issued() const { return base_instructions + replays; }
+
+  /// Sum over issue slots of (warp_size - active lanes) and the matching
+  /// denominator, for BDR.
+  std::uint64_t inactive_lane_slots = 0;
+  std::uint64_t lane_slots = 0;
+
+  /// 128-byte memory transactions issued, split by direction.
+  std::uint64_t load_segments = 0;
+  std::uint64_t store_segments = 0;
+  /// Transactions that missed the device L2 and reached DRAM (these are
+  /// what the throughput figures count).
+  std::uint64_t load_dram_segments = 0;
+  std::uint64_t store_dram_segments = 0;
+  std::uint64_t l2_hits = 0;
+
+  std::uint64_t atomic_ops = 0;
+  /// Same-address serialization events among warp lanes.
+  std::uint64_t atomic_conflicts = 0;
+
+  double bdr() const {
+    return lane_slots > 0 ? static_cast<double>(inactive_lane_slots) /
+                                static_cast<double>(lane_slots)
+                          : 0.0;
+  }
+  double mdr() const {
+    const std::uint64_t total = issued();
+    return total > 0
+               ? static_cast<double>(replays) / static_cast<double>(total)
+               : 0.0;
+  }
+
+  std::uint64_t load_bytes(const SimtConfig& cfg) const {
+    return load_dram_segments * cfg.segment_bytes;
+  }
+  std::uint64_t store_bytes(const SimtConfig& cfg) const {
+    return store_dram_segments * cfg.segment_bytes;
+  }
+
+  KernelStats& operator+=(const KernelStats& other);
+};
+
+/// Timing/throughput model over accumulated stats.
+struct GpuTiming {
+  double seconds = 0;
+  double read_throughput_gbs = 0;
+  double write_throughput_gbs = 0;
+  /// Per-SM instructions per cycle (max 1 in this single-issue model).
+  double ipc = 0;
+};
+
+GpuTiming model_timing(const KernelStats& stats, const SimtConfig& cfg);
+
+}  // namespace graphbig::simt

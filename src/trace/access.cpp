@@ -1,0 +1,10 @@
+#include "trace/access.h"
+
+namespace graphbig::trace {
+
+AccessSink*& tls_sink() {
+  thread_local AccessSink* sink = nullptr;
+  return sink;
+}
+
+}  // namespace graphbig::trace

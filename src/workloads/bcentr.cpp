@@ -1,0 +1,129 @@
+// Betweenness centrality (BCentr, social analysis): Brandes' algorithm
+// with sampled pivot sources (Madduri et al.'s parallel variant samples
+// sources the same way). Each pivot runs a BFS computing shortest-path
+// counts, then a reverse dependency accumulation.
+#include <cmath>
+
+#include "platform/rng.h"
+#include "trace/access.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+
+namespace {
+
+class BcentrWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Betweenness centrality"; }
+  std::string acronym() const override { return "BCentr"; }
+  ComputationType computation_type() const override {
+    return ComputationType::kStructure;
+  }
+  Category category() const override { return Category::kSocialAnalysis; }
+
+  RunResult run(RunContext& ctx) const override {
+    graph::PropertyGraph& g = *ctx.graph;
+    RunResult result;
+    const std::size_t slots = g.slot_count();
+
+    std::vector<double> bc(slots, 0.0);
+    std::vector<std::int32_t> depth(slots);
+    std::vector<double> sigma(slots);
+    std::vector<double> delta(slots);
+    std::vector<graph::SlotIndex> order;  // BFS visit order
+    order.reserve(slots);
+
+    // Sample pivot sources deterministically.
+    platform::Xoshiro256 rng(ctx.seed);
+    std::vector<graph::VertexId> pivots;
+    g.for_each_vertex([&](const graph::VertexRecord& v) {
+      if (static_cast<int>(pivots.size()) < ctx.bc_samples &&
+          rng.chance(0.5)) {
+        pivots.push_back(v.id);
+      }
+    });
+    if (pivots.empty() && g.num_vertices() > 0) pivots.push_back(ctx.root);
+
+    for (const auto source : pivots) {
+      const graph::VertexRecord* src = g.find_vertex(source);
+      if (src == nullptr) continue;
+
+      std::fill(depth.begin(), depth.end(), -1);
+      std::fill(sigma.begin(), sigma.end(), 0.0);
+      std::fill(delta.begin(), delta.end(), 0.0);
+      order.clear();
+
+      const graph::SlotIndex sslot = g.slot_of(source);
+      depth[sslot] = 0;
+      sigma[sslot] = 1.0;
+      order.push_back(sslot);
+
+      // Forward BFS: shortest-path counts.
+      std::size_t head = 0;
+      while (head < order.size()) {
+        trace::block(trace::kBlockWorkloadKernel);
+        const graph::SlotIndex us = order[head++];
+        trace::read(trace::MemKind::kMetadata, &order[head - 1],
+                    sizeof(graph::SlotIndex));
+        const graph::VertexRecord* u = g.vertex_at(us);
+        g.for_each_out_edge(*u, [&](const graph::EdgeRecord& e) {
+          ++result.edges_processed;
+          const graph::SlotIndex vs = g.slot_of(e.target);
+          trace::branch(trace::kBranchVisitedCheck, depth[vs] < 0);
+          if (depth[vs] < 0) {
+            depth[vs] = depth[us] + 1;
+            order.push_back(vs);
+            trace::write(trace::MemKind::kMetadata, &order.back(),
+                         sizeof(graph::SlotIndex));
+          }
+          if (depth[vs] == depth[us] + 1) {
+            sigma[vs] += sigma[us];
+            trace::write(trace::MemKind::kMetadata, &sigma[vs],
+                         sizeof(double));
+            trace::alu(1);
+          }
+        });
+      }
+
+      // Reverse accumulation of dependencies.
+      for (std::size_t i = order.size(); i-- > 1;) {
+        trace::block(trace::kBlockWorkloadKernelAux);
+        const graph::SlotIndex ws = order[i];
+        const graph::VertexRecord* w = g.vertex_at(ws);
+        // Predecessors on shortest paths are in-neighbors one level up.
+        g.for_each_in_neighbor(*w, [&](graph::VertexId pid) {
+          const graph::SlotIndex ps = g.slot_of(pid);
+          trace::branch(trace::kBranchCompare,
+                        depth[ps] == depth[ws] - 1);
+          if (depth[ps] == depth[ws] - 1 && sigma[ws] > 0) {
+            delta[ps] += sigma[ps] / sigma[ws] * (1.0 + delta[ws]);
+            trace::write(trace::MemKind::kMetadata, &delta[ps],
+                         sizeof(double));
+            trace::alu(3);
+          }
+        });
+        bc[ws] += delta[ws];
+      }
+      result.vertices_processed += order.size();
+    }
+
+    // Publish and checksum (quantized against FP ordering noise).
+    double bc_sum = 0.0;
+    g.for_each_vertex([&](graph::VertexRecord& v) {
+      const graph::SlotIndex s = g.slot_of(v.id);
+      v.props.set_double(props::kBetweenness, bc[s]);
+      bc_sum += bc[s];
+    });
+    result.checksum = static_cast<std::uint64_t>(std::llround(bc_sum));
+    return result;
+  }
+};
+
+}  // namespace
+
+const Workload& bcentr() {
+  static const BcentrWorkload instance;
+  return instance;
+}
+
+}  // namespace graphbig::workloads

@@ -1,0 +1,117 @@
+// Breadth-first Search: the most widely used workload of the suite
+// (10 of 21 use cases, Figure 4). Level-synchronous frontier expansion
+// through the framework primitives; the BFS depth is stored as a vertex
+// property ("program state" in the paper's property-graph model).
+#include <atomic>
+
+#include "platform/bitset.h"
+#include "trace/access.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+
+namespace {
+
+class BfsWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Breadth-first Search"; }
+  std::string acronym() const override { return "BFS"; }
+  ComputationType computation_type() const override {
+    return ComputationType::kStructure;
+  }
+  Category category() const override { return Category::kTraversal; }
+
+  RunResult run(RunContext& ctx) const override {
+    graph::PropertyGraph& g = *ctx.graph;
+    RunResult result;
+
+    graph::VertexRecord* root = g.find_vertex(ctx.root);
+    if (root == nullptr) return result;
+
+    platform::AtomicBitset visited(g.slot_count());
+    visited.test_and_set(g.slot_of(ctx.root));
+    root->props.set_int(props::kDepth, 0);
+
+    std::vector<graph::VertexId> frontier{ctx.root};
+    std::vector<graph::VertexId> next;
+    std::int64_t depth = 0;
+
+    std::uint64_t edges = 0;
+    std::uint64_t vertices = 1;
+    std::uint64_t depth_sum = 0;
+
+    while (!frontier.empty()) {
+      ++depth;
+      next.clear();
+      trace::block(trace::kBlockWorkloadKernel);
+
+      auto expand = [&](graph::VertexId vid,
+                        std::vector<graph::VertexId>& out,
+                        std::uint64_t& edge_count) {
+        const graph::VertexRecord* v = g.find_vertex(vid);
+        g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
+          ++edge_count;
+          const graph::SlotIndex tslot = g.slot_of(e.target);
+          const bool first = visited.test_and_set(tslot);
+          trace::branch(trace::kBranchVisitedCheck, first);
+          if (first) {
+            graph::VertexRecord* t = g.find_vertex(e.target);
+            t->props.set_int(props::kDepth, depth);
+            out.push_back(e.target);
+            trace::write(trace::MemKind::kMetadata, &out.back(),
+                         sizeof(graph::VertexId));
+          }
+        });
+      };
+
+      if (ctx.pool != nullptr && ctx.pool->num_threads() > 1 &&
+          frontier.size() > 64) {
+        // Parallel expansion with per-worker buffers merged afterwards.
+        const int nt = ctx.pool->num_threads();
+        std::vector<std::vector<graph::VertexId>> buffers(nt);
+        std::vector<std::uint64_t> edge_counts(nt, 0);
+        std::atomic<std::size_t> cursor{0};
+        ctx.pool->run_on_all([&](int id, int) {
+          constexpr std::size_t kGrain = 64;
+          for (;;) {
+            const std::size_t lo = cursor.fetch_add(kGrain);
+            if (lo >= frontier.size()) break;
+            const std::size_t hi =
+                std::min(frontier.size(), lo + kGrain);
+            for (std::size_t i = lo; i < hi; ++i) {
+              expand(frontier[i], buffers[id], edge_counts[id]);
+            }
+          }
+        });
+        for (int t = 0; t < nt; ++t) {
+          next.insert(next.end(), buffers[t].begin(), buffers[t].end());
+          edges += edge_counts[t];
+        }
+      } else {
+        for (const auto vid : frontier) {
+          trace::read(trace::MemKind::kMetadata, &vid,
+                      sizeof(graph::VertexId));
+          expand(vid, next, edges);
+        }
+      }
+
+      vertices += next.size();
+      depth_sum += static_cast<std::uint64_t>(depth) * next.size();
+      frontier.swap(next);
+    }
+
+    result.vertices_processed = vertices;
+    result.edges_processed = edges;
+    result.checksum = vertices * 1000003u + depth_sum;
+    return result;
+  }
+};
+
+}  // namespace
+
+const Workload& bfs() {
+  static const BfsWorkload instance;
+  return instance;
+}
+
+}  // namespace graphbig::workloads

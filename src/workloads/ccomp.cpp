@@ -1,0 +1,84 @@
+// Connected components (CComp): BFS-based labeling on the CPU side, per
+// Table 4 (the GPU side uses Soman's algorithm instead). Components are
+// computed over the undirected view; every vertex receives the minimum
+// root id of its component as a label property.
+#include <queue>
+
+#include "trace/access.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+
+namespace {
+
+class CcompWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Connected components"; }
+  std::string acronym() const override { return "CComp"; }
+  ComputationType computation_type() const override {
+    return ComputationType::kStructure;
+  }
+  Category category() const override { return Category::kAnalytics; }
+
+  RunResult run(RunContext& ctx) const override {
+    graph::PropertyGraph& g = *ctx.graph;
+    RunResult result;
+    std::vector<bool> visited(g.slot_count(), false);
+    std::vector<graph::VertexId> queue;
+
+    std::uint64_t components = 0;
+    std::uint64_t label_sum = 0;
+
+    g.for_each_vertex([&](graph::VertexRecord& root) {
+      const graph::SlotIndex rslot = g.slot_of(root.id);
+      if (visited[rslot]) return;
+      ++components;
+      const graph::VertexId label = root.id;
+
+      queue.clear();
+      queue.push_back(root.id);
+      visited[rslot] = true;
+      std::size_t head = 0;
+      while (head < queue.size()) {
+        trace::block(trace::kBlockWorkloadKernel);
+        const graph::VertexId vid = queue[head++];
+        trace::read(trace::MemKind::kMetadata, &queue[head - 1],
+                    sizeof(graph::VertexId));
+        graph::VertexRecord* v = g.find_vertex(vid);
+        v->props.set_int(props::kLabel,
+                         static_cast<std::int64_t>(label));
+        label_sum += label % 1000003u;
+        ++result.vertices_processed;
+
+        auto visit = [&](graph::VertexId nid) {
+          ++result.edges_processed;
+          const graph::SlotIndex ns = g.slot_of(nid);
+          trace::branch(trace::kBranchVisitedCheck, visited[ns]);
+          if (!visited[ns]) {
+            visited[ns] = true;
+            queue.push_back(nid);
+            trace::write(trace::MemKind::kMetadata, &queue.back(),
+                         sizeof(graph::VertexId));
+          }
+        };
+        g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
+          visit(e.target);
+        });
+        g.for_each_in_neighbor(*v,
+                               [&](graph::VertexId src) { visit(src); });
+      }
+    });
+
+    result.checksum = components * 2654435761u + label_sum;
+    return result;
+  }
+};
+
+}  // namespace
+
+const Workload& ccomp() {
+  static const CcompWorkload instance;
+  return instance;
+}
+
+}  // namespace graphbig::workloads

@@ -1,0 +1,78 @@
+// Depth-first Search: iterative stack-based traversal. DFS is inherently
+// sequential; the interesting architectural behavior is the stack (hot
+// metadata, L1-resident) against the scattered vertex records.
+#include "trace/access.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+
+namespace {
+
+class DfsWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Depth-first Search"; }
+  std::string acronym() const override { return "DFS"; }
+  ComputationType computation_type() const override {
+    return ComputationType::kStructure;
+  }
+  Category category() const override { return Category::kTraversal; }
+
+  RunResult run(RunContext& ctx) const override {
+    graph::PropertyGraph& g = *ctx.graph;
+    RunResult result;
+    if (g.find_vertex(ctx.root) == nullptr) return result;
+
+    std::vector<bool> visited(g.slot_count(), false);
+    std::vector<graph::VertexId> stack;
+    stack.push_back(ctx.root);
+    trace::write(trace::MemKind::kMetadata, &stack.back(),
+                 sizeof(graph::VertexId));
+
+    std::int64_t order = 0;
+    std::uint64_t order_hash = 0;
+
+    while (!stack.empty()) {
+      trace::block(trace::kBlockWorkloadKernel);
+      const graph::VertexId vid = stack.back();
+      trace::read(trace::MemKind::kMetadata, &stack.back(),
+                  sizeof(graph::VertexId));
+      stack.pop_back();
+
+      const graph::SlotIndex slot = g.slot_of(vid);
+      trace::branch(trace::kBranchVisitedCheck, visited[slot]);
+      if (visited[slot]) continue;
+      visited[slot] = true;
+
+      graph::VertexRecord* v = g.find_vertex(vid);
+      v->props.set_int(props::kDepth, order);
+      order_hash = order_hash * 31 + vid;
+      ++order;
+
+      // Push neighbors in reverse so lower ids are visited first.
+      const auto first_new = stack.size();
+      g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
+        ++result.edges_processed;
+        if (!visited[g.slot_of(e.target)]) {
+          stack.push_back(e.target);
+          trace::write(trace::MemKind::kMetadata, &stack.back(),
+                       sizeof(graph::VertexId));
+        }
+      });
+      std::reverse(stack.begin() + static_cast<std::ptrdiff_t>(first_new),
+                   stack.end());
+    }
+
+    result.vertices_processed = static_cast<std::uint64_t>(order);
+    result.checksum = order_hash ^ (static_cast<std::uint64_t>(order) << 32);
+    return result;
+  }
+};
+
+}  // namespace
+
+const Workload& dfs() {
+  static const DfsWorkload instance;
+  return instance;
+}
+
+}  // namespace graphbig::workloads

@@ -1,0 +1,108 @@
+// Closeness centrality (extension workload): for a sampled set of pivot
+// vertices, run Dijkstra and store closeness = (reached - 1) / sum of
+// distances. The paper's Section 4.2 leaves it out of Table 4 because it
+// "shares significant similarity with shortest path"; it is provided here
+// for completeness of the social-analysis family.
+#include <limits>
+#include <queue>
+
+#include "platform/rng.h"
+#include "trace/access.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+
+namespace {
+
+class CcentrWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Closeness centrality"; }
+  std::string acronym() const override { return "CCentr"; }
+  ComputationType computation_type() const override {
+    return ComputationType::kStructure;
+  }
+  Category category() const override { return Category::kSocialAnalysis; }
+
+  RunResult run(RunContext& ctx) const override {
+    graph::PropertyGraph& g = *ctx.graph;
+    RunResult result;
+
+    // Same pivot sampling scheme as BCentr.
+    platform::Xoshiro256 rng(ctx.seed);
+    std::vector<graph::VertexId> pivots;
+    g.for_each_vertex([&](const graph::VertexRecord& v) {
+      if (static_cast<int>(pivots.size()) < ctx.bc_samples &&
+          rng.chance(0.5)) {
+        pivots.push_back(v.id);
+      }
+    });
+    if (pivots.empty() && g.num_vertices() > 0) pivots.push_back(ctx.root);
+
+    std::vector<double> dist(g.slot_count());
+    std::vector<bool> settled(g.slot_count());
+    double closeness_sum = 0.0;
+
+    for (const auto source : pivots) {
+      graph::VertexRecord* src = g.find_vertex(source);
+      if (src == nullptr) continue;
+      std::fill(dist.begin(), dist.end(),
+                std::numeric_limits<double>::infinity());
+      std::fill(settled.begin(), settled.end(), false);
+
+      using HeapEntry = std::pair<double, graph::VertexId>;
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                          std::greater<HeapEntry>>
+          heap;
+      dist[g.slot_of(source)] = 0.0;
+      heap.emplace(0.0, source);
+
+      double total_dist = 0.0;
+      std::uint64_t reached = 0;
+      while (!heap.empty()) {
+        trace::block(trace::kBlockWorkloadKernel);
+        const auto [d, vid] = heap.top();
+        heap.pop();
+        const graph::SlotIndex slot = g.slot_of(vid);
+        if (settled[slot]) continue;
+        settled[slot] = true;
+        total_dist += d;
+        ++reached;
+        ++result.vertices_processed;
+
+        const graph::VertexRecord* v = g.find_vertex(vid);
+        g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
+          ++result.edges_processed;
+          const graph::SlotIndex ts = g.slot_of(e.target);
+          const double candidate = d + e.weight;
+          trace::alu(2);
+          if (candidate < dist[ts]) {
+            dist[ts] = candidate;
+            trace::write(trace::MemKind::kMetadata, &dist[ts],
+                         sizeof(double));
+            heap.emplace(candidate, e.target);
+          }
+        });
+      }
+
+      const double closeness =
+          (reached > 1 && total_dist > 0)
+              ? static_cast<double>(reached - 1) / total_dist
+              : 0.0;
+      src->props.set_double(props::kCloseness, closeness);
+      closeness_sum += closeness;
+    }
+
+    result.checksum = static_cast<std::uint64_t>(closeness_sum * 4096.0) +
+                      pivots.size();
+    return result;
+  }
+};
+
+}  // namespace
+
+const Workload& ccentr() {
+  static const CcentrWorkload instance;
+  return instance;
+}
+
+}  // namespace graphbig::workloads

@@ -1,0 +1,93 @@
+// Random walk with restart (extension workload): power iteration of the
+// personalized random-walk distribution seeded at ctx.root with restart
+// probability 0.15 -- the kernel behind the concurrent image-query use
+// case the paper's authors cite (Xia et al., ICMEW'14).
+#include <cmath>
+
+#include "trace/access.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+
+namespace {
+
+constexpr double kRestart = 0.15;
+constexpr int kIterations = 20;
+
+class RwrWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Random walk with restart"; }
+  std::string acronym() const override { return "RWR"; }
+  ComputationType computation_type() const override {
+    return ComputationType::kProperty;
+  }
+  Category category() const override { return Category::kAnalytics; }
+
+  RunResult run(RunContext& ctx) const override {
+    graph::PropertyGraph& g = *ctx.graph;
+    RunResult result;
+    const std::size_t slots = g.slot_count();
+    if (g.find_vertex(ctx.root) == nullptr) return result;
+    const graph::SlotIndex root_slot = g.slot_of(ctx.root);
+
+    std::vector<double> score(slots, 0.0);
+    std::vector<double> next(slots, 0.0);
+    score[root_slot] = 1.0;
+
+    for (int iter = 0; iter < kIterations; ++iter) {
+      std::fill(next.begin(), next.end(), 0.0);
+      double dangling = 0.0;
+      g.for_each_vertex([&](const graph::VertexRecord& v) {
+        trace::block(trace::kBlockWorkloadKernel);
+        const graph::SlotIndex s = g.slot_of(v.id);
+        const double mass = score[s];
+        trace::read(trace::MemKind::kMetadata, &score[s], sizeof(double));
+        if (mass == 0.0) return;
+        if (v.out.empty()) {
+          dangling += mass;
+          return;
+        }
+        const double share =
+            (1.0 - kRestart) * mass / static_cast<double>(v.out.size());
+        trace::alu(2);
+        g.for_each_out_edge(v, [&](const graph::EdgeRecord& e) {
+          ++result.edges_processed;
+          next[g.slot_of(e.target)] += share;
+          trace::write(trace::MemKind::kMetadata,
+                       &next[g.slot_of(e.target)], sizeof(double));
+          trace::alu(1);
+        });
+      });
+      // Restart mass plus redistributed dangling mass returns to the seed.
+      next[root_slot] += kRestart + (1.0 - kRestart) * dangling;
+      score.swap(next);
+      ++result.vertices_processed;
+    }
+
+    // Publish scores and checksum (quantized; scores sum to ~1).
+    double sum = 0.0;
+    g.for_each_vertex([&](graph::VertexRecord& v) {
+      const double s = score[g.slot_of(v.id)];
+      v.props.set_double(props::kRwrScore, s);
+      sum += s;
+    });
+    result.checksum =
+        static_cast<std::uint64_t>(score[root_slot] * (1 << 20)) +
+        static_cast<std::uint64_t>(sum * 1024.0);
+    return result;
+  }
+};
+
+}  // namespace
+
+const Workload& rwr() {
+  static const RwrWorkload instance;
+  return instance;
+}
+
+const std::vector<const Workload*>& extension_workloads() {
+  static const std::vector<const Workload*> workloads = {&ccentr(), &rwr()};
+  return workloads;
+}
+
+}  // namespace graphbig::workloads

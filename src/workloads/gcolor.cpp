@@ -1,0 +1,123 @@
+// Graph coloring (GColor): Luby-Jones maximal-independent-set coloring.
+// Each round, every uncolored vertex whose random priority beats all of its
+// uncolored neighbors takes the round's color. Rounds are embarrassingly
+// parallel and level-synchronous.
+#include <atomic>
+
+#include "platform/rng.h"
+#include "trace/access.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+
+namespace {
+
+class GcolorWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Graph coloring"; }
+  std::string acronym() const override { return "GColor"; }
+  ComputationType computation_type() const override {
+    return ComputationType::kStructure;
+  }
+  Category category() const override { return Category::kAnalytics; }
+
+  RunResult run(RunContext& ctx) const override {
+    graph::PropertyGraph& g = *ctx.graph;
+    RunResult result;
+    const std::size_t slots = g.slot_count();
+
+    // Random priorities (fixed per run for determinism).
+    std::vector<std::uint64_t> priority(slots, 0);
+    std::vector<std::int32_t> color(slots, -1);
+    platform::Xoshiro256 rng(ctx.seed);
+    std::vector<graph::SlotIndex> uncolored;
+    for (graph::SlotIndex s = 0; s < slots; ++s) {
+      if (g.vertex_at(s) != nullptr) {
+        priority[s] = rng.next();
+        uncolored.push_back(s);
+      }
+    }
+
+    std::int32_t round = 0;
+    std::vector<graph::SlotIndex> next;
+    std::vector<std::uint8_t> selected(slots, 0);
+    while (!uncolored.empty()) {
+      next.clear();
+
+      auto decide = [&](graph::SlotIndex s) -> bool {
+        trace::block(trace::kBlockWorkloadKernel);
+        const graph::VertexRecord* v = g.vertex_at(s);
+        bool is_local_max = true;
+        auto check = [&](graph::VertexId nid) {
+          ++result.edges_processed;
+          const graph::SlotIndex ns = g.slot_of(nid);
+          trace::read(trace::MemKind::kMetadata, &priority[ns],
+                      sizeof(std::uint64_t));
+          // Heavier per-edge work than plain traversal: compare priority
+          // and color state. Compilers turn this min/max-style winner
+          // test into predicated selects (cmov), so it costs ALU work,
+          // not a conditional branch.
+          const bool neighbor_wins =
+              color[ns] < 0 &&
+              (priority[ns] > priority[s] ||
+               (priority[ns] == priority[s] && ns > s));
+          trace::alu(4);
+          if (neighbor_wins) is_local_max = false;
+        };
+        g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
+          check(e.target);
+        });
+        g.for_each_in_neighbor(*v,
+                               [&](graph::VertexId src) { check(src); });
+        return is_local_max;
+      };
+
+      // Phase 1: mark round winners (reads only previous-round state).
+      if (ctx.pool != nullptr && ctx.pool->num_threads() > 1 &&
+          uncolored.size() > 256) {
+        ctx.pool->parallel_for_chunked(
+            0, uncolored.size(), 128,
+            [&](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) {
+                selected[uncolored[i]] = decide(uncolored[i]) ? 1 : 0;
+              }
+            });
+      } else {
+        for (const auto s : uncolored) selected[s] = decide(s) ? 1 : 0;
+      }
+
+      // Phase 2: commit colors, build the next round's worklist.
+      for (const auto s : uncolored) {
+        if (selected[s]) {
+          color[s] = round;
+          ++result.vertices_processed;
+        } else {
+          next.push_back(s);
+        }
+      }
+      if (next.size() == uncolored.size()) break;  // defensive: no progress
+      uncolored.swap(next);
+      ++round;
+    }
+
+    // Publish colors as properties and checksum.
+    std::uint64_t color_sum = 0;
+    g.for_each_vertex([&](graph::VertexRecord& v) {
+      const graph::SlotIndex s = g.slot_of(v.id);
+      v.props.set_int(props::kColor, color[s]);
+      color_sum += static_cast<std::uint64_t>(color[s] + 1);
+    });
+    result.checksum =
+        color_sum * 31 + static_cast<std::uint64_t>(round + 1);
+    return result;
+  }
+};
+
+}  // namespace
+
+const Workload& gcolor() {
+  static const GcolorWorkload instance;
+  return instance;
+}
+
+}  // namespace graphbig::workloads

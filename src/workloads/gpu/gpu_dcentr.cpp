@@ -1,0 +1,59 @@
+// GPU DCentr: degree centrality with one thread per vertex streaming its
+// edge list and atomically incrementing each neighbor's in-degree counter.
+// Skewed degrees plus scattered atomic traffic put DCentr at the paper's
+// extreme upper-right of the divergence space (Figure 10) with high memory
+// throughput but atomics-bound performance (Figure 11).
+#include "platform/aligned.h"
+#include "workloads/gpu/gpu_workload.h"
+
+namespace graphbig::workloads::gpu {
+
+namespace {
+
+class GpuDcentrWorkload final : public GpuWorkload {
+ public:
+  std::string name() const override { return "Degree centrality"; }
+  std::string acronym() const override { return "DCentr"; }
+  GpuModel model() const override { return GpuModel::kVertexCentric; }
+
+  GpuRunResult run(GpuRunContext& ctx) const override {
+    const graph::Csr& g = *ctx.csr;
+    simt::SimtEngine& engine = *ctx.engine;
+    GpuRunResult result;
+    const std::uint32_t n = g.num_vertices;
+    if (n == 0) return result;
+
+    platform::DeviceVector<std::uint32_t> in_degree(n, 0);
+    platform::DeviceVector<std::uint32_t> out_degree(n, 0);
+
+    result.stats += engine.launch(n, [&](std::uint64_t tid,
+                                         simt::Lane& lane) {
+      lane.ld(&g.row_ptr[tid], 8);
+      lane.ld(&g.row_ptr[tid + 1], 8);
+      out_degree[tid] =
+          static_cast<std::uint32_t>(g.row_ptr[tid + 1] - g.row_ptr[tid]);
+      lane.st(&out_degree[tid], 4);
+      for (std::uint64_t e = g.row_ptr[tid]; e < g.row_ptr[tid + 1]; ++e) {
+        lane.ld(&g.col[e], 4);
+        lane.atomic(&in_degree[g.col[e]], 4);
+        ++in_degree[g.col[e]];
+      }
+    });
+
+    std::uint64_t degree_sum = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      degree_sum += in_degree[v] + out_degree[v];
+    }
+    result.checksum = degree_sum;
+    return result;
+  }
+};
+
+}  // namespace
+
+const GpuWorkload& gpu_dcentr() {
+  static const GpuDcentrWorkload instance;
+  return instance;
+}
+
+}  // namespace graphbig::workloads::gpu

@@ -1,0 +1,134 @@
+// GPU TC: edge-centric triangle counting (Schank-style). One thread per
+// undirected edge intersects the two endpoints' sorted adjacency lists.
+// The intersection is dominated by parallel compare operations with little
+// data intensity -- giving TC the paper's lowest memory throughput but the
+// highest IPC of the GPU suite.
+#include <algorithm>
+
+#include "platform/aligned.h"
+#include "workloads/gpu/gpu_workload.h"
+
+namespace graphbig::workloads::gpu {
+
+namespace {
+
+class GpuTcWorkload final : public GpuWorkload {
+ public:
+  std::string name() const override { return "Triangle count"; }
+  std::string acronym() const override { return "TC"; }
+  GpuModel model() const override { return GpuModel::kEdgeCentric; }
+
+  GpuRunResult run(GpuRunContext& ctx) const override {
+    const graph::Csr& g = *ctx.sym;
+    const graph::Coo& coo = *ctx.coo;
+    simt::SimtEngine& engine = *ctx.engine;
+    GpuRunResult result;
+    if (g.num_vertices == 0) return result;
+
+    // Work on the upper triangle only (each undirected edge once); the
+    // u < v filter is a stream-compaction pass, so the intersection
+    // kernel launches with every lane carrying real work. The work items
+    // are then sorted by estimated cost (|shorter list| * log |longer
+    // list|) -- the standard GPU load-balancing trick -- so the 32 lanes
+    // of a warp receive near-identical intersection sizes. This is what
+    // realizes the paper's "edge-centric ensures balanced workset"
+    // observation for TC despite skewed degrees.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    for (std::uint64_t e = 0; e < coo.num_edges(); ++e) {
+      if (coo.src[e] < coo.dst[e]) {
+        edges.emplace_back(coo.src[e], coo.dst[e]);
+      }
+    }
+    std::sort(edges.begin(), edges.end(),
+              [&](const auto& a, const auto& b) {
+                const auto cost = [&](const auto& p) {
+                  const std::uint64_t d1 = g.degree(p.first);
+                  const std::uint64_t d2 = g.degree(p.second);
+                  return std::min(d1, d2) * (64 - static_cast<std::uint64_t>(
+                                                      __builtin_clzll(
+                                                          std::max(d1, d2) |
+                                                          1)));
+                };
+                return cost(a) < cost(b);
+              });
+    platform::DeviceVector<std::uint32_t> work_src;
+    platform::DeviceVector<std::uint32_t> work_dst;
+    work_src.reserve(edges.size());
+    work_dst.reserve(edges.size());
+    for (const auto& [s, d] : edges) {
+      work_src.push_back(s);
+      work_dst.push_back(d);
+    }
+
+    std::uint64_t triangles = 0;
+    result.stats += engine.launch(
+        work_src.size(), [&](std::uint64_t tid, simt::Lane& lane) {
+          lane.ld(&work_src[tid], 4);
+          lane.ld(&work_dst[tid], 4);
+          const std::uint32_t u = work_src[tid];
+          const std::uint32_t v = work_dst[tid];
+          lane.ld(&g.row_ptr[u], 8);
+          lane.ld(&g.row_ptr[v], 8);
+          // Binary-search intersection: probe the longer adjacency list
+          // for each element of the shorter. Per-thread work becomes
+          // |short| * log |long|, collapsing the hub tail and keeping warp
+          // lanes balanced -- the property that puts TC on the low-BDR
+          // side of Figure 10. The log-probes scatter across the longer
+          // list, so the divergence that remains is on the memory side.
+          std::uint32_t a_lo, a_hi, b_lo, b_hi;
+          if (g.degree(u) <= g.degree(v)) {
+            a_lo = static_cast<std::uint32_t>(g.row_ptr[u]);
+            a_hi = static_cast<std::uint32_t>(g.row_ptr[u + 1]);
+            b_lo = static_cast<std::uint32_t>(g.row_ptr[v]);
+            b_hi = static_cast<std::uint32_t>(g.row_ptr[v + 1]);
+          } else {
+            a_lo = static_cast<std::uint32_t>(g.row_ptr[v]);
+            a_hi = static_cast<std::uint32_t>(g.row_ptr[v + 1]);
+            b_lo = static_cast<std::uint32_t>(g.row_ptr[u]);
+            b_hi = static_cast<std::uint32_t>(g.row_ptr[u + 1]);
+          }
+          // Branchless (predicated) binary search with a fixed trip count
+          // per needle: every lane executes the same number of probe
+          // steps for a given |B|, so warp lanes never desynchronize
+          // inside the search -- the GPU idiom behind TC's low branch
+          // divergence. Needles that cannot close a new triangle
+          // (needle <= v) still run the predicated search.
+          for (std::uint32_t i = a_lo; i < a_hi; ++i) {
+            lane.ld(&g.col[i], 4);
+            const std::uint32_t needle = g.col[i];
+            std::uint32_t base = b_lo;
+            std::uint32_t count = b_hi - b_lo;
+            while (count > 0) {
+              const std::uint32_t half = count / 2;
+              lane.ld(&g.col[base + half], 4);
+              // A predicated search step compiles to ~6 SASS instructions:
+              // halving, address computation, compare, two selects, loop
+              // bookkeeping.
+              lane.alu(6);
+              if (g.col[base + half] < needle) {
+                base += half + 1;
+                count -= half + 1;
+              } else {
+                count = half;
+              }
+            }
+            lane.alu(4);  // match + orientation predicates, needle advance
+            if (needle > v && base < b_hi && g.col[base] == needle) {
+              ++triangles;
+            }
+          }
+        });
+
+    result.checksum = triangles;
+    return result;
+  }
+};
+
+}  // namespace
+
+const GpuWorkload& gpu_tc() {
+  static const GpuTcWorkload instance;
+  return instance;
+}
+
+}  // namespace graphbig::workloads::gpu

@@ -1,0 +1,20 @@
+#include "workloads/gpu/gpu_workload.h"
+
+namespace graphbig::workloads::gpu {
+
+const std::vector<const GpuWorkload*>& all_gpu_workloads() {
+  static const std::vector<const GpuWorkload*> workloads = {
+      &gpu_bfs(),    &gpu_spath(), &gpu_kcore(),  &gpu_ccomp(),
+      &gpu_gcolor(), &gpu_tc(),    &gpu_dcentr(), &gpu_bcentr(),
+  };
+  return workloads;
+}
+
+const GpuWorkload* find_gpu_workload(const std::string& acronym) {
+  for (const GpuWorkload* w : all_gpu_workloads()) {
+    if (w->acronym() == acronym) return w;
+  }
+  return nullptr;
+}
+
+}  // namespace graphbig::workloads::gpu

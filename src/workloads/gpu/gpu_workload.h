@@ -1,0 +1,63 @@
+// Common interface for the 8 GraphBIG GPU workloads (Table 3: "8 GPU
+// workloads"). Per Section 4.1, GPU benchmarks share the framework's core
+// code but run on CSR/COO data converted from the dynamic CPU graph; here
+// the kernels run on the SIMT simulator, which measures branch/memory
+// divergence while the kernels compute real results on the CSR arrays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "simt/engine.h"
+
+namespace graphbig::workloads::gpu {
+
+/// Inputs for a GPU workload run. `csr` is the directed graph; `sym` is
+/// its symmetrized (undirected) form used by the topology-analytics
+/// kernels; `coo` is the edge list of `sym` for the edge-centric kernels.
+struct GpuRunContext {
+  const graph::Csr* csr = nullptr;
+  const graph::Csr* sym = nullptr;
+  const graph::Coo* coo = nullptr;
+  simt::SimtEngine* engine = nullptr;
+  std::uint32_t root = 0;
+  std::uint64_t seed = 1;
+  int bc_samples = 4;
+};
+
+struct GpuRunResult {
+  std::uint64_t checksum = 0;
+  /// Stats for this run only (the engine also accumulates totals).
+  simt::KernelStats stats;
+};
+
+/// Thread-to-work mapping, reported for the divergence analysis: the paper
+/// explains low BDR in CComp/TC by their edge-centric partitioning.
+enum class GpuModel { kVertexCentric, kEdgeCentric };
+
+class GpuWorkload {
+ public:
+  virtual ~GpuWorkload() = default;
+  virtual std::string name() const = 0;
+  virtual std::string acronym() const = 0;
+  virtual GpuModel model() const = 0;
+  virtual GpuRunResult run(GpuRunContext& ctx) const = 0;
+};
+
+const GpuWorkload& gpu_bfs();
+const GpuWorkload& gpu_spath();
+const GpuWorkload& gpu_kcore();
+const GpuWorkload& gpu_ccomp();
+const GpuWorkload& gpu_gcolor();
+const GpuWorkload& gpu_tc();
+const GpuWorkload& gpu_dcentr();
+const GpuWorkload& gpu_bcentr();
+
+/// The 8 GPU workloads.
+const std::vector<const GpuWorkload*>& all_gpu_workloads();
+
+const GpuWorkload* find_gpu_workload(const std::string& acronym);
+
+}  // namespace graphbig::workloads::gpu

@@ -1,0 +1,63 @@
+// Graph update (GUp, CompDyn): deletes a list of vertices (and every edge
+// incident to them) from an existing graph, in random order -- the paper
+// contrasts its scattered deletions with GCons's sequential insertions
+// (Figure 7 discussion).
+#include "platform/rng.h"
+#include "trace/access.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+
+namespace {
+
+class GupWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Graph update"; }
+  std::string acronym() const override { return "GUp"; }
+  ComputationType computation_type() const override {
+    return ComputationType::kDynamic;
+  }
+  Category category() const override {
+    return Category::kConstructionUpdate;
+  }
+
+  RunResult run(RunContext& ctx) const override {
+    graph::PropertyGraph& g = *ctx.graph;
+    RunResult result;
+
+    // Build the deletion list: a random sample of live vertex ids.
+    platform::Xoshiro256 rng(ctx.seed);
+    std::vector<graph::VertexId> victims;
+    const auto target = static_cast<std::size_t>(
+        static_cast<double>(g.num_vertices()) * ctx.delete_fraction);
+    g.for_each_vertex([&](const graph::VertexRecord& v) {
+      if (victims.size() < target &&
+          rng.chance(ctx.delete_fraction * 1.5)) {
+        victims.push_back(v.id);
+      }
+    });
+    // Shuffle so deletions hit the vertex table in random order.
+    for (std::size_t i = victims.size(); i > 1; --i) {
+      std::swap(victims[i - 1], victims[rng.bounded(i)]);
+    }
+
+    const std::size_t edges_before = g.num_edges();
+    for (const auto vid : victims) {
+      trace::block(trace::kBlockWorkloadKernel);
+      trace::read(trace::MemKind::kMetadata, &vid, sizeof(vid));
+      if (g.delete_vertex(vid)) ++result.vertices_processed;
+    }
+    result.edges_processed = edges_before - g.num_edges();
+    result.checksum = g.num_vertices() * 1000003u + g.num_edges();
+    return result;
+  }
+};
+
+}  // namespace
+
+const Workload& gup() {
+  static const GupWorkload instance;
+  return instance;
+}
+
+}  // namespace graphbig::workloads

@@ -1,0 +1,107 @@
+// k-core decomposition (kCore): Matula & Beck's smallest-last peeling with
+// a bucket queue, computing the core number of every vertex over the
+// undirected degree view.
+#include "trace/access.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+
+namespace {
+
+class KcoreWorkload final : public Workload {
+ public:
+  std::string name() const override { return "k-core decomposition"; }
+  std::string acronym() const override { return "kCore"; }
+  ComputationType computation_type() const override {
+    return ComputationType::kStructure;
+  }
+  Category category() const override { return Category::kAnalytics; }
+
+  RunResult run(RunContext& ctx) const override {
+    graph::PropertyGraph& g = *ctx.graph;
+    RunResult result;
+    const std::size_t slots = g.slot_count();
+
+    // Degrees over the undirected view (out + in adjacency).
+    std::vector<std::uint32_t> degree(slots, 0);
+    std::size_t max_degree = 0;
+    std::size_t live = 0;
+    g.for_each_vertex([&](const graph::VertexRecord& v) {
+      const graph::SlotIndex s = g.slot_of(v.id);
+      degree[s] = static_cast<std::uint32_t>(undirected_degree(v));
+      trace::write(trace::MemKind::kMetadata, &degree[s],
+                   sizeof(std::uint32_t));
+      max_degree = std::max<std::size_t>(max_degree, degree[s]);
+      ++live;
+    });
+
+    // Bucket queue (Matula-Beck): bucket[d] holds slots of degree d.
+    std::vector<std::vector<graph::SlotIndex>> buckets(max_degree + 1);
+    for (graph::SlotIndex s = 0; s < slots; ++s) {
+      if (g.vertex_at(s) != nullptr) buckets[degree[s]].push_back(s);
+    }
+
+    std::vector<std::uint8_t> removed(slots, 0);
+    std::vector<std::uint32_t> core(slots, 0);
+    std::uint32_t current_core = 0;
+    std::size_t processed = 0;
+    std::size_t bucket_idx = 0;
+
+    while (processed < live) {
+      // Find the lowest non-empty bucket at or below current scan point.
+      while (bucket_idx < buckets.size() && buckets[bucket_idx].empty()) {
+        ++bucket_idx;
+      }
+      if (bucket_idx >= buckets.size()) break;
+      const graph::SlotIndex s = buckets[bucket_idx].back();
+      buckets[bucket_idx].pop_back();
+      trace::read(trace::MemKind::kMetadata, &s, sizeof(s));
+      if (removed[s] || degree[s] != bucket_idx) continue;  // stale entry
+
+      trace::block(trace::kBlockWorkloadKernel);
+      removed[s] = 1;
+      current_core =
+          std::max(current_core, static_cast<std::uint32_t>(bucket_idx));
+      core[s] = current_core;
+      ++processed;
+
+      const graph::VertexRecord* v = g.vertex_at(s);
+      auto relax = [&](graph::VertexId nid) {
+        ++result.edges_processed;
+        const graph::SlotIndex ns = g.slot_of(nid);
+        trace::read(trace::MemKind::kMetadata, &removed[ns], 1);
+        if (removed[ns] || degree[ns] == 0) return;
+        --degree[ns];
+        trace::write(trace::MemKind::kMetadata, &degree[ns],
+                     sizeof(std::uint32_t));
+        buckets[degree[ns]].push_back(ns);
+        if (degree[ns] < bucket_idx) bucket_idx = degree[ns];
+      };
+      g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
+        relax(e.target);
+      });
+      g.for_each_in_neighbor(*v, [&](graph::VertexId src) { relax(src); });
+    }
+
+    // Publish core numbers as vertex properties.
+    std::uint64_t core_sum = 0;
+    g.for_each_vertex([&](graph::VertexRecord& v) {
+      const graph::SlotIndex s = g.slot_of(v.id);
+      v.props.set_int(props::kCore, core[s]);
+      core_sum += core[s];
+    });
+
+    result.vertices_processed = processed;
+    result.checksum = core_sum * 31 + current_core;
+    return result;
+  }
+};
+
+}  // namespace
+
+const Workload& kcore() {
+  static const KcoreWorkload instance;
+  return instance;
+}
+
+}  // namespace graphbig::workloads

@@ -1,0 +1,133 @@
+// Triangle count (TC): Schank's forward/node-iterator algorithm over
+// sorted per-vertex neighbor snapshots. The data-dependent intersection
+// compares are the source of TC's outlier branch behavior (10.7% miss rate
+// and the visible BadSpeculation share in Figure 5); the compact snapshot
+// arrays are "property-like" payloads, which the paper groups under
+// computation on rich properties (low DTLB penalty, centralized accesses).
+#include <algorithm>
+#include <atomic>
+
+#include "trace/access.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+
+namespace {
+
+class TcWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Triangle count"; }
+  std::string acronym() const override { return "TC"; }
+  ComputationType computation_type() const override {
+    return ComputationType::kProperty;
+  }
+  Category category() const override { return Category::kAnalytics; }
+
+  RunResult run(RunContext& ctx) const override {
+    graph::PropertyGraph& g = *ctx.graph;
+    RunResult result;
+    const std::size_t slots = g.slot_count();
+
+    // Build per-vertex sorted neighbor snapshots over the undirected view,
+    // keeping only higher-slot neighbors (the "forward" orientation that
+    // makes each triangle counted exactly once).
+    std::vector<std::vector<graph::SlotIndex>> forward(slots);
+    g.for_each_vertex([&](const graph::VertexRecord& v) {
+      const graph::SlotIndex s = g.slot_of(v.id);
+      auto& list = forward[s];
+      g.for_each_out_edge(*&v, [&](const graph::EdgeRecord& e) {
+        const graph::SlotIndex t = g.slot_of(e.target);
+        if (t > s) list.push_back(t);
+      });
+      g.for_each_in_neighbor(*&v, [&](graph::VertexId src) {
+        const graph::SlotIndex t = g.slot_of(src);
+        if (t > s) list.push_back(t);
+      });
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+    });
+
+    // Count: for each edge (u, v) with u < v, intersect forward[u] and
+    // forward[v].
+    std::atomic<std::uint64_t> triangles{0};
+    std::vector<std::uint64_t> per_vertex(slots, 0);
+
+    auto count_vertex = [&](graph::SlotIndex u) {
+      trace::block(trace::kBlockWorkloadKernel);
+      std::uint64_t local = 0;
+      const auto& fu = forward[u];
+      for (const auto v : fu) {
+        const auto& fv = forward[v];
+        // Sorted merge intersection; every comparison is a data-dependent
+        // branch (the TC signature).
+        std::size_t i = 0, j = 0;
+        trace::block(trace::kBlockWorkloadKernelAux);
+        // Merge intersection. Only the freshly advanced element needs a
+        // load; the other side stays in a register.
+        trace::read(trace::MemKind::kProperty, fu.data(),
+                    sizeof(graph::SlotIndex));
+        trace::read(trace::MemKind::kProperty, fv.data(),
+                    sizeof(graph::SlotIndex));
+        while (i < fu.size() && j < fv.size()) {
+          const bool less = fu[i] < fv[j];
+          trace::branch(trace::kBranchCompare, less);
+          if (fu[i] == fv[j]) {
+            ++local;
+            ++i;
+            ++j;
+            trace::read(trace::MemKind::kProperty, &fu[i - 1],
+                        sizeof(graph::SlotIndex));
+          } else if (less) {
+            ++i;
+            trace::read(trace::MemKind::kProperty, &fu[i - 1],
+                        sizeof(graph::SlotIndex));
+          } else {
+            ++j;
+            trace::read(trace::MemKind::kProperty, &fv[j - 1],
+                        sizeof(graph::SlotIndex));
+          }
+          // ~5 further instructions per merge step: advance, bounds
+          // checks, match accumulate (matches the compiled inner loop).
+          trace::alu(5);
+        }
+      }
+      per_vertex[u] = local;
+      triangles.fetch_add(local, std::memory_order_relaxed);
+    };
+
+    if (ctx.pool != nullptr && ctx.pool->num_threads() > 1) {
+      ctx.pool->parallel_for_chunked(0, slots, 64,
+                                     [&](std::size_t lo, std::size_t hi) {
+                                       for (std::size_t s = lo; s < hi; ++s) {
+                                         count_vertex(
+                                             static_cast<graph::SlotIndex>(s));
+                                       }
+                                     });
+    } else {
+      for (graph::SlotIndex s = 0; s < slots; ++s) count_vertex(s);
+    }
+
+    // Publish per-vertex triangle counts.
+    std::uint64_t processed = 0;
+    g.for_each_vertex([&](graph::VertexRecord& v) {
+      const graph::SlotIndex s = g.slot_of(v.id);
+      v.props.set_int(props::kTriangles,
+                      static_cast<std::int64_t>(per_vertex[s]));
+      ++processed;
+    });
+
+    result.vertices_processed = processed;
+    result.edges_processed = g.num_edges();
+    result.checksum = triangles.load();
+    return result;
+  }
+};
+
+}  // namespace
+
+const Workload& tc() {
+  static const TcWorkload instance;
+  return instance;
+}
+
+}  // namespace graphbig::workloads

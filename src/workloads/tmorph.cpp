@@ -1,0 +1,113 @@
+// Topology morphing (TMorph, CompDyn): turns a directed acyclic graph into
+// its undirected moral graph -- the structure used when compiling Bayesian
+// networks for exact inference. Involves all three dynamic operations the
+// paper lists: traversal (enumerate parents), construction (marry parents,
+// mirror edges), and update (drop direction).
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "trace/access.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+
+namespace {
+
+class TmorphWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Topology morphing"; }
+  std::string acronym() const override { return "TMorph"; }
+  ComputationType computation_type() const override {
+    return ComputationType::kDynamic;
+  }
+  Category category() const override {
+    return Category::kConstructionUpdate;
+  }
+  bool needs_dag_input() const override { return true; }
+
+  RunResult run(RunContext& ctx) const override {
+    graph::PropertyGraph& g = *ctx.graph;
+    RunResult result;
+
+    // Collect vertex ids first; we mutate adjacency while iterating.
+    std::vector<graph::VertexId> ids;
+    ids.reserve(g.num_vertices());
+    g.for_each_vertex(
+        [&](const graph::VertexRecord& v) { ids.push_back(v.id); });
+
+    // Side index of all (src, dst) pairs so duplicate suppression costs
+    // O(1) instead of an adjacency scan per insertion (moralizing hubs
+    // would otherwise be quadratic in parent degree).
+    std::unordered_set<std::uint64_t> edge_set;
+    edge_set.reserve(g.num_edges() * 4);
+    auto key = [](graph::VertexId s, graph::VertexId d) {
+      return (s << 32) | (d & 0xffffffffull);
+    };
+    g.for_each_vertex([&](const graph::VertexRecord& v) {
+      for (const auto& e : v.out) {
+        edge_set.insert(key(v.id, e.target));
+        trace::write(trace::MemKind::kMetadata, &*edge_set.begin(),
+                     sizeof(std::uint64_t));
+      }
+    });
+    g.set_allow_parallel_edges(true);  // dedup handled by edge_set
+    auto add_unique = [&](graph::VertexId s, graph::VertexId d) {
+      trace::read(trace::MemKind::kMetadata, &*edge_set.begin(),
+                  sizeof(std::uint64_t));
+      const bool fresh = edge_set.insert(key(s, d)).second;
+      trace::branch(trace::kBranchHashProbe, fresh);
+      if (fresh && g.add_edge(s, d) != nullptr) {
+        ++result.edges_processed;
+      }
+    };
+
+    // Step 1: moralization -- connect ("marry") every pair of parents of
+    // each vertex with an undirected edge.
+    std::vector<graph::VertexId> parents;
+    for (const auto vid : ids) {
+      trace::block(trace::kBlockWorkloadKernel);
+      const graph::VertexRecord* v = g.find_vertex(vid);
+      parents.assign(v->in.begin(), v->in.end());
+      std::sort(parents.begin(), parents.end());
+      parents.erase(std::unique(parents.begin(), parents.end()),
+                    parents.end());
+      for (std::size_t i = 0; i < parents.size(); ++i) {
+        for (std::size_t j = i + 1; j < parents.size(); ++j) {
+          trace::read(trace::MemKind::kMetadata, &parents[j],
+                      sizeof(graph::VertexId));
+          add_unique(parents[i], parents[j]);
+          add_unique(parents[j], parents[i]);
+        }
+      }
+      ++result.vertices_processed;
+    }
+
+    // Step 2: drop directions -- mirror every original DAG edge.
+    for (const auto vid : ids) {
+      trace::block(trace::kBlockWorkloadKernelAux);
+      const graph::VertexRecord* v = g.find_vertex(vid);
+      // Snapshot targets: add_edge appends to other vertices' lists, and
+      // mirrored edges must not be re-mirrored.
+      std::vector<graph::VertexId> targets;
+      targets.reserve(v->out.size());
+      g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
+        targets.push_back(e.target);
+      });
+      for (const auto t : targets) add_unique(t, vid);
+    }
+    g.set_allow_parallel_edges(false);
+
+    result.checksum = g.num_edges() * 2654435761u + g.num_vertices();
+    return result;
+  }
+};
+
+}  // namespace
+
+const Workload& tmorph() {
+  static const TmorphWorkload instance;
+  return instance;
+}
+
+}  // namespace graphbig::workloads

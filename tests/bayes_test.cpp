@@ -1,0 +1,199 @@
+// Tests for the Bayesian-network substrate: CPT layout, compilation,
+// Gibbs sampling convergence on networks with known posteriors, and the
+// MUNIN-scale generator.
+#include <gtest/gtest.h>
+
+#include "bayes/bayes_net.h"
+#include "bayes/gibbs.h"
+#include "bayes/munin.h"
+
+namespace graphbig::bayes {
+namespace {
+
+using graph::PropertyGraph;
+
+/// Two-node chain A -> B, binary. P(A=1) = 0.3;
+/// P(B=1|A=0) = 0.2, P(B=1|A=1) = 0.9.
+PropertyGraph make_chain() {
+  PropertyGraph g;
+  g.add_vertex(0);
+  g.add_vertex(1);
+  g.add_edge(0, 1);
+  set_bayes_node(g, 0, 2, {0.7, 0.3});
+  // CPT rows indexed by parent config (A=0, A=1), entries by state.
+  set_bayes_node(g, 1, 2, {0.8, 0.2, 0.1, 0.9});
+  return g;
+}
+
+TEST(BayesNet, CompilesChain) {
+  PropertyGraph g = make_chain();
+  const BayesNet net(g);
+  EXPECT_EQ(net.num_nodes(), 2u);
+  EXPECT_EQ(net.total_parameters(), 6u);
+  EXPECT_TRUE(net.validate());
+
+  const std::size_t a = net.index_of(0);
+  const std::size_t b = net.index_of(1);
+  EXPECT_TRUE(net.node(a).parents.empty());
+  ASSERT_EQ(net.node(b).parents.size(), 1u);
+  EXPECT_EQ(net.node(b).parents[0], a);
+  ASSERT_EQ(net.node(a).children.size(), 1u);
+  EXPECT_EQ(net.node(a).children[0], b);
+}
+
+TEST(BayesNet, ConditionalReadsCorrectRow) {
+  PropertyGraph g = make_chain();
+  const BayesNet net(g);
+  const std::size_t a = net.index_of(0);
+  const std::size_t b = net.index_of(1);
+  std::vector<std::uint32_t> assignment(2, 0);
+
+  assignment[a] = 0;
+  EXPECT_NEAR(net.conditional(b, assignment, 1), 0.2, 1e-12);
+  assignment[a] = 1;
+  EXPECT_NEAR(net.conditional(b, assignment, 1), 0.9, 1e-12);
+  EXPECT_NEAR(net.conditional(a, assignment, 1), 0.3, 1e-12);
+}
+
+TEST(BayesNet, NormalizesUnnormalizedCpt) {
+  PropertyGraph g;
+  g.add_vertex(0);
+  set_bayes_node(g, 0, 2, {2.0, 6.0});
+  const BayesNet net(g);
+  std::vector<std::uint32_t> assignment(1, 0);
+  EXPECT_NEAR(net.conditional(0, assignment, 0), 0.25, 1e-12);
+  EXPECT_NEAR(net.conditional(0, assignment, 1), 0.75, 1e-12);
+}
+
+TEST(BayesNet, ZeroRowBecomesUniform) {
+  PropertyGraph g;
+  g.add_vertex(0);
+  set_bayes_node(g, 0, 4, {0.0, 0.0, 0.0, 0.0});
+  const BayesNet net(g);
+  std::vector<std::uint32_t> assignment(1, 0);
+  EXPECT_NEAR(net.conditional(0, assignment, 2), 0.25, 1e-12);
+}
+
+TEST(BayesNet, RejectsMissingCpt) {
+  PropertyGraph g;
+  g.add_vertex(0);
+  EXPECT_THROW(BayesNet{g}, std::invalid_argument);
+}
+
+TEST(BayesNet, RejectsWrongCptSize) {
+  PropertyGraph g;
+  g.add_vertex(0);
+  g.add_vertex(1);
+  g.add_edge(0, 1);
+  set_bayes_node(g, 0, 2, {0.5, 0.5});
+  // Node 1 has a binary parent, so it needs 4 entries, not 2.
+  set_bayes_node(g, 1, 2, {0.5, 0.5});
+  EXPECT_THROW(BayesNet{g}, std::invalid_argument);
+}
+
+TEST(BayesNet, SetNodeOnMissingVertexThrows) {
+  PropertyGraph g;
+  EXPECT_THROW(set_bayes_node(g, 99, 2, {0.5, 0.5}),
+               std::invalid_argument);
+}
+
+// ---- Gibbs ----
+
+TEST(Gibbs, PriorMarginalOnSingleNode) {
+  PropertyGraph g;
+  g.add_vertex(0);
+  set_bayes_node(g, 0, 2, {0.7, 0.3});
+  const BayesNet net(g);
+  GibbsConfig cfg;
+  cfg.burn_in_sweeps = 100;
+  cfg.sample_sweeps = 4000;
+  const GibbsResult r = run_gibbs(net, cfg);
+  EXPECT_NEAR(r.marginals[0][1], 0.3, 0.05);
+}
+
+TEST(Gibbs, PosteriorWithEvidence) {
+  // Chain A -> B with B observed = 1.
+  // P(A=1 | B=1) = 0.9*0.3 / (0.9*0.3 + 0.2*0.7) = 0.27/0.41 ~= 0.6585.
+  PropertyGraph g = make_chain();
+  const BayesNet net(g);
+  GibbsConfig cfg;
+  cfg.burn_in_sweeps = 200;
+  cfg.sample_sweeps = 6000;
+  cfg.evidence.push_back({net.index_of(1), 1});
+  const GibbsResult r = run_gibbs(net, cfg);
+  EXPECT_NEAR(r.marginals[net.index_of(0)][1], 0.6585, 0.06);
+  // Evidence node gets a delta distribution.
+  EXPECT_DOUBLE_EQ(r.marginals[net.index_of(1)][1], 1.0);
+}
+
+TEST(Gibbs, MarginalsAreDistributions) {
+  graph::PropertyGraph g = generate_munin({257, 340, 20000, 5});
+  const BayesNet net(g);
+  GibbsConfig cfg;
+  cfg.burn_in_sweeps = 2;
+  cfg.sample_sweeps = 10;
+  const GibbsResult r = run_gibbs(net, cfg);
+  for (const auto& m : r.marginals) {
+    double sum = 0;
+    for (const auto p : m) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Gibbs, DeterministicForSeed) {
+  PropertyGraph g = make_chain();
+  const BayesNet net(g);
+  GibbsConfig cfg;
+  cfg.burn_in_sweeps = 10;
+  cfg.sample_sweeps = 50;
+  const GibbsResult a = run_gibbs(net, cfg);
+  const GibbsResult b = run_gibbs(net, cfg);
+  EXPECT_EQ(a.marginals, b.marginals);
+}
+
+TEST(Gibbs, RejectsBadEvidence) {
+  PropertyGraph g = make_chain();
+  const BayesNet net(g);
+  GibbsConfig cfg;
+  cfg.evidence.push_back({0, 99});
+  EXPECT_THROW(run_gibbs(net, cfg), std::invalid_argument);
+}
+
+// ---- MUNIN generator ----
+
+TEST(Munin, MatchesPaperShape) {
+  graph::PropertyGraph g = generate_munin();
+  EXPECT_EQ(g.num_vertices(), 1041u);
+  EXPECT_EQ(g.num_edges(), 1397u);
+  const BayesNet net(g);
+  // Paper: 80592 parameters; generator targets within ~2%, we allow 5%.
+  EXPECT_NEAR(static_cast<double>(net.total_parameters()), 80592.0,
+              80592.0 * 0.05);
+  EXPECT_TRUE(net.validate());
+}
+
+TEST(Munin, IsAcyclic) {
+  graph::PropertyGraph g = generate_munin({200, 260, 10000, 9});
+  // Parent ids are always smaller than child ids by construction.
+  bool acyclic = true;
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    for (const auto& e : v.out) {
+      if (e.target <= v.id) acyclic = false;
+    }
+  });
+  EXPECT_TRUE(acyclic);
+}
+
+TEST(Munin, Deterministic) {
+  graph::PropertyGraph a = generate_munin();
+  graph::PropertyGraph b = generate_munin();
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(BayesNet(a).total_parameters(),
+            BayesNet(b).total_parameters());
+}
+
+}  // namespace
+}  // namespace graphbig::bayes

@@ -1,0 +1,279 @@
+// Tests for the dataset generators: determinism, scale, and -- critically
+// for the reproduction -- the Table 2 topology features each data source
+// class must exhibit.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "datagen/generators.h"
+#include "datagen/registry.h"
+#include "graph/stats.h"
+
+namespace graphbig::datagen {
+namespace {
+
+graph::Csr csr_of(const EdgeList& el) {
+  return graph::build_csr(build_property_graph(el));
+}
+
+// ---- generic generator properties ----
+
+TEST(EdgeListOps, CanonicalizeRemovesLoopsAndDupes) {
+  EdgeList el;
+  el.num_vertices = 4;
+  el.edges = {{1, 1}, {0, 1}, {0, 1}, {2, 3}, {0, 1}};
+  canonicalize(el);
+  EXPECT_EQ(el.edges.size(), 2u);
+  EXPECT_EQ(el.edges[0], (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+  EXPECT_EQ(el.edges[1], (std::pair<std::uint32_t, std::uint32_t>{2, 3}));
+}
+
+TEST(EdgeListOps, CanonicalizeKeepsAlignedWeights) {
+  EdgeList el;
+  el.num_vertices = 4;
+  el.edges = {{2, 3}, {0, 1}, {0, 1}};
+  el.weights = {3.0, 1.0, 9.0};
+  canonicalize(el);
+  ASSERT_EQ(el.edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(el.weights[0], 1.0);  // first (0,1) weight kept
+  EXPECT_DOUBLE_EQ(el.weights[1], 3.0);
+}
+
+TEST(EdgeListOps, BuildUndirectedInsertsBothDirections) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.directed = false;
+  el.edges = {{0, 1}};
+  graph::PropertyGraph g = build_property_graph(el);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_NE(g.find_edge(0, 1), nullptr);
+  EXPECT_NE(g.find_edge(1, 0), nullptr);
+}
+
+TEST(EdgeListOps, RoundTripThroughFile) {
+  EdgeList el;
+  el.num_vertices = 10;
+  el.directed = true;
+  el.edges = {{0, 1}, {2, 3}, {4, 5}};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gb_edge_list_test.txt")
+          .string();
+  write_edge_list(el, path);
+  const EdgeList back = read_edge_list(path);
+  EXPECT_EQ(back.num_vertices, el.num_vertices);
+  EXPECT_EQ(back.directed, el.directed);
+  EXPECT_EQ(back.edges, el.edges);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListOps, ReadMissingFileThrows) {
+  EXPECT_THROW(read_edge_list("/nonexistent/gb_missing.txt"),
+               std::runtime_error);
+}
+
+// ---- determinism across all generators ----
+
+TEST(Generators, Deterministic) {
+  EXPECT_EQ(generate_rmat({}).edges, generate_rmat({}).edges);
+  EXPECT_EQ(generate_ldbc({}).edges, generate_ldbc({}).edges);
+  EXPECT_EQ(generate_bipartite({}).edges, generate_bipartite({}).edges);
+  EXPECT_EQ(generate_gene({}).edges, generate_gene({}).edges);
+  EXPECT_EQ(generate_road({}).edges, generate_road({}).edges);
+  EXPECT_EQ(generate_dag({}).edges, generate_dag({}).edges);
+}
+
+TEST(Generators, SeedChangesOutput) {
+  RmatConfig a, b;
+  b.seed = a.seed + 1;
+  EXPECT_NE(generate_rmat(a).edges, generate_rmat(b).edges);
+}
+
+// ---- Table 2 feature checks per data source class ----
+
+TEST(TwitterLike, HeavyTailedDegrees) {
+  RmatConfig cfg;
+  cfg.scale = 12;
+  cfg.edge_factor = 8;
+  const auto stats = graph::degree_stats(csr_of(generate_rmat(cfg)));
+  // Social/interaction network: high degree variance, hubs own a large
+  // share of edges.
+  EXPECT_GT(stats.cv, 1.5);
+  EXPECT_GT(stats.top1pct_edge_share, 0.15);
+}
+
+TEST(TwitterLike, LargeConnectedComponent) {
+  RmatConfig cfg;
+  cfg.scale = 11;
+  const auto el = generate_rmat(cfg);
+  const auto comp = graph::component_stats(csr_of(el));
+  // Most non-isolated vertices join one giant component.
+  EXPECT_GT(static_cast<double>(comp.largest),
+            0.4 * static_cast<double>(1 << cfg.scale));
+}
+
+TEST(LdbcLike, ShortPathsAndGiantComponent) {
+  LdbcConfig cfg;
+  cfg.num_vertices = 1 << 12;
+  const auto el = generate_ldbc(cfg);
+  const auto csr = csr_of(el);
+  const auto comp = graph::component_stats(csr);
+  EXPECT_GT(static_cast<double>(comp.largest),
+            0.8 * static_cast<double>(cfg.num_vertices));
+  const double mean_path = graph::estimate_mean_path_length(csr, 4, 5);
+  EXPECT_LT(mean_path, 8.0);  // small-world
+}
+
+TEST(LdbcLike, DegreeImbalanceSpreadAcrossManyVertices) {
+  LdbcConfig cfg;
+  cfg.num_vertices = 1 << 12;
+  const auto stats = graph::degree_stats(csr_of(generate_ldbc(cfg)));
+  EXPECT_GT(stats.cv, 0.5);
+  // Unlike Twitter, hubs are not a handful of extreme vertices.
+  EXPECT_LT(stats.top1pct_edge_share, 0.5);
+}
+
+TEST(KnowledgeLike, IsBipartite) {
+  BipartiteConfig cfg;
+  cfg.num_users = 1 << 10;
+  cfg.num_docs = 1 << 8;
+  const auto el = generate_bipartite(cfg);
+  for (const auto& [u, d] : el.edges) {
+    EXPECT_LT(u, cfg.num_users);
+    EXPECT_GE(d, cfg.num_users);
+    EXPECT_LT(d, cfg.num_users + cfg.num_docs);
+  }
+}
+
+TEST(KnowledgeLike, HotDocumentsHaveLargeInDegree) {
+  BipartiteConfig cfg;
+  cfg.num_users = 1 << 11;
+  cfg.num_docs = 1 << 9;
+  const auto el = generate_bipartite(cfg);
+  // In-degree of documents via transpose.
+  const auto rev = graph::transpose(csr_of(el));
+  std::uint64_t max_doc_degree = 0;
+  for (std::uint32_t v = 0; v < rev.num_vertices; ++v) {
+    max_doc_degree = std::max<std::uint64_t>(max_doc_degree, rev.degree(v));
+  }
+  // "Large vertex degrees": the hottest document draws a large share of
+  // all accesses.
+  EXPECT_GT(max_doc_degree, 100u);
+}
+
+TEST(GeneLike, ModularStructuredTopology) {
+  GeneConfig cfg;
+  cfg.num_entities = 1 << 11;
+  const auto stats = graph::degree_stats(csr_of(generate_gene(cfg)));
+  // Nature network: bounded degree variance (no extreme hubs).
+  EXPECT_LT(stats.cv, 1.0);
+  EXPECT_LT(stats.max, 64u);
+}
+
+TEST(RoadLike, SmallRegularDegrees) {
+  RoadConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 64;
+  const auto el = generate_road(cfg);
+  EXPECT_FALSE(el.directed);
+  const auto stats =
+      graph::degree_stats(graph::symmetrize(csr_of(el)));
+  // Man-made technology network: small degrees, regular topology.
+  EXPECT_LT(stats.max, 9u);
+  EXPECT_GT(stats.mean, 1.5);
+  EXPECT_LT(stats.mean, 4.5);
+  EXPECT_LT(stats.cv, 0.6);
+}
+
+TEST(RoadLike, LongPaths) {
+  RoadConfig cfg;
+  cfg.rows = 48;
+  cfg.cols = 48;
+  const double mean_path =
+      graph::estimate_mean_path_length(csr_of(generate_road(cfg)), 3, 7);
+  // Grid-like diameter: much longer paths than a social graph.
+  EXPECT_GT(mean_path, 10.0);
+}
+
+TEST(Dag, IsAcyclicByConstruction) {
+  DagConfig cfg;
+  cfg.num_vertices = 1 << 10;
+  const auto el = generate_dag(cfg);
+  for (const auto& [s, d] : el.edges) EXPECT_LT(s, d);
+}
+
+TEST(Dag, AverageParentsNearConfig) {
+  DagConfig cfg;
+  cfg.num_vertices = 1 << 12;
+  cfg.avg_parents = 2.0;
+  const auto el = generate_dag(cfg);
+  const double avg = static_cast<double>(el.edges.size()) /
+                     static_cast<double>(cfg.num_vertices);
+  EXPECT_GT(avg, 0.8);
+  EXPECT_LT(avg, 3.0);
+}
+
+// ---- registry ----
+
+TEST(Registry, HasFiveDatasets) { EXPECT_EQ(all_datasets().size(), 5u); }
+
+TEST(Registry, LookupByName) {
+  EXPECT_EQ(dataset_by_name("twitter"), DatasetId::kTwitter);
+  EXPECT_EQ(dataset_by_name("ldbc"), DatasetId::kLdbc);
+  EXPECT_THROW(dataset_by_name("nope"), std::out_of_range);
+}
+
+TEST(Registry, InfoRoundTrip) {
+  for (const auto& info : all_datasets()) {
+    EXPECT_EQ(dataset_info(info.id).name, info.name);
+  }
+}
+
+TEST(Registry, SourceTypesMatchTable5) {
+  EXPECT_EQ(dataset_info(DatasetId::kTwitter).source_type, 1);
+  EXPECT_EQ(dataset_info(DatasetId::kKnowledge).source_type, 2);
+  EXPECT_EQ(dataset_info(DatasetId::kWatson).source_type, 3);
+  EXPECT_EQ(dataset_info(DatasetId::kRoadNet).source_type, 4);
+  EXPECT_EQ(dataset_info(DatasetId::kLdbc).source_type, 0);
+}
+
+class RegistryScaleTest
+    : public ::testing::TestWithParam<std::tuple<DatasetId, Scale>> {};
+
+TEST_P(RegistryScaleTest, GeneratesNonEmptyGraphs) {
+  const auto [id, scale] = GetParam();
+  const EdgeList el = generate_dataset(id, scale);
+  EXPECT_GT(el.num_vertices, 0u);
+  EXPECT_GT(el.num_edges(), 0u);
+  // Edge endpoints stay in range.
+  for (const auto& [s, d] : el.edges) {
+    ASSERT_LT(s, el.num_vertices);
+    ASSERT_LT(d, el.num_vertices);
+  }
+}
+
+TEST_P(RegistryScaleTest, Deterministic) {
+  const auto [id, scale] = GetParam();
+  EXPECT_EQ(generate_dataset(id, scale).edges,
+            generate_dataset(id, scale).edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, RegistryScaleTest,
+    ::testing::Combine(::testing::Values(DatasetId::kTwitter,
+                                         DatasetId::kKnowledge,
+                                         DatasetId::kWatson,
+                                         DatasetId::kRoadNet,
+                                         DatasetId::kLdbc),
+                       ::testing::Values(Scale::kTiny, Scale::kSmall)));
+
+TEST(Registry, TinyIsSmallerThanSmall) {
+  for (const auto& info : all_datasets()) {
+    const auto tiny = generate_dataset(info.id, Scale::kTiny);
+    const auto small = generate_dataset(info.id, Scale::kSmall);
+    EXPECT_LT(tiny.num_vertices, small.num_vertices) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace graphbig::datagen

@@ -1,0 +1,137 @@
+// GPU-side characterization shape tests (Section 5.3 observations /
+// Figure 10-13 acceptance criteria from DESIGN.md), on LDBC at Small
+// scale.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/experiment.h"
+#include "workloads/gpu/gpu_workload.h"
+
+namespace graphbig::harness {
+namespace {
+
+const DatasetBundle& ldbc() {
+  static const DatasetBundle bundle =
+      load_bundle(datagen::DatasetId::kLdbc, datagen::Scale::kSmall);
+  return bundle;
+}
+
+const GpuRun& gpu(const char* acronym) {
+  static std::map<std::string, GpuRun> cache;
+  auto it = cache.find(acronym);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(acronym,
+                      run_gpu(*workloads::gpu::find_gpu_workload(acronym),
+                              ldbc()))
+             .first;
+  }
+  return it->second;
+}
+
+// Figure 10: kCore sits at the low-divergence corner.
+TEST(GpuCharacterization, KcoreIsLowDivergence) {
+  const auto& kcore = gpu("kCore");
+  for (const char* other : {"BFS", "SPath", "GColor", "DCentr", "BCentr"}) {
+    EXPECT_LT(kcore.result.stats.bdr(), gpu(other).result.stats.bdr())
+        << other;
+    EXPECT_LT(kcore.result.stats.mdr(), gpu(other).result.stats.mdr())
+        << other;
+  }
+}
+
+// Figure 10: DCentr has the extreme memory divergence.
+TEST(GpuCharacterization, DcentrHasHighestMdr) {
+  const double dcentr_mdr = gpu("DCentr").result.stats.mdr();
+  for (const auto* w : workloads::gpu::all_gpu_workloads()) {
+    if (w->acronym() == "DCentr") continue;
+    EXPECT_GE(dcentr_mdr, gpu(w->acronym().c_str()).result.stats.mdr())
+        << w->acronym();
+  }
+}
+
+// Figure 10: the edge-centric kernels (CComp, TC) have lower branch
+// divergence than every vertex-centric traversal kernel.
+TEST(GpuCharacterization, EdgeCentricKernelsHaveLowBdr) {
+  for (const char* edge_centric : {"CComp", "TC"}) {
+    const double bdr = gpu(edge_centric).result.stats.bdr();
+    for (const char* vertex_centric : {"BFS", "SPath", "GColor", "BCentr"}) {
+      EXPECT_LT(bdr, gpu(vertex_centric).result.stats.bdr())
+          << edge_centric << " vs " << vertex_centric;
+    }
+  }
+}
+
+// Figure 11: CComp sustains the highest read throughput; the paper's best
+// case is 89.9 GB/s of a 288 GB/s part -- never near spec sheet.
+TEST(GpuCharacterization, CcompHasTopReadThroughputBelowPeak) {
+  const double ccomp = gpu("CComp").timing.read_throughput_gbs;
+  for (const auto* w : workloads::gpu::all_gpu_workloads()) {
+    EXPECT_GE(ccomp, gpu(w->acronym().c_str()).timing.read_throughput_gbs)
+        << w->acronym();
+  }
+  EXPECT_LT(ccomp, 150.0);
+  EXPECT_GT(ccomp, 40.0);
+}
+
+// Figure 11: TC has the highest IPC (compute-bound) and bottom-tier
+// throughput (low data intensity).
+TEST(GpuCharacterization, TcIsComputeBound) {
+  const auto& tc = gpu("TC");
+  for (const auto* w : workloads::gpu::all_gpu_workloads()) {
+    if (w->acronym() == "TC") continue;
+    EXPECT_GE(tc.timing.ipc, gpu(w->acronym().c_str()).timing.ipc)
+        << w->acronym();
+  }
+  EXPECT_LT(tc.timing.read_throughput_gbs,
+            gpu("CComp").timing.read_throughput_gbs / 2);
+}
+
+// Figure 11: DCentr pays for its atomics.
+TEST(GpuCharacterization, DcentrIsAtomicsHeavy) {
+  const auto& dcentr = gpu("DCentr");
+  EXPECT_GT(dcentr.result.stats.atomic_conflicts, 1000u);
+  EXPECT_GT(dcentr.result.stats.atomic_ops,
+            gpu("BFS").result.stats.atomic_ops);
+}
+
+// Figure 13 mechanism: the road network's small regular degrees produce
+// lower branch divergence than the social graph for traversal kernels.
+TEST(GpuCharacterization, RoadNetworkLowersTraversalBdr) {
+  const DatasetBundle road =
+      load_bundle(datagen::DatasetId::kRoadNet, datagen::Scale::kSmall);
+  for (const char* acronym : {"BFS", "GColor", "DCentr"}) {
+    const auto road_run =
+        run_gpu(*workloads::gpu::find_gpu_workload(acronym), road);
+    EXPECT_LT(road_run.result.stats.bdr(),
+              gpu(acronym).result.stats.bdr())
+        << acronym;
+  }
+}
+
+// Figure 13: edge-centric BDR is stable across datasets, while MDR moves.
+TEST(GpuCharacterization, EdgeCentricBdrStableAcrossDatasets) {
+  double bdr_min = 1.0, bdr_max = 0.0;
+  for (const auto& info : datagen::all_datasets()) {
+    const DatasetBundle b = load_bundle(info.id, datagen::Scale::kTiny);
+    const auto r = run_gpu(*workloads::gpu::find_gpu_workload("CComp"), b);
+    bdr_min = std::min(bdr_min, r.result.stats.bdr());
+    bdr_max = std::max(bdr_max, r.result.stats.bdr());
+  }
+  EXPECT_LT(bdr_max - bdr_min, 0.15);
+}
+
+// Section 5.3: GPU speedup exists for every shared workload (in-core
+// modeled GPU time vs measured CPU time).
+TEST(GpuCharacterization, GpuOutrunsSequentialCpu) {
+  for (const char* acronym : {"BFS", "CComp", "DCentr"}) {
+    const auto g = gpu(acronym);
+    const auto cpu = run_cpu_timed(
+        *workloads::find_workload(acronym), ldbc(), 1);
+    EXPECT_GT(cpu.seconds / g.timing.seconds, 1.0) << acronym;
+  }
+}
+
+}  // namespace
+}  // namespace graphbig::harness

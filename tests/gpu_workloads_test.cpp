@@ -1,0 +1,245 @@
+// Correctness tests for the 8 GPU workloads, including cross-validation
+// against the CPU implementations on the same graphs (the GPU kernels run
+// on CSR/COO converted from the dynamic graph, as in the paper's populate
+// step).
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "harness/experiment.h"
+#include "workloads/gpu/gpu_workload.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads::gpu {
+namespace {
+
+struct Fixture {
+  graph::PropertyGraph graph;
+  graph::Csr csr;
+  graph::Csr sym;
+  graph::Coo coo;
+  simt::SimtEngine engine;
+
+  explicit Fixture(graph::PropertyGraph g) : graph(std::move(g)) {
+    csr = graph::build_csr(graph);
+    sym = graph::symmetrize(csr);
+    coo = graph::build_coo(sym);
+  }
+
+  GpuRunContext ctx(std::uint32_t root = 0) {
+    GpuRunContext c;
+    c.csr = &csr;
+    c.sym = &sym;
+    c.coo = &coo;
+    c.engine = &engine;
+    c.root = root;
+    c.seed = 12345;
+    return c;
+  }
+};
+
+graph::PropertyGraph small_rmat(int scale = 9, std::uint64_t seed = 5) {
+  datagen::RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 6;
+  cfg.seed = seed;
+  return datagen::build_property_graph(datagen::generate_rmat(cfg));
+}
+
+TEST(GpuRegistry, HasEightWorkloads) {
+  EXPECT_EQ(all_gpu_workloads().size(), 8u);
+}
+
+TEST(GpuRegistry, FindByAcronym) {
+  EXPECT_EQ(find_gpu_workload("BFS"), &gpu_bfs());
+  EXPECT_EQ(find_gpu_workload("CComp"), &gpu_ccomp());
+  EXPECT_EQ(find_gpu_workload("nope"), nullptr);
+}
+
+TEST(GpuRegistry, EdgeCentricWorkloadsMatchPaper) {
+  // Figure 10 discussion: CComp and TC are edge-centric.
+  EXPECT_EQ(gpu_ccomp().model(), GpuModel::kEdgeCentric);
+  EXPECT_EQ(gpu_tc().model(), GpuModel::kEdgeCentric);
+  EXPECT_EQ(gpu_bfs().model(), GpuModel::kVertexCentric);
+  EXPECT_EQ(gpu_dcentr().model(), GpuModel::kVertexCentric);
+}
+
+// ---- cross-validation against CPU on identical graphs ----
+
+TEST(GpuCrossValidation, BfsMatchesCpu) {
+  Fixture f(small_rmat());
+  // Use dense id 0's original vertex as root on both sides.
+  const graph::VertexId root = f.csr.orig_id[0];
+  auto ctx = f.ctx(0);
+  const GpuRunResult gpu = gpu_bfs().run(ctx);
+
+  RunContext cctx;
+  cctx.graph = &f.graph;
+  cctx.root = root;
+  const RunResult cpu = bfs().run(cctx);
+  EXPECT_EQ(gpu.checksum, cpu.checksum);
+}
+
+TEST(GpuCrossValidation, SpathReachesSameVertices) {
+  Fixture f(small_rmat(8, 11));
+  const graph::VertexId root = f.csr.orig_id[0];
+  auto ctx = f.ctx(0);
+  const GpuRunResult gpu = gpu_spath().run(ctx);
+
+  RunContext cctx;
+  cctx.graph = &f.graph;
+  cctx.root = root;
+  const RunResult cpu = spath().run(cctx);
+  // Same reach count (top 32 bits of our checksums divide out): compare
+  // the reach component.
+  EXPECT_EQ(gpu.checksum / 1000003u, cpu.checksum / 1000003u);
+}
+
+TEST(GpuCrossValidation, CcompMatchesCpuComponentCount) {
+  Fixture f(small_rmat(9, 13));
+  auto ctx = f.ctx();
+  const GpuRunResult gpu = gpu_ccomp().run(ctx);
+
+  RunContext cctx;
+  cctx.graph = &f.graph;
+  const RunResult cpu = ccomp().run(cctx);
+  // Checksums embed component count * constant; compare counts.
+  EXPECT_EQ(gpu.checksum / 2654435761u, cpu.checksum / 2654435761u);
+}
+
+TEST(GpuCrossValidation, TcMatchesCpuTriangleCount) {
+  Fixture f(small_rmat(9, 17));
+  auto ctx = f.ctx();
+  const GpuRunResult gpu = gpu_tc().run(ctx);
+
+  RunContext cctx;
+  cctx.graph = &f.graph;
+  const RunResult cpu = tc().run(cctx);
+  EXPECT_EQ(gpu.checksum, cpu.checksum);
+  EXPECT_GT(gpu.checksum, 0u);  // RMAT graphs have triangles
+}
+
+TEST(GpuCrossValidation, DcentrMatchesCpuDegreeSum) {
+  Fixture f(small_rmat(9, 19));
+  auto ctx = f.ctx();
+  const GpuRunResult gpu = gpu_dcentr().run(ctx);
+
+  RunContext cctx;
+  cctx.graph = &f.graph;
+  const RunResult cpu = dcentr().run(cctx);
+  EXPECT_EQ(gpu.checksum, cpu.checksum);
+}
+
+// ---- standalone correctness ----
+
+TEST(GpuBfs, DepthsOnPath) {
+  graph::PropertyGraph g;
+  for (graph::VertexId v = 0; v < 4; ++v) g.add_vertex(v);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  Fixture f(std::move(g));
+  auto ctx = f.ctx(0);
+  const GpuRunResult r = gpu_bfs().run(ctx);
+  // 4 vertices reached, depth sum 0+1+2+3 = 6.
+  EXPECT_EQ(r.checksum, 4u * 1000003u + 6u);
+}
+
+TEST(GpuKcore, TriangleWithTail) {
+  graph::PropertyGraph g;
+  for (graph::VertexId v = 0; v < 4; ++v) g.add_vertex(v);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);  // pendant
+  Fixture f(std::move(g));
+  auto ctx = f.ctx();
+  const GpuRunResult r = gpu_kcore().run(ctx);
+  // Cores: {0,1,2} = 2, {3} = 1 -> sum 7, max 2.
+  EXPECT_EQ(r.checksum, 7u * 31u + 2u);
+}
+
+TEST(GpuGcolor, ValidColoringOnCompleteGraph) {
+  graph::PropertyGraph g;
+  for (graph::VertexId v = 0; v < 4; ++v) g.add_vertex(v);
+  for (graph::VertexId a = 0; a < 4; ++a) {
+    for (graph::VertexId b = a + 1; b < 4; ++b) g.add_edge(a, b);
+  }
+  Fixture f(std::move(g));
+  auto ctx = f.ctx();
+  const GpuRunResult r = gpu_gcolor().run(ctx);
+  // K4 needs 4 colors: color sum (1+2+3+4)=10, rounds=4.
+  EXPECT_EQ(r.checksum, 10u * 31u + 5u);
+}
+
+TEST(GpuSpath, WeightedShortestPath) {
+  graph::PropertyGraph g;
+  for (graph::VertexId v = 0; v < 3; ++v) g.add_vertex(v);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 5.0);  // longer direct edge
+  Fixture f(std::move(g));
+  auto ctx = f.ctx(0);
+  const GpuRunResult r = gpu_spath().run(ctx);
+  // dists: 0, 1, 2 -> sum 3 -> 3 reached * 1000003 + 3*16.
+  EXPECT_EQ(r.checksum, 3u * 1000003u + 48u);
+}
+
+TEST(GpuBcentr, RunsAndAccumulates) {
+  Fixture f(small_rmat(8, 23));
+  auto ctx = f.ctx();
+  ctx.bc_samples = 4;
+  const GpuRunResult r = gpu_bcentr().run(ctx);
+  EXPECT_GT(r.stats.launches, 0u);
+  EXPECT_GT(r.stats.base_instructions, 0u);
+}
+
+// ---- divergence shape checks (Figure 10 mechanics) ----
+
+TEST(GpuDivergence, EdgeCentricHasLowerBdrThanVertexCentric) {
+  // On a heavy-tailed graph, thread-per-vertex (DCentr) must diverge much
+  // more than thread-per-edge (CComp) -- the central Figure 10 claim.
+  Fixture f1(small_rmat(11, 29));
+  auto ctx1 = f1.ctx();
+  const GpuRunResult dcentr_run = gpu_dcentr().run(ctx1);
+
+  Fixture f2(small_rmat(11, 29));
+  auto ctx2 = f2.ctx();
+  const GpuRunResult ccomp_run = gpu_ccomp().run(ctx2);
+
+  EXPECT_GT(dcentr_run.stats.bdr(), ccomp_run.stats.bdr());
+}
+
+TEST(GpuDivergence, AllMetricsInRange) {
+  Fixture f(small_rmat(9, 31));
+  for (const GpuWorkload* w : all_gpu_workloads()) {
+    Fixture local(small_rmat(9, 31));
+    auto ctx = local.ctx();
+    ctx.bc_samples = 2;
+    const GpuRunResult r = w->run(ctx);
+    EXPECT_GE(r.stats.bdr(), 0.0) << w->acronym();
+    EXPECT_LE(r.stats.bdr(), 1.0) << w->acronym();
+    EXPECT_GE(r.stats.mdr(), 0.0) << w->acronym();
+    EXPECT_LE(r.stats.mdr(), 1.0) << w->acronym();
+  }
+}
+
+TEST(GpuDivergence, DeterministicAcrossRuns) {
+  for (const GpuWorkload* w : all_gpu_workloads()) {
+    Fixture a(small_rmat(8, 37));
+    Fixture b(small_rmat(8, 37));
+    auto ca = a.ctx();
+    auto cb = b.ctx();
+    ca.bc_samples = cb.bc_samples = 2;
+    const GpuRunResult ra = w->run(ca);
+    const GpuRunResult rb = w->run(cb);
+    EXPECT_EQ(ra.checksum, rb.checksum) << w->acronym();
+    // Device arrays are 128-byte aligned (platform::DeviceVector), so the
+    // coalescing-dependent issue counts are exactly reproducible.
+    EXPECT_EQ(ra.stats.issued(), rb.stats.issued()) << w->acronym();
+    EXPECT_EQ(ra.stats.base_instructions, rb.stats.base_instructions)
+        << w->acronym();
+  }
+}
+
+}  // namespace
+}  // namespace graphbig::workloads::gpu

@@ -1,0 +1,304 @@
+// Tests for the property system, CSR/COO conversions, trace hooks, and
+// topology statistics.
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "graph/csr.h"
+#include "graph/property.h"
+#include "graph/stats.h"
+#include "trace/access.h"
+
+namespace graphbig {
+namespace {
+
+using graph::PropertyGraph;
+using graph::PropertyMap;
+using graph::PropertyValue;
+using graph::VertexId;
+
+// ---- PropertyMap ----
+
+TEST(PropertyMap, SetAndGetTyped) {
+  PropertyMap pm;
+  pm.set_int(1, 42);
+  pm.set_double(2, 2.5);
+  pm.set(3, PropertyValue{std::string("meta")});
+  EXPECT_EQ(pm.get_int(1), 42);
+  EXPECT_DOUBLE_EQ(pm.get_double(2), 2.5);
+  const auto* v = pm.get(3);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(std::get<std::string>(*v), "meta");
+}
+
+TEST(PropertyMap, FallbacksOnMissing) {
+  PropertyMap pm;
+  EXPECT_EQ(pm.get_int(9, -7), -7);
+  EXPECT_DOUBLE_EQ(pm.get_double(9, 1.25), 1.25);
+  EXPECT_EQ(pm.get(9), nullptr);
+}
+
+TEST(PropertyMap, IntPromotesToDouble) {
+  PropertyMap pm;
+  pm.set_int(1, 4);
+  EXPECT_DOUBLE_EQ(pm.get_double(1), 4.0);
+}
+
+TEST(PropertyMap, OverwriteKeepsSingleEntry) {
+  PropertyMap pm;
+  pm.set_int(1, 10);
+  pm.set_int(1, 20);
+  EXPECT_EQ(pm.size(), 1u);
+  EXPECT_EQ(pm.get_int(1), 20);
+}
+
+TEST(PropertyMap, Erase) {
+  PropertyMap pm;
+  pm.set_int(1, 1);
+  pm.set_int(2, 2);
+  EXPECT_TRUE(pm.erase(1));
+  EXPECT_FALSE(pm.erase(1));
+  EXPECT_FALSE(pm.contains(1));
+  EXPECT_TRUE(pm.contains(2));
+}
+
+TEST(PropertyMap, TablePayload) {
+  PropertyMap pm;
+  pm.set(5, PropertyValue{std::vector<double>{0.1, 0.9}});
+  const auto* v = pm.get(5);
+  ASSERT_NE(v, nullptr);
+  const auto& table = std::get<std::vector<double>>(*v);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_GT(pm.footprint_bytes(), 2 * sizeof(double));
+}
+
+TEST(PropertyMap, ForEachVisitsAll) {
+  PropertyMap pm;
+  pm.set_int(1, 1);
+  pm.set_int(2, 2);
+  pm.set_int(3, 3);
+  int count = 0;
+  pm.for_each([&](graph::PropKey, const PropertyValue&) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+// ---- trace hooks ----
+
+TEST(Trace, DisabledByDefault) {
+  EXPECT_FALSE(trace::enabled());
+  // These must be harmless no-ops.
+  int x = 0;
+  trace::read(trace::MemKind::kMetadata, &x, 4);
+  trace::branch(trace::kBranchLoopCond, true);
+}
+
+TEST(Trace, CountingSinkReceivesEvents) {
+  trace::CountingSink sink;
+  {
+    trace::ScopedSink guard(&sink);
+    EXPECT_TRUE(trace::enabled());
+    int x = 0;
+    trace::read(trace::MemKind::kTopology, &x, 4);
+    trace::read(trace::MemKind::kProperty, &x, 8);
+    trace::write(trace::MemKind::kMetadata, &x, 4);
+    trace::branch(trace::kBranchLoopCond, true);
+    trace::branch(trace::kBranchLoopCond, false);
+    trace::alu(3);
+    trace::block(trace::kBlockFindVertex);
+  }
+  EXPECT_FALSE(trace::enabled());
+  EXPECT_EQ(sink.reads(trace::MemKind::kTopology), 1u);
+  EXPECT_EQ(sink.reads(trace::MemKind::kProperty), 1u);
+  EXPECT_EQ(sink.writes(trace::MemKind::kMetadata), 1u);
+  EXPECT_EQ(sink.total_reads(), 2u);
+  EXPECT_EQ(sink.read_bytes(), 12u);
+  EXPECT_EQ(sink.branches(), 2u);
+  EXPECT_EQ(sink.taken_branches(), 1u);
+  EXPECT_EQ(sink.alu_ops(), 3u);
+  EXPECT_EQ(sink.block_entries(), 1u);
+}
+
+TEST(Trace, ScopedSinkRestoresPrevious) {
+  trace::CountingSink outer, inner;
+  trace::ScopedSink g1(&outer);
+  {
+    trace::ScopedSink g2(&inner);
+    trace::alu(1);
+  }
+  trace::alu(1);
+  EXPECT_EQ(inner.alu_ops(), 1u);
+  EXPECT_EQ(outer.alu_ops(), 1u);
+}
+
+TEST(Trace, FrameworkPrimitivesEmitEvents) {
+  trace::CountingSink sink;
+  PropertyGraph g;
+  {
+    trace::ScopedSink guard(&sink);
+    g.add_vertex(1);
+    g.add_vertex(2);
+    g.add_edge(1, 2);
+    g.find_vertex(1);
+    const graph::VertexRecord* v = g.find_vertex(1);
+    g.for_each_out_edge(*v, [](const graph::EdgeRecord&) {});
+  }
+  EXPECT_GT(sink.total_reads(), 0u);
+  EXPECT_GT(sink.total_writes(), 0u);
+  EXPECT_GT(sink.block_entries(), 0u);
+}
+
+// ---- CSR / COO ----
+
+graph::PropertyGraph diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  PropertyGraph g;
+  for (VertexId v = 0; v < 4; ++v) g.add_vertex(v);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Csr, BuildPreservesCounts) {
+  PropertyGraph g = diamond();
+  const graph::Csr csr = graph::build_csr(g);
+  EXPECT_EQ(csr.num_vertices, 4u);
+  EXPECT_EQ(csr.num_edges, 4u);
+  EXPECT_EQ(csr.row_ptr.size(), 5u);
+  EXPECT_EQ(csr.col.size(), 4u);
+}
+
+TEST(Csr, RowsAreSorted) {
+  datagen::RmatConfig cfg;
+  cfg.scale = 9;
+  PropertyGraph g =
+      datagen::build_property_graph(datagen::generate_rmat(cfg));
+  const graph::Csr csr = graph::build_csr(g);
+  for (std::uint32_t v = 0; v < csr.num_vertices; ++v) {
+    for (std::uint64_t e = csr.row_ptr[v] + 1; e < csr.row_ptr[v + 1]; ++e) {
+      EXPECT_LE(csr.col[e - 1], csr.col[e]);
+    }
+  }
+}
+
+TEST(Csr, DegreeMatchesGraph) {
+  PropertyGraph g = diamond();
+  const graph::Csr csr = graph::build_csr(g);
+  for (std::uint32_t v = 0; v < csr.num_vertices; ++v) {
+    const graph::VertexRecord* rec = g.find_vertex(csr.orig_id[v]);
+    EXPECT_EQ(csr.degree(v), rec->out.size());
+  }
+}
+
+TEST(Csr, SkipsTombstonedVertices) {
+  PropertyGraph g = diamond();
+  g.delete_vertex(1);
+  const graph::Csr csr = graph::build_csr(g);
+  EXPECT_EQ(csr.num_vertices, 3u);
+  EXPECT_EQ(csr.num_edges, 2u);  // 0->2, 2->3 remain
+}
+
+TEST(Csr, TransposeReversesEdges) {
+  PropertyGraph g = diamond();
+  const graph::Csr csr = graph::build_csr(g);
+  const graph::Csr rev = graph::transpose(csr);
+  EXPECT_EQ(rev.num_edges, csr.num_edges);
+  // Vertex 3 (dense id 3) has in-degree 2 -> out-degree 2 in transpose.
+  EXPECT_EQ(rev.degree(3), 2u);
+  EXPECT_EQ(rev.degree(0), 0u);
+  // Double transpose is identity.
+  EXPECT_TRUE(graph::csr_equal(graph::transpose(rev), csr));
+}
+
+TEST(Csr, SymmetrizeIsSymmetric) {
+  PropertyGraph g = diamond();
+  const graph::Csr sym = graph::symmetrize(graph::build_csr(g));
+  EXPECT_EQ(sym.num_edges, 8u);  // each of 4 edges in both directions
+  EXPECT_TRUE(graph::csr_equal(graph::transpose(sym), sym));
+}
+
+TEST(Csr, SymmetrizeDropsSelfLoopsAndDupes) {
+  PropertyGraph g;
+  g.add_vertex(0);
+  g.add_vertex(1);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const graph::Csr sym = graph::symmetrize(graph::build_csr(g));
+  EXPECT_EQ(sym.num_edges, 2u);  // {0,1} both directions, no loop
+}
+
+TEST(Coo, MatchesCsr) {
+  PropertyGraph g = diamond();
+  const graph::Csr csr = graph::build_csr(g);
+  const graph::Coo coo = graph::build_coo(csr);
+  EXPECT_EQ(coo.num_edges(), csr.num_edges);
+  // Every COO pair must exist in CSR.
+  for (std::size_t i = 0; i < coo.num_edges(); ++i) {
+    const std::uint32_t s = coo.src[i];
+    bool found = false;
+    for (std::uint64_t e = csr.row_ptr[s]; e < csr.row_ptr[s + 1]; ++e) {
+      if (csr.col[e] == coo.dst[i]) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+// ---- stats ----
+
+TEST(Stats, DegreeStatsOnStar) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 11; ++v) g.add_vertex(v);
+  for (VertexId v = 1; v < 11; ++v) g.add_edge(0, v);
+  const auto stats = graph::degree_stats(graph::build_csr(g));
+  EXPECT_EQ(stats.max, 10u);
+  EXPECT_EQ(stats.min, 0u);
+  EXPECT_NEAR(stats.mean, 10.0 / 11.0, 1e-9);
+  EXPECT_GT(stats.cv, 1.0);  // star is maximally skewed
+  EXPECT_DOUBLE_EQ(stats.top1pct_edge_share, 1.0);
+}
+
+TEST(Stats, ComponentsOnDisjointGraphs) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 6; ++v) g.add_vertex(v);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto stats = graph::component_stats(graph::build_csr(g));
+  EXPECT_EQ(stats.num_components, 4u);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_EQ(stats.largest, 2u);
+}
+
+TEST(Stats, PathLengthOnChain) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 16; ++v) g.add_vertex(v);
+  for (VertexId v = 0; v + 1 < 16; ++v) g.add_edge(v, v + 1);
+  const double mean =
+      graph::estimate_mean_path_length(graph::build_csr(g), 8, 1);
+  EXPECT_GT(mean, 1.0);
+  EXPECT_LT(mean, 16.0);
+}
+
+TEST(Stats, TwoHopOnStar) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 11; ++v) g.add_vertex(v);
+  for (VertexId v = 1; v < 11; ++v) {
+    g.add_edge(0, v);
+    g.add_edge(v, 0);
+  }
+  const double two_hop =
+      graph::estimate_two_hop_size(graph::build_csr(g), 11, 3);
+  EXPECT_GT(two_hop, 5.0);  // any leaf reaches all other leaves in 2 hops
+}
+
+TEST(Stats, HistogramClampsAtMax) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 5; ++v) g.add_vertex(v);
+  for (VertexId v = 1; v < 5; ++v) g.add_edge(0, v);
+  const auto hist = graph::degree_histogram(graph::build_csr(g), 2);
+  EXPECT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 4u);  // the four leaves
+  EXPECT_EQ(hist[2], 1u);  // the hub, clamped from 4 to 2
+}
+
+}  // namespace
+}  // namespace graphbig

@@ -1,0 +1,181 @@
+// Tests for the experiment harness and table output: bundle construction,
+// input routing per workload, profiled/timed/GPU runners, and the Table
+// formatting helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bayes/bayes_net.h"
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+namespace graphbig::harness {
+namespace {
+
+const DatasetBundle& tiny_ldbc() {
+  static const DatasetBundle bundle =
+      load_bundle(datagen::DatasetId::kLdbc, datagen::Scale::kTiny);
+  return bundle;
+}
+
+// ---- Table ----
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t("Demo", {"A", "LongColumn"});
+  t.add_row({"x", "1"});
+  t.add_row({"yy", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("LongColumn"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("Demo", {"A", "B"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "A,B\n1,2\n");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t("Demo", {"A", "B", "C"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.to_csv(), "A,B,C\nonly,,\n");
+}
+
+TEST(TableFmt, Fixed) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+}
+
+TEST(TableFmt, Percent) { EXPECT_EQ(fmt_pct(12.345), "12.3%"); }
+
+TEST(TableFmt, ThousandsGrouping) {
+  EXPECT_EQ(fmt_int(0), "0");
+  EXPECT_EQ(fmt_int(999), "999");
+  EXPECT_EQ(fmt_int(1000), "1,000");
+  EXPECT_EQ(fmt_int(1234567), "1,234,567");
+}
+
+// ---- bundles ----
+
+TEST(Bundle, ViewsAreConsistent) {
+  const DatasetBundle& b = tiny_ldbc();
+  EXPECT_EQ(b.graph.num_vertices(), b.csr.num_vertices);
+  EXPECT_EQ(b.graph.num_edges(), b.csr.num_edges);
+  EXPECT_EQ(b.coo.num_edges(), b.sym.num_edges);
+  // Root is a live vertex and maps to the dense GPU id.
+  ASSERT_NE(b.graph.find_vertex(b.root), nullptr);
+  EXPECT_EQ(b.csr.orig_id[b.gpu_root], b.root);
+}
+
+TEST(Bundle, RootHasMaxOutDegree) {
+  const DatasetBundle& b = tiny_ldbc();
+  const std::size_t root_degree = b.graph.find_vertex(b.root)->out.size();
+  b.graph.for_each_vertex([&](const graph::VertexRecord& v) {
+    EXPECT_LE(v.out.size(), root_degree);
+  });
+}
+
+// ---- input routing ----
+
+TEST(InputRouting, GconsGetsEmptyGraph) {
+  const auto g =
+      make_input_graph(*workloads::find_workload("GCons"), tiny_ldbc());
+  EXPECT_EQ(g.num_vertices(), 0u);
+}
+
+TEST(InputRouting, GibbsGetsBayesNetwork) {
+  auto g = make_input_graph(*workloads::find_workload("Gibbs"),
+                            tiny_ldbc());
+  EXPECT_EQ(g.num_vertices(), 1041u);
+  EXPECT_NO_THROW(bayes::BayesNet{g});
+}
+
+TEST(InputRouting, TmorphGetsDag) {
+  const auto g =
+      make_input_graph(*workloads::find_workload("TMorph"), tiny_ldbc());
+  bool acyclic = true;
+  std::size_t max_parents = 0;
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    for (const auto& e : v.out) {
+      if (e.target <= v.id) acyclic = false;
+    }
+    max_parents = std::max(max_parents, v.in.size());
+  });
+  EXPECT_TRUE(acyclic);
+  EXPECT_LE(max_parents, 16u);  // bounded parent sets (see dagize)
+}
+
+TEST(InputRouting, AnalyticsGetFreshCopy) {
+  const DatasetBundle& b = tiny_ldbc();
+  auto g = make_input_graph(*workloads::find_workload("BFS"), b);
+  EXPECT_EQ(g.num_vertices(), b.graph.num_vertices());
+  EXPECT_EQ(g.num_edges(), b.graph.num_edges());
+}
+
+// ---- runners ----
+
+TEST(Runner, ProfiledRunProducesMetrics) {
+  const auto r =
+      run_cpu_profiled(*workloads::find_workload("BFS"), tiny_ldbc());
+  EXPECT_GT(r.run.vertices_processed, 0u);
+  EXPECT_GT(r.counters.instructions(), 1000u);
+  EXPECT_GT(r.metrics.total_cycles, 0.0);
+  EXPECT_NEAR(r.metrics.frontend_pct + r.metrics.backend_pct +
+                  r.metrics.retiring_pct + r.metrics.bad_speculation_pct,
+              100.0, 1e-6);
+}
+
+TEST(Runner, ProfiledRunsAreDeterministic) {
+  const workloads::Workload& w = *workloads::find_workload("CComp");
+  const auto a = run_cpu_profiled(w, tiny_ldbc());
+  const auto b = run_cpu_profiled(w, tiny_ldbc());
+  EXPECT_EQ(a.run.checksum, b.run.checksum);
+  EXPECT_EQ(a.counters.loads, b.counters.loads);
+  EXPECT_EQ(a.counters.branches, b.counters.branches);
+}
+
+TEST(Runner, TimedRunMeasuresSomething) {
+  const auto r =
+      run_cpu_timed(*workloads::find_workload("DCentr"), tiny_ldbc(), 1);
+  EXPECT_GT(r.run.vertices_processed, 0u);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Runner, TimedRunParallelMatchesChecksum) {
+  const workloads::Workload& w = *workloads::find_workload("BFS");
+  const auto seq = run_cpu_timed(w, tiny_ldbc(), 1);
+  const auto par = run_cpu_timed(w, tiny_ldbc(), 4);
+  EXPECT_EQ(seq.run.checksum, par.run.checksum);
+}
+
+TEST(Runner, FrameworkTimeIsMajority) {
+  // Figure 1's headline claim: most of a traversal workload's time is
+  // spent inside framework primitives.
+  const auto r = run_cpu_framework_time(*workloads::find_workload("BFS"),
+                                        tiny_ldbc());
+  EXPECT_GT(r.total_seconds, 0.0);
+  EXPECT_GT(r.framework_fraction(), 0.5);
+  EXPECT_LE(r.framework_fraction(), 1.0);
+}
+
+TEST(Runner, GpuRunProducesTimingAndStats) {
+  const auto r =
+      run_gpu(*workloads::gpu::find_gpu_workload("BFS"), tiny_ldbc());
+  EXPECT_GT(r.result.stats.base_instructions, 0u);
+  EXPECT_GT(r.timing.seconds, 0.0);
+  EXPECT_GE(r.timing.read_throughput_gbs, 0.0);
+}
+
+TEST(Runner, GpuCpuChecksumsAgreeOnBundle) {
+  const DatasetBundle& b = tiny_ldbc();
+  const auto gpu = run_gpu(*workloads::gpu::find_gpu_workload("BFS"), b);
+  const auto cpu =
+      run_cpu_timed(*workloads::find_workload("BFS"), b, 1);
+  EXPECT_EQ(gpu.result.checksum, cpu.run.checksum);
+}
+
+}  // namespace
+}  // namespace graphbig::harness

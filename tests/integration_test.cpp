@@ -1,0 +1,134 @@
+// End-to-end integration tests: the full populate -> convert -> run ->
+// validate pipeline across datasets and workloads, exercised the way the
+// bench binaries drive it.
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+#include "harness/experiment.h"
+#include "workloads/gpu/gpu_workload.h"
+#include "workloads/workload.h"
+
+namespace graphbig {
+namespace {
+
+using harness::DatasetBundle;
+
+class PipelinePerDataset
+    : public ::testing::TestWithParam<datagen::DatasetId> {};
+
+TEST_P(PipelinePerDataset, CpuWorkloadsRunOnEveryDataset) {
+  const DatasetBundle bundle =
+      harness::load_bundle(GetParam(), datagen::Scale::kTiny);
+  for (const workloads::Workload* w : workloads::all_cpu_workloads()) {
+    auto input = harness::make_input_graph(*w, bundle);
+    auto ctx = harness::make_cpu_context(*w, input, bundle);
+    ctx.gibbs_burn_in = 1;
+    ctx.gibbs_samples = 2;
+    ctx.bc_samples = 2;
+    const workloads::RunResult r = w->run(ctx);
+    EXPECT_TRUE(input.validate()) << w->acronym();
+    if (w->acronym() != "GUp") {  // GUp may legitimately process 0 on tiny
+      EXPECT_GT(r.vertices_processed + r.edges_processed + r.checksum, 0u)
+          << w->acronym();
+    }
+  }
+}
+
+TEST_P(PipelinePerDataset, GpuWorkloadsRunOnEveryDataset) {
+  const DatasetBundle bundle =
+      harness::load_bundle(GetParam(), datagen::Scale::kTiny);
+  for (const auto* w : workloads::gpu::all_gpu_workloads()) {
+    const auto r = harness::run_gpu(*w, bundle);
+    EXPECT_GT(r.result.stats.base_instructions, 0u) << w->acronym();
+    EXPECT_GE(r.result.stats.bdr(), 0.0) << w->acronym();
+    EXPECT_LE(r.result.stats.mdr(), 1.0) << w->acronym();
+    EXPECT_GT(r.timing.seconds, 0.0) << w->acronym();
+  }
+}
+
+TEST_P(PipelinePerDataset, CpuGpuAgreeOnInvariants) {
+  const DatasetBundle b =
+      harness::load_bundle(GetParam(), datagen::Scale::kTiny);
+  // BFS reach + depth sum.
+  {
+    const auto gpu = harness::run_gpu(*workloads::gpu::find_gpu_workload("BFS"), b);
+    const auto cpu =
+        harness::run_cpu_timed(*workloads::find_workload("BFS"), b, 1);
+    EXPECT_EQ(gpu.result.checksum, cpu.run.checksum);
+  }
+  // Triangle counts.
+  {
+    const auto gpu = harness::run_gpu(*workloads::gpu::find_gpu_workload("TC"), b);
+    const auto cpu =
+        harness::run_cpu_timed(*workloads::find_workload("TC"), b, 1);
+    EXPECT_EQ(gpu.result.checksum, cpu.run.checksum);
+  }
+  // Degree sums.
+  {
+    const auto gpu =
+        harness::run_gpu(*workloads::gpu::find_gpu_workload("DCentr"), b);
+    const auto cpu =
+        harness::run_cpu_timed(*workloads::find_workload("DCentr"), b, 1);
+    EXPECT_EQ(gpu.result.checksum, cpu.run.checksum);
+  }
+  // Component counts.
+  {
+    const auto gpu =
+        harness::run_gpu(*workloads::gpu::find_gpu_workload("CComp"), b);
+    const auto cpu =
+        harness::run_cpu_timed(*workloads::find_workload("CComp"), b, 1);
+    EXPECT_EQ(gpu.result.checksum / 2654435761u,
+              cpu.run.checksum / 2654435761u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, PipelinePerDataset,
+                         ::testing::Values(datagen::DatasetId::kTwitter,
+                                           datagen::DatasetId::kKnowledge,
+                                           datagen::DatasetId::kWatson,
+                                           datagen::DatasetId::kRoadNet,
+                                           datagen::DatasetId::kLdbc));
+
+// The conversion pipeline preserves structure end to end.
+TEST(Pipeline, DynamicToCsrToCooRoundTrip) {
+  const DatasetBundle b =
+      harness::load_bundle(datagen::DatasetId::kWatson, datagen::Scale::kTiny);
+  // CSR total degree equals dynamic graph edge count.
+  std::uint64_t total = 0;
+  for (std::uint32_t v = 0; v < b.csr.num_vertices; ++v) {
+    total += b.csr.degree(v);
+  }
+  EXPECT_EQ(total, b.graph.num_edges());
+  // Symmetrized graph has no self loops and is its own transpose.
+  EXPECT_TRUE(graph::csr_equal(graph::transpose(b.sym), b.sym));
+}
+
+// Dynamic mutation then re-conversion: delete vertices, rebuild CSR,
+// GPU metrics still computable (the CompDyn -> GPU populate workflow).
+TEST(Pipeline, MutateThenReconvert) {
+  DatasetBundle b =
+      harness::load_bundle(datagen::DatasetId::kLdbc, datagen::Scale::kTiny);
+  workloads::RunContext ctx;
+  ctx.graph = &b.graph;
+  ctx.delete_fraction = 0.2;
+  ctx.seed = 5;
+  workloads::gup().run(ctx);
+  ASSERT_TRUE(b.graph.validate());
+
+  const graph::Csr csr = graph::build_csr(b.graph);
+  EXPECT_EQ(csr.num_vertices, b.graph.num_vertices());
+  EXPECT_EQ(csr.num_edges, b.graph.num_edges());
+
+  // Run a GPU kernel on the mutated graph.
+  DatasetBundle mutated;
+  mutated.csr = csr;
+  mutated.sym = graph::symmetrize(csr);
+  mutated.coo = graph::build_coo(mutated.sym);
+  mutated.gpu_root = 0;
+  const auto r =
+      harness::run_gpu(*workloads::gpu::find_gpu_workload("CComp"), mutated);
+  EXPECT_GT(r.result.stats.base_instructions, 0u);
+}
+
+}  // namespace
+}  // namespace graphbig

@@ -1,0 +1,310 @@
+// Tests for the perfmodel substrate: cache levels and hierarchy, TLB,
+// branch predictor, ICache, top-down cycle accounting, and the profiler's
+// end-to-end behavior on synthetic access patterns.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "perfmodel/branch.h"
+#include "perfmodel/cache.h"
+#include "perfmodel/cycle_model.h"
+#include "perfmodel/icache.h"
+#include "perfmodel/profiler.h"
+#include "perfmodel/tlb.h"
+
+namespace graphbig::perfmodel {
+namespace {
+
+// ---- CacheLevel ----
+
+TEST(CacheLevel, ColdMissThenHit) {
+  CacheLevel cache({1024, 2, 64});
+  EXPECT_FALSE(cache.access(5));
+  EXPECT_TRUE(cache.access(5));
+  EXPECT_EQ(cache.accesses(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CacheLevel, LruEviction) {
+  // 2-way, 2 sets (4 lines of 64B in 256B).
+  CacheLevel cache({256, 2, 64});
+  // Lines 0, 2, 4 all map to set 0 (line & 1).
+  cache.access(0);
+  cache.access(2);
+  cache.access(0);  // touch 0, making 2 the LRU
+  cache.access(4);  // evicts 2
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(2));
+}
+
+TEST(CacheLevel, WorkingSetFitsNoCapacityMisses) {
+  CacheLevel cache({32 * 1024, 8, 64});
+  const int lines = 32 * 1024 / 64;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int l = 0; l < lines; ++l) cache.access(l);
+  }
+  // Only the cold pass misses.
+  EXPECT_EQ(cache.misses(), static_cast<std::uint64_t>(lines));
+}
+
+TEST(CacheLevel, RejectsBadGeometry) {
+  EXPECT_THROW(CacheLevel({100, 3, 60}), std::invalid_argument);
+}
+
+// ---- CacheHierarchy ----
+
+TEST(CacheHierarchy, FillPathAndHitLevels) {
+  CacheHierarchy h({1024, 2, 64}, {4096, 4, 64}, {16384, 8, 64});
+  EXPECT_EQ(h.access(0, 4), HitLevel::kMemory);  // cold
+  EXPECT_EQ(h.access(0, 4), HitLevel::kL1);      // now resident everywhere
+}
+
+TEST(CacheHierarchy, L2HitAfterL1Eviction) {
+  // Tiny L1 (2 sets x 2 ways), larger L2.
+  CacheHierarchy h({256, 2, 64}, {4096, 4, 64}, {65536, 8, 64});
+  h.access(0 * 64, 4);
+  h.access(2 * 64, 4);
+  h.access(4 * 64, 4);  // set 0 now overflowed: line 0 evicted from L1
+  const HitLevel level = h.access(0 * 64, 4);
+  EXPECT_EQ(level, HitLevel::kL2);
+}
+
+TEST(CacheHierarchy, StraddlingAccessTouchesTwoLines) {
+  CacheHierarchy h({1024, 2, 64}, {4096, 4, 64}, {16384, 8, 64});
+  h.access(60, 8);  // spans lines 0 and 1
+  EXPECT_EQ(h.l1().accesses(), 2u);
+}
+
+// ---- TLB ----
+
+TEST(Tlb, HitOnSamePage) {
+  Tlb tlb;
+  tlb.access(0x1000);
+  tlb.access(0x1FFF);
+  EXPECT_EQ(tlb.accesses(), 2u);
+  EXPECT_EQ(tlb.l1_misses(), 1u);  // only the cold access
+}
+
+TEST(Tlb, L1CapacityMissHitsStlb) {
+  TlbConfig cfg;
+  cfg.l1_entries = 4;
+  cfg.l2_entries = 64;
+  cfg.l2_associativity = 4;
+  Tlb tlb(cfg);
+  // Touch 8 pages (exceeds L1 but fits STLB), then re-touch the first.
+  for (std::uint64_t p = 0; p < 8; ++p) tlb.access(p * 4096);
+  const std::uint64_t walks_before = tlb.walks();
+  tlb.access(0);
+  EXPECT_EQ(tlb.walks(), walks_before);  // STLB hit, no new walk
+  EXPECT_GT(tlb.l1_misses(), 8u - 1u);
+}
+
+TEST(Tlb, PenaltyAccounting) {
+  TlbConfig cfg;
+  Tlb tlb(cfg);
+  for (std::uint64_t p = 0; p < 10; ++p) tlb.access(p * 4096);
+  // 10 cold accesses: all L1 misses and all walks.
+  EXPECT_EQ(tlb.l1_misses(), 10u);
+  EXPECT_EQ(tlb.walks(), 10u);
+  EXPECT_EQ(tlb.penalty_cycles(), 10u * cfg.walk_cycles);
+}
+
+// ---- Branch predictor ----
+
+TEST(BranchPredictor, LearnsStrongBias) {
+  BranchPredictor bp;
+  for (int i = 0; i < 1000; ++i) bp.predict_and_train(1, true);
+  // After warmup the always-taken branch is predicted correctly.
+  EXPECT_LT(bp.miss_rate(), 0.05);
+}
+
+TEST(BranchPredictor, RandomBranchesMispredict) {
+  BranchPredictor bp;
+  std::uint64_t state = 88172645463325252ull;
+  auto next = [&] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 20000; ++i) bp.predict_and_train(7, (next() & 1) != 0);
+  EXPECT_GT(bp.miss_rate(), 0.35);
+}
+
+TEST(BranchPredictor, LearnsAlternatingPattern) {
+  BranchPredictor bp;
+  for (int i = 0; i < 4000; ++i) bp.predict_and_train(3, (i & 1) != 0);
+  // Gshare captures the period-2 history pattern.
+  EXPECT_LT(bp.miss_rate(), 0.1);
+}
+
+// ---- ICache ----
+
+TEST(ICache, FlatHierarchyStaysResident) {
+  ICacheModel icache;
+  // A handful of framework blocks re-entered many times: after warmup
+  // everything hits.
+  for (int rep = 0; rep < 1000; ++rep) {
+    for (std::uint32_t b = 1; b <= 8; ++b) icache.enter_block(b);
+  }
+  const double miss_rate = static_cast<double>(icache.misses()) /
+                           static_cast<double>(icache.fetch_lines());
+  EXPECT_LT(miss_rate, 0.01);
+}
+
+TEST(ICache, DeepStackThrashes) {
+  ICacheConfig cfg;
+  ICacheModel icache(cfg);
+  // Hundreds of distinct blocks (deep software stack): footprint exceeds
+  // the 32KB ICache and keeps missing.
+  const std::uint32_t blocks =
+      static_cast<std::uint32_t>(cfg.cache.size_bytes /
+                                 cfg.block_code_bytes) *
+      4;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (std::uint32_t b = 1; b <= blocks; ++b) icache.enter_block(b);
+  }
+  const double miss_rate = static_cast<double>(icache.misses()) /
+                           static_cast<double>(icache.fetch_lines());
+  EXPECT_GT(miss_rate, 0.5);
+}
+
+// ---- Cycle accounting ----
+
+TEST(CycleModel, EmptyCountersYieldZero) {
+  const CycleBreakdown b = account_cycles(PerfCounters{});
+  EXPECT_EQ(b.total_cycles, 0.0);
+}
+
+TEST(CycleModel, BreakdownSumsTo100) {
+  PerfCounters c;
+  c.loads = 1000;
+  c.stores = 200;
+  c.alu_ops = 500;
+  c.branches = 300;
+  c.branch_mispredicts = 20;
+  c.l1d_accesses = 1200;
+  c.l1d_misses = 150;
+  c.l2_hits = 70;
+  c.l3_hits = 50;
+  c.memory_accesses = 30;
+  c.dtlb_penalty_cycles = 900;
+  c.icache_misses = 5;
+  const CycleBreakdown b = account_cycles(c);
+  EXPECT_NEAR(b.frontend_pct + b.backend_pct + b.retiring_pct +
+                  b.bad_speculation_pct,
+              100.0, 1e-6);
+  EXPECT_GT(b.ipc, 0.0);
+  EXPECT_LE(b.ipc, 4.0);
+}
+
+TEST(CycleModel, MemoryBoundMeansBackendDominant) {
+  PerfCounters c;
+  c.loads = 1000;
+  c.l1d_accesses = 1000;
+  c.l1d_misses = 800;
+  c.memory_accesses = 800;  // nearly everything goes to DRAM
+  const CycleBreakdown b = account_cycles(c);
+  EXPECT_GT(b.backend_pct, 80.0);
+  EXPECT_LT(b.ipc, 0.1);
+}
+
+TEST(CycleModel, CacheFriendlyMeansHighRetiring) {
+  PerfCounters c;
+  c.loads = 500;
+  c.alu_ops = 3000;
+  c.branches = 200;
+  c.l1d_accesses = 500;  // everything hits L1
+  const CycleBreakdown b = account_cycles(c);
+  EXPECT_GT(b.retiring_pct, 60.0);
+  EXPECT_GT(b.ipc, 2.0);
+}
+
+TEST(CycleModel, MispredictsShowAsBadSpeculation) {
+  PerfCounters c;
+  c.alu_ops = 1000;
+  c.branches = 1000;
+  c.branch_mispredicts = 200;
+  const CycleBreakdown b = account_cycles(c);
+  EXPECT_GT(b.bad_speculation_pct, 25.0);
+}
+
+TEST(CycleModel, MpkiUsesInstructionEstimate) {
+  PerfCounters c;
+  c.loads = 1000;
+  c.l1d_accesses = 1000;
+  c.l1d_misses = 100;
+  c.l2_hits = 60;
+  c.l3_hits = 30;
+  c.memory_accesses = 10;
+  const double ki = static_cast<double>(c.instructions()) / 1000.0;
+  const CycleBreakdown b = account_cycles(c);
+  EXPECT_NEAR(b.l1d_mpki, 100.0 / ki, 1e-9);
+  EXPECT_NEAR(b.l2_mpki, 40.0 / ki, 1e-9);
+  EXPECT_NEAR(b.l3_mpki, 10.0 / ki, 1e-9);
+  EXPECT_NEAR(b.l1d_hit_rate, 0.9, 1e-9);
+  EXPECT_NEAR(b.l2_hit_rate, 0.6, 1e-9);
+  EXPECT_NEAR(b.l3_hit_rate, 0.75, 1e-9);
+}
+
+// ---- Profiler end-to-end ----
+
+TEST(Profiler, SequentialScanIsCacheFriendly) {
+  Profiler profiler;
+  std::vector<std::uint64_t> data(1 << 16);
+  {
+    trace::ScopedSink sink(&profiler);
+    for (auto& x : data) {
+      trace::read(trace::MemKind::kMetadata, &x, 8);
+    }
+  }
+  const CycleBreakdown b = profiler.breakdown();
+  // A streaming scan misses once per line (8 qwords/line): 87.5% L1 hits.
+  EXPECT_GT(b.l1d_hit_rate, 0.8);
+}
+
+TEST(Profiler, RandomChaseIsCacheHostile) {
+  Profiler profiler;
+  // 64 MB footprint, far beyond L3.
+  std::vector<std::uint64_t> data(1 << 23);
+  std::uint64_t idx = 1;
+  {
+    trace::ScopedSink sink(&profiler);
+    for (int i = 0; i < 20000; ++i) {
+      idx = (idx * 2862933555777941757ull + 3037000493ull) % data.size();
+      trace::read(trace::MemKind::kTopology, &data[idx], 8);
+    }
+  }
+  const PerfCounters c = profiler.counters();
+  // Almost every access leaves L1 and most reach memory.
+  EXPECT_GT(static_cast<double>(c.l1d_misses) /
+                static_cast<double>(c.l1d_accesses),
+            0.9);
+  EXPECT_GT(c.dtlb_walks, 0u);
+  const CycleBreakdown b = profiler.breakdown();
+  EXPECT_GT(b.backend_pct, 70.0);
+  EXPECT_GT(b.dtlb_penalty_pct, 1.0);
+}
+
+TEST(Profiler, CountsAllEventKinds) {
+  Profiler profiler;
+  int x = 0;
+  {
+    trace::ScopedSink sink(&profiler);
+    trace::read(trace::MemKind::kTopology, &x, 4);
+    trace::write(trace::MemKind::kProperty, &x, 4);
+    trace::branch(trace::kBranchLoopCond, true);
+    trace::alu(5);
+    trace::block(trace::kBlockFindVertex);
+  }
+  const PerfCounters c = profiler.counters();
+  EXPECT_EQ(c.loads, 1u);
+  EXPECT_EQ(c.stores, 1u);
+  EXPECT_EQ(c.branches, 1u);
+  EXPECT_EQ(c.alu_ops, 5u);
+  EXPECT_EQ(c.block_entries, 1u);
+  EXPECT_EQ(c.instructions(), 1u + 1u + 1u + 5u + 3u);
+}
+
+}  // namespace
+}  // namespace graphbig::perfmodel

@@ -1,0 +1,280 @@
+// Tests for the platform substrate: RNG, Zipf sampler, bitsets, arena,
+// thread pool, barrier, timers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "platform/arena.h"
+#include "platform/barrier.h"
+#include "platform/bitset.h"
+#include "platform/rng.h"
+#include "platform/thread_pool.h"
+#include "platform/timer.h"
+
+namespace graphbig::platform {
+namespace {
+
+// ---- RNG ----
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.bounded(1), 0u);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceProbability) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Zipf, HeadIsHotterThanTail) {
+  ZipfSampler zipf(1000, 1.0);
+  Xoshiro256 rng(19);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[500] * 5);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(Zipf, SamplesAreInRange) {
+  ZipfSampler zipf(10, 1.2);
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 10u);
+}
+
+// ---- Bitset ----
+
+TEST(Bitset, SetTestClear) {
+  Bitset bs(200);
+  EXPECT_FALSE(bs.test(100));
+  bs.set(100);
+  EXPECT_TRUE(bs.test(100));
+  EXPECT_FALSE(bs.test(99));
+  EXPECT_FALSE(bs.test(101));
+  bs.clear(100);
+  EXPECT_FALSE(bs.test(100));
+}
+
+TEST(Bitset, Count) {
+  Bitset bs(500);
+  for (std::size_t i = 0; i < 500; i += 7) bs.set(i);
+  EXPECT_EQ(bs.count(), (500 + 6) / 7);
+}
+
+TEST(Bitset, ForEachSetAscending) {
+  Bitset bs(300);
+  bs.set(3);
+  bs.set(64);
+  bs.set(299);
+  std::vector<std::size_t> seen;
+  bs.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{3, 64, 299}));
+}
+
+TEST(AtomicBitset, TestAndSetOnce) {
+  AtomicBitset bs(128);
+  EXPECT_TRUE(bs.test_and_set(77));
+  EXPECT_FALSE(bs.test_and_set(77));
+  EXPECT_TRUE(bs.test(77));
+  EXPECT_EQ(bs.count(), 1u);
+}
+
+TEST(AtomicBitset, ConcurrentClaimsAreExclusive) {
+  AtomicBitset bs(1024);
+  std::atomic<int> claims{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < 1024; ++i) {
+        if (bs.test_and_set(i)) claims.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(claims.load(), 1024);
+}
+
+// ---- Arena ----
+
+TEST(Arena, AllocationsDoNotOverlap) {
+  Arena arena(256);
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    ptrs.push_back(arena.create<int>(i));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(*ptrs[i], i);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena;
+  for (std::size_t align : {8u, 16u, 64u}) {
+    void* p = arena.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+  }
+}
+
+TEST(Arena, LargeAllocationGetsOwnChunk) {
+  Arena arena(64);
+  void* p = arena.allocate(1024);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 1024u);
+}
+
+TEST(Arena, ResetReleases) {
+  Arena arena(1024);
+  arena.allocate(100);
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+}
+
+// ---- ThreadPool ----
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ThreadPool, ChunkedCoversRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  pool.parallel_for_chunked(0, 777, 13, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunOnAllGivesDistinctIds) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> id_hits(3);
+  pool.run_on_all([&](int id, int n) {
+    EXPECT_EQ(n, 3);
+    id_hits[id].fetch_add(1);
+  });
+  for (const auto& h : id_hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadFallback) {
+  ThreadPool pool(1);
+  int sum = 0;
+  pool.parallel_for(0, 10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 100);
+  }
+}
+
+// ---- Barrier ----
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> violation{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < 10; ++phase) {
+        phase_counter.fetch_add(1);
+        barrier.wait();
+        // After the barrier, everyone must have incremented.
+        if (phase_counter.load() < (phase + 1) * kThreads) {
+          violation.store(true);
+        }
+        barrier.wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(phase_counter.load(), 10 * kThreads);
+}
+
+// ---- Timers ----
+
+TEST(Timer, MeasuresElapsed) {
+  WallTimer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GT(t.nanoseconds(), 0u);
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Timer, AccumulatorSums) {
+  TimeAccumulator acc;
+  acc.add(500);
+  acc.add(1500);
+  EXPECT_EQ(acc.nanos(), 2000u);
+  EXPECT_DOUBLE_EQ(acc.seconds(), 2e-6);
+  acc.clear();
+  EXPECT_EQ(acc.nanos(), 0u);
+}
+
+TEST(Timer, FormatDuration) {
+  EXPECT_EQ(format_duration(2.5), "2.50 s");
+  EXPECT_EQ(format_duration(0.0025), "2.50 ms");
+  EXPECT_EQ(format_duration(2.5e-6), "2.50 us");
+  EXPECT_EQ(format_duration(25e-9), "25.0 ns");
+}
+
+}  // namespace
+}  // namespace graphbig::platform

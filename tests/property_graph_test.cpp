@@ -1,0 +1,275 @@
+// Unit tests for the dynamic vertex-centric property graph (framework
+// primitives, invariants, tombstoning, in/out symmetry).
+#include <gtest/gtest.h>
+
+#include "graph/property_graph.h"
+
+namespace graphbig::graph {
+namespace {
+
+TEST(PropertyGraph, StartsEmpty) {
+  PropertyGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(PropertyGraph, AddVertexAssignsRecord) {
+  PropertyGraph g;
+  VertexRecord* v = g.add_vertex(42);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->id, 42u);
+  EXPECT_TRUE(v->alive);
+  EXPECT_EQ(g.num_vertices(), 1u);
+}
+
+TEST(PropertyGraph, AddDuplicateVertexFails) {
+  PropertyGraph g;
+  ASSERT_NE(g.add_vertex(1), nullptr);
+  EXPECT_EQ(g.add_vertex(1), nullptr);
+  EXPECT_EQ(g.num_vertices(), 1u);
+}
+
+TEST(PropertyGraph, AutoIdsAreFresh) {
+  PropertyGraph g;
+  g.add_vertex(10);
+  VertexRecord* v = g.add_vertex();
+  ASSERT_NE(v, nullptr);
+  EXPECT_GT(v->id, 10u);
+  VertexRecord* w = g.add_vertex();
+  ASSERT_NE(w, nullptr);
+  EXPECT_NE(w->id, v->id);
+}
+
+TEST(PropertyGraph, FindVertex) {
+  PropertyGraph g;
+  g.add_vertex(7);
+  EXPECT_NE(g.find_vertex(7), nullptr);
+  EXPECT_EQ(g.find_vertex(8), nullptr);
+}
+
+TEST(PropertyGraph, AddEdgeRequiresBothEndpoints) {
+  PropertyGraph g;
+  g.add_vertex(1);
+  EXPECT_EQ(g.add_edge(1, 2), nullptr);
+  EXPECT_EQ(g.add_edge(2, 1), nullptr);
+  g.add_vertex(2);
+  EXPECT_NE(g.add_edge(1, 2), nullptr);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(PropertyGraph, AddEdgeRejectsDuplicates) {
+  PropertyGraph g;
+  g.add_vertex(1);
+  g.add_vertex(2);
+  EXPECT_NE(g.add_edge(1, 2), nullptr);
+  EXPECT_EQ(g.add_edge(1, 2), nullptr);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(PropertyGraph, ParallelEdgesWhenEnabled) {
+  PropertyGraph g;
+  g.set_allow_parallel_edges(true);
+  g.add_vertex(1);
+  g.add_vertex(2);
+  EXPECT_NE(g.add_edge(1, 2), nullptr);
+  EXPECT_NE(g.add_edge(1, 2), nullptr);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(PropertyGraph, EdgeCarriesWeight) {
+  PropertyGraph g;
+  g.add_vertex(1);
+  g.add_vertex(2);
+  g.add_edge(1, 2, 3.5);
+  const EdgeRecord* e = g.find_edge(1, 2);
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->weight, 3.5);
+}
+
+TEST(PropertyGraph, FindEdgeDirectionality) {
+  PropertyGraph g;
+  g.add_vertex(1);
+  g.add_vertex(2);
+  g.add_edge(1, 2);
+  EXPECT_NE(g.find_edge(1, 2), nullptr);
+  EXPECT_EQ(g.find_edge(2, 1), nullptr);
+}
+
+TEST(PropertyGraph, InAdjacencyMirrorsOutEdges) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 3; ++v) g.add_vertex(v);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const VertexRecord* v2 = g.find_vertex(2);
+  EXPECT_EQ(v2->in.size(), 2u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(PropertyGraph, DeleteEdge) {
+  PropertyGraph g;
+  g.add_vertex(1);
+  g.add_vertex(2);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.delete_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.find_edge(1, 2), nullptr);
+  EXPECT_FALSE(g.delete_edge(1, 2));
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(PropertyGraph, DeleteVertexRemovesIncidentEdges) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 4; ++v) g.add_vertex(v);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  g.add_edge(3, 0);
+  ASSERT_EQ(g.num_edges(), 4u);
+
+  EXPECT_TRUE(g.delete_vertex(1));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);  // only 3 -> 0 remains
+  EXPECT_EQ(g.find_vertex(1), nullptr);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(PropertyGraph, DeleteVertexTwiceFails) {
+  PropertyGraph g;
+  g.add_vertex(5);
+  EXPECT_TRUE(g.delete_vertex(5));
+  EXPECT_FALSE(g.delete_vertex(5));
+}
+
+TEST(PropertyGraph, DeletedIdCanBeReadded) {
+  PropertyGraph g;
+  g.add_vertex(5);
+  g.delete_vertex(5);
+  EXPECT_NE(g.add_vertex(5), nullptr);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(PropertyGraph, TombstonesKeepSlots) {
+  PropertyGraph g;
+  g.add_vertex(1);
+  g.add_vertex(2);
+  const std::size_t slots_before = g.slot_count();
+  g.delete_vertex(1);
+  EXPECT_EQ(g.slot_count(), slots_before + 0);
+  // The tombstoned slot yields nullptr.
+  std::size_t live = 0;
+  for (SlotIndex s = 0; s < g.slot_count(); ++s) {
+    if (g.vertex_at(s) != nullptr) ++live;
+  }
+  EXPECT_EQ(live, 1u);
+}
+
+TEST(PropertyGraph, ForEachOutEdgeVisitsAll) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 5; ++v) g.add_vertex(v);
+  for (VertexId v = 1; v < 5; ++v) g.add_edge(0, v);
+  std::size_t count = 0;
+  const VertexRecord* v0 = g.find_vertex(0);
+  g.for_each_out_edge(*v0, [&](const EdgeRecord&) { ++count; });
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(PropertyGraph, ForEachVertexSkipsDeleted) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 10; ++v) g.add_vertex(v);
+  g.delete_vertex(3);
+  g.delete_vertex(7);
+  std::size_t count = 0;
+  g.for_each_vertex([&](const VertexRecord& v) {
+    ++count;
+    EXPECT_NE(v.id, 3u);
+    EXPECT_NE(v.id, 7u);
+  });
+  EXPECT_EQ(count, 8u);
+}
+
+TEST(PropertyGraph, SlotOfRoundTrip) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 10; ++v) g.add_vertex(v * 100);
+  for (VertexId v = 0; v < 10; ++v) {
+    const SlotIndex slot = g.slot_of(v * 100);
+    ASSERT_NE(slot, kInvalidSlot);
+    EXPECT_EQ(g.vertex_at(slot)->id, v * 100);
+  }
+  EXPECT_EQ(g.slot_of(12345), kInvalidSlot);
+}
+
+TEST(PropertyGraph, SelfLoopDelete) {
+  PropertyGraph g;
+  g.add_vertex(1);
+  g.add_edge(1, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.delete_vertex(1));
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(PropertyGraph, FootprintGrowsWithContent) {
+  PropertyGraph g;
+  const std::size_t empty = g.footprint_bytes();
+  for (VertexId v = 0; v < 100; ++v) g.add_vertex(v);
+  for (VertexId v = 0; v + 1 < 100; ++v) g.add_edge(v, v + 1);
+  EXPECT_GT(g.footprint_bytes(), empty);
+}
+
+TEST(PropertyGraph, FrameworkTimeAccounting) {
+  graph::fwk::set_accounting(true);
+  graph::fwk::reset_thread_time();
+  PropertyGraph g;
+  for (VertexId v = 0; v < 1000; ++v) g.add_vertex(v);
+  for (VertexId v = 0; v + 1 < 1000; ++v) g.add_edge(v, v + 1);
+  const std::uint64_t t = graph::fwk::thread_time_ns();
+  graph::fwk::set_accounting(false);
+  EXPECT_GT(t, 0u);
+}
+
+TEST(PropertyGraph, FrameworkTimeOffByDefault) {
+  graph::fwk::reset_thread_time();
+  PropertyGraph g;
+  for (VertexId v = 0; v < 100; ++v) g.add_vertex(v);
+  EXPECT_EQ(graph::fwk::thread_time_ns(), 0u);
+}
+
+// Property-based sweep: random mutation sequences keep invariants.
+class GraphMutationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphMutationTest, RandomMutationsKeepInvariants) {
+  const std::uint64_t seed = GetParam();
+  PropertyGraph g;
+  std::uint64_t state = seed * 2654435761u + 1;
+  auto next = [&]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t op = next() % 100;
+    const VertexId a = next() % 50;
+    const VertexId b = next() % 50;
+    if (op < 35) {
+      g.add_vertex(a);
+    } else if (op < 70) {
+      g.add_edge(a, b);
+    } else if (op < 85) {
+      g.delete_edge(a, b);
+    } else {
+      g.delete_vertex(a);
+    }
+  }
+  EXPECT_TRUE(g.validate()) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphMutationTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace graphbig::graph

@@ -1,0 +1,301 @@
+// Tests for property-graph serialization, subgraph extraction, the
+// prefetcher model, and the extension workloads (CCentr, RWR).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "bayes/bayes_net.h"
+#include "bayes/munin.h"
+#include "datagen/generators.h"
+#include "graph/serialize.h"
+#include "graph/subgraph.h"
+#include "harness/experiment.h"
+#include "perfmodel/prefetch.h"
+#include "perfmodel/profiler.h"
+#include "workloads/workload.h"
+
+namespace graphbig {
+namespace {
+
+using graph::PropertyGraph;
+using graph::PropertyValue;
+using graph::VertexId;
+
+PropertyGraph rich_graph() {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 4; ++v) g.add_vertex(v);
+  g.find_vertex(0)->props.set_int(1, -42);
+  g.find_vertex(1)->props.set_double(2, 3.14159);
+  g.find_vertex(2)->props.set(3, PropertyValue{std::string("hello world")});
+  g.find_vertex(3)->props.set(
+      4, PropertyValue{std::vector<double>{0.25, 0.75}});
+  g.add_edge(0, 1, 2.5);
+  g.find_edge(0, 1)->props.set_int(9, 7);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 0.125);
+  return g;
+}
+
+// ---- serialization ----
+
+TEST(Serialize, RoundTripRichGraph) {
+  PropertyGraph g = rich_graph();
+  std::stringstream buf;
+  graph::write_graph(g, buf);
+  PropertyGraph back = graph::read_graph(buf);
+  EXPECT_TRUE(graph::graphs_equal(g, back));
+}
+
+TEST(Serialize, RoundTripPreservesStringWithSpaces) {
+  PropertyGraph g = rich_graph();
+  std::stringstream buf;
+  graph::write_graph(g, buf);
+  PropertyGraph back = graph::read_graph(buf);
+  const auto* v = back.find_vertex(2)->props.get(3);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(std::get<std::string>(*v), "hello world");
+}
+
+TEST(Serialize, RoundTripBayesNetworkKeepsParameters) {
+  PropertyGraph g = bayes::generate_munin({97, 120, 4000, 3});
+  std::stringstream buf;
+  graph::write_graph(g, buf);
+  PropertyGraph back = graph::read_graph(buf);
+  EXPECT_TRUE(graph::graphs_equal(g, back));
+  // The reloaded network must still compile.
+  EXPECT_NO_THROW(bayes::BayesNet{back});
+}
+
+TEST(Serialize, RoundTripThroughFile) {
+  PropertyGraph g = rich_graph();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gb_graph_test.gbg")
+          .string();
+  graph::save_graph(g, path);
+  PropertyGraph back = graph::load_graph(path);
+  EXPECT_TRUE(graph::graphs_equal(g, back));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadHeader) {
+  std::stringstream buf("not-a-graph 1\n");
+  EXPECT_THROW(graph::read_graph(buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedInput) {
+  PropertyGraph g = rich_graph();
+  std::stringstream buf;
+  graph::write_graph(g, buf);
+  std::string text = buf.str();
+  text.resize(text.size() / 2);
+  // Cut mid-stream: either a parse error or a count mismatch must throw.
+  std::stringstream cut(text);
+  EXPECT_THROW(graph::read_graph(cut), std::runtime_error);
+}
+
+TEST(Serialize, GraphsEqualDetectsDifferences) {
+  PropertyGraph a = rich_graph();
+  PropertyGraph b = rich_graph();
+  EXPECT_TRUE(graph::graphs_equal(a, b));
+  b.find_vertex(0)->props.set_int(1, 99);
+  EXPECT_FALSE(graph::graphs_equal(a, b));
+}
+
+TEST(Serialize, DoubleRoundTripIsLossless) {
+  PropertyGraph g;
+  g.add_vertex(0);
+  g.find_vertex(0)->props.set_double(1, 0.1 + 0.2);  // not representable
+  std::stringstream buf;
+  graph::write_graph(g, buf);
+  PropertyGraph back = graph::read_graph(buf);
+  EXPECT_EQ(back.find_vertex(0)->props.get_double(1), 0.1 + 0.2);
+}
+
+// ---- subgraph ----
+
+TEST(Subgraph, InducedKeepsInternalEdgesOnly) {
+  PropertyGraph g = rich_graph();
+  PropertyGraph sub = graph::induced_subgraph(
+      g, [](const graph::VertexRecord& v) { return v.id <= 1; });
+  EXPECT_EQ(sub.num_vertices(), 2u);
+  EXPECT_EQ(sub.num_edges(), 1u);  // only 0 -> 1 survives
+  EXPECT_NE(sub.find_edge(0, 1), nullptr);
+  EXPECT_TRUE(sub.validate());
+}
+
+TEST(Subgraph, CopiesProperties) {
+  PropertyGraph g = rich_graph();
+  PropertyGraph sub = graph::induced_subgraph(
+      g, [](const graph::VertexRecord& v) { return v.id <= 1; });
+  EXPECT_EQ(sub.find_vertex(0)->props.get_int(1), -42);
+  EXPECT_EQ(sub.find_edge(0, 1)->props.get_int(9), 7);
+  EXPECT_DOUBLE_EQ(sub.find_edge(0, 1)->weight, 2.5);
+}
+
+TEST(Subgraph, KHopNeighborhood) {
+  PropertyGraph g = rich_graph();  // path 0 -> 1 -> 2 -> 3
+  PropertyGraph one_hop = graph::k_hop_neighborhood(g, 0, 1);
+  EXPECT_EQ(one_hop.num_vertices(), 2u);  // {0, 1}
+  PropertyGraph two_hop = graph::k_hop_neighborhood(g, 0, 2);
+  EXPECT_EQ(two_hop.num_vertices(), 3u);  // {0, 1, 2}
+}
+
+TEST(Subgraph, KHopMissingRootIsEmpty) {
+  PropertyGraph g = rich_graph();
+  EXPECT_EQ(graph::k_hop_neighborhood(g, 99, 2).num_vertices(), 0u);
+}
+
+TEST(Subgraph, EmptyPredicateYieldsEmptyGraph) {
+  PropertyGraph g = rich_graph();
+  PropertyGraph sub = graph::induced_subgraph(
+      g, [](const graph::VertexRecord&) { return false; });
+  EXPECT_EQ(sub.num_vertices(), 0u);
+  EXPECT_EQ(sub.num_edges(), 0u);
+}
+
+// ---- prefetcher ----
+
+TEST(Prefetcher, NextLineIssues) {
+  perfmodel::PrefetcherConfig cfg;
+  cfg.stride = false;
+  perfmodel::Prefetcher pf(cfg);
+  std::vector<std::uint64_t> out;
+  pf.observe(100, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 101u);
+}
+
+TEST(Prefetcher, StrideStreamTrainsAndPrefetches) {
+  perfmodel::PrefetcherConfig cfg;
+  cfg.next_line = false;
+  perfmodel::Prefetcher pf(cfg);
+  std::vector<std::uint64_t> out;
+  // Feed a +4-line stride stream.
+  for (int i = 0; i < 6; ++i) {
+    out.clear();
+    pf.observe(1000 + static_cast<std::uint64_t>(i) * 4, out);
+  }
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0], 1000u + 5 * 4 + 4);  // next stride ahead
+}
+
+TEST(Prefetcher, RandomStreamStaysQuiet) {
+  perfmodel::PrefetcherConfig cfg;
+  cfg.next_line = false;
+  perfmodel::Prefetcher pf(cfg);
+  std::vector<std::uint64_t> out;
+  std::uint64_t x = 12345;
+  std::size_t prefetches = 0;
+  for (int i = 0; i < 300; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    out.clear();
+    pf.observe(x >> 20, out);
+    prefetches += out.size();
+  }
+  // Random lines rarely sustain a confirmed stride.
+  EXPECT_LT(prefetches, 100u);
+}
+
+TEST(Prefetcher, StreamingWorkloadBenefitsTraversalDoesNot) {
+  const auto b = harness::load_bundle(datagen::DatasetId::kLdbc,
+                                      datagen::Scale::kSmall);
+  perfmodel::MachineConfig off;
+  perfmodel::MachineConfig on;
+  on.enable_prefetch = true;
+
+  // DCentr streams adjacency arrays: prefetch helps a lot.
+  const auto d_off = harness::run_cpu_profiled(
+      *workloads::find_workload("DCentr"), b, off);
+  const auto d_on = harness::run_cpu_profiled(
+      *workloads::find_workload("DCentr"), b, on);
+  EXPECT_LT(d_on.metrics.l3_mpki, d_off.metrics.l3_mpki * 0.8);
+
+  // BFS chases pointers: prefetch moves it far less (relatively).
+  const auto b_off =
+      harness::run_cpu_profiled(*workloads::find_workload("BFS"), b, off);
+  const auto b_on =
+      harness::run_cpu_profiled(*workloads::find_workload("BFS"), b, on);
+  const double bfs_gain = 1.0 - b_on.metrics.l3_mpki /
+                                    std::max(1e-9, b_off.metrics.l3_mpki);
+  const double dcentr_gain = 1.0 - d_on.metrics.l3_mpki /
+                                       std::max(1e-9, d_off.metrics.l3_mpki);
+  EXPECT_GT(dcentr_gain, bfs_gain);
+}
+
+// ---- extension workloads ----
+
+TEST(Extensions, RegistryHasTwo) {
+  EXPECT_EQ(workloads::extension_workloads().size(), 2u);
+}
+
+TEST(Extensions, CcentrStarCenterIsClosest) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 6; ++v) g.add_vertex(v);
+  for (VertexId v = 1; v < 6; ++v) {
+    g.add_edge(0, v, 1.0);
+    g.add_edge(v, 0, 1.0);
+  }
+  workloads::RunContext ctx;
+  ctx.graph = &g;
+  ctx.root = 0;
+  ctx.bc_samples = 6;
+  ctx.seed = 1;
+  workloads::ccentr().run(ctx);
+  // The hub (distance 1 to all) has closeness 1.0; leaves have
+  // (n-1) / (1 + 2*(n-2)) < 1.
+  const double hub =
+      g.find_vertex(0)->props.get_double(workloads::props::kCloseness, -1);
+  if (hub >= 0) {  // hub sampled
+    EXPECT_NEAR(hub, 1.0, 1e-9);
+  }
+  bool any = false;
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    const double c = v.props.get_double(workloads::props::kCloseness, -1);
+    if (c >= 0) {
+      any = true;
+      EXPECT_LE(c, 1.0 + 1e-9);
+    }
+  });
+  EXPECT_TRUE(any);
+}
+
+TEST(Extensions, RwrScoresSumToOne) {
+  datagen::RmatConfig cfg;
+  cfg.scale = 9;
+  PropertyGraph g =
+      datagen::build_property_graph(datagen::generate_rmat(cfg));
+  workloads::RunContext ctx;
+  ctx.graph = &g;
+  ctx.root = 0;
+  workloads::rwr().run(ctx);
+  double sum = 0.0;
+  double root_score = 0.0;
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    const double s = v.props.get_double(workloads::props::kRwrScore, 0.0);
+    EXPECT_GE(s, 0.0);
+    sum += s;
+    if (v.id == 0) root_score = s;
+  });
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // Restart keeps the seed hot.
+  EXPECT_GT(root_score, 0.15);
+}
+
+TEST(Extensions, RwrDeterministic) {
+  datagen::GeneConfig cfg;
+  cfg.num_entities = 512;
+  PropertyGraph g1 =
+      datagen::build_property_graph(datagen::generate_gene(cfg));
+  PropertyGraph g2 =
+      datagen::build_property_graph(datagen::generate_gene(cfg));
+  workloads::RunContext c1, c2;
+  c1.graph = &g1;
+  c2.graph = &g2;
+  EXPECT_EQ(workloads::rwr().run(c1).checksum,
+            workloads::rwr().run(c2).checksum);
+}
+
+}  // namespace
+}  // namespace graphbig

@@ -1,0 +1,135 @@
+// Deeper SIMT-engine semantics: device-L2 behavior, partial warps,
+// atomic accounting, kernel-launch composition, and the achievable-
+// bandwidth model.
+#include <gtest/gtest.h>
+
+#include "platform/aligned.h"
+#include "simt/engine.h"
+
+namespace graphbig::simt {
+namespace {
+
+TEST(SimtL2, RepeatedSegmentHitsAfterWarmup) {
+  SimtEngine engine;
+  platform::DeviceVector<std::uint32_t> hot(32, 0);
+  // Two launches touching the same 128B segment: the second one hits.
+  auto kernel = [&](std::uint64_t tid, Lane& lane) {
+    lane.ld(&hot[tid], 4);
+  };
+  const auto first = engine.launch(32, kernel);
+  const auto second = engine.launch(32, kernel);
+  EXPECT_GT(first.load_dram_segments, 0u);
+  EXPECT_EQ(second.load_dram_segments, 0u);
+  EXPECT_GT(second.l2_hits, 0u);
+}
+
+TEST(SimtL2, StreamingFootprintMissesBeyondCapacity) {
+  SimtConfig cfg;
+  cfg.l2_bytes = 16 * 1024;  // 128 segments
+  SimtEngine engine(cfg);
+  platform::DeviceVector<std::uint32_t> big(1 << 18, 0);  // 1MB
+  const auto stats = engine.launch(1 << 18, [&](std::uint64_t tid,
+                                                Lane& lane) {
+    lane.ld(&big[tid], 4);
+  });
+  // 1MB streamed through a 16KB cache: essentially everything reaches
+  // DRAM (one transaction per 32-lane warp).
+  EXPECT_GE(stats.load_dram_segments, stats.load_segments * 9 / 10);
+}
+
+TEST(SimtL2, DramTrafficNeverExceedsTransactions) {
+  SimtEngine engine;
+  platform::DeviceVector<std::uint32_t> data(4096, 0);
+  const auto stats = engine.launch(4096, [&](std::uint64_t tid,
+                                             Lane& lane) {
+    lane.ld(&data[(tid * 977) % 4096], 4);
+  });
+  EXPECT_LE(stats.load_dram_segments, stats.load_segments);
+}
+
+TEST(SimtWarp, LaunchSmallerThanWarpStillRuns) {
+  SimtEngine engine;
+  int executed = 0;
+  const auto stats = engine.launch(3, [&](std::uint64_t, Lane& lane) {
+    lane.alu(1);
+    ++executed;
+  });
+  EXPECT_EQ(executed, 3);
+  EXPECT_EQ(stats.warps, 1u);
+  EXPECT_NEAR(stats.bdr(), 29.0 / 32.0, 1e-9);
+}
+
+TEST(SimtWarp, ZeroThreadLaunch) {
+  SimtEngine engine;
+  const auto stats = engine.launch(0, [&](std::uint64_t, Lane&) {
+    FAIL() << "kernel must not run";
+  });
+  EXPECT_EQ(stats.warps, 0u);
+  EXPECT_EQ(stats.base_instructions, 0u);
+}
+
+TEST(SimtWarp, EmptyTracesCostNothing) {
+  SimtEngine engine;
+  const auto stats = engine.launch(64, [&](std::uint64_t, Lane&) {});
+  EXPECT_EQ(stats.base_instructions, 0u);
+  EXPECT_EQ(stats.lane_slots, 0u);
+}
+
+TEST(SimtWarp, AluWeightScalesIssueSlots) {
+  SimtEngine engine;
+  const auto one = engine.launch(32, [&](std::uint64_t, Lane& lane) {
+    lane.alu(1);
+  });
+  SimtEngine engine2;
+  const auto five = engine2.launch(32, [&](std::uint64_t, Lane& lane) {
+    lane.alu(5);
+  });
+  EXPECT_EQ(one.base_instructions, 1u);
+  EXPECT_EQ(five.base_instructions, 5u);
+  // Divergence ratio is unchanged by the weighting.
+  EXPECT_DOUBLE_EQ(one.bdr(), five.bdr());
+}
+
+TEST(SimtAtomics, DistinctAddressesNoConflict) {
+  SimtEngine engine;
+  platform::DeviceVector<std::uint32_t> counters(32, 0);
+  const auto stats = engine.launch(32, [&](std::uint64_t tid, Lane& lane) {
+    lane.atomic(&counters[tid], 4);
+    ++counters[tid];
+  });
+  EXPECT_EQ(stats.atomic_ops, 32u);
+  EXPECT_EQ(stats.atomic_conflicts, 0u);
+}
+
+TEST(SimtAtomics, AtomicsCountLoadAndStoreTraffic) {
+  SimtEngine engine;
+  platform::DeviceVector<std::uint32_t> counters(32, 0);
+  const auto stats = engine.launch(32, [&](std::uint64_t tid, Lane& lane) {
+    lane.atomic(&counters[tid], 4);
+  });
+  EXPECT_GT(stats.load_segments, 0u);
+  EXPECT_EQ(stats.load_segments, stats.store_segments);
+}
+
+TEST(SimtTiming, MoreReplaysMeansMoreTime) {
+  SimtConfig cfg;
+  KernelStats coalesced;
+  coalesced.base_instructions = 100000;
+  coalesced.load_segments = coalesced.load_dram_segments = 100000;
+
+  KernelStats divergent = coalesced;
+  divergent.replays = 3100000;  // 32 segments per access
+  divergent.load_segments = divergent.load_dram_segments = 3200000;
+  EXPECT_GT(model_timing(divergent, cfg).seconds,
+            model_timing(coalesced, cfg).seconds * 5);
+}
+
+TEST(SimtTiming, IpcCappedAtOne) {
+  KernelStats stats;
+  stats.base_instructions = 123456;
+  const GpuTiming t = model_timing(stats, SimtConfig{});
+  EXPECT_LE(t.ipc, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace graphbig::simt

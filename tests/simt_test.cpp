@@ -1,0 +1,235 @@
+// Tests for the SIMT engine: coalescing, divergence measurement, atomics
+// accounting, and the timing model -- the metrics behind Figures 10-13.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "simt/coalescer.h"
+#include "simt/engine.h"
+
+namespace graphbig::simt {
+namespace {
+
+// ---- coalescer ----
+
+TEST(Coalescer, ContiguousWordsOneSegment) {
+  std::array<std::uint64_t, 32> addrs{};
+  std::array<std::uint32_t, 32> sizes{};
+  for (int i = 0; i < 32; ++i) {
+    addrs[i] = 0x1000 + i * 4;  // 128 bytes exactly
+    sizes[i] = 4;
+  }
+  const auto r = coalesce(addrs, sizes, 128);
+  EXPECT_EQ(r.segments, 1u);
+  EXPECT_EQ(r.conflicts, 0u);
+}
+
+TEST(Coalescer, ScatteredAddressesManySegments) {
+  std::array<std::uint64_t, 32> addrs{};
+  std::array<std::uint32_t, 32> sizes{};
+  for (int i = 0; i < 32; ++i) {
+    addrs[i] = static_cast<std::uint64_t>(i) * 4096;
+    sizes[i] = 4;
+  }
+  const auto r = coalesce(addrs, sizes, 128);
+  EXPECT_EQ(r.segments, 32u);
+}
+
+TEST(Coalescer, StraddlingAccessCountsBothSegments) {
+  const std::uint64_t addrs[] = {126};
+  const std::uint32_t sizes[] = {4};
+  const auto r = coalesce(addrs, sizes, 128);
+  EXPECT_EQ(r.segments, 2u);
+}
+
+TEST(Coalescer, SameWordConflicts) {
+  std::array<std::uint64_t, 4> addrs{0x100, 0x100, 0x100, 0x104};
+  std::array<std::uint32_t, 4> sizes{4, 4, 4, 4};
+  const auto r = coalesce(addrs, sizes, 128);
+  EXPECT_EQ(r.segments, 1u);
+  EXPECT_EQ(r.conflicts, 2u);  // three lanes on 0x100 -> 2 serializations
+}
+
+TEST(Coalescer, EmptyInput) {
+  const auto r = coalesce({}, {}, 128);
+  EXPECT_EQ(r.segments, 0u);
+  EXPECT_EQ(r.conflicts, 0u);
+}
+
+// ---- engine: divergence ----
+
+TEST(Engine, UniformKernelHasNoBranchDivergence) {
+  SimtEngine engine;
+  std::vector<std::uint32_t> data(64, 0);
+  const auto stats = engine.launch(64, [&](std::uint64_t tid, Lane& lane) {
+    lane.ld(&data[tid], 4);
+    lane.alu(1);
+  });
+  EXPECT_EQ(stats.warps, 2u);
+  EXPECT_DOUBLE_EQ(stats.bdr(), 0.0);
+}
+
+TEST(Engine, PartialWarpCountsInactiveLanes) {
+  SimtEngine engine;
+  std::vector<std::uint32_t> data(16, 0);
+  const auto stats = engine.launch(16, [&](std::uint64_t tid, Lane& lane) {
+    lane.ld(&data[tid], 4);
+  });
+  // 16 of 32 lanes active in the only warp.
+  EXPECT_EQ(stats.warps, 1u);
+  EXPECT_DOUBLE_EQ(stats.bdr(), 0.5);
+}
+
+TEST(Engine, SkewedWorkRaisesBdr) {
+  SimtEngine engine;
+  std::vector<std::uint32_t> data(1024, 0);
+  // Lane 0 of each warp does 64 ops; others do 1 -> massive imbalance.
+  const auto stats = engine.launch(64, [&](std::uint64_t tid, Lane& lane) {
+    const int iters = (tid % 32 == 0) ? 64 : 1;
+    for (int i = 0; i < iters; ++i) lane.alu(1);
+  });
+  EXPECT_GT(stats.bdr(), 0.8);
+}
+
+TEST(Engine, CoalescedLoadsLowMdr) {
+  SimtEngine engine;
+  // 128-byte-aligned buffer: each warp's 32 consecutive 4-byte loads land
+  // in exactly one segment.
+  std::vector<std::uint32_t> raw(256 + 32, 0);
+  auto* data = reinterpret_cast<std::uint32_t*>(
+      (reinterpret_cast<std::uintptr_t>(raw.data()) + 127) & ~std::uintptr_t{127});
+  const auto stats = engine.launch(256, [&](std::uint64_t tid, Lane& lane) {
+    lane.ld(&data[tid], 4);  // consecutive addresses within a warp
+  });
+  EXPECT_LT(stats.mdr(), 0.05);
+  EXPECT_EQ(stats.replays, 0u);
+}
+
+TEST(Engine, ScatteredLoadsHighMdr) {
+  SimtEngine engine;
+  std::vector<std::uint32_t> data(32 * 64, 0);
+  const auto stats = engine.launch(32, [&](std::uint64_t tid, Lane& lane) {
+    lane.ld(&data[tid * 64], 4);  // each lane a different 128B segment
+  });
+  // One warp, one load slot, 32 segments -> 31 replays / 32 issues.
+  EXPECT_EQ(stats.replays, 31u);
+  EXPECT_NEAR(stats.mdr(), 31.0 / 32.0, 1e-9);
+}
+
+TEST(Engine, MixedOpKindsSplitIssueSlots) {
+  SimtEngine engine;
+  std::vector<std::uint32_t> data(32, 0);
+  const auto stats = engine.launch(32, [&](std::uint64_t tid, Lane& lane) {
+    if (tid % 2 == 0) {
+      lane.ld(&data[tid], 4);
+    } else {
+      lane.alu(1);
+    }
+  });
+  // Same slot, two kinds -> two issues, each with half the lanes active.
+  EXPECT_EQ(stats.base_instructions, 2u);
+  EXPECT_DOUBLE_EQ(stats.bdr(), 0.5);
+}
+
+TEST(Engine, AtomicsRecordConflicts) {
+  SimtEngine engine;
+  std::uint32_t counter = 0;
+  const auto stats = engine.launch(32, [&](std::uint64_t, Lane& lane) {
+    lane.atomic(&counter, 4);
+    ++counter;  // lanes execute sequentially in the simulator
+  });
+  EXPECT_EQ(counter, 32u);
+  EXPECT_EQ(stats.atomic_ops, 32u);
+  EXPECT_EQ(stats.atomic_conflicts, 31u);
+}
+
+TEST(Engine, TotalsAccumulateAcrossLaunches) {
+  SimtEngine engine;
+  std::vector<std::uint32_t> data(64, 0);
+  auto kernel = [&](std::uint64_t tid, Lane& lane) {
+    lane.ld(&data[tid], 4);
+  };
+  engine.launch(64, kernel);
+  engine.launch(64, kernel);
+  EXPECT_EQ(engine.total().launches, 2u);
+  EXPECT_EQ(engine.total().threads, 128u);
+  engine.reset();
+  EXPECT_EQ(engine.total().launches, 0u);
+}
+
+// ---- timing model ----
+
+TEST(Timing, ComputeBoundKernel) {
+  SimtConfig cfg;
+  KernelStats stats;
+  stats.base_instructions = 15'000'000;  // no memory at all
+  const GpuTiming t = model_timing(stats, cfg);
+  EXPECT_GT(t.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(t.read_throughput_gbs, 0.0);
+  EXPECT_NEAR(t.ipc, 1.0, 1e-9);  // perfectly issue-bound
+}
+
+TEST(Timing, MemoryBoundKernelHitsAchievableCeiling) {
+  SimtConfig cfg;
+  KernelStats stats;
+  stats.base_instructions = 1000;
+  stats.load_segments = 10'000'000;  // ~1.28 GB of traffic
+  stats.load_dram_segments = 10'000'000;  // all missing the device L2
+  const GpuTiming t = model_timing(stats, cfg);
+  // A fully converged memory-bound kernel sustains the achievable
+  // utilization of peak bandwidth (the paper's best case is 89.9 of
+  // 288 GB/s), never the spec-sheet number.
+  EXPECT_NEAR(t.read_throughput_gbs,
+              cfg.mem_bandwidth_gbs * cfg.base_bw_utilization, 1.0);
+  EXPECT_LT(t.read_throughput_gbs, 100.0);
+  EXPECT_LT(t.ipc, 0.01);
+}
+
+TEST(Timing, DivergenceLowersAchievableBandwidth) {
+  SimtConfig cfg;
+  KernelStats converged;
+  converged.base_instructions = 1000;
+  converged.load_segments = 10'000'000;
+  converged.load_dram_segments = 10'000'000;
+  converged.lane_slots = 1000;
+
+  KernelStats divergent = converged;
+  divergent.inactive_lane_slots = 800;  // BDR 0.8
+  EXPECT_GT(model_timing(divergent, cfg).seconds,
+            model_timing(converged, cfg).seconds * 1.3);
+}
+
+TEST(Timing, AtomicsSlowTheKernel) {
+  SimtConfig cfg;
+  KernelStats base;
+  base.base_instructions = 1'000'000;
+  KernelStats with_atomics = base;
+  with_atomics.atomic_conflicts = 1'000'000;
+  EXPECT_GT(model_timing(with_atomics, cfg).seconds,
+            model_timing(base, cfg).seconds * 2);
+}
+
+TEST(Timing, ZeroStatsZeroTime) {
+  const GpuTiming t = model_timing(KernelStats{}, SimtConfig{});
+  EXPECT_DOUBLE_EQ(t.seconds, 0.0);
+}
+
+TEST(KernelStatsOps, PlusEqualsAggregates) {
+  KernelStats a, b;
+  a.base_instructions = 10;
+  a.replays = 2;
+  a.lane_slots = 320;
+  a.inactive_lane_slots = 32;
+  b.base_instructions = 20;
+  b.replays = 3;
+  b.lane_slots = 640;
+  b.inactive_lane_slots = 64;
+  a += b;
+  EXPECT_EQ(a.base_instructions, 30u);
+  EXPECT_EQ(a.issued(), 35u);
+  EXPECT_NEAR(a.bdr(), 96.0 / 960.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace graphbig::simt

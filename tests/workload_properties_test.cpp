@@ -1,0 +1,259 @@
+// Property-based invariant checks for every analytics workload, swept
+// across all five dataset classes (parameterized): these are the algebraic
+// guarantees each algorithm must satisfy on *any* input, independent of
+// the specific graph.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+
+#include "baseline/prototype.h"
+#include "harness/experiment.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+namespace {
+
+class WorkloadInvariants
+    : public ::testing::TestWithParam<datagen::DatasetId> {
+ protected:
+  static const harness::DatasetBundle& bundle(datagen::DatasetId id) {
+    static std::map<datagen::DatasetId, harness::DatasetBundle> cache;
+    auto it = cache.find(id);
+    if (it == cache.end()) {
+      it = cache.emplace(id, harness::load_bundle(id, datagen::Scale::kTiny))
+               .first;
+    }
+    return it->second;
+  }
+
+  graph::PropertyGraph run(const char* acronym,
+                           const harness::DatasetBundle& b) {
+    const Workload* w = find_workload(acronym);
+    graph::PropertyGraph g = harness::make_input_graph(*w, b);
+    RunContext ctx = harness::make_cpu_context(*w, g, b);
+    ctx.bc_samples = 3;
+    w->run(ctx);
+    return g;
+  }
+};
+
+TEST_P(WorkloadInvariants, BfsDepthsAreConsistent) {
+  const auto& b = bundle(GetParam());
+  graph::PropertyGraph g = run("BFS", b);
+  // Tree consistency: for every edge (u, v) with both visited,
+  // depth(v) <= depth(u) + 1 (otherwise BFS missed a shorter path).
+  g.for_each_vertex([&](const graph::VertexRecord& u) {
+    const auto du = u.props.get_int(props::kDepth, -1);
+    if (du < 0) return;
+    for (const auto& e : u.out) {
+      const auto dv =
+          g.find_vertex(e.target)->props.get_int(props::kDepth, -1);
+      ASSERT_GE(dv, 0) << "reachable vertex left unvisited";
+      ASSERT_LE(dv, du + 1);
+    }
+  });
+}
+
+TEST_P(WorkloadInvariants, SpathSatisfiesTriangleInequality) {
+  const auto& b = bundle(GetParam());
+  graph::PropertyGraph g = run("SPath", b);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  g.for_each_vertex([&](const graph::VertexRecord& u) {
+    const double du = u.props.get_double(props::kDistance, kInf);
+    if (du == kInf) return;
+    for (const auto& e : u.out) {
+      const double dv =
+          g.find_vertex(e.target)->props.get_double(props::kDistance, kInf);
+      ASSERT_LE(dv, du + e.weight + 1e-9);
+    }
+  });
+}
+
+TEST_P(WorkloadInvariants, SpathDistancesDominateBfsHops) {
+  // With unit-or-larger weights... not guaranteed for road weights < 1,
+  // so assert the weaker invariant: the two reach sets agree.
+  const auto& b = bundle(GetParam());
+  graph::PropertyGraph gb = run("BFS", b);
+  graph::PropertyGraph gs = run("SPath", b);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  gb.for_each_vertex([&](const graph::VertexRecord& v) {
+    const bool bfs_reached = v.props.contains(props::kDepth);
+    const bool sp_reached =
+        gs.find_vertex(v.id)->props.get_double(props::kDistance, kInf) <
+        kInf;
+    ASSERT_EQ(bfs_reached, sp_reached) << "vertex " << v.id;
+  });
+}
+
+TEST_P(WorkloadInvariants, KcoreBoundedByDegree) {
+  const auto& b = bundle(GetParam());
+  graph::PropertyGraph g = run("kCore", b);
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    const auto core = v.props.get_int(props::kCore, -1);
+    ASSERT_GE(core, 0);
+    ASSERT_LE(core, static_cast<std::int64_t>(undirected_degree(v)));
+  });
+}
+
+TEST_P(WorkloadInvariants, KcoreSubgraphProperty) {
+  // Every vertex with core number >= k has at least k neighbors with core
+  // number >= k (definition of the k-core).
+  const auto& b = bundle(GetParam());
+  graph::PropertyGraph g = run("kCore", b);
+  std::int64_t max_core = 0;
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    max_core = std::max(max_core, v.props.get_int(props::kCore, 0));
+  });
+  const std::int64_t k = max_core;
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    if (v.props.get_int(props::kCore, 0) < k) return;
+    std::int64_t strong_neighbors = 0;
+    auto count = [&](graph::VertexId nid) {
+      if (g.find_vertex(nid)->props.get_int(props::kCore, 0) >= k) {
+        ++strong_neighbors;
+      }
+    };
+    for (const auto& e : v.out) count(e.target);
+    for (const auto src : v.in) count(src);
+    ASSERT_GE(strong_neighbors, k) << "vertex " << v.id;
+  });
+}
+
+TEST_P(WorkloadInvariants, GcolorIsProper) {
+  const auto& b = bundle(GetParam());
+  graph::PropertyGraph g = run("GColor", b);
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    const auto c = v.props.get_int(props::kColor, -1);
+    ASSERT_GE(c, 0);
+    for (const auto& e : v.out) {
+      if (e.target == v.id) continue;
+      ASSERT_NE(c, g.find_vertex(e.target)->props.get_int(props::kColor, -1))
+          << "edge " << v.id << " -> " << e.target;
+    }
+  });
+}
+
+TEST_P(WorkloadInvariants, CcompLabelsPartitionEdges) {
+  const auto& b = bundle(GetParam());
+  graph::PropertyGraph g = run("CComp", b);
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    const auto label = v.props.get_int(props::kLabel, -1);
+    ASSERT_GE(label, 0);
+    for (const auto& e : v.out) {
+      ASSERT_EQ(label,
+                g.find_vertex(e.target)->props.get_int(props::kLabel, -2));
+    }
+  });
+}
+
+TEST_P(WorkloadInvariants, DcentrSumsToTwiceEdges) {
+  const auto& b = bundle(GetParam());
+  graph::PropertyGraph g = run("DCentr", b);
+  std::uint64_t total = 0;
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    total += static_cast<std::uint64_t>(v.props.get_int(props::kDegree, 0));
+  });
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+TEST_P(WorkloadInvariants, BcentrNonNegative) {
+  const auto& b = bundle(GetParam());
+  graph::PropertyGraph g = run("BCentr", b);
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    ASSERT_GE(v.props.get_double(props::kBetweenness, -1.0), 0.0);
+  });
+}
+
+TEST_P(WorkloadInvariants, TcMatchesPrototype) {
+  const auto& b = bundle(GetParam());
+  const Workload* w = find_workload("TC");
+  graph::PropertyGraph g = harness::make_input_graph(*w, b);
+  RunContext ctx = harness::make_cpu_context(*w, g, b);
+  const RunResult r = w->run(ctx);
+  EXPECT_EQ(r.checksum, baseline::csr_tc(b.sym).checksum);
+}
+
+TEST_P(WorkloadInvariants, TmorphMoralGraphCoversDag) {
+  const auto& b = bundle(GetParam());
+  const Workload* w = find_workload("TMorph");
+  graph::PropertyGraph g = harness::make_input_graph(*w, b);
+  // Snapshot DAG edges before morphing.
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> dag_edges;
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    for (const auto& e : v.out) dag_edges.emplace_back(v.id, e.target);
+  });
+  RunContext ctx = harness::make_cpu_context(*w, g, b);
+  w->run(ctx);
+  // Every original edge survives in both directions.
+  for (const auto& [s, d] : dag_edges) {
+    ASSERT_NE(g.find_edge(s, d), nullptr);
+    ASSERT_NE(g.find_edge(d, s), nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, WorkloadInvariants,
+                         ::testing::Values(datagen::DatasetId::kTwitter,
+                                           datagen::DatasetId::kKnowledge,
+                                           datagen::DatasetId::kWatson,
+                                           datagen::DatasetId::kRoadNet,
+                                           datagen::DatasetId::kLdbc));
+
+// ---- degenerate inputs ----
+
+TEST(WorkloadEdgeCases, EmptyGraph) {
+  graph::PropertyGraph g;
+  RunContext ctx;
+  ctx.graph = &g;
+  ctx.root = 0;
+  for (const Workload* w : all_cpu_workloads()) {
+    if (w->acronym() == "GCons" || w->needs_bayes_input()) continue;
+    const RunResult r = w->run(ctx);
+    EXPECT_EQ(r.vertices_processed, 0u) << w->acronym();
+  }
+}
+
+TEST(WorkloadEdgeCases, SingleVertex) {
+  for (const Workload* w : all_cpu_workloads()) {
+    if (w->acronym() == "GCons" || w->needs_bayes_input()) continue;
+    graph::PropertyGraph g;
+    g.add_vertex(0);
+    RunContext ctx;
+    ctx.graph = &g;
+    ctx.root = 0;
+    const RunResult r = w->run(ctx);
+    EXPECT_LE(r.edges_processed, 0u) << w->acronym();
+    EXPECT_TRUE(g.validate()) << w->acronym();
+  }
+}
+
+TEST(WorkloadEdgeCases, SelfLoopsDoNotBreakAnalytics) {
+  for (const char* acronym : {"BFS", "kCore", "CComp", "DCentr"}) {
+    graph::PropertyGraph g;
+    g.add_vertex(0);
+    g.add_vertex(1);
+    g.add_edge(0, 0);
+    g.add_edge(0, 1);
+    RunContext ctx;
+    ctx.graph = &g;
+    ctx.root = 0;
+    const RunResult r = find_workload(acronym)->run(ctx);
+    EXPECT_GT(r.vertices_processed, 0u) << acronym;
+    EXPECT_TRUE(g.validate()) << acronym;
+  }
+}
+
+TEST(WorkloadEdgeCases, DisconnectedRootOnlyReachesItself) {
+  graph::PropertyGraph g;
+  g.add_vertex(0);
+  g.add_vertex(1);
+  g.add_edge(1, 1);
+  RunContext ctx;
+  ctx.graph = &g;
+  ctx.root = 0;
+  const RunResult r = bfs().run(ctx);
+  EXPECT_EQ(r.vertices_processed, 1u);
+}
+
+}  // namespace
+}  // namespace graphbig::workloads

@@ -1,0 +1,472 @@
+// Correctness tests for all 13 CPU workloads on hand-built graphs with
+// known answers, plus metadata checks (computation types, registry).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bayes/munin.h"
+#include "datagen/generators.h"
+#include "workloads/workload.h"
+
+namespace graphbig::workloads {
+namespace {
+
+using graph::PropertyGraph;
+using graph::VertexId;
+
+/// Path 0 -> 1 -> 2 -> 3 plus a side branch 1 -> 4.
+PropertyGraph make_path_graph() {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 5; ++v) g.add_vertex(v);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(1, 4, 10.0);
+  return g;
+}
+
+/// Two triangles sharing vertex 2: {0,1,2} and {2,3,4}, undirected-style
+/// (each edge in one direction; workloads use the undirected view).
+PropertyGraph make_two_triangles() {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 5; ++v) g.add_vertex(v);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(2, 4);
+  return g;
+}
+
+RunContext ctx_for(PropertyGraph& g, VertexId root = 0) {
+  RunContext ctx;
+  ctx.graph = &g;
+  ctx.root = root;
+  ctx.seed = 7;
+  return ctx;
+}
+
+// ---- registry / metadata ----
+
+TEST(WorkloadRegistry, Has13CpuWorkloads) {
+  EXPECT_EQ(all_cpu_workloads().size(), 13u);
+}
+
+TEST(WorkloadRegistry, AcronymsAreUnique) {
+  std::set<std::string> seen;
+  for (const Workload* w : all_cpu_workloads()) {
+    EXPECT_TRUE(seen.insert(w->acronym()).second) << w->acronym();
+  }
+}
+
+TEST(WorkloadRegistry, FindByAcronym) {
+  EXPECT_EQ(find_workload("BFS"), &bfs());
+  EXPECT_EQ(find_workload("kCore"), &kcore());
+  EXPECT_EQ(find_workload("nope"), nullptr);
+}
+
+TEST(WorkloadRegistry, ComputationTypeCoverage) {
+  // Paper Table 3: GraphBIG covers all three computation types.
+  int structure = 0, property = 0, dynamic = 0;
+  for (const Workload* w : all_cpu_workloads()) {
+    switch (w->computation_type()) {
+      case ComputationType::kStructure:
+        ++structure;
+        break;
+      case ComputationType::kProperty:
+        ++property;
+        break;
+      case ComputationType::kDynamic:
+        ++dynamic;
+        break;
+    }
+  }
+  EXPECT_EQ(structure, 8);
+  EXPECT_EQ(property, 2);  // TC and Gibbs
+  EXPECT_EQ(dynamic, 3);   // GCons, GUp, TMorph
+}
+
+TEST(WorkloadRegistry, DynamicWorkloadsMutate) {
+  for (const Workload* w : all_cpu_workloads()) {
+    EXPECT_EQ(w->mutates_graph(),
+              w->computation_type() == ComputationType::kDynamic)
+        << w->acronym();
+  }
+}
+
+TEST(WorkloadRegistry, UseCaseCountsMatchFigure4) {
+  // BFS is the most popular (10 uses), TC the least (4).
+  EXPECT_EQ(use_case_count("BFS"), 10);
+  EXPECT_EQ(use_case_count("TC"), 4);
+  for (const Workload* w : all_cpu_workloads()) {
+    EXPECT_GE(use_case_count(w->acronym()), 4) << w->acronym();
+    EXPECT_LE(use_case_count(w->acronym()), 10) << w->acronym();
+  }
+}
+
+// ---- BFS ----
+
+TEST(Bfs, VisitsReachableVertices) {
+  PropertyGraph g = make_path_graph();
+  RunContext ctx = ctx_for(g);
+  const RunResult r = bfs().run(ctx);
+  EXPECT_EQ(r.vertices_processed, 5u);
+  EXPECT_EQ(r.edges_processed, 4u);
+}
+
+TEST(Bfs, DepthsAreCorrect) {
+  PropertyGraph g = make_path_graph();
+  RunContext ctx = ctx_for(g);
+  bfs().run(ctx);
+  EXPECT_EQ(g.find_vertex(0)->props.get_int(props::kDepth, -1), 0);
+  EXPECT_EQ(g.find_vertex(1)->props.get_int(props::kDepth, -1), 1);
+  EXPECT_EQ(g.find_vertex(2)->props.get_int(props::kDepth, -1), 2);
+  EXPECT_EQ(g.find_vertex(3)->props.get_int(props::kDepth, -1), 3);
+  EXPECT_EQ(g.find_vertex(4)->props.get_int(props::kDepth, -1), 2);
+}
+
+TEST(Bfs, UnreachableVerticesUntouched) {
+  PropertyGraph g = make_path_graph();
+  g.add_vertex(99);  // isolated
+  RunContext ctx = ctx_for(g);
+  bfs().run(ctx);
+  EXPECT_FALSE(g.find_vertex(99)->props.contains(props::kDepth));
+}
+
+TEST(Bfs, MissingRootIsEmptyRun) {
+  PropertyGraph g = make_path_graph();
+  RunContext ctx = ctx_for(g, 1234);
+  const RunResult r = bfs().run(ctx);
+  EXPECT_EQ(r.vertices_processed, 0u);
+}
+
+TEST(Bfs, ParallelMatchesSequential) {
+  datagen::RmatConfig cfg;
+  cfg.scale = 10;
+  cfg.edge_factor = 6;
+  PropertyGraph g1 = datagen::build_property_graph(generate_rmat(cfg));
+  PropertyGraph g2 = datagen::build_property_graph(generate_rmat(cfg));
+
+  RunContext seq = ctx_for(g1);
+  const RunResult r_seq = bfs().run(seq);
+
+  platform::ThreadPool pool(4);
+  RunContext par = ctx_for(g2);
+  par.pool = &pool;
+  const RunResult r_par = bfs().run(par);
+
+  EXPECT_EQ(r_seq.vertices_processed, r_par.vertices_processed);
+  EXPECT_EQ(r_seq.checksum, r_par.checksum);
+}
+
+// ---- DFS ----
+
+TEST(Dfs, VisitsAllReachable) {
+  PropertyGraph g = make_path_graph();
+  RunContext ctx = ctx_for(g);
+  const RunResult r = dfs().run(ctx);
+  EXPECT_EQ(r.vertices_processed, 5u);
+}
+
+TEST(Dfs, PreOrderNumbering) {
+  // 0 -> {1, 2}; 1 -> {3}. DFS from 0 visiting lower ids first:
+  // order 0, 1, 3, 2.
+  PropertyGraph g;
+  for (VertexId v = 0; v < 4; ++v) g.add_vertex(v);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  RunContext ctx = ctx_for(g);
+  dfs().run(ctx);
+  EXPECT_EQ(g.find_vertex(0)->props.get_int(props::kDepth, -1), 0);
+  EXPECT_EQ(g.find_vertex(1)->props.get_int(props::kDepth, -1), 1);
+  EXPECT_EQ(g.find_vertex(3)->props.get_int(props::kDepth, -1), 2);
+  EXPECT_EQ(g.find_vertex(2)->props.get_int(props::kDepth, -1), 3);
+}
+
+// ---- GCons ----
+
+TEST(GCons, BuildsRequestedGraph) {
+  datagen::EdgeList el;
+  el.num_vertices = 100;
+  for (std::uint32_t v = 0; v + 1 < 100; ++v) el.edges.emplace_back(v, v + 1);
+
+  PropertyGraph g;
+  RunContext ctx = ctx_for(g);
+  ctx.edge_list = &el;
+  const RunResult r = gcons().run(ctx);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 99u);
+  EXPECT_EQ(r.vertices_processed, 100u);
+  EXPECT_EQ(r.edges_processed, 99u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(GCons, RequiresEdgeList) {
+  PropertyGraph g;
+  RunContext ctx = ctx_for(g);
+  EXPECT_THROW(gcons().run(ctx), std::invalid_argument);
+}
+
+// ---- GUp ----
+
+TEST(GUp, DeletesRequestedFraction) {
+  datagen::RoadConfig cfg;
+  cfg.rows = 32;
+  cfg.cols = 32;
+  PropertyGraph g = datagen::build_property_graph(generate_road(cfg));
+  const std::size_t before = g.num_vertices();
+
+  RunContext ctx = ctx_for(g);
+  ctx.delete_fraction = 0.2;
+  const RunResult r = gup().run(ctx);
+  EXPECT_GT(r.vertices_processed, 0u);
+  EXPECT_EQ(g.num_vertices(), before - r.vertices_processed);
+  EXPECT_TRUE(g.validate());
+}
+
+// ---- TMorph ----
+
+TEST(TMorph, MoralizesCollider) {
+  // DAG: 0 -> 2 <- 1 (a collider). The moral graph marries parents 0,1 and
+  // drops directions: edges {0,1}, {0,2}, {1,2} in both directions = 6.
+  PropertyGraph g;
+  for (VertexId v = 0; v < 3; ++v) g.add_vertex(v);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  RunContext ctx = ctx_for(g);
+  tmorph().run(ctx);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_NE(g.find_edge(0, 1), nullptr);
+  EXPECT_NE(g.find_edge(1, 0), nullptr);
+  EXPECT_NE(g.find_edge(2, 0), nullptr);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(TMorph, ResultIsSymmetric) {
+  datagen::DagConfig cfg;
+  cfg.num_vertices = 256;
+  PropertyGraph g = datagen::build_property_graph(generate_dag(cfg));
+  RunContext ctx = ctx_for(g);
+  tmorph().run(ctx);
+  // Every edge must exist in both directions.
+  bool symmetric = true;
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    for (const auto& e : v.out) {
+      if (g.find_edge(e.target, v.id) == nullptr) symmetric = false;
+    }
+  });
+  EXPECT_TRUE(symmetric);
+}
+
+// ---- SPath ----
+
+TEST(SPath, ComputesShortestDistances) {
+  PropertyGraph g = make_path_graph();
+  // Add a shortcut 0 -> 4 with large weight; path through 1 is shorter.
+  g.add_edge(0, 4, 100.0);
+  RunContext ctx = ctx_for(g);
+  spath().run(ctx);
+  EXPECT_DOUBLE_EQ(g.find_vertex(0)->props.get_double(props::kDistance, -1),
+                   0.0);
+  EXPECT_DOUBLE_EQ(g.find_vertex(1)->props.get_double(props::kDistance, -1),
+                   1.0);
+  EXPECT_DOUBLE_EQ(g.find_vertex(2)->props.get_double(props::kDistance, -1),
+                   3.0);
+  EXPECT_DOUBLE_EQ(g.find_vertex(3)->props.get_double(props::kDistance, -1),
+                   6.0);
+  EXPECT_DOUBLE_EQ(g.find_vertex(4)->props.get_double(props::kDistance, -1),
+                   11.0);  // 0->1->4, cheaper than the 100.0 shortcut
+}
+
+// ---- kCore ----
+
+TEST(KCore, TriangleHasCoreTwo) {
+  PropertyGraph g = make_two_triangles();
+  RunContext ctx = ctx_for(g);
+  kcore().run(ctx);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.find_vertex(v)->props.get_int(props::kCore, -1), 2)
+        << "vertex " << v;
+  }
+}
+
+TEST(KCore, PendantVertexHasCoreOne) {
+  PropertyGraph g = make_two_triangles();
+  g.add_vertex(10);
+  g.add_edge(10, 0);
+  RunContext ctx = ctx_for(g);
+  kcore().run(ctx);
+  EXPECT_EQ(g.find_vertex(10)->props.get_int(props::kCore, -1), 1);
+  EXPECT_EQ(g.find_vertex(0)->props.get_int(props::kCore, -1), 2);
+}
+
+// ---- CComp ----
+
+TEST(CComp, CountsComponents) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 6; ++v) g.add_vertex(v);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  // Components: {0,1,2}, {3,4}, {5}.
+  RunContext ctx = ctx_for(g);
+  const RunResult r = ccomp().run(ctx);
+  EXPECT_EQ(r.vertices_processed, 6u);
+  // Same label within a component, different across.
+  const auto label = [&](VertexId v) {
+    return g.find_vertex(v)->props.get_int(props::kLabel, -1);
+  };
+  EXPECT_EQ(label(0), label(1));
+  EXPECT_EQ(label(1), label(2));
+  EXPECT_EQ(label(3), label(4));
+  EXPECT_NE(label(0), label(3));
+  EXPECT_NE(label(0), label(5));
+}
+
+// ---- GColor ----
+
+TEST(GColor, ProducesValidColoring) {
+  PropertyGraph g = make_two_triangles();
+  RunContext ctx = ctx_for(g);
+  const RunResult r = gcolor().run(ctx);
+  EXPECT_EQ(r.vertices_processed, 5u);
+  // Adjacent vertices (undirected view) get distinct colors.
+  g.for_each_vertex([&](const graph::VertexRecord& v) {
+    const auto c = v.props.get_int(props::kColor, -1);
+    EXPECT_GE(c, 0);
+    for (const auto& e : v.out) {
+      EXPECT_NE(c,
+                g.find_vertex(e.target)->props.get_int(props::kColor, -1));
+    }
+  });
+}
+
+TEST(GColor, ParallelMatchesSequential) {
+  datagen::GeneConfig cfg;
+  cfg.num_entities = 512;
+  PropertyGraph g1 = datagen::build_property_graph(generate_gene(cfg));
+  PropertyGraph g2 = datagen::build_property_graph(generate_gene(cfg));
+  RunContext seq = ctx_for(g1);
+  const RunResult r1 = gcolor().run(seq);
+  platform::ThreadPool pool(4);
+  RunContext par = ctx_for(g2);
+  par.pool = &pool;
+  const RunResult r2 = gcolor().run(par);
+  EXPECT_EQ(r1.checksum, r2.checksum);
+}
+
+// ---- TC ----
+
+TEST(TC, CountsTriangles) {
+  PropertyGraph g = make_two_triangles();
+  RunContext ctx = ctx_for(g);
+  const RunResult r = tc().run(ctx);
+  EXPECT_EQ(r.checksum, 2u);
+}
+
+TEST(TC, NoTrianglesInPath) {
+  PropertyGraph g = make_path_graph();
+  RunContext ctx = ctx_for(g);
+  const RunResult r = tc().run(ctx);
+  EXPECT_EQ(r.checksum, 0u);
+}
+
+TEST(TC, ReciprocalEdgesCountOnce) {
+  // Triangle with both directions present on every edge.
+  PropertyGraph g;
+  for (VertexId v = 0; v < 3; ++v) g.add_vertex(v);
+  for (VertexId a = 0; a < 3; ++a) {
+    for (VertexId b = 0; b < 3; ++b) {
+      if (a != b) g.add_edge(a, b);
+    }
+  }
+  RunContext ctx = ctx_for(g);
+  const RunResult r = tc().run(ctx);
+  EXPECT_EQ(r.checksum, 1u);
+}
+
+// ---- Gibbs ----
+
+TEST(Gibbs, RunsOnMunin) {
+  graph::PropertyGraph g = bayes::generate_munin();
+  RunContext ctx = ctx_for(g);
+  ctx.gibbs_burn_in = 2;
+  ctx.gibbs_samples = 5;
+  const RunResult r = gibbs_inf().run(ctx);
+  EXPECT_EQ(r.vertices_processed, 1041u);
+  EXPECT_GT(r.edges_processed, 0u);
+}
+
+// ---- DCentr ----
+
+TEST(DCentr, ComputesTotalDegree) {
+  PropertyGraph g = make_path_graph();
+  RunContext ctx = ctx_for(g);
+  const RunResult r = dcentr().run(ctx);
+  // Vertex 1 has out {2, 4}, in {0} -> degree 3.
+  EXPECT_EQ(g.find_vertex(1)->props.get_int(props::kDegree, -1), 3);
+  // Sum of degrees = 2 * edges.
+  EXPECT_EQ(r.checksum, 2 * g.num_edges());
+}
+
+TEST(DCentr, ParallelMatchesSequential) {
+  datagen::BipartiteConfig cfg;
+  cfg.num_users = 256;
+  cfg.num_docs = 64;
+  PropertyGraph g1 = datagen::build_property_graph(generate_bipartite(cfg));
+  PropertyGraph g2 = datagen::build_property_graph(generate_bipartite(cfg));
+  RunContext seq = ctx_for(g1);
+  const RunResult r1 = dcentr().run(seq);
+  platform::ThreadPool pool(3);
+  RunContext par = ctx_for(g2);
+  par.pool = &pool;
+  const RunResult r2 = dcentr().run(par);
+  EXPECT_EQ(r1.checksum, r2.checksum);
+}
+
+// ---- BCentr ----
+
+TEST(BCentr, PathCenterHasHighestBetweenness) {
+  // Directed path 0 -> 1 -> 2; with source sampling forced to all vertices
+  // the middle vertex lies on the only 0 -> 2 shortest path.
+  PropertyGraph g;
+  for (VertexId v = 0; v < 3; ++v) g.add_vertex(v);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  RunContext ctx = ctx_for(g);
+  ctx.bc_samples = 3;
+  ctx.seed = 1;
+  bcentr().run(ctx);
+  const double bc1 =
+      g.find_vertex(1)->props.get_double(props::kBetweenness, -1.0);
+  const double bc0 =
+      g.find_vertex(0)->props.get_double(props::kBetweenness, -1.0);
+  const double bc2 =
+      g.find_vertex(2)->props.get_double(props::kBetweenness, -1.0);
+  EXPECT_GE(bc1, bc0);
+  EXPECT_GE(bc1, bc2);
+}
+
+TEST(BCentr, StarCenterDominates) {
+  // Star: 0 <-> i for i in 1..5. All i->j paths go through 0.
+  PropertyGraph g;
+  for (VertexId v = 0; v < 6; ++v) g.add_vertex(v);
+  for (VertexId v = 1; v < 6; ++v) {
+    g.add_edge(0, v);
+    g.add_edge(v, 0);
+  }
+  RunContext ctx = ctx_for(g);
+  ctx.bc_samples = 6;
+  bcentr().run(ctx);
+  const double bc0 =
+      g.find_vertex(0)->props.get_double(props::kBetweenness, 0.0);
+  for (VertexId v = 1; v < 6; ++v) {
+    EXPECT_GT(bc0,
+              g.find_vertex(v)->props.get_double(props::kBetweenness, 0.0));
+  }
+}
+
+}  // namespace
+}  // namespace graphbig::workloads

@@ -1,0 +1,177 @@
+// graphbig_run: command-line runner for the suite.
+//
+//   graphbig_run --list
+//   graphbig_run --workload BFS --dataset ldbc --scale small --threads 4
+//   graphbig_run --workload BFS --dataset twitter --profile
+//   graphbig_run --gpu --workload CComp --dataset roadnet
+//
+// Mirrors the original GraphBIG's per-benchmark binaries in one tool:
+// pick a workload and a dataset, run it timed (default), under the CPU
+// perf model (--profile), or on the SIMT GPU simulator (--gpu).
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/tables.h"
+#include "workloads/gpu/gpu_workload.h"
+#include "workloads/workload.h"
+
+using namespace graphbig;
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      R"(usage: graphbig_run [options]
+  --list                 list workloads and datasets
+  --workload <acronym>   workload to run (required unless --list)
+  --dataset <name>       dataset (default: ldbc)
+  --scale tiny|small|medium   dataset scale (default: small)
+  --threads <n>          CPU threads (default: 1)
+  --profile              run under the CPU perf model (sequential)
+  --gpu                  run on the SIMT GPU simulator
+)";
+}
+
+void print_list() {
+  std::cout << "CPU workloads:\n";
+  for (const auto* w : workloads::all_cpu_workloads()) {
+    std::cout << "  " << w->acronym() << "  (" << w->name() << ", "
+              << workloads::to_string(w->computation_type()) << ")\n";
+  }
+  std::cout << "GPU workloads:\n";
+  for (const auto* w : workloads::gpu::all_gpu_workloads()) {
+    std::cout << "  " << w->acronym() << "\n";
+  }
+  std::cout << "Datasets:\n";
+  for (const auto& d : datagen::all_datasets()) {
+    std::cout << "  " << d.name << "  (" << d.description << ")\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload;
+  std::string dataset = "ldbc";
+  datagen::Scale scale = datagen::Scale::kSmall;
+  int threads = 1;
+  bool profile = false;
+  bool gpu = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      print_list();
+      return 0;
+    } else if (arg == "--workload") {
+      workload = next();
+    } else if (arg == "--dataset") {
+      dataset = next();
+    } else if (arg == "--scale") {
+      const std::string s = next();
+      if (s == "tiny") {
+        scale = datagen::Scale::kTiny;
+      } else if (s == "small") {
+        scale = datagen::Scale::kSmall;
+      } else if (s == "medium") {
+        scale = datagen::Scale::kMedium;
+      } else {
+        std::cerr << "unknown scale: " << s << "\n";
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      threads = std::atoi(next().c_str());
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--gpu") {
+      gpu = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      print_usage();
+      return 2;
+    }
+  }
+
+  if (workload.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  datagen::DatasetId id;
+  try {
+    id = datagen::dataset_by_name(dataset);
+  } catch (const std::exception&) {
+    std::cerr << "unknown dataset: " << dataset << "\n";
+    return 2;
+  }
+
+  std::cout << "loading dataset '" << dataset << "'...\n";
+  const harness::DatasetBundle bundle = harness::load_bundle(id, scale);
+  std::cout << "  " << harness::fmt_int(bundle.csr.num_vertices)
+            << " vertices, " << harness::fmt_int(bundle.csr.num_edges)
+            << " edges\n";
+
+  if (gpu) {
+    const auto* w = workloads::gpu::find_gpu_workload(workload);
+    if (w == nullptr) {
+      std::cerr << "unknown GPU workload: " << workload << "\n";
+      return 2;
+    }
+    const auto r = harness::run_gpu(*w, bundle);
+    std::cout << w->acronym() << " (GPU): checksum " << r.result.checksum
+              << "\n  BDR " << harness::fmt(r.result.stats.bdr(), 3)
+              << "  MDR " << harness::fmt(r.result.stats.mdr(), 3)
+              << "\n  modeled time "
+              << platform::format_duration(r.timing.seconds)
+              << "  read " << harness::fmt(r.timing.read_throughput_gbs, 1)
+              << " GB/s  IPC " << harness::fmt(r.timing.ipc, 3) << "\n";
+    return 0;
+  }
+
+  const auto* w = workloads::find_workload(workload);
+  if (w == nullptr) {
+    std::cerr << "unknown CPU workload: " << workload << "\n";
+    return 2;
+  }
+
+  if (profile) {
+    const auto r = harness::run_cpu_profiled(*w, bundle);
+    std::cout << w->acronym() << " (profiled): checksum "
+              << r.run.checksum << "\n"
+              << "  instructions " << harness::fmt_int(r.counters.instructions())
+              << "  IPC " << harness::fmt(r.metrics.ipc, 3) << "\n"
+              << "  breakdown: frontend "
+              << harness::fmt_pct(r.metrics.frontend_pct) << ", badspec "
+              << harness::fmt_pct(r.metrics.bad_speculation_pct)
+              << ", retiring " << harness::fmt_pct(r.metrics.retiring_pct)
+              << ", backend " << harness::fmt_pct(r.metrics.backend_pct)
+              << "\n  MPKI: L1D " << harness::fmt(r.metrics.l1d_mpki, 1)
+              << "  L2 " << harness::fmt(r.metrics.l2_mpki, 1) << "  L3 "
+              << harness::fmt(r.metrics.l3_mpki, 1) << "\n  DTLB penalty "
+              << harness::fmt_pct(r.metrics.dtlb_penalty_pct)
+              << "  branch miss "
+              << harness::fmt_pct(100.0 * r.metrics.branch_miss_rate)
+              << "\n";
+    return 0;
+  }
+
+  const auto r = harness::run_cpu_timed(*w, bundle, threads);
+  std::cout << w->acronym() << ": checksum " << r.run.checksum << "\n  "
+            << harness::fmt_int(r.run.vertices_processed) << " vertices, "
+            << harness::fmt_int(r.run.edges_processed)
+            << " edges processed in " << platform::format_duration(r.seconds)
+            << " with " << threads << " thread(s)\n";
+  return 0;
+}
