@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_gpu_model.dir/bench_abl_gpu_model.cpp.o"
+  "CMakeFiles/bench_abl_gpu_model.dir/bench_abl_gpu_model.cpp.o.d"
+  "bench_abl_gpu_model"
+  "bench_abl_gpu_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_gpu_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

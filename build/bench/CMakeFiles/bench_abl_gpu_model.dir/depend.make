@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_gpu_model.
+# This may be replaced when dependencies are built.

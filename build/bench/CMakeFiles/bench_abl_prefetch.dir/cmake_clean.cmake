@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_prefetch.dir/bench_abl_prefetch.cpp.o"
+  "CMakeFiles/bench_abl_prefetch.dir/bench_abl_prefetch.cpp.o.d"
+  "bench_abl_prefetch"
+  "bench_abl_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_representation.dir/bench_abl_representation.cpp.o"
+  "CMakeFiles/bench_abl_representation.dir/bench_abl_representation.cpp.o.d"
+  "bench_abl_representation"
+  "bench_abl_representation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_representation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

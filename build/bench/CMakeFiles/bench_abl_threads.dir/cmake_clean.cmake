@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_threads.dir/bench_abl_threads.cpp.o"
+  "CMakeFiles/bench_abl_threads.dir/bench_abl_threads.cpp.o.d"
+  "bench_abl_threads"
+  "bench_abl_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_framework.dir/bench_fig01_framework.cpp.o"
+  "CMakeFiles/bench_fig01_framework.dir/bench_fig01_framework.cpp.o.d"
+  "bench_fig01_framework"
+  "bench_fig01_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

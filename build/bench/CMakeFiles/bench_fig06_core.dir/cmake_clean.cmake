@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_core.dir/bench_fig06_core.cpp.o"
+  "CMakeFiles/bench_fig06_core.dir/bench_fig06_core.cpp.o.d"
+  "bench_fig06_core"
+  "bench_fig06_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

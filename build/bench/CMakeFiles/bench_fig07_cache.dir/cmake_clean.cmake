@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_cache.dir/bench_fig07_cache.cpp.o"
+  "CMakeFiles/bench_fig07_cache.dir/bench_fig07_cache.cpp.o.d"
+  "bench_fig07_cache"
+  "bench_fig07_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_comptype.dir/bench_fig08_comptype.cpp.o"
+  "CMakeFiles/bench_fig08_comptype.dir/bench_fig08_comptype.cpp.o.d"
+  "bench_fig08_comptype"
+  "bench_fig08_comptype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_comptype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

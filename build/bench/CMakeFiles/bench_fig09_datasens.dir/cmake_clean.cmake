@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_datasens.dir/bench_fig09_datasens.cpp.o"
+  "CMakeFiles/bench_fig09_datasens.dir/bench_fig09_datasens.cpp.o.d"
+  "bench_fig09_datasens"
+  "bench_fig09_datasens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_datasens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_divergence.dir/bench_fig10_divergence.cpp.o"
+  "CMakeFiles/bench_fig10_divergence.dir/bench_fig10_divergence.cpp.o.d"
+  "bench_fig10_divergence"
+  "bench_fig10_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

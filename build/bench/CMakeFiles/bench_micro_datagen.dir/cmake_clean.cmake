@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_datagen.dir/bench_micro_datagen.cpp.o"
+  "CMakeFiles/bench_micro_datagen.dir/bench_micro_datagen.cpp.o.d"
+  "bench_micro_datagen"
+  "bench_micro_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

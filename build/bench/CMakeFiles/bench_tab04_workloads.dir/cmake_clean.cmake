@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_workloads.dir/bench_tab04_workloads.cpp.o"
+  "CMakeFiles/bench_tab04_workloads.dir/bench_tab04_workloads.cpp.o.d"
+  "bench_tab04_workloads"
+  "bench_tab04_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

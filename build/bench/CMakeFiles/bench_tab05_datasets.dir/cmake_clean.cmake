@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab05_datasets.dir/bench_tab05_datasets.cpp.o"
+  "CMakeFiles/bench_tab05_datasets.dir/bench_tab05_datasets.cpp.o.d"
+  "bench_tab05_datasets"
+  "bench_tab05_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_store.dir/graph_store.cpp.o"
+  "CMakeFiles/graph_store.dir/graph_store.cpp.o.d"
+  "graph_store"
+  "graph_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_inference.dir/knowledge_inference.cpp.o"
+  "CMakeFiles/knowledge_inference.dir/knowledge_inference.cpp.o.d"
+  "knowledge_inference"
+  "knowledge_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_navigation.dir/road_navigation.cpp.o"
+  "CMakeFiles/road_navigation.dir/road_navigation.cpp.o.d"
+  "road_navigation"
+  "road_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

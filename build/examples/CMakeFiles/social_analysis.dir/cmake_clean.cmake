@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_analysis.dir/social_analysis.cpp.o"
+  "CMakeFiles/social_analysis.dir/social_analysis.cpp.o.d"
+  "social_analysis"
+  "social_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_updates.dir/streaming_updates.cpp.o"
+  "CMakeFiles/streaming_updates.dir/streaming_updates.cpp.o.d"
+  "streaming_updates"
+  "streaming_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/prototype.cpp" "src/CMakeFiles/graphbig.dir/baseline/prototype.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/baseline/prototype.cpp.o.d"
+  "/root/repo/src/bayes/bayes_net.cpp" "src/CMakeFiles/graphbig.dir/bayes/bayes_net.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/bayes/bayes_net.cpp.o.d"
+  "/root/repo/src/bayes/gibbs.cpp" "src/CMakeFiles/graphbig.dir/bayes/gibbs.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/bayes/gibbs.cpp.o.d"
+  "/root/repo/src/bayes/munin.cpp" "src/CMakeFiles/graphbig.dir/bayes/munin.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/bayes/munin.cpp.o.d"
+  "/root/repo/src/datagen/bipartite.cpp" "src/CMakeFiles/graphbig.dir/datagen/bipartite.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/datagen/bipartite.cpp.o.d"
+  "/root/repo/src/datagen/dag.cpp" "src/CMakeFiles/graphbig.dir/datagen/dag.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/datagen/dag.cpp.o.d"
+  "/root/repo/src/datagen/edge_list.cpp" "src/CMakeFiles/graphbig.dir/datagen/edge_list.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/datagen/edge_list.cpp.o.d"
+  "/root/repo/src/datagen/gene.cpp" "src/CMakeFiles/graphbig.dir/datagen/gene.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/datagen/gene.cpp.o.d"
+  "/root/repo/src/datagen/ldbc.cpp" "src/CMakeFiles/graphbig.dir/datagen/ldbc.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/datagen/ldbc.cpp.o.d"
+  "/root/repo/src/datagen/registry.cpp" "src/CMakeFiles/graphbig.dir/datagen/registry.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/datagen/registry.cpp.o.d"
+  "/root/repo/src/datagen/rmat.cpp" "src/CMakeFiles/graphbig.dir/datagen/rmat.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/datagen/rmat.cpp.o.d"
+  "/root/repo/src/datagen/road.cpp" "src/CMakeFiles/graphbig.dir/datagen/road.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/datagen/road.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/graphbig.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/property.cpp" "src/CMakeFiles/graphbig.dir/graph/property.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/graph/property.cpp.o.d"
+  "/root/repo/src/graph/property_graph.cpp" "src/CMakeFiles/graphbig.dir/graph/property_graph.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/graph/property_graph.cpp.o.d"
+  "/root/repo/src/graph/serialize.cpp" "src/CMakeFiles/graphbig.dir/graph/serialize.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/graph/serialize.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/graphbig.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/graph/stats.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/CMakeFiles/graphbig.dir/graph/subgraph.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/graph/subgraph.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/graphbig.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/tables.cpp" "src/CMakeFiles/graphbig.dir/harness/tables.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/harness/tables.cpp.o.d"
+  "/root/repo/src/perfmodel/branch.cpp" "src/CMakeFiles/graphbig.dir/perfmodel/branch.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/perfmodel/branch.cpp.o.d"
+  "/root/repo/src/perfmodel/cache.cpp" "src/CMakeFiles/graphbig.dir/perfmodel/cache.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/perfmodel/cache.cpp.o.d"
+  "/root/repo/src/perfmodel/cycle_model.cpp" "src/CMakeFiles/graphbig.dir/perfmodel/cycle_model.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/perfmodel/cycle_model.cpp.o.d"
+  "/root/repo/src/perfmodel/icache.cpp" "src/CMakeFiles/graphbig.dir/perfmodel/icache.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/perfmodel/icache.cpp.o.d"
+  "/root/repo/src/perfmodel/prefetch.cpp" "src/CMakeFiles/graphbig.dir/perfmodel/prefetch.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/perfmodel/prefetch.cpp.o.d"
+  "/root/repo/src/perfmodel/profiler.cpp" "src/CMakeFiles/graphbig.dir/perfmodel/profiler.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/perfmodel/profiler.cpp.o.d"
+  "/root/repo/src/perfmodel/tlb.cpp" "src/CMakeFiles/graphbig.dir/perfmodel/tlb.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/perfmodel/tlb.cpp.o.d"
+  "/root/repo/src/platform/arena.cpp" "src/CMakeFiles/graphbig.dir/platform/arena.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/platform/arena.cpp.o.d"
+  "/root/repo/src/platform/bitset.cpp" "src/CMakeFiles/graphbig.dir/platform/bitset.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/platform/bitset.cpp.o.d"
+  "/root/repo/src/platform/thread_pool.cpp" "src/CMakeFiles/graphbig.dir/platform/thread_pool.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/platform/thread_pool.cpp.o.d"
+  "/root/repo/src/platform/timer.cpp" "src/CMakeFiles/graphbig.dir/platform/timer.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/platform/timer.cpp.o.d"
+  "/root/repo/src/simt/coalescer.cpp" "src/CMakeFiles/graphbig.dir/simt/coalescer.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/simt/coalescer.cpp.o.d"
+  "/root/repo/src/simt/engine.cpp" "src/CMakeFiles/graphbig.dir/simt/engine.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/simt/engine.cpp.o.d"
+  "/root/repo/src/simt/metrics.cpp" "src/CMakeFiles/graphbig.dir/simt/metrics.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/simt/metrics.cpp.o.d"
+  "/root/repo/src/trace/access.cpp" "src/CMakeFiles/graphbig.dir/trace/access.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/trace/access.cpp.o.d"
+  "/root/repo/src/workloads/bcentr.cpp" "src/CMakeFiles/graphbig.dir/workloads/bcentr.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/bcentr.cpp.o.d"
+  "/root/repo/src/workloads/bfs.cpp" "src/CMakeFiles/graphbig.dir/workloads/bfs.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/bfs.cpp.o.d"
+  "/root/repo/src/workloads/ccomp.cpp" "src/CMakeFiles/graphbig.dir/workloads/ccomp.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/ccomp.cpp.o.d"
+  "/root/repo/src/workloads/dcentr.cpp" "src/CMakeFiles/graphbig.dir/workloads/dcentr.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/dcentr.cpp.o.d"
+  "/root/repo/src/workloads/dfs.cpp" "src/CMakeFiles/graphbig.dir/workloads/dfs.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/dfs.cpp.o.d"
+  "/root/repo/src/workloads/ext/ccentr.cpp" "src/CMakeFiles/graphbig.dir/workloads/ext/ccentr.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/ext/ccentr.cpp.o.d"
+  "/root/repo/src/workloads/ext/rwr.cpp" "src/CMakeFiles/graphbig.dir/workloads/ext/rwr.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/ext/rwr.cpp.o.d"
+  "/root/repo/src/workloads/gcolor.cpp" "src/CMakeFiles/graphbig.dir/workloads/gcolor.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gcolor.cpp.o.d"
+  "/root/repo/src/workloads/gcons.cpp" "src/CMakeFiles/graphbig.dir/workloads/gcons.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gcons.cpp.o.d"
+  "/root/repo/src/workloads/gibbs_inf.cpp" "src/CMakeFiles/graphbig.dir/workloads/gibbs_inf.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gibbs_inf.cpp.o.d"
+  "/root/repo/src/workloads/gpu/gpu_bcentr.cpp" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_bcentr.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_bcentr.cpp.o.d"
+  "/root/repo/src/workloads/gpu/gpu_bfs.cpp" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_bfs.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_bfs.cpp.o.d"
+  "/root/repo/src/workloads/gpu/gpu_ccomp.cpp" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_ccomp.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_ccomp.cpp.o.d"
+  "/root/repo/src/workloads/gpu/gpu_dcentr.cpp" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_dcentr.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_dcentr.cpp.o.d"
+  "/root/repo/src/workloads/gpu/gpu_gcolor.cpp" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_gcolor.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_gcolor.cpp.o.d"
+  "/root/repo/src/workloads/gpu/gpu_kcore.cpp" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_kcore.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_kcore.cpp.o.d"
+  "/root/repo/src/workloads/gpu/gpu_spath.cpp" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_spath.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_spath.cpp.o.d"
+  "/root/repo/src/workloads/gpu/gpu_tc.cpp" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_tc.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_tc.cpp.o.d"
+  "/root/repo/src/workloads/gpu/gpu_workload.cpp" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_workload.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gpu/gpu_workload.cpp.o.d"
+  "/root/repo/src/workloads/gup.cpp" "src/CMakeFiles/graphbig.dir/workloads/gup.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/gup.cpp.o.d"
+  "/root/repo/src/workloads/kcore.cpp" "src/CMakeFiles/graphbig.dir/workloads/kcore.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/kcore.cpp.o.d"
+  "/root/repo/src/workloads/spath.cpp" "src/CMakeFiles/graphbig.dir/workloads/spath.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/spath.cpp.o.d"
+  "/root/repo/src/workloads/tc.cpp" "src/CMakeFiles/graphbig.dir/workloads/tc.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/tc.cpp.o.d"
+  "/root/repo/src/workloads/tmorph.cpp" "src/CMakeFiles/graphbig.dir/workloads/tmorph.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/tmorph.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/graphbig.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/graphbig.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/bayes_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/bayes_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/bayes_test.cpp.o.d"
+  "/root/repo/tests/characterization_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/characterization_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/characterization_test.cpp.o.d"
+  "/root/repo/tests/datagen_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/datagen_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/datagen_test.cpp.o.d"
+  "/root/repo/tests/framework_accounting_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/framework_accounting_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/framework_accounting_test.cpp.o.d"
+  "/root/repo/tests/gpu_characterization_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/gpu_characterization_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/gpu_characterization_test.cpp.o.d"
+  "/root/repo/tests/gpu_workloads_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/gpu_workloads_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/gpu_workloads_test.cpp.o.d"
+  "/root/repo/tests/graph_core_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/graph_core_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/graph_core_test.cpp.o.d"
+  "/root/repo/tests/harness_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/harness_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/harness_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/perfmodel_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/perfmodel_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/perfmodel_test.cpp.o.d"
+  "/root/repo/tests/platform_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/platform_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/platform_test.cpp.o.d"
+  "/root/repo/tests/property_graph_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/property_graph_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/property_graph_test.cpp.o.d"
+  "/root/repo/tests/serialize_subgraph_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/serialize_subgraph_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/serialize_subgraph_test.cpp.o.d"
+  "/root/repo/tests/simt_semantics_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/simt_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/simt_semantics_test.cpp.o.d"
+  "/root/repo/tests/simt_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/simt_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/simt_test.cpp.o.d"
+  "/root/repo/tests/workload_properties_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/workload_properties_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/workload_properties_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/graphbig_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/graphbig_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphbig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphbig_run.dir/graphbig_run.cpp.o"
+  "CMakeFiles/graphbig_run.dir/graphbig_run.cpp.o.d"
+  "graphbig_run"
+  "graphbig_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphbig_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
