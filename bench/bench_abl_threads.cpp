@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
 
   harness::Table t("Ablation: CPU thread scaling (LDBC)",
                    {"Workload", "Threads", "Seconds", "Checksum"});
-  for (const char* acronym : {"BFS", "GColor", "TC", "DCentr"}) {
+  for (const char* acronym : {"BFS", "GColor", "TC", "DCentr", "kCore",
+                              "CComp", "SPath", "BCentr", "CCentr", "RWR"}) {
     const auto* w = workloads::find_workload(acronym);
     std::uint64_t reference = 0;
     for (const int threads : {1, 2, 4, 8, 16}) {

@@ -43,18 +43,34 @@ void PropertyGraph::reserve(std::size_t vertices) {
   index_.reserve(vertices);
 }
 
-VertexRecord* PropertyGraph::find_vertex_impl(VertexId id) const {
+SlotIndex PropertyGraph::find_slot_impl(VertexId id) const {
   trace::block(trace::kBlockFindVertex);
   auto it = index_.find(id);
   trace::read(trace::MemKind::kTopology, &index_, sizeof(void*) * 2);
   trace::branch(trace::kBranchHashProbe, it != index_.end());
-  if (it == index_.end()) return nullptr;
+  if (it == index_.end()) return kInvalidSlot;
   const auto& slot = slots_[it->second];
   trace::read(trace::MemKind::kTopology, &slot, sizeof(void*));
   VertexRecord* v = slot.get();
-  if (v == nullptr || !v->alive) return nullptr;
+  if (v == nullptr || !v->alive) return kInvalidSlot;
   trace::read(trace::MemKind::kTopology, v, sizeof(VertexId) + sizeof(bool));
-  return v;
+  return it->second;
+}
+
+VertexRecord* PropertyGraph::find_vertex_impl(VertexId id) const {
+  const SlotIndex slot = find_slot_impl(id);
+  return slot == kInvalidSlot ? nullptr : slots_[slot].get();
+}
+
+SlotIndex PropertyGraph::resolve_target_slot_slow(const EdgeRecord& e) const {
+  fwk::PrimitiveScope scope;
+  ++fwk::slot_cache_stats().misses;
+  const SlotIndex slot = find_slot_impl(e.target);
+  if (slot != kInvalidSlot) {
+    e.slot_cache.store(pack_slot_cache(slot, mutation_epoch_),
+                       std::memory_order_relaxed);
+  }
+  return slot;
 }
 
 VertexRecord* PropertyGraph::add_vertex(VertexId id) {
@@ -142,6 +158,11 @@ bool PropertyGraph::delete_vertex(VertexId id) {
   v->props.clear();
   index_.erase(id);
   --num_vertices_;
+  // Tombstoning a slot moves the mutation epoch: every edge slot cache in
+  // the graph becomes stale and re-resolves through the id index (then
+  // re-stamps) on its next use. Dynamic workloads (GUp/TMorph/GCons) take
+  // this conservative fallback; analytics on unmutated graphs never do.
+  ++mutation_epoch_;
   trace::write(trace::MemKind::kTopology, v, sizeof(VertexRecord));
   return true;
 }
@@ -151,7 +172,8 @@ EdgeRecord* PropertyGraph::add_edge(VertexId src, VertexId dst,
   fwk::PrimitiveScope scope;
   trace::block(trace::kBlockAddEdge);
   VertexRecord* s = find_vertex_impl(src);
-  VertexRecord* d = find_vertex_impl(dst);
+  const SlotIndex dslot = find_slot_impl(dst);
+  VertexRecord* d = dslot == kInvalidSlot ? nullptr : slots_[dslot].get();
   if (s == nullptr || d == nullptr) return nullptr;
   if (!allow_parallel_edges_) {
     for (const EdgeRecord& e : s->out) {
@@ -159,7 +181,9 @@ EdgeRecord* PropertyGraph::add_edge(VertexId src, VertexId dst,
       if (e.target == dst) return nullptr;
     }
   }
-  s->out.push_back(EdgeRecord{dst, weight, {}});
+  // The new edge is born with a warm slot cache stamped at the current
+  // epoch: graphs built by pure insertion traverse without hash probes.
+  s->out.push_back(EdgeRecord(dst, weight, dslot, mutation_epoch_));
   d->in.push_back(src);
   ++num_edges_;
   trace::write(trace::MemKind::kTopology, &s->out.back(),
@@ -237,10 +261,17 @@ bool PropertyGraph::validate() const {
     out_edges += v->out.size();
     auto it = index_.find(v->id);
     if (it == index_.end() || it->second != s) return false;
-    // Every outgoing edge must be mirrored in the target's incoming list.
+    // Every outgoing edge must be mirrored in the target's incoming list,
+    // and a current-epoch slot cache must point at the target's slot.
     for (const EdgeRecord& e : v->out) {
       const VertexRecord* t = find_vertex_impl(e.target);
       if (t == nullptr) return false;
+      const std::uint64_t cached =
+          e.slot_cache.load(std::memory_order_relaxed);
+      if (static_cast<std::uint32_t>(cached >> 32) == mutation_epoch_) {
+        const auto cslot = static_cast<SlotIndex>(cached);
+        if (cslot >= slots_.size() || slots_[cslot].get() != t) return false;
+      }
       if (std::count(t->in.begin(), t->in.end(), v->id) <
           1) {
         return false;

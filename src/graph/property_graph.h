@@ -14,9 +14,11 @@
 // and emit memory-access trace events for the perfmodel.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -59,6 +61,20 @@ struct ThreadState {
 ThreadState& tls();
 }  // namespace detail
 
+/// Per-thread slot-cache counters: how many per-edge target resolutions hit
+/// the cached slot (O(1) vertex_at path) versus fell back to the id index
+/// (hash probe). `bench_micro_primitives` reports the hit rate; on an
+/// unmutated graph it must be ~100%.
+struct SlotCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+inline SlotCacheStats& slot_cache_stats() {
+  thread_local SlotCacheStats stats;
+  return stats;
+}
+inline void reset_slot_cache_stats() { slot_cache_stats() = SlotCacheStats{}; }
+
 /// RAII guard marking a framework-primitive scope.
 class PrimitiveScope {
  public:
@@ -84,11 +100,60 @@ class PrimitiveScope {
 // Graph storage
 // ---------------------------------------------------------------------------
 
+/// Packs a cached slot and the mutation epoch it was stamped under into one
+/// word, so the cache can be read/refreshed with single relaxed atomic ops.
+inline constexpr std::uint64_t pack_slot_cache(SlotIndex slot,
+                                               std::uint32_t epoch) {
+  return (static_cast<std::uint64_t>(epoch) << 32) |
+         static_cast<std::uint64_t>(slot);
+}
+
 /// An outgoing edge stored inside its source vertex (vertex-centric layout).
+///
+/// Alongside the external target id, the record caches the target's dense
+/// slot index, stamped with the graph's mutation epoch at the time it was
+/// written. PropertyGraph::resolve_target_slot() uses the cache while the
+/// stamp matches the current epoch and falls back to the id index (then
+/// re-stamps) once the graph has been mutated. The stamp+slot pair lives in
+/// a single atomic word so concurrent traversals may lazily re-warm a stale
+/// entry without a data race; epoch 0 is never current, so a
+/// default-constructed record is always resolved through the index first.
 struct EdgeRecord {
   VertexId target = kInvalidVertex;
   double weight = 1.0;
   PropertyMap props;
+  mutable std::atomic<std::uint64_t> slot_cache{
+      pack_slot_cache(kInvalidSlot, 0)};
+
+  EdgeRecord() = default;
+  EdgeRecord(VertexId t, double w, SlotIndex slot, std::uint32_t epoch)
+      : target(t), weight(w), slot_cache(pack_slot_cache(slot, epoch)) {}
+  EdgeRecord(const EdgeRecord& o)
+      : target(o.target),
+        weight(o.weight),
+        props(o.props),
+        slot_cache(o.slot_cache.load(std::memory_order_relaxed)) {}
+  EdgeRecord(EdgeRecord&& o) noexcept
+      : target(o.target),
+        weight(o.weight),
+        props(std::move(o.props)),
+        slot_cache(o.slot_cache.load(std::memory_order_relaxed)) {}
+  EdgeRecord& operator=(const EdgeRecord& o) {
+    target = o.target;
+    weight = o.weight;
+    props = o.props;
+    slot_cache.store(o.slot_cache.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+  EdgeRecord& operator=(EdgeRecord&& o) noexcept {
+    target = o.target;
+    weight = o.weight;
+    props = std::move(o.props);
+    slot_cache.store(o.slot_cache.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// A vertex record: external id, property payload, and both adjacency
@@ -145,7 +210,10 @@ class PropertyGraph {
 
   // ---- traversal primitives ----
 
-  /// Calls fn(const EdgeRecord&) for each outgoing edge of v.
+  /// Calls fn(const EdgeRecord&) for each outgoing edge of v. If fn also
+  /// accepts a SlotIndex second argument, it receives the target's dense
+  /// slot resolved through the edge's slot cache (O(1) on an unmutated
+  /// graph) — the traversal fast path the parallel workloads use.
   template <typename Fn>
   void for_each_out_edge(const VertexRecord& v, Fn&& fn) const {
     fwk::PrimitiveScope scope;
@@ -157,14 +225,25 @@ class PropertyGraph {
     for (const EdgeRecord& e : v.out) {
       trace::read(trace::MemKind::kTopology, &e, sizeof(EdgeRecord));
       trace::branch(trace::kBranchLoopCond, true);
-      fn(e);
+      if constexpr (std::is_invocable_v<Fn&, const EdgeRecord&, SlotIndex>) {
+        fn(e, resolve_target_slot(e));
+      } else {
+        fn(e);
+      }
     }
   }
 
   template <typename Fn>
   void for_each_out_edge(const VertexRecord& v, Fn&& fn) {
-    static_cast<const PropertyGraph*>(this)->for_each_out_edge(
-        v, [&](const EdgeRecord& e) { fn(const_cast<EdgeRecord&>(e)); });
+    if constexpr (std::is_invocable_v<Fn&, EdgeRecord&, SlotIndex>) {
+      static_cast<const PropertyGraph*>(this)->for_each_out_edge(
+          v, [&](const EdgeRecord& e, SlotIndex slot) {
+            fn(const_cast<EdgeRecord&>(e), slot);
+          });
+    } else {
+      static_cast<const PropertyGraph*>(this)->for_each_out_edge(
+          v, [&](const EdgeRecord& e) { fn(const_cast<EdgeRecord&>(e)); });
+    }
   }
 
   /// Calls fn(VertexId source) for each incoming edge of v.
@@ -205,16 +284,58 @@ class PropertyGraph {
   VertexRecord* vertex_at(SlotIndex slot) {
     trace::read(trace::MemKind::kTopology, &slots_[slot], sizeof(void*));
     VertexRecord* v = slots_[slot].get();
-    return (v != nullptr && v->alive) ? v : nullptr;
+    if (v == nullptr) return nullptr;
+    // The liveness check dereferences the record: a dependent heap read.
+    trace::read(trace::MemKind::kTopology, v,
+                sizeof(VertexId) + sizeof(bool));
+    return v->alive ? v : nullptr;
   }
   const VertexRecord* vertex_at(SlotIndex slot) const {
     trace::read(trace::MemKind::kTopology, &slots_[slot], sizeof(void*));
     const VertexRecord* v = slots_[slot].get();
-    return (v != nullptr && v->alive) ? v : nullptr;
+    if (v == nullptr) return nullptr;
+    trace::read(trace::MemKind::kTopology, v,
+                sizeof(VertexId) + sizeof(bool));
+    return v->alive ? v : nullptr;
   }
 
   /// Slot of a live vertex id, or kInvalidSlot.
   SlotIndex slot_of(VertexId id) const;
+
+  // ---- slot-cached target resolution (traversal fast path) ----
+
+  /// Counter of slot-invalidating mutations. Edges stamped under the
+  /// current epoch resolve their target in O(1); after the epoch moves
+  /// (delete_vertex), resolution falls back to the id index and re-stamps.
+  std::uint32_t mutation_epoch() const { return mutation_epoch_; }
+
+  /// Dense slot of e's target: the cached slot when the edge's stamp is
+  /// current, otherwise an id-index lookup (hash probe) that refreshes the
+  /// cache. kInvalidSlot if the target no longer exists.
+  SlotIndex resolve_target_slot(const EdgeRecord& e) const {
+    // No PrimitiveScope on the hit path: every caller (for_each_out_edge)
+    // already holds one, and the check is two relaxed loads. The slow
+    // path opens its own scope for direct callers.
+    const std::uint64_t cached =
+        e.slot_cache.load(std::memory_order_relaxed);
+    if (static_cast<std::uint32_t>(cached >> 32) == mutation_epoch_) {
+      ++fwk::slot_cache_stats().hits;
+      return static_cast<SlotIndex>(cached);
+    }
+    return resolve_target_slot_slow(e);
+  }
+
+  /// The target vertex of e, resolved through the slot cache. Equivalent
+  /// to find_vertex(e.target) but without the hash probe on the
+  /// unmutated-graph path.
+  const VertexRecord* resolve_target(const EdgeRecord& e) const {
+    const SlotIndex slot = resolve_target_slot(e);
+    return slot == kInvalidSlot ? nullptr : vertex_at(slot);
+  }
+  VertexRecord* resolve_target(const EdgeRecord& e) {
+    const SlotIndex slot = resolve_target_slot(e);
+    return slot == kInvalidSlot ? nullptr : vertex_at(slot);
+  }
 
   // ---- statistics ----
 
@@ -232,12 +353,16 @@ class PropertyGraph {
 
  private:
   VertexRecord* find_vertex_impl(VertexId id) const;
+  SlotIndex find_slot_impl(VertexId id) const;
+  SlotIndex resolve_target_slot_slow(const EdgeRecord& e) const;
 
   std::vector<std::unique_ptr<VertexRecord>> slots_;
   std::unordered_map<VertexId, SlotIndex> index_;
   std::size_t num_vertices_ = 0;
   std::size_t num_edges_ = 0;
   VertexId next_auto_id_ = 0;
+  // Starts at 1 so the default edge stamp (epoch 0) is never current.
+  std::uint32_t mutation_epoch_ = 1;
   bool allow_parallel_edges_ = false;
 };
 

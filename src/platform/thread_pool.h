@@ -7,6 +7,7 @@
 // (BFS frontiers, Luby-Jones rounds, ...), which maps directly onto this.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -52,6 +53,44 @@ class ThreadPool {
       std::size_t begin, std::size_t end, std::size_t grain,
       const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Chunked parallel map-reduce over [begin, end): `map(lo, hi)` computes
+  /// a partial result for one chunk of up to `grain` indices, and the
+  /// partials are merged with `reduce(acc, partial)` in ascending chunk
+  /// order. Chunk boundaries depend only on `grain` — never on the worker
+  /// count or scheduling — and the merge order is fixed, so the result is
+  /// bit-identical for any number of threads (including one), even for
+  /// non-associative reductions such as floating-point sums. This is what
+  /// keeps the workload checksums thread-count-invariant, and it replaces
+  /// the hand-rolled per-worker buffer merges the workloads used to carry.
+  template <typename T, typename MapFn, typename ReduceFn>
+  T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                    T identity, const MapFn& map, const ReduceFn& reduce) {
+    if (begin >= end) return identity;
+    if (grain == 0) grain = 1;
+    const std::size_t chunks = (end - begin + grain - 1) / grain;
+    T acc = std::move(identity);
+    if (num_threads() == 1 || chunks == 1) {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = begin + c * grain;
+        acc = reduce(std::move(acc), map(lo, std::min(end, lo + grain)));
+      }
+      return acc;
+    }
+    std::vector<T> partial(chunks);
+    parallel_for_chunked(0, chunks, 1,
+                         [&](std::size_t clo, std::size_t chi) {
+                           for (std::size_t c = clo; c < chi; ++c) {
+                             const std::size_t lo = begin + c * grain;
+                             partial[c] =
+                                 map(lo, std::min(end, lo + grain));
+                           }
+                         });
+    for (std::size_t c = 0; c < chunks; ++c) {
+      acc = reduce(std::move(acc), std::move(partial[c]));
+    }
+    return acc;
+  }
+
  private:
   struct Task {
     const std::function<void(int, int)>* body = nullptr;
@@ -69,5 +108,25 @@ class ThreadPool {
   int pending_ = 0;
   bool shutdown_ = false;
 };
+
+/// parallel_reduce through an optional pool: a null (or single-thread) pool
+/// runs the same chunked merge on the calling thread, so sequential and
+/// parallel runs of a workload produce bit-identical results.
+template <typename T, typename MapFn, typename ReduceFn>
+T parallel_reduce(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, T identity, const MapFn& map,
+                  const ReduceFn& reduce) {
+  if (pool != nullptr) {
+    return pool->parallel_reduce(begin, end, grain, std::move(identity), map,
+                                 reduce);
+  }
+  if (begin >= end) return identity;
+  if (grain == 0) grain = 1;
+  T acc = std::move(identity);
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    acc = reduce(std::move(acc), map(lo, std::min(end, lo + grain)));
+  }
+  return acc;
+}
 
 }  // namespace graphbig::platform

@@ -1,7 +1,11 @@
 // Betweenness centrality (BCentr, social analysis): Brandes' algorithm
 // with sampled pivot sources (Madduri et al.'s parallel variant samples
 // sources the same way). Each pivot runs a BFS computing shortest-path
-// counts, then a reverse dependency accumulation.
+// counts, then a reverse dependency accumulation. Pivots are independent,
+// so parallel runs distribute pivots across workers; per-pivot
+// contributions are merged in pivot order (grain-1 parallel_reduce), which
+// keeps the floating-point accumulation — and therefore the checksum —
+// bit-identical at any thread count.
 #include <cmath>
 
 #include "platform/rng.h"
@@ -26,13 +30,6 @@ class BcentrWorkload final : public Workload {
     RunResult result;
     const std::size_t slots = g.slot_count();
 
-    std::vector<double> bc(slots, 0.0);
-    std::vector<std::int32_t> depth(slots);
-    std::vector<double> sigma(slots);
-    std::vector<double> delta(slots);
-    std::vector<graph::SlotIndex> order;  // BFS visit order
-    order.reserve(slots);
-
     // Sample pivot sources deterministically.
     platform::Xoshiro256 rng(ctx.seed);
     std::vector<graph::VertexId> pivots;
@@ -44,14 +41,24 @@ class BcentrWorkload final : public Workload {
     });
     if (pivots.empty() && g.num_vertices() > 0) pivots.push_back(ctx.root);
 
-    for (const auto source : pivots) {
+    // One Brandes pass, self-contained so pivots can run concurrently.
+    // The same struct carries a single pivot's dependencies (map) and the
+    // pivot-ordered running sum (reduce accumulator).
+    struct Accum {
+      std::vector<double> delta;  // per-slot dependency / running bc sum
+      std::uint64_t vertices = 0;
+      std::uint64_t edges = 0;
+    };
+    auto brandes = [&](graph::VertexId source) {
+      Accum p;
       const graph::VertexRecord* src = g.find_vertex(source);
-      if (src == nullptr) continue;
+      if (src == nullptr) return p;
 
-      std::fill(depth.begin(), depth.end(), -1);
-      std::fill(sigma.begin(), sigma.end(), 0.0);
-      std::fill(delta.begin(), delta.end(), 0.0);
-      order.clear();
+      std::vector<std::int32_t> depth(slots, -1);
+      std::vector<double> sigma(slots, 0.0);
+      p.delta.assign(slots, 0.0);
+      std::vector<graph::SlotIndex> order;  // BFS visit order
+      order.reserve(slots);
 
       const graph::SlotIndex sslot = g.slot_of(source);
       depth[sslot] = 0;
@@ -66,23 +73,23 @@ class BcentrWorkload final : public Workload {
         trace::read(trace::MemKind::kMetadata, &order[head - 1],
                     sizeof(graph::SlotIndex));
         const graph::VertexRecord* u = g.vertex_at(us);
-        g.for_each_out_edge(*u, [&](const graph::EdgeRecord& e) {
-          ++result.edges_processed;
-          const graph::SlotIndex vs = g.slot_of(e.target);
-          trace::branch(trace::kBranchVisitedCheck, depth[vs] < 0);
-          if (depth[vs] < 0) {
-            depth[vs] = depth[us] + 1;
-            order.push_back(vs);
-            trace::write(trace::MemKind::kMetadata, &order.back(),
-                         sizeof(graph::SlotIndex));
-          }
-          if (depth[vs] == depth[us] + 1) {
-            sigma[vs] += sigma[us];
-            trace::write(trace::MemKind::kMetadata, &sigma[vs],
-                         sizeof(double));
-            trace::alu(1);
-          }
-        });
+        g.for_each_out_edge(
+            *u, [&](const graph::EdgeRecord&, graph::SlotIndex vs) {
+              ++p.edges;
+              trace::branch(trace::kBranchVisitedCheck, depth[vs] < 0);
+              if (depth[vs] < 0) {
+                depth[vs] = depth[us] + 1;
+                order.push_back(vs);
+                trace::write(trace::MemKind::kMetadata, &order.back(),
+                             sizeof(graph::SlotIndex));
+              }
+              if (depth[vs] == depth[us] + 1) {
+                sigma[vs] += sigma[us];
+                trace::write(trace::MemKind::kMetadata, &sigma[vs],
+                             sizeof(double));
+                trace::alu(1);
+              }
+            });
       }
 
       // Reverse accumulation of dependencies.
@@ -93,26 +100,46 @@ class BcentrWorkload final : public Workload {
         // Predecessors on shortest paths are in-neighbors one level up.
         g.for_each_in_neighbor(*w, [&](graph::VertexId pid) {
           const graph::SlotIndex ps = g.slot_of(pid);
-          trace::branch(trace::kBranchCompare,
-                        depth[ps] == depth[ws] - 1);
+          trace::branch(trace::kBranchCompare, depth[ps] == depth[ws] - 1);
           if (depth[ps] == depth[ws] - 1 && sigma[ws] > 0) {
-            delta[ps] += sigma[ps] / sigma[ws] * (1.0 + delta[ws]);
-            trace::write(trace::MemKind::kMetadata, &delta[ps],
+            p.delta[ps] += sigma[ps] / sigma[ws] * (1.0 + p.delta[ws]);
+            trace::write(trace::MemKind::kMetadata, &p.delta[ps],
                          sizeof(double));
             trace::alu(3);
           }
         });
-        bc[ws] += delta[ws];
       }
-      result.vertices_processed += order.size();
-    }
+      // Brandes excludes the source from its own accumulation.
+      p.delta[sslot] = 0.0;
+      p.vertices = order.size();
+      return p;
+    };
+
+    const bool parallel = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
+    // Grain 1: one chunk per pivot, merged in pivot order so bc[s] is the
+    // same ordered sum of per-pivot deltas the sequential loop produces.
+    Accum accum = platform::parallel_reduce(
+        parallel ? ctx.pool : nullptr, 0, pivots.size(), 1, Accum{},
+        [&](std::size_t lo, std::size_t) { return brandes(pivots[lo]); },
+        [&](Accum acc, Accum p) {
+          if (acc.delta.empty()) acc.delta.assign(slots, 0.0);
+          for (std::size_t s = 0; s < p.delta.size(); ++s) {
+            acc.delta[s] += p.delta[s];
+          }
+          acc.vertices += p.vertices;
+          acc.edges += p.edges;
+          return acc;
+        });
+    if (accum.delta.empty()) accum.delta.assign(slots, 0.0);
+    result.vertices_processed = accum.vertices;
+    result.edges_processed = accum.edges;
 
     // Publish and checksum (quantized against FP ordering noise).
     double bc_sum = 0.0;
     g.for_each_vertex([&](graph::VertexRecord& v) {
       const graph::SlotIndex s = g.slot_of(v.id);
-      v.props.set_double(props::kBetweenness, bc[s]);
-      bc_sum += bc[s];
+      v.props.set_double(props::kBetweenness, accum.delta[s]);
+      bc_sum += accum.delta[s];
     });
     result.checksum = static_cast<std::uint64_t>(std::llround(bc_sum));
     return result;

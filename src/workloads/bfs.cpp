@@ -1,7 +1,9 @@
 // Breadth-first Search: the most widely used workload of the suite
 // (10 of 21 use cases, Figure 4). Level-synchronous frontier expansion
 // through the framework primitives; the BFS depth is stored as a vertex
-// property ("program state" in the paper's property-graph model).
+// property ("program state" in the paper's property-graph model). The
+// frontier carries dense slots and edge expansion resolves targets through
+// the slot cache, so the hot loop performs no hash probes.
 #include <atomic>
 
 #include "platform/bitset.h"
@@ -29,71 +31,66 @@ class BfsWorkload final : public Workload {
     if (root == nullptr) return result;
 
     platform::AtomicBitset visited(g.slot_count());
-    visited.test_and_set(g.slot_of(ctx.root));
+    const graph::SlotIndex root_slot = g.slot_of(ctx.root);
+    visited.test_and_set(root_slot);
     root->props.set_int(props::kDepth, 0);
 
-    std::vector<graph::VertexId> frontier{ctx.root};
-    std::vector<graph::VertexId> next;
+    std::vector<graph::SlotIndex> frontier{root_slot};
+    std::vector<graph::SlotIndex> next;
     std::int64_t depth = 0;
 
     std::uint64_t edges = 0;
     std::uint64_t vertices = 1;
     std::uint64_t depth_sum = 0;
 
+    // Per-chunk expansion state merged by parallel_reduce in chunk order.
+    struct Partial {
+      std::vector<graph::SlotIndex> out;
+      std::uint64_t edges = 0;
+    };
+
     while (!frontier.empty()) {
       ++depth;
-      next.clear();
       trace::block(trace::kBlockWorkloadKernel);
 
-      auto expand = [&](graph::VertexId vid,
-                        std::vector<graph::VertexId>& out,
-                        std::uint64_t& edge_count) {
-        const graph::VertexRecord* v = g.find_vertex(vid);
-        g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
-          ++edge_count;
-          const graph::SlotIndex tslot = g.slot_of(e.target);
-          const bool first = visited.test_and_set(tslot);
-          trace::branch(trace::kBranchVisitedCheck, first);
-          if (first) {
-            graph::VertexRecord* t = g.find_vertex(e.target);
-            t->props.set_int(props::kDepth, depth);
-            out.push_back(e.target);
-            trace::write(trace::MemKind::kMetadata, &out.back(),
-                         sizeof(graph::VertexId));
-          }
-        });
+      auto expand = [&](graph::SlotIndex vslot, Partial& p) {
+        graph::VertexRecord* v = g.vertex_at(vslot);
+        g.for_each_out_edge(
+            *v, [&](const graph::EdgeRecord&, graph::SlotIndex tslot) {
+              ++p.edges;
+              const bool first = visited.test_and_set(tslot);
+              trace::branch(trace::kBranchVisitedCheck, first);
+              if (first) {
+                graph::VertexRecord* t = g.vertex_at(tslot);
+                t->props.set_int(props::kDepth, depth);
+                p.out.push_back(tslot);
+                trace::write(trace::MemKind::kMetadata, &p.out.back(),
+                             sizeof(graph::SlotIndex));
+              }
+            });
       };
 
-      if (ctx.pool != nullptr && ctx.pool->num_threads() > 1 &&
-          frontier.size() > 64) {
-        // Parallel expansion with per-worker buffers merged afterwards.
-        const int nt = ctx.pool->num_threads();
-        std::vector<std::vector<graph::VertexId>> buffers(nt);
-        std::vector<std::uint64_t> edge_counts(nt, 0);
-        std::atomic<std::size_t> cursor{0};
-        ctx.pool->run_on_all([&](int id, int) {
-          constexpr std::size_t kGrain = 64;
-          for (;;) {
-            const std::size_t lo = cursor.fetch_add(kGrain);
-            if (lo >= frontier.size()) break;
-            const std::size_t hi =
-                std::min(frontier.size(), lo + kGrain);
+      const bool parallel = ctx.pool != nullptr &&
+                            ctx.pool->num_threads() > 1 &&
+                            frontier.size() > 64;
+      Partial merged = platform::parallel_reduce(
+          parallel ? ctx.pool : nullptr, 0, frontier.size(), 64, Partial{},
+          [&](std::size_t lo, std::size_t hi) {
+            Partial p;
             for (std::size_t i = lo; i < hi; ++i) {
-              expand(frontier[i], buffers[id], edge_counts[id]);
+              trace::read(trace::MemKind::kMetadata, &frontier[i],
+                          sizeof(graph::SlotIndex));
+              expand(frontier[i], p);
             }
-          }
-        });
-        for (int t = 0; t < nt; ++t) {
-          next.insert(next.end(), buffers[t].begin(), buffers[t].end());
-          edges += edge_counts[t];
-        }
-      } else {
-        for (const auto vid : frontier) {
-          trace::read(trace::MemKind::kMetadata, &vid,
-                      sizeof(graph::VertexId));
-          expand(vid, next, edges);
-        }
-      }
+            return p;
+          },
+          [](Partial acc, Partial p) {
+            acc.out.insert(acc.out.end(), p.out.begin(), p.out.end());
+            acc.edges += p.edges;
+            return acc;
+          });
+      next.swap(merged.out);
+      edges += merged.edges;
 
       vertices += next.size();
       depth_sum += static_cast<std::uint64_t>(depth) * next.size();

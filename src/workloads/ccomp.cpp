@@ -1,8 +1,10 @@
-// Connected components (CComp): BFS-based labeling on the CPU side, per
-// Table 4 (the GPU side uses Soman's algorithm instead). Components are
-// computed over the undirected view; every vertex receives the minimum
-// root id of its component as a label property.
-#include <queue>
+// Connected components (CComp): min-label propagation over the undirected
+// view, per Table 4 (the GPU side uses Soman's algorithm, which is the same
+// fixed-point computation). Every vertex converges to the minimum vertex id
+// of its component, stored as a label property. The fixed point is a
+// property of the graph alone, so sequential and parallel runs — at any
+// thread count — produce identical labels and an identical checksum.
+#include <atomic>
 
 #include "trace/access.h"
 #include "workloads/workload.h"
@@ -23,53 +25,138 @@ class CcompWorkload final : public Workload {
   RunResult run(RunContext& ctx) const override {
     graph::PropertyGraph& g = *ctx.graph;
     RunResult result;
-    std::vector<bool> visited(g.slot_count(), false);
-    std::vector<graph::VertexId> queue;
+    const std::size_t slots = g.slot_count();
+    const bool parallel = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
+    platform::ThreadPool* pool = parallel ? ctx.pool : nullptr;
 
-    std::uint64_t components = 0;
-    std::uint64_t label_sum = 0;
+    constexpr graph::VertexId kUnreached =
+        std::numeric_limits<graph::VertexId>::max();
+    std::vector<std::atomic<graph::VertexId>> label(slots);
+    std::vector<std::atomic<std::uint64_t>> queued(slots);
 
-    g.for_each_vertex([&](graph::VertexRecord& root) {
-      const graph::SlotIndex rslot = g.slot_of(root.id);
-      if (visited[rslot]) return;
-      ++components;
-      const graph::VertexId label = root.id;
+    using Worklist = std::vector<graph::SlotIndex>;
+    auto concat = [](Worklist acc, Worklist p) {
+      acc.insert(acc.end(), p.begin(), p.end());
+      return acc;
+    };
 
-      queue.clear();
-      queue.push_back(root.id);
-      visited[rslot] = true;
-      std::size_t head = 0;
-      while (head < queue.size()) {
-        trace::block(trace::kBlockWorkloadKernel);
-        const graph::VertexId vid = queue[head++];
-        trace::read(trace::MemKind::kMetadata, &queue[head - 1],
-                    sizeof(graph::VertexId));
-        graph::VertexRecord* v = g.find_vertex(vid);
-        v->props.set_int(props::kLabel,
-                         static_cast<std::int64_t>(label));
-        label_sum += label % 1000003u;
-        ++result.vertices_processed;
-
-        auto visit = [&](graph::VertexId nid) {
-          ++result.edges_processed;
-          const graph::SlotIndex ns = g.slot_of(nid);
-          trace::branch(trace::kBranchVisitedCheck, visited[ns]);
-          if (!visited[ns]) {
-            visited[ns] = true;
-            queue.push_back(nid);
-            trace::write(trace::MemKind::kMetadata, &queue.back(),
-                         sizeof(graph::VertexId));
+    // Every live vertex starts labeled with its own id and active.
+    Worklist frontier = platform::parallel_reduce(
+        pool, 0, slots, 256, Worklist{},
+        [&](std::size_t lo, std::size_t hi) {
+          Worklist w;
+          for (std::size_t s = lo; s < hi; ++s) {
+            const graph::VertexRecord* v =
+                g.vertex_at(static_cast<graph::SlotIndex>(s));
+            label[s].store(v == nullptr ? kUnreached : v->id,
+                           std::memory_order_relaxed);
+            queued[s].store(0, std::memory_order_relaxed);
+            if (v != nullptr) {
+              w.push_back(static_cast<graph::SlotIndex>(s));
+            }
           }
-        };
-        g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
-          visit(e.target);
-        });
-        g.for_each_in_neighbor(*v,
-                               [&](graph::VertexId src) { visit(src); });
-      }
-    });
+          return w;
+        },
+        concat);
 
-    result.checksum = components * 2654435761u + label_sum;
+    std::uint64_t round = 0;
+    std::uint64_t edges = 0;
+    while (!frontier.empty()) {
+      ++round;
+      struct Partial {
+        Worklist next;
+        std::uint64_t edges = 0;
+      };
+      Partial merged = platform::parallel_reduce(
+          pool, 0, frontier.size(), 64, Partial{},
+          [&](std::size_t lo, std::size_t hi) {
+            Partial p;
+            for (std::size_t i = lo; i < hi; ++i) {
+              trace::block(trace::kBlockWorkloadKernel);
+              const graph::SlotIndex s = frontier[i];
+              trace::read(trace::MemKind::kMetadata, &frontier[i],
+                          sizeof(graph::SlotIndex));
+              const graph::VertexId mine =
+                  label[s].load(std::memory_order_relaxed);
+              const graph::VertexRecord* v = g.vertex_at(s);
+
+              // Push `mine` to each neighbor; the thread that lowers a
+              // neighbor's label claims it for the next round (the round
+              // stamp keeps each slot queued at most once per round).
+              auto push = [&](graph::SlotIndex ns) {
+                ++p.edges;
+                graph::VertexId cur =
+                    label[ns].load(std::memory_order_relaxed);
+                bool improved = false;
+                while (mine < cur) {
+                  if (label[ns].compare_exchange_weak(
+                          cur, mine, std::memory_order_relaxed)) {
+                    improved = true;
+                    break;
+                  }
+                }
+                trace::branch(trace::kBranchVisitedCheck, improved);
+                if (improved &&
+                    queued[ns].exchange(round, std::memory_order_relaxed) !=
+                        round) {
+                  p.next.push_back(ns);
+                  trace::write(trace::MemKind::kMetadata, &p.next.back(),
+                               sizeof(graph::SlotIndex));
+                }
+              };
+              g.for_each_out_edge(
+                  *v, [&](const graph::EdgeRecord&, graph::SlotIndex ts) {
+                    push(ts);
+                  });
+              g.for_each_in_neighbor(*v, [&](graph::VertexId src) {
+                push(g.slot_of(src));
+              });
+            }
+            return p;
+          },
+          [](Partial acc, Partial p) {
+            acc.next.insert(acc.next.end(), p.next.begin(), p.next.end());
+            acc.edges += p.edges;
+            return acc;
+          });
+      edges += merged.edges;
+      frontier.swap(merged.next);
+    }
+
+    // Publish labels and fold the checksum in slot order: a vertex whose
+    // label is its own id is the representative of its component.
+    struct Tally {
+      std::uint64_t components = 0;
+      std::uint64_t label_sum = 0;
+      std::uint64_t vertices = 0;
+    };
+    Tally tally = platform::parallel_reduce(
+        pool, 0, slots, 256, Tally{},
+        [&](std::size_t lo, std::size_t hi) {
+          Tally t;
+          for (std::size_t s = lo; s < hi; ++s) {
+            graph::VertexRecord* v =
+                g.vertex_at(static_cast<graph::SlotIndex>(s));
+            if (v == nullptr) continue;
+            const graph::VertexId l =
+                label[s].load(std::memory_order_relaxed);
+            v->props.set_int(props::kLabel, static_cast<std::int64_t>(l));
+            if (l == v->id) ++t.components;
+            t.label_sum += l % 1000003u;
+            ++t.vertices;
+          }
+          return t;
+        },
+        [](Tally acc, Tally t) {
+          acc.components += t.components;
+          acc.label_sum += t.label_sum;
+          acc.vertices += t.vertices;
+          return acc;
+        });
+
+    result.vertices_processed = tally.vertices;
+    result.edges_processed = edges;
+    result.checksum = tally.components * 2654435761u + tally.label_sum;
     return result;
   }
 };

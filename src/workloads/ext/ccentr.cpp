@@ -2,7 +2,10 @@
 // vertices, run Dijkstra and store closeness = (reached - 1) / sum of
 // distances. The paper's Section 4.2 leaves it out of Table 4 because it
 // "shares significant similarity with shortest path"; it is provided here
-// for completeness of the social-analysis family.
+// for completeness of the social-analysis family. Pivots are independent
+// single-source problems, so parallel runs distribute them across workers
+// and fold the per-pivot closeness values in pivot order — the checksum is
+// bit-identical at any thread count.
 #include <limits>
 #include <queue>
 
@@ -26,6 +29,7 @@ class CcentrWorkload final : public Workload {
   RunResult run(RunContext& ctx) const override {
     graph::PropertyGraph& g = *ctx.graph;
     RunResult result;
+    const std::size_t slots = g.slot_count();
 
     // Same pivot sampling scheme as BCentr.
     platform::Xoshiro256 rng(ctx.seed);
@@ -38,61 +42,78 @@ class CcentrWorkload final : public Workload {
     });
     if (pivots.empty() && g.num_vertices() > 0) pivots.push_back(ctx.root);
 
-    std::vector<double> dist(g.slot_count());
-    std::vector<bool> settled(g.slot_count());
-    double closeness_sum = 0.0;
-
-    for (const auto source : pivots) {
+    // One single-source Dijkstra, self-contained so pivots can run
+    // concurrently. Each pivot writes only its own vertex's property.
+    struct Partial {
+      double closeness = 0.0;
+      std::uint64_t vertices = 0;
+      std::uint64_t edges = 0;
+    };
+    auto sssp = [&](graph::VertexId source) {
+      Partial p;
       graph::VertexRecord* src = g.find_vertex(source);
-      if (src == nullptr) continue;
-      std::fill(dist.begin(), dist.end(),
-                std::numeric_limits<double>::infinity());
-      std::fill(settled.begin(), settled.end(), false);
+      if (src == nullptr) return p;
 
-      using HeapEntry = std::pair<double, graph::VertexId>;
+      std::vector<double> dist(slots,
+                               std::numeric_limits<double>::infinity());
+      std::vector<bool> settled(slots, false);
+      using HeapEntry = std::pair<double, graph::SlotIndex>;
       std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                           std::greater<HeapEntry>>
           heap;
       dist[g.slot_of(source)] = 0.0;
-      heap.emplace(0.0, source);
+      heap.emplace(0.0, g.slot_of(source));
 
       double total_dist = 0.0;
       std::uint64_t reached = 0;
       while (!heap.empty()) {
         trace::block(trace::kBlockWorkloadKernel);
-        const auto [d, vid] = heap.top();
+        const auto [d, slot] = heap.top();
         heap.pop();
-        const graph::SlotIndex slot = g.slot_of(vid);
         if (settled[slot]) continue;
         settled[slot] = true;
         total_dist += d;
         ++reached;
-        ++result.vertices_processed;
+        ++p.vertices;
 
-        const graph::VertexRecord* v = g.find_vertex(vid);
-        g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
-          ++result.edges_processed;
-          const graph::SlotIndex ts = g.slot_of(e.target);
-          const double candidate = d + e.weight;
-          trace::alu(2);
-          if (candidate < dist[ts]) {
-            dist[ts] = candidate;
-            trace::write(trace::MemKind::kMetadata, &dist[ts],
-                         sizeof(double));
-            heap.emplace(candidate, e.target);
-          }
-        });
+        const graph::VertexRecord* v = g.vertex_at(slot);
+        g.for_each_out_edge(
+            *v, [&](const graph::EdgeRecord& e, graph::SlotIndex ts) {
+              ++p.edges;
+              const double candidate = d + e.weight;
+              trace::alu(2);
+              if (candidate < dist[ts]) {
+                dist[ts] = candidate;
+                trace::write(trace::MemKind::kMetadata, &dist[ts],
+                             sizeof(double));
+                heap.emplace(candidate, ts);
+              }
+            });
       }
 
-      const double closeness =
-          (reached > 1 && total_dist > 0)
-              ? static_cast<double>(reached - 1) / total_dist
-              : 0.0;
-      src->props.set_double(props::kCloseness, closeness);
-      closeness_sum += closeness;
-    }
+      p.closeness = (reached > 1 && total_dist > 0)
+                        ? static_cast<double>(reached - 1) / total_dist
+                        : 0.0;
+      src->props.set_double(props::kCloseness, p.closeness);
+      return p;
+    };
 
-    result.checksum = static_cast<std::uint64_t>(closeness_sum * 4096.0) +
+    const bool parallel = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
+    // Grain 1: one chunk per pivot, folded in pivot order so the sum of
+    // closeness values matches the sequential loop exactly.
+    Partial total = platform::parallel_reduce(
+        parallel ? ctx.pool : nullptr, 0, pivots.size(), 1, Partial{},
+        [&](std::size_t lo, std::size_t) { return sssp(pivots[lo]); },
+        [](Partial acc, Partial p) {
+          acc.closeness += p.closeness;
+          acc.vertices += p.vertices;
+          acc.edges += p.edges;
+          return acc;
+        });
+
+    result.vertices_processed = total.vertices;
+    result.edges_processed = total.edges;
+    result.checksum = static_cast<std::uint64_t>(total.closeness * 4096.0) +
                       pivots.size();
     return result;
   }

@@ -2,6 +2,12 @@
 // personalized random-walk distribution seeded at ctx.root with restart
 // probability 0.15 -- the kernel behind the concurrent image-query use
 // case the paper's authors cite (Xia et al., ICMEW'14).
+//
+// The iteration runs in gather form: a transpose (in-edge list of dense
+// slots, built once through the slot cache) lets each vertex pull its next
+// score as an ordered sum over in-edges, so every slot is written by
+// exactly one thread and the floating-point sums — and the checksum — are
+// bit-identical at any thread count.
 #include <cmath>
 
 #include "trace/access.h"
@@ -29,40 +35,97 @@ class RwrWorkload final : public Workload {
     const std::size_t slots = g.slot_count();
     if (g.find_vertex(ctx.root) == nullptr) return result;
     const graph::SlotIndex root_slot = g.slot_of(ctx.root);
+    const bool parallel = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
+    platform::ThreadPool* pool = parallel ? ctx.pool : nullptr;
+
+    // Transpose in CSR form, sources resolved through the slot cache.
+    // Built in slot order, so each vertex's in-edge list — and therefore
+    // its gather sum order — is deterministic.
+    std::vector<std::uint32_t> out_degree(slots, 0);
+    std::vector<std::size_t> in_offset(slots + 1, 0);
+    std::vector<graph::SlotIndex> in_source;
+    in_source.reserve(g.num_edges());
+    g.for_each_vertex([&](const graph::VertexRecord& v) {
+      const graph::SlotIndex s = g.slot_of(v.id);
+      out_degree[s] = static_cast<std::uint32_t>(v.out.size());
+      g.for_each_out_edge(
+          v, [&](const graph::EdgeRecord&, graph::SlotIndex ts) {
+            ++in_offset[ts + 1];
+          });
+    });
+    for (std::size_t s = 0; s < slots; ++s) {
+      in_offset[s + 1] += in_offset[s];
+    }
+    std::vector<std::size_t> cursor(in_offset.begin(), in_offset.end() - 1);
+    in_source.resize(g.num_edges());
+    g.for_each_vertex([&](const graph::VertexRecord& v) {
+      const graph::SlotIndex s = g.slot_of(v.id);
+      g.for_each_out_edge(
+          v, [&](const graph::EdgeRecord&, graph::SlotIndex ts) {
+            in_source[cursor[ts]++] = s;
+          });
+    });
 
     std::vector<double> score(slots, 0.0);
+    std::vector<double> share(slots, 0.0);
     std::vector<double> next(slots, 0.0);
     score[root_slot] = 1.0;
 
+    std::uint64_t edges = 0;
     for (int iter = 0; iter < kIterations; ++iter) {
-      std::fill(next.begin(), next.end(), 0.0);
-      double dangling = 0.0;
-      g.for_each_vertex([&](const graph::VertexRecord& v) {
-        trace::block(trace::kBlockWorkloadKernel);
-        const graph::SlotIndex s = g.slot_of(v.id);
-        const double mass = score[s];
-        trace::read(trace::MemKind::kMetadata, &score[s], sizeof(double));
-        if (mass == 0.0) return;
-        if (v.out.empty()) {
-          dangling += mass;
-          return;
-        }
-        const double share =
-            (1.0 - kRestart) * mass / static_cast<double>(v.out.size());
-        trace::alu(2);
-        g.for_each_out_edge(v, [&](const graph::EdgeRecord& e) {
-          ++result.edges_processed;
-          next[g.slot_of(e.target)] += share;
-          trace::write(trace::MemKind::kMetadata,
-                       &next[g.slot_of(e.target)], sizeof(double));
-          trace::alu(1);
-        });
-      });
+      // Per-vertex outgoing share, plus the dangling mass (vertices with
+      // no out-edges) folded in chunk order.
+      const double dangling = platform::parallel_reduce(
+          pool, 0, slots, 256, 0.0,
+          [&](std::size_t lo, std::size_t hi) {
+            double local = 0.0;
+            for (std::size_t s = lo; s < hi; ++s) {
+              const double mass = score[s];
+              trace::read(trace::MemKind::kMetadata, &score[s],
+                          sizeof(double));
+              if (mass == 0.0) {
+                share[s] = 0.0;
+              } else if (out_degree[s] == 0) {
+                share[s] = 0.0;
+                local += mass;
+              } else {
+                share[s] = (1.0 - kRestart) * mass /
+                           static_cast<double>(out_degree[s]);
+                trace::alu(2);
+              }
+            }
+            return local;
+          },
+          [](double a, double b) { return a + b; });
+
+      // Gather: each slot pulls from its in-edges in transpose order.
+      edges += platform::parallel_reduce(
+          pool, 0, slots, 256, std::uint64_t{0},
+          [&](std::size_t lo, std::size_t hi) {
+            std::uint64_t pulled = 0;
+            for (std::size_t s = lo; s < hi; ++s) {
+              trace::block(trace::kBlockWorkloadKernel);
+              double acc = 0.0;
+              for (std::size_t i = in_offset[s]; i < in_offset[s + 1];
+                   ++i) {
+                acc += share[in_source[i]];
+                trace::alu(1);
+                ++pulled;
+              }
+              next[s] = acc;
+              trace::write(trace::MemKind::kMetadata, &next[s],
+                           sizeof(double));
+            }
+            return pulled;
+          },
+          [](std::uint64_t a, std::uint64_t b) { return a + b; });
+
       // Restart mass plus redistributed dangling mass returns to the seed.
       next[root_slot] += kRestart + (1.0 - kRestart) * dangling;
       score.swap(next);
       ++result.vertices_processed;
     }
+    result.edges_processed = edges;
 
     // Publish scores and checksum (quantized; scores sum to ~1).
     double sum = 0.0;

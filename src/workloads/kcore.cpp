@@ -1,6 +1,16 @@
-// k-core decomposition (kCore): Matula & Beck's smallest-last peeling with
-// a bucket queue, computing the core number of every vertex over the
-// undirected degree view.
+// k-core decomposition (kCore): computes the core number of every vertex
+// over the undirected degree view.
+//
+// Sequential runs use Matula & Beck's smallest-last peeling with a bucket
+// queue (the variant the profiled characterization replays). Parallel runs
+// use ParK-style level-synchronous peeling: for k = 0, 1, ... repeatedly
+// strip every remaining vertex of degree <= k, decrementing neighbor
+// degrees atomically; the unique thread that moves a neighbor's degree to
+// exactly k queues it for the next sub-round. Core numbers are a property
+// of the graph, so both algorithms produce identical results and the
+// checksum is thread-count-invariant.
+#include <atomic>
+
 #include "trace/access.h"
 #include "workloads/workload.h"
 
@@ -18,6 +28,14 @@ class KcoreWorkload final : public Workload {
   Category category() const override { return Category::kAnalytics; }
 
   RunResult run(RunContext& ctx) const override {
+    if (ctx.pool != nullptr && ctx.pool->num_threads() > 1) {
+      return run_parallel(ctx);
+    }
+    return run_sequential(ctx);
+  }
+
+ private:
+  RunResult run_sequential(RunContext& ctx) const {
     graph::PropertyGraph& g = *ctx.graph;
     RunResult result;
     const std::size_t slots = g.slot_count();
@@ -66,9 +84,8 @@ class KcoreWorkload final : public Workload {
       ++processed;
 
       const graph::VertexRecord* v = g.vertex_at(s);
-      auto relax = [&](graph::VertexId nid) {
+      auto relax = [&](graph::SlotIndex ns) {
         ++result.edges_processed;
-        const graph::SlotIndex ns = g.slot_of(nid);
         trace::read(trace::MemKind::kMetadata, &removed[ns], 1);
         if (removed[ns] || degree[ns] == 0) return;
         --degree[ns];
@@ -77,10 +94,13 @@ class KcoreWorkload final : public Workload {
         buckets[degree[ns]].push_back(ns);
         if (degree[ns] < bucket_idx) bucket_idx = degree[ns];
       };
-      g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
-        relax(e.target);
+      g.for_each_out_edge(
+          *v, [&](const graph::EdgeRecord&, graph::SlotIndex ts) {
+            relax(ts);
+          });
+      g.for_each_in_neighbor(*v, [&](graph::VertexId src) {
+        relax(g.slot_of(src));
       });
-      g.for_each_in_neighbor(*v, [&](graph::VertexId src) { relax(src); });
     }
 
     // Publish core numbers as vertex properties.
@@ -93,6 +113,135 @@ class KcoreWorkload final : public Workload {
 
     result.vertices_processed = processed;
     result.checksum = core_sum * 31 + current_core;
+    return result;
+  }
+
+  RunResult run_parallel(RunContext& ctx) const {
+    graph::PropertyGraph& g = *ctx.graph;
+    platform::ThreadPool& pool = *ctx.pool;
+    RunResult result;
+    const std::size_t slots = g.slot_count();
+
+    std::vector<std::atomic<std::uint32_t>> degree(slots);
+    std::vector<std::atomic<std::uint8_t>> removed(slots);
+    std::vector<std::uint32_t> core(slots, 0);
+
+    // Parallel degree init over the slot table.
+    const std::size_t live = pool.parallel_reduce(
+        0, slots, 256, std::size_t{0},
+        [&](std::size_t lo, std::size_t hi) {
+          std::size_t n = 0;
+          for (std::size_t s = lo; s < hi; ++s) {
+            const graph::VertexRecord* v =
+                g.vertex_at(static_cast<graph::SlotIndex>(s));
+            degree[s].store(
+                v == nullptr
+                    ? 0
+                    : static_cast<std::uint32_t>(undirected_degree(*v)),
+                std::memory_order_relaxed);
+            removed[s].store(v == nullptr ? 1 : 0,
+                             std::memory_order_relaxed);
+            if (v != nullptr) ++n;
+          }
+          return n;
+        },
+        [](std::size_t a, std::size_t b) { return a + b; });
+
+    std::uint64_t edges_touched = 0;
+    std::size_t processed = 0;
+    std::uint32_t k = 0;
+    std::uint32_t degeneracy = 0;
+    std::vector<graph::SlotIndex> curr;
+
+    using Worklist = std::vector<graph::SlotIndex>;
+    auto concat = [](Worklist acc, Worklist p) {
+      acc.insert(acc.end(), p.begin(), p.end());
+      return acc;
+    };
+
+    while (processed < live) {
+      // Concurrent scan: claim every remaining vertex of degree <= k.
+      curr = pool.parallel_reduce(
+          0, slots, 256, Worklist{},
+          [&](std::size_t lo, std::size_t hi) {
+            Worklist w;
+            for (std::size_t s = lo; s < hi; ++s) {
+              if (removed[s].load(std::memory_order_relaxed) == 0 &&
+                  degree[s].load(std::memory_order_relaxed) <= k) {
+                w.push_back(static_cast<graph::SlotIndex>(s));
+              }
+            }
+            return w;
+          },
+          concat);
+
+      // Peel sub-rounds: strip the claimed set, queue neighbors that drop
+      // to exactly k (the unique decrementer that observes k+1 claims).
+      while (!curr.empty()) {
+        processed += curr.size();
+        struct Partial {
+          Worklist next;
+          std::uint64_t edges = 0;
+        };
+        Partial round = pool.parallel_reduce(
+            0, curr.size(), 64, Partial{},
+            [&](std::size_t lo, std::size_t hi) {
+              Partial p;
+              for (std::size_t i = lo; i < hi; ++i) {
+                const graph::SlotIndex s = curr[i];
+                removed[s].store(1, std::memory_order_relaxed);
+                core[s] = k;
+                const graph::VertexRecord* v = g.vertex_at(s);
+                auto relax = [&](graph::SlotIndex ns) {
+                  ++p.edges;
+                  if (removed[ns].load(std::memory_order_relaxed)) return;
+                  const std::uint32_t old = degree[ns].fetch_sub(
+                      1, std::memory_order_relaxed);
+                  if (old == k + 1) p.next.push_back(ns);
+                };
+                g.for_each_out_edge(
+                    *v,
+                    [&](const graph::EdgeRecord&, graph::SlotIndex ts) {
+                      relax(ts);
+                    });
+                g.for_each_in_neighbor(*v, [&](graph::VertexId src) {
+                  relax(g.slot_of(src));
+                });
+              }
+              return p;
+            },
+            [](Partial acc, Partial p) {
+              acc.next.insert(acc.next.end(), p.next.begin(),
+                              p.next.end());
+              acc.edges += p.edges;
+              return acc;
+            });
+        edges_touched += round.edges;
+        degeneracy = k;
+        curr.swap(round.next);
+      }
+      ++k;
+    }
+
+    // Publish core numbers and accumulate the checksum sum.
+    const std::uint64_t core_sum = pool.parallel_reduce(
+        0, slots, 256, std::uint64_t{0},
+        [&](std::size_t lo, std::size_t hi) {
+          std::uint64_t sum = 0;
+          for (std::size_t s = lo; s < hi; ++s) {
+            graph::VertexRecord* v =
+                g.vertex_at(static_cast<graph::SlotIndex>(s));
+            if (v == nullptr) continue;
+            v->props.set_int(props::kCore, core[s]);
+            sum += core[s];
+          }
+          return sum;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+
+    result.vertices_processed = processed;
+    result.edges_processed = edges_touched;
+    result.checksum = core_sum * 31 + degeneracy;
     return result;
   }
 };

@@ -41,6 +41,9 @@ const Workload* find_workload(const std::string& acronym) {
   for (const Workload* w : all_cpu_workloads()) {
     if (w->acronym() == acronym) return w;
   }
+  for (const Workload* w : extension_workloads()) {
+    if (w->acronym() == acronym) return w;
+  }
   return nullptr;
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -274,6 +275,74 @@ TEST(Timer, FormatDuration) {
   EXPECT_EQ(format_duration(0.0025), "2.50 ms");
   EXPECT_EQ(format_duration(2.5e-6), "2.50 us");
   EXPECT_EQ(format_duration(25e-9), "25.0 ns");
+}
+
+// ---- parallel_reduce ----
+
+TEST(ParallelReduce, SumsRange) {
+  ThreadPool pool(4);
+  const std::uint64_t sum = pool.parallel_reduce(
+      0, 1000, 64, std::uint64_t{0},
+      [](std::size_t lo, std::size_t hi) {
+        std::uint64_t s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += i;
+        return s;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, 1000u * 999u / 2);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  ThreadPool pool(2);
+  const int v = pool.parallel_reduce(
+      5, 5, 16, 42, [](std::size_t, std::size_t) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(v, 42);
+}
+
+TEST(ParallelReduce, FloatSumIsBitIdenticalAcrossThreadCounts) {
+  // Chunk boundaries depend only on the grain and partials merge in
+  // ascending chunk order, so even a non-associative floating-point sum
+  // is bit-identical for any worker count (this is what keeps workload
+  // checksums thread-count-invariant).
+  std::vector<double> values(10000);
+  Xoshiro256 rng(99);
+  for (double& v : values) v = rng.uniform() * 1e6 - 5e5;
+
+  auto run = [&](ThreadPool* pool) {
+    return parallel_reduce(
+        pool, 0, values.size(), 128, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double s = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) s += values[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+
+  const double serial = run(nullptr);
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    const double parallel = run(&pool);
+    // Bit equality, not near-equality.
+    EXPECT_EQ(std::memcmp(&serial, &parallel, sizeof(double)), 0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduce, MergesInChunkOrder) {
+  ThreadPool pool(4);
+  const std::vector<std::size_t> order = pool.parallel_reduce(
+      0, 40, 7, std::vector<std::size_t>{},
+      [](std::size_t lo, std::size_t) {
+        return std::vector<std::size_t>{lo};
+      },
+      [](std::vector<std::size_t> acc, std::vector<std::size_t> p) {
+        acc.insert(acc.end(), p.begin(), p.end());
+        return acc;
+      });
+  const std::vector<std::size_t> expected{0, 7, 14, 21, 28, 35};
+  EXPECT_EQ(order, expected);
 }
 
 }  // namespace

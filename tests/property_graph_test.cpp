@@ -237,6 +237,72 @@ TEST(PropertyGraph, FrameworkTimeOffByDefault) {
   EXPECT_EQ(graph::fwk::thread_time_ns(), 0u);
 }
 
+// ---- slot-cached target resolution ----
+
+TEST(PropertyGraph, SlotCacheHitsOnPureInsertion) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 16; ++v) g.add_vertex(v);
+  for (VertexId v = 0; v + 1 < 16; ++v) g.add_edge(v, v + 1);
+
+  // Edges born via add_edge carry a warm stamp: traversal resolves every
+  // target in O(1) with no hash probe.
+  fwk::reset_slot_cache_stats();
+  g.for_each_vertex([&](const VertexRecord& v) {
+    g.for_each_out_edge(v, [&](const EdgeRecord&, SlotIndex ts) {
+      EXPECT_NE(ts, kInvalidSlot);
+      EXPECT_EQ(g.vertex_at(ts), g.find_vertex(v.out.front().target));
+    });
+  });
+  EXPECT_EQ(fwk::slot_cache_stats().misses, 0u);
+  EXPECT_EQ(fwk::slot_cache_stats().hits, 15u);
+}
+
+TEST(PropertyGraph, SlotCacheInvalidatedByDeleteVertex) {
+  PropertyGraph g;
+  for (VertexId v = 0; v < 4; ++v) g.add_vertex(v);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+
+  const std::uint32_t epoch_before = g.mutation_epoch();
+  EXPECT_TRUE(g.delete_vertex(3));
+  // Tombstoning a slot moves the epoch: every cached stamp is now stale.
+  EXPECT_GT(g.mutation_epoch(), epoch_before);
+
+  // Re-add the deleted id; it lands in a fresh slot (slots are
+  // append-only), so any stale cached slot would be wrong to trust.
+  ASSERT_NE(g.add_vertex(3), nullptr);
+  ASSERT_NE(g.add_edge(2, 3), nullptr);
+  EXPECT_NE(g.slot_of(3), 3u);
+
+  // Traversal still resolves every target correctly: stale edges fall
+  // back to the id index (counted as misses) and re-stamp themselves.
+  fwk::reset_slot_cache_stats();
+  std::size_t resolved = 0;
+  g.for_each_vertex([&](const VertexRecord& v) {
+    g.for_each_out_edge(v, [&](const EdgeRecord& e, SlotIndex ts) {
+      ASSERT_NE(ts, kInvalidSlot);
+      const VertexRecord* t = g.vertex_at(ts);
+      ASSERT_NE(t, nullptr);
+      EXPECT_EQ(t->id, e.target);
+      ++resolved;
+    });
+  });
+  EXPECT_EQ(resolved, 3u);
+  // 0->1 and 0->2 were stamped before the epoch moved; 2->3 was re-added
+  // after and is warm.
+  EXPECT_EQ(fwk::slot_cache_stats().misses, 2u);
+  EXPECT_EQ(fwk::slot_cache_stats().hits, 1u);
+
+  // The fallback re-stamped the stale edges: a second sweep is all hits.
+  fwk::reset_slot_cache_stats();
+  g.for_each_vertex([&](const VertexRecord& v) {
+    g.for_each_out_edge(v, [&](const EdgeRecord&, SlotIndex) {});
+  });
+  EXPECT_EQ(fwk::slot_cache_stats().misses, 0u);
+  EXPECT_EQ(fwk::slot_cache_stats().hits, 3u);
+}
+
 // Property-based sweep: random mutation sequences keep invariants.
 class GraphMutationTest : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -468,5 +468,50 @@ TEST(BCentr, StarCenterDominates) {
   }
 }
 
+// ---- serial/parallel checksum parity ----
+//
+// Every parallel CPU workload must produce a thread-count-invariant
+// checksum: the slot-cached traversal fast path plus chunk-ordered
+// parallel_reduce merges make parallel runs bit-identical to sequential
+// ones. Each workload runs sequentially and then at several pool sizes on
+// identically generated graphs.
+
+void expect_parallel_parity(const Workload& w) {
+  datagen::RmatConfig cfg;
+  cfg.scale = 10;
+  cfg.edge_factor = 6;
+  PropertyGraph g_seq = datagen::build_property_graph(generate_rmat(cfg));
+  RunContext seq = ctx_for(g_seq);
+  const RunResult r_seq = w.run(seq);
+
+  for (const int threads : {2, 4, 8}) {
+    PropertyGraph g_par = datagen::build_property_graph(generate_rmat(cfg));
+    platform::ThreadPool pool(threads);
+    RunContext par = ctx_for(g_par);
+    par.pool = &pool;
+    const RunResult r_par = w.run(par);
+    EXPECT_EQ(r_seq.checksum, r_par.checksum)
+        << w.acronym() << " with " << threads << " threads";
+    EXPECT_EQ(r_seq.vertices_processed, r_par.vertices_processed)
+        << w.acronym() << " with " << threads << " threads";
+  }
+}
+
+TEST(KCore, ParallelMatchesSequential) { expect_parallel_parity(kcore()); }
+
+TEST(CComp, ParallelMatchesSequential) { expect_parallel_parity(ccomp()); }
+
+TEST(SPath, ParallelMatchesSequential) { expect_parallel_parity(spath()); }
+
+TEST(BCentr, ParallelMatchesSequential) {
+  expect_parallel_parity(bcentr());
+}
+
+TEST(CCentr, ParallelMatchesSequential) {
+  expect_parallel_parity(ccentr());
+}
+
+TEST(Rwr, ParallelMatchesSequential) { expect_parallel_parity(rwr()); }
+
 }  // namespace
 }  // namespace graphbig::workloads

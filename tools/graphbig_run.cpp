@@ -8,9 +8,11 @@
 // Mirrors the original GraphBIG's per-benchmark binaries in one tool:
 // pick a workload and a dataset, run it timed (default), under the CPU
 // perf model (--profile), or on the SIMT GPU simulator (--gpu).
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "harness/experiment.h"
 #include "harness/tables.h"
@@ -28,7 +30,7 @@ void print_usage() {
   --workload <acronym>   workload to run (required unless --list)
   --dataset <name>       dataset (default: ldbc)
   --scale tiny|small|medium   dataset scale (default: small)
-  --threads <n>          CPU threads (default: 1)
+  --threads <n>          CPU threads (default: 1; 0 = all hardware threads)
   --profile              run under the CPU perf model (sequential)
   --gpu                  run on the SIMT GPU simulator
 )";
@@ -90,6 +92,17 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--threads") {
       threads = std::atoi(next().c_str());
+      if (threads < 0) {
+        std::cerr << "--threads must be >= 0\n";
+        return 2;
+      }
+      // 0 = one software thread per hardware thread (Section 5.1 pins one
+      // worker per core; hardware_concurrency is the closest portable
+      // equivalent).
+      if (threads == 0) {
+        threads =
+            std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+      }
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--gpu") {
