@@ -73,7 +73,9 @@ BayesNet::BayesNet(const graph::PropertyGraph& graph) {
     cpt_storage_.insert(cpt_storage_.end(), cpt->begin(), cpt->end());
     // Parents = incoming edges; sorted by id for a stable CPT layout.
     node.parents.reserve(v->in.size());
-    std::vector<graph::VertexId> parent_ids(v->in.begin(), v->in.end());
+    std::vector<graph::VertexId> parent_ids;
+    parent_ids.reserve(v->in.size());
+    for (const graph::InRecord& r : v->in) parent_ids.push_back(r.source);
     std::sort(parent_ids.begin(), parent_ids.end());
     parent_ids.erase(std::unique(parent_ids.begin(), parent_ids.end()),
                      parent_ids.end());

@@ -66,6 +66,39 @@ Csr build_csr(const PropertyGraph& graph) {
   return csr;
 }
 
+Csr build_csr(const GraphSnapshot& snapshot) {
+  Csr csr;
+  csr.num_vertices = snapshot.num_vertices();
+  csr.num_edges = snapshot.num_edges();
+  csr.orig_id.assign(snapshot.orig_id(),
+                     snapshot.orig_id() + csr.num_vertices);
+  csr.row_ptr.assign(snapshot.out_ptr(),
+                     snapshot.out_ptr() + csr.num_vertices + 1);
+  csr.col.resize(csr.num_edges);
+  csr.weight.resize(csr.num_edges);
+
+  // The snapshot keeps the dynamic graph's per-vertex edge order; the
+  // device CSR wants rows sorted by destination (the TC intersection
+  // kernels require it).
+  for (std::uint32_t v = 0; v < csr.num_vertices; ++v) {
+    const std::uint64_t lo = csr.row_ptr[v];
+    const std::uint64_t hi = csr.row_ptr[v + 1];
+    std::vector<std::uint64_t> order(hi - lo);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint64_t a, std::uint64_t b) {
+                return snapshot.out_dst()[lo + a] <
+                       snapshot.out_dst()[lo + b];
+              });
+    for (std::uint64_t i = 0; i < order.size(); ++i) {
+      csr.col[lo + i] = snapshot.out_dst()[lo + order[i]];
+      csr.weight[lo + i] =
+          static_cast<float>(snapshot.out_weight()[lo + order[i]]);
+    }
+  }
+  return csr;
+}
+
 Coo build_coo(const Csr& csr) {
   Coo coo;
   coo.num_vertices = csr.num_vertices;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/property_graph.h"
+#include "graph/snapshot.h"
 #include "platform/aligned.h"
 
 namespace graphbig::graph {
@@ -52,6 +53,13 @@ struct Coo {
 /// step of the paper's GPU benchmarks). Neighbor lists are sorted by
 /// destination id, which the intersection-based kernels (TC) require.
 Csr build_csr(const PropertyGraph& graph);
+
+/// Converts a frozen snapshot into the device CSR (the "graph populating"
+/// step the SIMT engine consumes). The snapshot already holds dense ids
+/// and contiguous adjacency, so this is a copy + per-row sort with no
+/// pointer chasing through the dynamic graph; the result is structurally
+/// identical to build_csr() on the snapshot's source graph.
+Csr build_csr(const GraphSnapshot& snapshot);
 
 /// Derives COO from CSR.
 Coo build_coo(const Csr& csr);

@@ -1,0 +1,160 @@
+// GraphView: one traversal interface over two graph representations.
+//
+// The analytic workloads traverse graphs exclusively through this view,
+// which dispatches each call to either
+//
+//   * the dynamic vertex-centric PropertyGraph (pointer-chasing adjacency,
+//     slot-cached target resolution, per-vertex PropertyMaps), or
+//   * a frozen GraphSnapshot (contiguous out/in-CSR, dense property
+//     columns).
+//
+// The backend branch happens once per traversal call, not per edge, so the
+// inner loops stay tight on both paths. All indices exposed by the view
+// are SlotIndex values: dynamic slots on the dynamic path, dense indices
+// on the frozen path. Because snapshots renumber order-preservingly, the
+// two coincide on tombstone-free graphs and workloads produce bit-identical
+// results on either backend — the dynamic-vs-frozen parity the
+// representation ablation and snapshot tests assert.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/property_graph.h"
+#include "graph/snapshot.h"
+
+namespace graphbig::graph {
+
+class GraphView {
+ public:
+  GraphView() = default;
+  explicit GraphView(PropertyGraph& g) : graph_(&g) {}
+  explicit GraphView(const GraphSnapshot& s) : snap_(&s) {}
+
+  bool frozen() const { return snap_ != nullptr; }
+
+  /// Size of the slot space: slot table size (dynamic, tombstones
+  /// included) or dense vertex count (frozen). Workloads size their
+  /// per-slot state arrays from this.
+  std::size_t slot_count() const {
+    return frozen() ? snap_->num_vertices() : graph_->slot_count();
+  }
+
+  std::size_t num_vertices() const {
+    return frozen() ? snap_->num_vertices() : graph_->num_vertices();
+  }
+  std::size_t num_edges() const {
+    return frozen() ? snap_->num_edges() : graph_->num_edges();
+  }
+
+  /// True when slot s holds a live vertex (always true on the frozen path
+  /// for in-range slots).
+  bool is_live(SlotIndex s) const {
+    return frozen() ? s < snap_->num_vertices()
+                    : graph_->vertex_at(s) != nullptr;
+  }
+
+  VertexId id_of(SlotIndex s) const {
+    if (frozen()) return snap_->id_of(s);
+    const VertexRecord* v = graph_->vertex_at(s);
+    return v == nullptr ? kInvalidVertex : v->id;
+  }
+
+  /// Slot of a live vertex id, kInvalidSlot when absent.
+  SlotIndex slot_of(VertexId id) const {
+    return frozen() ? snap_->slot_of(id) : graph_->slot_of(id);
+  }
+
+  std::size_t out_degree(SlotIndex s) const {
+    if (frozen()) return snap_->out_degree(s);
+    const VertexRecord* v = graph_->vertex_at(s);
+    return v == nullptr ? 0 : v->out.size();
+  }
+  std::size_t in_degree(SlotIndex s) const {
+    if (frozen()) return snap_->in_degree(s);
+    const VertexRecord* v = graph_->vertex_at(s);
+    return v == nullptr ? 0 : v->in.size();
+  }
+
+  /// Out + in degree: the undirected view used by kCore/GColor/CComp.
+  std::size_t undirected_degree(SlotIndex s) const {
+    return out_degree(s) + in_degree(s);
+  }
+
+  /// Calls fn(SlotIndex target, double weight) for each out-edge of s, in
+  /// identical edge order on both backends.
+  template <typename Fn>
+  void for_each_out(SlotIndex s, Fn&& fn) const {
+    if (frozen()) {
+      snap_->for_each_out(s, fn);
+      return;
+    }
+    const VertexRecord* v = graph_->vertex_at(s);
+    static_cast<const PropertyGraph*>(graph_)->for_each_out_edge(
+        *v, [&](const EdgeRecord& e, SlotIndex t) { fn(t, e.weight); });
+  }
+
+  /// Calls fn(SlotIndex source) for each in-edge of s, in identical order
+  /// on both backends (the frozen in-CSR mirrors the dynamic in-lists).
+  template <typename Fn>
+  void for_each_in(SlotIndex s, Fn&& fn) const {
+    if (frozen()) {
+      snap_->for_each_in(s, fn);
+      return;
+    }
+    const VertexRecord* v = graph_->vertex_at(s);
+    static_cast<const PropertyGraph*>(graph_)->for_each_in_neighbor(
+        *v, [&](VertexId, SlotIndex src) { fn(src); });
+  }
+
+  /// Calls fn(SlotIndex) for every live slot, ascending.
+  template <typename Fn>
+  void for_each_live_slot(Fn&& fn) const {
+    if (frozen()) {
+      for (std::uint32_t v = 0; v < snap_->num_vertices(); ++v) {
+        fn(static_cast<SlotIndex>(v));
+      }
+      return;
+    }
+    const std::size_t slots = graph_->slot_count();
+    for (SlotIndex s = 0; s < slots; ++s) {
+      if (graph_->vertex_at(s) != nullptr) fn(s);
+    }
+  }
+
+  // ---- algorithm-state publication ----
+  //
+  // Dynamic: per-vertex PropertyMap entries. Frozen: dense property
+  // columns (zero-initialized, no absence tracking).
+
+  void set_int(SlotIndex s, PropKey key, std::int64_t v) const {
+    if (frozen()) {
+      snap_->columns().set_int(s, key, v);
+    } else {
+      graph_->vertex_at(s)->props.set_int(key, v);
+    }
+  }
+  void set_double(SlotIndex s, PropKey key, double v) const {
+    if (frozen()) {
+      snap_->columns().set_double(s, key, v);
+    } else {
+      graph_->vertex_at(s)->props.set_double(key, v);
+    }
+  }
+  std::int64_t get_int(SlotIndex s, PropKey key,
+                       std::int64_t fallback = 0) const {
+    if (frozen()) return snap_->columns().get_int(s, key, fallback);
+    const VertexRecord* v = graph_->vertex_at(s);
+    return v == nullptr ? fallback : v->props.get_int(key, fallback);
+  }
+  double get_double(SlotIndex s, PropKey key, double fallback = 0.0) const {
+    if (frozen()) return snap_->columns().get_double(s, key, fallback);
+    const VertexRecord* v = graph_->vertex_at(s);
+    return v == nullptr ? fallback : v->props.get_double(key, fallback);
+  }
+
+ private:
+  PropertyGraph* graph_ = nullptr;
+  const GraphSnapshot* snap_ = nullptr;
+};
+
+}  // namespace graphbig::graph

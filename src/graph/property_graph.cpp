@@ -73,6 +73,17 @@ SlotIndex PropertyGraph::resolve_target_slot_slow(const EdgeRecord& e) const {
   return slot;
 }
 
+SlotIndex PropertyGraph::resolve_source_slot_slow(const InRecord& r) const {
+  fwk::PrimitiveScope scope;
+  ++fwk::slot_cache_stats().misses;
+  const SlotIndex slot = find_slot_impl(r.source);
+  if (slot != kInvalidSlot) {
+    r.slot_cache.store(pack_slot_cache(slot, mutation_epoch_),
+                       std::memory_order_relaxed);
+  }
+  return slot;
+}
+
 VertexRecord* PropertyGraph::add_vertex(VertexId id) {
   fwk::PrimitiveScope scope;
   trace::block(trace::kBlockAddVertex);
@@ -116,23 +127,24 @@ bool PropertyGraph::delete_vertex(VertexId id) {
     if (t != nullptr) {
       auto it = t->in.begin();
       for (; it != t->in.end(); ++it) {
-        trace::read(trace::MemKind::kTopology, &*it, sizeof(VertexId));
+        trace::read(trace::MemKind::kTopology, &*it, sizeof(InRecord));
         trace::alu(1);
-        if (*it == id) break;
+        if (it->source == id) break;
       }
       if (it != t->in.end()) {
-        *it = t->in.back();
+        *it = std::move(t->in.back());
         t->in.pop_back();
         trace::write(trace::MemKind::kTopology, &*t->in.begin(),
-                     sizeof(VertexId));
+                     sizeof(InRecord));
       }
     }
   }
   num_edges_ -= v->out.size();
 
   // Remove edges s -> v from every source's outgoing list.
-  for (const VertexId src : v->in) {
-    trace::read(trace::MemKind::kTopology, &src, sizeof(VertexId));
+  for (const InRecord& r : v->in) {
+    const VertexId src = r.source;
+    trace::read(trace::MemKind::kTopology, &r, sizeof(InRecord));
     VertexRecord* s = find_vertex_impl(src);
     if (s == nullptr) continue;
     auto it = s->out.begin();
@@ -171,7 +183,8 @@ EdgeRecord* PropertyGraph::add_edge(VertexId src, VertexId dst,
                                     double weight) {
   fwk::PrimitiveScope scope;
   trace::block(trace::kBlockAddEdge);
-  VertexRecord* s = find_vertex_impl(src);
+  const SlotIndex sslot = find_slot_impl(src);
+  VertexRecord* s = sslot == kInvalidSlot ? nullptr : slots_[sslot].get();
   const SlotIndex dslot = find_slot_impl(dst);
   VertexRecord* d = dslot == kInvalidSlot ? nullptr : slots_[dslot].get();
   if (s == nullptr || d == nullptr) return nullptr;
@@ -181,14 +194,15 @@ EdgeRecord* PropertyGraph::add_edge(VertexId src, VertexId dst,
       if (e.target == dst) return nullptr;
     }
   }
-  // The new edge is born with a warm slot cache stamped at the current
-  // epoch: graphs built by pure insertion traverse without hash probes.
+  // The new edge is born with warm slot caches (both directions) stamped
+  // at the current epoch: graphs built by pure insertion traverse without
+  // hash probes, forward and reverse.
   s->out.push_back(EdgeRecord(dst, weight, dslot, mutation_epoch_));
-  d->in.push_back(src);
+  d->in.push_back(InRecord(src, sslot, mutation_epoch_));
   ++num_edges_;
   trace::write(trace::MemKind::kTopology, &s->out.back(),
                sizeof(EdgeRecord));
-  trace::write(trace::MemKind::kTopology, &d->in.back(), sizeof(VertexId));
+  trace::write(trace::MemKind::kTopology, &d->in.back(), sizeof(InRecord));
   return &s->out.back();
 }
 
@@ -221,9 +235,11 @@ bool PropertyGraph::delete_edge(VertexId src, VertexId dst) {
   if (it == s->out.end()) return false;
   *it = std::move(s->out.back());
   s->out.pop_back();
-  auto in_it = std::find(d->in.begin(), d->in.end(), src);
+  auto in_it =
+      std::find_if(d->in.begin(), d->in.end(),
+                   [&](const InRecord& r) { return r.source == src; });
   if (in_it != d->in.end()) {
-    *in_it = d->in.back();
+    *in_it = std::move(d->in.back());
     d->in.pop_back();
   }
   --num_edges_;
@@ -244,7 +260,7 @@ std::size_t PropertyGraph::footprint_bytes() const {
     if (slot == nullptr) continue;
     total += sizeof(VertexRecord);
     total += slot->out.capacity() * sizeof(EdgeRecord);
-    total += slot->in.capacity() * sizeof(VertexId);
+    total += slot->in.capacity() * sizeof(InRecord);
     total += slot->props.footprint_bytes();
     for (const auto& e : slot->out) total += e.props.footprint_bytes();
   }
@@ -272,15 +288,26 @@ bool PropertyGraph::validate() const {
         const auto cslot = static_cast<SlotIndex>(cached);
         if (cslot >= slots_.size() || slots_[cslot].get() != t) return false;
       }
-      if (std::count(t->in.begin(), t->in.end(), v->id) <
-          1) {
+      if (std::count_if(t->in.begin(), t->in.end(),
+                        [&](const InRecord& r) {
+                          return r.source == v->id;
+                        }) < 1) {
         return false;
       }
     }
-    // Every incoming entry must correspond to a real edge.
-    for (const VertexId src : v->in) {
-      const VertexRecord* srec = find_vertex_impl(src);
+    // Every incoming entry must correspond to a real edge, and a
+    // current-epoch in-slot cache must point at the source's slot.
+    for (const InRecord& r : v->in) {
+      const VertexRecord* srec = find_vertex_impl(r.source);
       if (srec == nullptr) return false;
+      const std::uint64_t cached =
+          r.slot_cache.load(std::memory_order_relaxed);
+      if (static_cast<std::uint32_t>(cached >> 32) == mutation_epoch_) {
+        const auto cslot = static_cast<SlotIndex>(cached);
+        if (cslot >= slots_.size() || slots_[cslot].get() != srec) {
+          return false;
+        }
+      }
       const bool found = std::any_of(
           srec->out.begin(), srec->out.end(),
           [&](const EdgeRecord& e) { return e.target == v->id; });

@@ -156,16 +156,49 @@ struct EdgeRecord {
   }
 };
 
+/// An incoming-adjacency entry: the source's external id plus the same
+/// (epoch, slot) stamp the out-edges carry, so reverse traversal (CComp and
+/// kCore's undirected view, BCentr's dependency accumulation) resolves the
+/// source's dense slot in O(1) on an unmutated graph instead of paying one
+/// hash probe per in-edge.
+struct InRecord {
+  VertexId source = kInvalidVertex;
+  mutable std::atomic<std::uint64_t> slot_cache{
+      pack_slot_cache(kInvalidSlot, 0)};
+
+  InRecord() = default;
+  InRecord(VertexId s, SlotIndex slot, std::uint32_t epoch)
+      : source(s), slot_cache(pack_slot_cache(slot, epoch)) {}
+  InRecord(const InRecord& o)
+      : source(o.source),
+        slot_cache(o.slot_cache.load(std::memory_order_relaxed)) {}
+  InRecord(InRecord&& o) noexcept
+      : source(o.source),
+        slot_cache(o.slot_cache.load(std::memory_order_relaxed)) {}
+  InRecord& operator=(const InRecord& o) {
+    source = o.source;
+    slot_cache.store(o.slot_cache.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+  InRecord& operator=(InRecord&& o) noexcept {
+    source = o.source;
+    slot_cache.store(o.slot_cache.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+};
+
 /// A vertex record: external id, property payload, and both adjacency
 /// directions. Outgoing edges carry full edge records; incoming adjacency
-/// stores source ids only (enough for reverse traversal, moralization, and
-/// vertex deletion).
+/// stores source ids with a slot-cache stamp (enough for reverse traversal,
+/// moralization, and vertex deletion).
 struct VertexRecord {
   VertexId id = kInvalidVertex;
   bool alive = false;
   PropertyMap props;
   std::vector<EdgeRecord> out;
-  std::vector<VertexId> in;
+  std::vector<InRecord> in;
 };
 
 /// Dynamic vertex-centric property graph (directed multigraph by default;
@@ -246,15 +279,23 @@ class PropertyGraph {
     }
   }
 
-  /// Calls fn(VertexId source) for each incoming edge of v.
+  /// Calls fn(VertexId source) for each incoming edge of v. If fn also
+  /// accepts a SlotIndex second argument, it receives the source's dense
+  /// slot resolved through the in-record's slot cache (O(1) on an
+  /// unmutated graph) — the reverse-traversal mirror of the out-edge fast
+  /// path.
   template <typename Fn>
   void for_each_in_neighbor(const VertexRecord& v, Fn&& fn) const {
     fwk::PrimitiveScope scope;
     trace::block(trace::kBlockTraverseNeighbors);
-    for (const VertexId src : v.in) {
-      trace::read(trace::MemKind::kTopology, &src, sizeof(VertexId));
+    for (const InRecord& r : v.in) {
+      trace::read(trace::MemKind::kTopology, &r, sizeof(InRecord));
       trace::branch(trace::kBranchLoopCond, true);
-      fn(src);
+      if constexpr (std::is_invocable_v<Fn&, VertexId, SlotIndex>) {
+        fn(r.source, resolve_source_slot(r));
+      } else {
+        fn(r.source);
+      }
     }
   }
 
@@ -325,6 +366,18 @@ class PropertyGraph {
     return resolve_target_slot_slow(e);
   }
 
+  /// Dense slot of r's source: the in-record mirror of
+  /// resolve_target_slot().
+  SlotIndex resolve_source_slot(const InRecord& r) const {
+    const std::uint64_t cached =
+        r.slot_cache.load(std::memory_order_relaxed);
+    if (static_cast<std::uint32_t>(cached >> 32) == mutation_epoch_) {
+      ++fwk::slot_cache_stats().hits;
+      return static_cast<SlotIndex>(cached);
+    }
+    return resolve_source_slot_slow(r);
+  }
+
   /// The target vertex of e, resolved through the slot cache. Equivalent
   /// to find_vertex(e.target) but without the hash probe on the
   /// unmutated-graph path.
@@ -355,6 +408,7 @@ class PropertyGraph {
   VertexRecord* find_vertex_impl(VertexId id) const;
   SlotIndex find_slot_impl(VertexId id) const;
   SlotIndex resolve_target_slot_slow(const EdgeRecord& e) const;
+  SlotIndex resolve_source_slot_slow(const InRecord& r) const;
 
   std::vector<std::unique_ptr<VertexRecord>> slots_;
   std::unordered_map<VertexId, SlotIndex> index_;

@@ -1,0 +1,130 @@
+#include "graph/snapshot.h"
+
+#include <cstring>
+
+namespace graphbig::graph {
+
+namespace {
+
+template <typename T>
+T* arena_array(platform::Arena& arena, std::size_t count) {
+  static_assert(std::is_trivially_destructible_v<T>);
+  T* p = static_cast<T*>(arena.allocate(count * sizeof(T), alignof(T)));
+  std::memset(static_cast<void*>(p), 0, count * sizeof(T));
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PropertyColumns
+// ---------------------------------------------------------------------------
+
+std::int64_t* PropertyColumns::int_col(PropKey key) {
+  auto& slot = int_cols_[slot_for(key)];
+  if (std::int64_t* col = slot.load(std::memory_order_acquire)) return col;
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  if (std::int64_t* col = slot.load(std::memory_order_relaxed)) return col;
+  auto storage = std::make_unique<std::int64_t[]>(rows_);
+  std::int64_t* col = storage.get();
+  int_storage_.push_back(std::move(storage));
+  slot.store(col, std::memory_order_release);
+  return col;
+}
+
+double* PropertyColumns::dbl_col(PropKey key) {
+  auto& slot = dbl_cols_[slot_for(key)];
+  if (double* col = slot.load(std::memory_order_acquire)) return col;
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  if (double* col = slot.load(std::memory_order_relaxed)) return col;
+  auto storage = std::make_unique<double[]>(rows_);
+  double* col = storage.get();
+  dbl_storage_.push_back(std::move(storage));
+  slot.store(col, std::memory_order_release);
+  return col;
+}
+
+std::size_t PropertyColumns::footprint_bytes() const {
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  return int_storage_.size() * rows_ * sizeof(std::int64_t) +
+         dbl_storage_.size() * rows_ * sizeof(double);
+}
+
+// ---------------------------------------------------------------------------
+// GraphSnapshot
+// ---------------------------------------------------------------------------
+
+GraphSnapshot GraphSnapshot::freeze(const PropertyGraph& g) {
+  GraphSnapshot snap;
+
+  // Pass 1: dense ids for live slots, order-preserving.
+  const std::size_t slots = g.slot_count();
+  std::vector<SlotIndex> slot_of_dense;
+  std::vector<std::uint32_t> dense_of_slot(slots, ~std::uint32_t{0});
+  slot_of_dense.reserve(g.num_vertices());
+  for (SlotIndex s = 0; s < slots; ++s) {
+    if (g.vertex_at(s) != nullptr) {
+      dense_of_slot[s] = static_cast<std::uint32_t>(slot_of_dense.size());
+      slot_of_dense.push_back(s);
+    }
+  }
+  const auto n = static_cast<std::uint32_t>(slot_of_dense.size());
+  snap.num_vertices_ = n;
+
+  auto* out_ptr = arena_array<std::uint64_t>(snap.arena_, n + 1);
+  auto* in_ptr = arena_array<std::uint64_t>(snap.arena_, n + 1);
+  auto* orig_id = arena_array<VertexId>(snap.arena_, n);
+
+  // Pass 2: degrees from both adjacency directions.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const VertexRecord* rec = g.vertex_at(slot_of_dense[v]);
+    orig_id[v] = rec->id;
+    out_ptr[v + 1] = out_ptr[v] + rec->out.size();
+    in_ptr[v + 1] = in_ptr[v] + rec->in.size();
+  }
+  snap.num_edges_ = out_ptr[n];
+
+  auto* out_dst = arena_array<std::uint32_t>(snap.arena_, out_ptr[n]);
+  auto* out_weight = arena_array<double>(snap.arena_, out_ptr[n]);
+  auto* in_src = arena_array<std::uint32_t>(snap.arena_, in_ptr[n]);
+
+  // Pass 3: copy adjacency verbatim (per-vertex edge order preserved), the
+  // one place the snapshot pays hash probes for stale slot caches.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const VertexRecord* rec = g.vertex_at(slot_of_dense[v]);
+    std::uint64_t pos = out_ptr[v];
+    g.for_each_out_edge(*rec,
+                        [&](const EdgeRecord& e, SlotIndex tslot) {
+                          out_dst[pos] = dense_of_slot[tslot];
+                          out_weight[pos] = e.weight;
+                          ++pos;
+                        });
+    pos = in_ptr[v];
+    g.for_each_in_neighbor(*rec, [&](VertexId, SlotIndex sslot) {
+      in_src[pos++] = dense_of_slot[sslot];
+    });
+  }
+
+  snap.out_ptr_ = out_ptr;
+  snap.out_dst_ = out_dst;
+  snap.out_weight_ = out_weight;
+  snap.in_ptr_ = in_ptr;
+  snap.in_src_ = in_src;
+  snap.orig_id_ = orig_id;
+
+  snap.index_.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    snap.index_[orig_id[v]] = static_cast<SlotIndex>(v);
+  }
+  snap.columns_ = std::make_unique<PropertyColumns>(n);
+  return snap;
+}
+
+std::size_t GraphSnapshot::footprint_bytes() const {
+  return arena_.bytes_allocated() +
+         index_.size() * (sizeof(VertexId) + sizeof(SlotIndex) +
+                          2 * sizeof(void*)) +
+         columns_->footprint_bytes();
+}
+
+}  // namespace graphbig::graph

@@ -1,0 +1,188 @@
+// Immutable frozen snapshot of a dynamic property graph.
+//
+// The paper's central representational contrast (Sections 3-4) is the
+// dynamic vertex-centric structure the CPU framework traverses against the
+// compact CSR the GPU side consumes. GraphSnapshot makes that boundary a
+// first-class object: freeze() walks the dynamic graph once and emits
+//
+//   * an out-CSR (targets + weights, per-vertex edge order preserved),
+//   * an in-CSR (sources, mirroring each vertex's dynamic in-list order),
+//   * the dense-id <-> external-id mapping, and
+//   * mutable property columns for algorithm state,
+//
+// all bump-allocated from one arena so the topology occupies a contiguous,
+// relocatable address range (the prerequisite for per-NUMA-node
+// partitioning and split device transfers). The snapshot's topology is
+// immutable: mutating the source graph after freeze() does not affect it.
+//
+// Dense indices are assigned to live slots order-preservingly, so on a
+// tombstone-free graph (every harness-built dataset) dense index == slot
+// index and workloads produce bit-identical results on either
+// representation. Per-vertex edge order is copied verbatim from the
+// dynamic adjacency (NOT sorted), which is what keeps floating-point
+// reductions over edges identical between the two paths; the sorted-row
+// device CSR is derived separately (graph::build_csr(const GraphSnapshot&)).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/property.h"
+#include "graph/property_graph.h"
+#include "platform/arena.h"
+
+namespace graphbig::graph {
+
+/// Dense, zero-initialized algorithm-state columns keyed by PropKey.
+///
+/// The dynamic path stores algorithm state in per-vertex PropertyMaps; the
+/// frozen path stores the same state as structure-of-arrays columns, one
+/// value per dense vertex. Columns are allocated lazily on first write
+/// (double-checked under a mutex, published with an atomic pointer), so
+/// concurrent workload threads may write disjoint rows of the same column
+/// without synchronization. Unlike PropertyMap there is no per-row
+/// presence bit: an unwritten row reads as 0 / 0.0.
+class PropertyColumns {
+ public:
+  explicit PropertyColumns(std::uint32_t rows) : rows_(rows) {}
+
+  void set_int(std::uint32_t row, PropKey key, std::int64_t v) {
+    int_col(key)[row] = v;
+  }
+  void set_double(std::uint32_t row, PropKey key, double v) {
+    dbl_col(key)[row] = v;
+  }
+  std::int64_t get_int(std::uint32_t row, PropKey key,
+                       std::int64_t fallback = 0) const {
+    const auto* col = int_cols_[slot_for(key)].load(std::memory_order_acquire);
+    return col == nullptr ? fallback : col[row];
+  }
+  double get_double(std::uint32_t row, PropKey key,
+                    double fallback = 0.0) const {
+    const auto* col = dbl_cols_[slot_for(key)].load(std::memory_order_acquire);
+    return col == nullptr ? fallback : col[row];
+  }
+
+  /// Bytes held by materialized columns.
+  std::size_t footprint_bytes() const;
+
+ private:
+  // PropKeys are small interned integers (workloads::props uses 1..12);
+  // columns live in a fixed-size direct-mapped table.
+  static constexpr std::size_t kMaxKeys = 32;
+
+  static std::size_t slot_for(PropKey key) { return key % kMaxKeys; }
+
+  std::int64_t* int_col(PropKey key);
+  double* dbl_col(PropKey key);
+
+  std::uint32_t rows_;
+  std::array<std::atomic<std::int64_t*>, kMaxKeys> int_cols_{};
+  std::array<std::atomic<double*>, kMaxKeys> dbl_cols_{};
+  mutable std::mutex alloc_mutex_;
+  std::vector<std::unique_ptr<std::int64_t[]>> int_storage_;
+  std::vector<std::unique_ptr<double[]>> dbl_storage_;
+};
+
+/// Frozen CSR-backed snapshot of a PropertyGraph. Topology is immutable
+/// after freeze(); property columns are mutable algorithm state.
+class GraphSnapshot {
+ public:
+  /// Builds a snapshot of the current graph. Live slots are renumbered
+  /// densely in slot order; per-vertex out- and in-edge order is copied
+  /// verbatim from the dynamic adjacency.
+  static GraphSnapshot freeze(const PropertyGraph& g);
+
+  /// Empty snapshot (no vertices); assign a freeze() result over it.
+  GraphSnapshot() = default;
+
+  GraphSnapshot(GraphSnapshot&&) = default;
+  GraphSnapshot& operator=(GraphSnapshot&&) = default;
+  GraphSnapshot(const GraphSnapshot&) = delete;
+  GraphSnapshot& operator=(const GraphSnapshot&) = delete;
+
+  std::uint32_t num_vertices() const { return num_vertices_; }
+  std::uint64_t num_edges() const { return num_edges_; }
+
+  /// External id of a dense vertex.
+  VertexId id_of(std::uint32_t v) const { return orig_id_[v]; }
+
+  /// Dense index of an external id; kInvalidSlot when absent at freeze
+  /// time. (Returns SlotIndex because on tombstone-free graphs the dense
+  /// index and the dynamic slot coincide; workloads use them
+  /// interchangeably through GraphView.)
+  SlotIndex slot_of(VertexId id) const {
+    auto it = index_.find(id);
+    return it == index_.end() ? kInvalidSlot : it->second;
+  }
+
+  std::uint64_t out_degree(std::uint32_t v) const {
+    return out_ptr_[v + 1] - out_ptr_[v];
+  }
+  std::uint64_t in_degree(std::uint32_t v) const {
+    return in_ptr_[v + 1] - in_ptr_[v];
+  }
+
+  // Raw frozen arrays (device-CSR conversion, partitioning, tests).
+  const std::uint64_t* out_ptr() const { return out_ptr_; }
+  const std::uint32_t* out_dst() const { return out_dst_; }
+  const double* out_weight() const { return out_weight_; }
+  const std::uint64_t* in_ptr() const { return in_ptr_; }
+  const std::uint32_t* in_src() const { return in_src_; }
+  const VertexId* orig_id() const { return orig_id_; }
+
+  /// Calls fn(dense target, weight) for each out-edge of v, in the dynamic
+  /// graph's edge order.
+  template <typename Fn>
+  void for_each_out(std::uint32_t v, Fn&& fn) const {
+    const std::uint64_t lo = out_ptr_[v];
+    const std::uint64_t hi = out_ptr_[v + 1];
+    for (std::uint64_t e = lo; e < hi; ++e) {
+      trace::read(trace::MemKind::kTopology, &out_dst_[e],
+                  sizeof(std::uint32_t) + sizeof(double));
+      trace::branch(trace::kBranchLoopCond, true);
+      fn(out_dst_[e], out_weight_[e]);
+    }
+  }
+
+  /// Calls fn(dense source) for each in-edge of v, in the dynamic graph's
+  /// in-list order.
+  template <typename Fn>
+  void for_each_in(std::uint32_t v, Fn&& fn) const {
+    const std::uint64_t lo = in_ptr_[v];
+    const std::uint64_t hi = in_ptr_[v + 1];
+    for (std::uint64_t e = lo; e < hi; ++e) {
+      trace::read(trace::MemKind::kTopology, &in_src_[e],
+                  sizeof(std::uint32_t));
+      trace::branch(trace::kBranchLoopCond, true);
+      fn(in_src_[e]);
+    }
+  }
+
+  /// Mutable algorithm-state columns (topology stays frozen). Const
+  /// because concurrent workloads write through a shared const snapshot.
+  PropertyColumns& columns() const { return *columns_; }
+
+  /// Resident bytes of the frozen arrays plus materialized columns.
+  std::size_t footprint_bytes() const;
+
+ private:
+  std::uint32_t num_vertices_ = 0;
+  std::uint64_t num_edges_ = 0;
+  const std::uint64_t* out_ptr_ = nullptr;   // n + 1
+  const std::uint32_t* out_dst_ = nullptr;   // m
+  const double* out_weight_ = nullptr;       // m
+  const std::uint64_t* in_ptr_ = nullptr;    // n + 1
+  const std::uint32_t* in_src_ = nullptr;    // m
+  const VertexId* orig_id_ = nullptr;        // n
+  std::unordered_map<VertexId, SlotIndex> index_;
+  std::unique_ptr<PropertyColumns> columns_;
+  platform::Arena arena_;
+};
+
+}  // namespace graphbig::graph

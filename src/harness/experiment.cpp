@@ -57,13 +57,37 @@ graph::VertexId pick_root(const graph::PropertyGraph& g) {
 
 }  // namespace
 
+const char* to_string(Representation rep) {
+  return rep == Representation::kFrozen ? "frozen" : "dynamic";
+}
+
+bool parse_representation(const std::string& name, Representation* out) {
+  if (name == "dynamic") {
+    *out = Representation::kDynamic;
+    return true;
+  }
+  if (name == "frozen") {
+    *out = Representation::kFrozen;
+    return true;
+  }
+  return false;
+}
+
+bool supports_frozen(const workloads::Workload& w) {
+  return !w.mutates_graph() && !w.needs_bayes_input() &&
+         !w.needs_dag_input();
+}
+
 DatasetBundle load_bundle(datagen::DatasetId id, datagen::Scale scale) {
   DatasetBundle bundle;
   bundle.id = id;
   bundle.scale = scale;
   bundle.edge_list = datagen::generate_dataset(id, scale);
   bundle.graph = datagen::build_property_graph(bundle.edge_list);
-  bundle.csr = graph::build_csr(bundle.graph);
+  // The device CSR is derived from the frozen snapshot (the paper's "graph
+  // populating" step goes dynamic graph -> frozen arrays -> device).
+  bundle.snapshot = graph::GraphSnapshot::freeze(bundle.graph);
+  bundle.csr = graph::build_csr(bundle.snapshot);
   bundle.sym = graph::symmetrize(bundle.csr);
   bundle.coo = graph::build_coo(bundle.sym);
   bundle.root = pick_root(bundle.graph);
@@ -125,9 +149,18 @@ CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
 }
 
 CpuTimedRun run_cpu_timed(const workloads::Workload& w,
-                          const DatasetBundle& bundle, int threads) {
+                          const DatasetBundle& bundle, int threads,
+                          Representation representation) {
   graph::PropertyGraph input = make_input_graph(w, bundle);
   workloads::RunContext ctx = make_cpu_context(w, input, bundle);
+
+  // Freeze before starting the timer: the measured interval covers the
+  // algorithm only, on whichever representation it traverses.
+  graph::GraphSnapshot snapshot;
+  if (representation == Representation::kFrozen && supports_frozen(w)) {
+    snapshot = graph::GraphSnapshot::freeze(input);
+    ctx.snapshot = &snapshot;
+  }
 
   std::unique_ptr<platform::ThreadPool> pool;
   if (threads > 1) {

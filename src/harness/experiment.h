@@ -11,6 +11,7 @@
 
 #include "datagen/registry.h"
 #include "graph/csr.h"
+#include "graph/snapshot.h"
 #include "perfmodel/profiler.h"
 #include "platform/thread_pool.h"
 #include "simt/engine.h"
@@ -19,17 +20,33 @@
 
 namespace graphbig::harness {
 
+/// Which graph representation the analytic CPU workloads traverse: the
+/// dynamic vertex-centric structure or a frozen snapshot (Section 2's
+/// flexibility-vs-locality trade, measured as an explicit axis).
+enum class Representation { kDynamic, kFrozen };
+
+const char* to_string(Representation rep);
+
+/// Parses "dynamic" / "frozen"; false on anything else.
+bool parse_representation(const std::string& name, Representation* out);
+
+/// True when the workload can run against a frozen snapshot (analytic,
+/// non-mutating, generic dataset input). CompDyn workloads and the
+/// Bayes/DAG-input workloads always use the dynamic representation.
+bool supports_frozen(const workloads::Workload& w);
+
 /// A dataset prepared for both CPU and GPU sides.
 struct DatasetBundle {
   datagen::DatasetId id;
   datagen::Scale scale;
   datagen::EdgeList edge_list;
-  graph::PropertyGraph graph;  // dynamic vertex-centric (CPU side)
-  graph::Csr csr;              // directed CSR (GPU side)
-  graph::Csr sym;              // symmetrized CSR (undirected kernels)
-  graph::Coo coo;              // COO of sym (edge-centric kernels)
-  graph::VertexId root = 0;    // traversal root: max-out-degree vertex
-  std::uint32_t gpu_root = 0;  // same root as dense CSR id
+  graph::PropertyGraph graph;       // dynamic vertex-centric (CPU side)
+  graph::GraphSnapshot snapshot;    // frozen CSR view of `graph`
+  graph::Csr csr;                   // directed CSR (GPU side, from snapshot)
+  graph::Csr sym;                   // symmetrized CSR (undirected kernels)
+  graph::Coo coo;                   // COO of sym (edge-centric kernels)
+  graph::VertexId root = 0;         // traversal root: max-out-degree vertex
+  std::uint32_t gpu_root = 0;       // same root as dense CSR id
 };
 
 DatasetBundle load_bundle(datagen::DatasetId id, datagen::Scale scale);
@@ -55,8 +72,13 @@ struct CpuTimedRun {
 };
 
 /// Runs a CPU workload with `threads` workers (0 = sequential), untraced.
+/// With Representation::kFrozen, workloads that support it traverse a
+/// snapshot frozen from the input graph (freeze time is excluded from the
+/// measured seconds); others fall back to the dynamic structure.
 CpuTimedRun run_cpu_timed(const workloads::Workload& w,
-                          const DatasetBundle& bundle, int threads);
+                          const DatasetBundle& bundle, int threads,
+                          Representation representation =
+                              Representation::kDynamic);
 
 /// Figure 1: fraction of execution time spent inside framework primitives.
 struct FrameworkTimeRun {

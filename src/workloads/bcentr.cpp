@@ -5,7 +5,9 @@
 // so parallel runs distribute pivots across workers; per-pivot
 // contributions are merged in pivot order (grain-1 parallel_reduce), which
 // keeps the floating-point accumulation — and therefore the checksum —
-// bit-identical at any thread count.
+// bit-identical at any thread count. The reverse pass walks in-neighbors
+// in list order, which the frozen in-CSR preserves, so the accumulation
+// order is also representation-invariant.
 #include <cmath>
 
 #include "platform/rng.h"
@@ -26,20 +28,25 @@ class BcentrWorkload final : public Workload {
   Category category() const override { return Category::kSocialAnalysis; }
 
   RunResult run(RunContext& ctx) const override {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     RunResult result;
     const std::size_t slots = g.slot_count();
 
-    // Sample pivot sources deterministically.
+    // Sample pivot sources deterministically (one rng draw per live slot,
+    // ascending, so the pivot set matches across backends).
     platform::Xoshiro256 rng(ctx.seed);
-    std::vector<graph::VertexId> pivots;
-    g.for_each_vertex([&](const graph::VertexRecord& v) {
+    std::vector<graph::SlotIndex> pivots;
+    g.for_each_live_slot([&](graph::SlotIndex s) {
       if (static_cast<int>(pivots.size()) < ctx.bc_samples &&
           rng.chance(0.5)) {
-        pivots.push_back(v.id);
+        pivots.push_back(s);
       }
     });
-    if (pivots.empty() && g.num_vertices() > 0) pivots.push_back(ctx.root);
+    if (pivots.empty() && g.num_vertices() > 0) {
+      const graph::SlotIndex root_slot = g.slot_of(ctx.root);
+      if (root_slot == graph::kInvalidSlot) return result;
+      pivots.push_back(root_slot);
+    }
 
     // One Brandes pass, self-contained so pivots can run concurrently.
     // The same struct carries a single pivot's dependencies (map) and the
@@ -49,10 +56,8 @@ class BcentrWorkload final : public Workload {
       std::uint64_t vertices = 0;
       std::uint64_t edges = 0;
     };
-    auto brandes = [&](graph::VertexId source) {
+    auto brandes = [&](graph::SlotIndex sslot) {
       Accum p;
-      const graph::VertexRecord* src = g.find_vertex(source);
-      if (src == nullptr) return p;
 
       std::vector<std::int32_t> depth(slots, -1);
       std::vector<double> sigma(slots, 0.0);
@@ -60,7 +65,6 @@ class BcentrWorkload final : public Workload {
       std::vector<graph::SlotIndex> order;  // BFS visit order
       order.reserve(slots);
 
-      const graph::SlotIndex sslot = g.slot_of(source);
       depth[sslot] = 0;
       sigma[sslot] = 1.0;
       order.push_back(sslot);
@@ -72,34 +76,30 @@ class BcentrWorkload final : public Workload {
         const graph::SlotIndex us = order[head++];
         trace::read(trace::MemKind::kMetadata, &order[head - 1],
                     sizeof(graph::SlotIndex));
-        const graph::VertexRecord* u = g.vertex_at(us);
-        g.for_each_out_edge(
-            *u, [&](const graph::EdgeRecord&, graph::SlotIndex vs) {
-              ++p.edges;
-              trace::branch(trace::kBranchVisitedCheck, depth[vs] < 0);
-              if (depth[vs] < 0) {
-                depth[vs] = depth[us] + 1;
-                order.push_back(vs);
-                trace::write(trace::MemKind::kMetadata, &order.back(),
-                             sizeof(graph::SlotIndex));
-              }
-              if (depth[vs] == depth[us] + 1) {
-                sigma[vs] += sigma[us];
-                trace::write(trace::MemKind::kMetadata, &sigma[vs],
-                             sizeof(double));
-                trace::alu(1);
-              }
-            });
+        g.for_each_out(us, [&](graph::SlotIndex vs, double) {
+          ++p.edges;
+          trace::branch(trace::kBranchVisitedCheck, depth[vs] < 0);
+          if (depth[vs] < 0) {
+            depth[vs] = depth[us] + 1;
+            order.push_back(vs);
+            trace::write(trace::MemKind::kMetadata, &order.back(),
+                         sizeof(graph::SlotIndex));
+          }
+          if (depth[vs] == depth[us] + 1) {
+            sigma[vs] += sigma[us];
+            trace::write(trace::MemKind::kMetadata, &sigma[vs],
+                         sizeof(double));
+            trace::alu(1);
+          }
+        });
       }
 
       // Reverse accumulation of dependencies.
       for (std::size_t i = order.size(); i-- > 1;) {
         trace::block(trace::kBlockWorkloadKernelAux);
         const graph::SlotIndex ws = order[i];
-        const graph::VertexRecord* w = g.vertex_at(ws);
         // Predecessors on shortest paths are in-neighbors one level up.
-        g.for_each_in_neighbor(*w, [&](graph::VertexId pid) {
-          const graph::SlotIndex ps = g.slot_of(pid);
+        g.for_each_in(ws, [&](graph::SlotIndex ps) {
           trace::branch(trace::kBranchCompare, depth[ps] == depth[ws] - 1);
           if (depth[ps] == depth[ws] - 1 && sigma[ws] > 0) {
             p.delta[ps] += sigma[ps] / sigma[ws] * (1.0 + p.delta[ws]);
@@ -136,9 +136,8 @@ class BcentrWorkload final : public Workload {
 
     // Publish and checksum (quantized against FP ordering noise).
     double bc_sum = 0.0;
-    g.for_each_vertex([&](graph::VertexRecord& v) {
-      const graph::SlotIndex s = g.slot_of(v.id);
-      v.props.set_double(props::kBetweenness, accum.delta[s]);
+    g.for_each_live_slot([&](graph::SlotIndex s) {
+      g.set_double(s, props::kBetweenness, accum.delta[s]);
       bc_sum += accum.delta[s];
     });
     result.checksum = static_cast<std::uint64_t>(std::llround(bc_sum));

@@ -1,9 +1,10 @@
 // Breadth-first Search: the most widely used workload of the suite
 // (10 of 21 use cases, Figure 4). Level-synchronous frontier expansion
-// through the framework primitives; the BFS depth is stored as a vertex
-// property ("program state" in the paper's property-graph model). The
-// frontier carries dense slots and edge expansion resolves targets through
-// the slot cache, so the hot loop performs no hash probes.
+// through the GraphView traversal interface; the BFS depth is stored as a
+// vertex property ("program state" in the paper's property-graph model).
+// The frontier carries dense slots and edge expansion resolves targets
+// through the slot cache (dynamic) or the frozen out-CSR (snapshot), so
+// the hot loop performs no hash probes on either backend.
 #include <atomic>
 
 #include "platform/bitset.h"
@@ -24,16 +25,15 @@ class BfsWorkload final : public Workload {
   Category category() const override { return Category::kTraversal; }
 
   RunResult run(RunContext& ctx) const override {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     RunResult result;
 
-    graph::VertexRecord* root = g.find_vertex(ctx.root);
-    if (root == nullptr) return result;
+    const graph::SlotIndex root_slot = g.slot_of(ctx.root);
+    if (root_slot == graph::kInvalidSlot) return result;
 
     platform::AtomicBitset visited(g.slot_count());
-    const graph::SlotIndex root_slot = g.slot_of(ctx.root);
     visited.test_and_set(root_slot);
-    root->props.set_int(props::kDepth, 0);
+    g.set_int(root_slot, props::kDepth, 0);
 
     std::vector<graph::SlotIndex> frontier{root_slot};
     std::vector<graph::SlotIndex> next;
@@ -54,20 +54,17 @@ class BfsWorkload final : public Workload {
       trace::block(trace::kBlockWorkloadKernel);
 
       auto expand = [&](graph::SlotIndex vslot, Partial& p) {
-        graph::VertexRecord* v = g.vertex_at(vslot);
-        g.for_each_out_edge(
-            *v, [&](const graph::EdgeRecord&, graph::SlotIndex tslot) {
-              ++p.edges;
-              const bool first = visited.test_and_set(tslot);
-              trace::branch(trace::kBranchVisitedCheck, first);
-              if (first) {
-                graph::VertexRecord* t = g.vertex_at(tslot);
-                t->props.set_int(props::kDepth, depth);
-                p.out.push_back(tslot);
-                trace::write(trace::MemKind::kMetadata, &p.out.back(),
-                             sizeof(graph::SlotIndex));
-              }
-            });
+        g.for_each_out(vslot, [&](graph::SlotIndex tslot, double) {
+          ++p.edges;
+          const bool first = visited.test_and_set(tslot);
+          trace::branch(trace::kBranchVisitedCheck, first);
+          if (first) {
+            g.set_int(tslot, props::kDepth, depth);
+            p.out.push_back(tslot);
+            trace::write(trace::MemKind::kMetadata, &p.out.back(),
+                         sizeof(graph::SlotIndex));
+          }
+        });
       };
 
       const bool parallel = ctx.pool != nullptr &&

@@ -3,7 +3,8 @@
 // fixed-point computation). Every vertex converges to the minimum vertex id
 // of its component, stored as a label property. The fixed point is a
 // property of the graph alone, so sequential and parallel runs — at any
-// thread count — produce identical labels and an identical checksum.
+// thread count, on either graph representation — produce identical labels
+// and an identical checksum.
 #include <atomic>
 
 #include "trace/access.h"
@@ -23,7 +24,7 @@ class CcompWorkload final : public Workload {
   Category category() const override { return Category::kAnalytics; }
 
   RunResult run(RunContext& ctx) const override {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     RunResult result;
     const std::size_t slots = g.slot_count();
     const bool parallel = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
@@ -46,12 +47,13 @@ class CcompWorkload final : public Workload {
         [&](std::size_t lo, std::size_t hi) {
           Worklist w;
           for (std::size_t s = lo; s < hi; ++s) {
-            const graph::VertexRecord* v =
-                g.vertex_at(static_cast<graph::SlotIndex>(s));
-            label[s].store(v == nullptr ? kUnreached : v->id,
-                           std::memory_order_relaxed);
+            const bool live = g.is_live(static_cast<graph::SlotIndex>(s));
+            label[s].store(
+                live ? g.id_of(static_cast<graph::SlotIndex>(s))
+                     : kUnreached,
+                std::memory_order_relaxed);
             queued[s].store(0, std::memory_order_relaxed);
-            if (v != nullptr) {
+            if (live) {
               w.push_back(static_cast<graph::SlotIndex>(s));
             }
           }
@@ -78,7 +80,6 @@ class CcompWorkload final : public Workload {
                           sizeof(graph::SlotIndex));
               const graph::VertexId mine =
                   label[s].load(std::memory_order_relaxed);
-              const graph::VertexRecord* v = g.vertex_at(s);
 
               // Push `mine` to each neighbor; the thread that lowers a
               // neighbor's label claims it for the next round (the round
@@ -104,13 +105,9 @@ class CcompWorkload final : public Workload {
                                sizeof(graph::SlotIndex));
                 }
               };
-              g.for_each_out_edge(
-                  *v, [&](const graph::EdgeRecord&, graph::SlotIndex ts) {
-                    push(ts);
-                  });
-              g.for_each_in_neighbor(*v, [&](graph::VertexId src) {
-                push(g.slot_of(src));
-              });
+              g.for_each_out(
+                  s, [&](graph::SlotIndex ts, double) { push(ts); });
+              g.for_each_in(s, [&](graph::SlotIndex ss) { push(ss); });
             }
             return p;
           },
@@ -135,13 +132,14 @@ class CcompWorkload final : public Workload {
         [&](std::size_t lo, std::size_t hi) {
           Tally t;
           for (std::size_t s = lo; s < hi; ++s) {
-            graph::VertexRecord* v =
-                g.vertex_at(static_cast<graph::SlotIndex>(s));
-            if (v == nullptr) continue;
+            if (!g.is_live(static_cast<graph::SlotIndex>(s))) continue;
             const graph::VertexId l =
                 label[s].load(std::memory_order_relaxed);
-            v->props.set_int(props::kLabel, static_cast<std::int64_t>(l));
-            if (l == v->id) ++t.components;
+            g.set_int(static_cast<graph::SlotIndex>(s), props::kLabel,
+                      static_cast<std::int64_t>(l));
+            if (l == g.id_of(static_cast<graph::SlotIndex>(s))) {
+              ++t.components;
+            }
             t.label_sum += l % 1000003u;
             ++t.vertices;
           }

@@ -3,6 +3,8 @@
 // primitives. A single streaming pass over the entire graph with almost no
 // reusable metadata -- which is why DCentr posts the highest L3 MPKI of the
 // whole suite (145.9 in Figure 7) and the lowest L1D hit rate in Figure 9.
+#include <atomic>
+
 #include "trace/access.h"
 #include "workloads/workload.h"
 
@@ -20,25 +22,24 @@ class DcentrWorkload final : public Workload {
   Category category() const override { return Category::kSocialAnalysis; }
 
   RunResult run(RunContext& ctx) const override {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     RunResult result;
 
-    std::uint64_t degree_sum = 0;
-    auto process = [&](graph::VertexRecord& v) {
+    // Count by traversal (not by reading the size field): centrality
+    // implementations in property-graph frameworks touch every edge
+    // record to honor edge predicates. The pass streams the whole graph
+    // with almost no arithmetic and no reusable metadata -- the access
+    // pattern behind DCentr's suite-highest MPKI (145.9 in Figure 7).
+    auto degree_of = [&](graph::SlotIndex s) {
       trace::block(trace::kBlockWorkloadKernel);
       std::int64_t deg = 0;
-      // Count by traversal (not by reading the size field): centrality
-      // implementations in property-graph frameworks touch every edge
-      // record to honor edge predicates. The pass streams the whole graph
-      // with almost no arithmetic and no reusable metadata -- the access
-      // pattern behind DCentr's suite-highest MPKI (145.9 in Figure 7).
-      g.for_each_out_edge(v, [&](const graph::EdgeRecord&) { ++deg; });
-      g.for_each_in_neighbor(v, [&](graph::VertexId) { ++deg; });
-      v.props.set_int(props::kDegree, deg);
-      degree_sum += static_cast<std::uint64_t>(deg);
-      result.edges_processed += static_cast<std::uint64_t>(deg);
-      ++result.vertices_processed;
+      g.for_each_out(s, [&](graph::SlotIndex, double) { ++deg; });
+      g.for_each_in(s, [&](graph::SlotIndex) { ++deg; });
+      g.set_int(s, props::kDegree, deg);
+      return deg;
     };
+
+    std::uint64_t degree_sum = 0;
 
     if (ctx.pool != nullptr && ctx.pool->num_threads() > 1) {
       const std::size_t slots = g.slot_count();
@@ -49,14 +50,9 @@ class DcentrWorkload final : public Workload {
           0, slots, 256, [&](std::size_t lo, std::size_t hi) {
             std::uint64_t local_sum = 0, local_v = 0, local_e = 0;
             for (std::size_t s = lo; s < hi; ++s) {
-              graph::VertexRecord* v =
-                  g.vertex_at(static_cast<graph::SlotIndex>(s));
-              if (v == nullptr) continue;
-              std::int64_t deg = 0;
-              g.for_each_out_edge(*v,
-                                  [&](const graph::EdgeRecord&) { ++deg; });
-              g.for_each_in_neighbor(*v, [&](graph::VertexId) { ++deg; });
-              v->props.set_int(props::kDegree, deg);
+              if (!g.is_live(static_cast<graph::SlotIndex>(s))) continue;
+              const std::int64_t deg =
+                  degree_of(static_cast<graph::SlotIndex>(s));
               local_sum += static_cast<std::uint64_t>(deg);
               local_e += static_cast<std::uint64_t>(deg);
               ++local_v;
@@ -69,7 +65,12 @@ class DcentrWorkload final : public Workload {
       result.vertices_processed = verts.load();
       result.edges_processed = edges.load();
     } else {
-      g.for_each_vertex(process);
+      g.for_each_live_slot([&](graph::SlotIndex s) {
+        const std::int64_t deg = degree_of(s);
+        degree_sum += static_cast<std::uint64_t>(deg);
+        result.edges_processed += static_cast<std::uint64_t>(deg);
+        ++result.vertices_processed;
+      });
     }
 
     result.checksum = degree_sum;

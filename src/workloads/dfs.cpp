@@ -1,6 +1,9 @@
 // Depth-first Search: iterative stack-based traversal. DFS is inherently
 // sequential; the interesting architectural behavior is the stack (hot
-// metadata, L1-resident) against the scattered vertex records.
+// metadata, L1-resident) against the scattered vertex records (dynamic
+// backend) or the contiguous out-CSR (frozen backend).
+#include <algorithm>
+
 #include "trace/access.h"
 #include "workloads/workload.h"
 
@@ -18,44 +21,44 @@ class DfsWorkload final : public Workload {
   Category category() const override { return Category::kTraversal; }
 
   RunResult run(RunContext& ctx) const override {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     RunResult result;
-    if (g.find_vertex(ctx.root) == nullptr) return result;
+    const graph::SlotIndex root_slot = g.slot_of(ctx.root);
+    if (root_slot == graph::kInvalidSlot) return result;
 
     std::vector<bool> visited(g.slot_count(), false);
-    std::vector<graph::VertexId> stack;
-    stack.push_back(ctx.root);
+    std::vector<graph::SlotIndex> stack;
+    stack.push_back(root_slot);
     trace::write(trace::MemKind::kMetadata, &stack.back(),
-                 sizeof(graph::VertexId));
+                 sizeof(graph::SlotIndex));
 
     std::int64_t order = 0;
     std::uint64_t order_hash = 0;
 
     while (!stack.empty()) {
       trace::block(trace::kBlockWorkloadKernel);
-      const graph::VertexId vid = stack.back();
+      const graph::SlotIndex slot = stack.back();
       trace::read(trace::MemKind::kMetadata, &stack.back(),
-                  sizeof(graph::VertexId));
+                  sizeof(graph::SlotIndex));
       stack.pop_back();
 
-      const graph::SlotIndex slot = g.slot_of(vid);
       trace::branch(trace::kBranchVisitedCheck, visited[slot]);
       if (visited[slot]) continue;
       visited[slot] = true;
 
-      graph::VertexRecord* v = g.find_vertex(vid);
-      v->props.set_int(props::kDepth, order);
-      order_hash = order_hash * 31 + vid;
+      g.set_int(slot, props::kDepth, order);
+      order_hash = order_hash * 31 + g.id_of(slot);
       ++order;
 
-      // Push neighbors in reverse so lower ids are visited first.
+      // Push neighbors in reverse so earlier-inserted edges are visited
+      // first (the same tie-break on both backends).
       const auto first_new = stack.size();
-      g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
+      g.for_each_out(slot, [&](graph::SlotIndex tslot, double) {
         ++result.edges_processed;
-        if (!visited[g.slot_of(e.target)]) {
-          stack.push_back(e.target);
+        if (!visited[tslot]) {
+          stack.push_back(tslot);
           trace::write(trace::MemKind::kMetadata, &stack.back(),
-                       sizeof(graph::VertexId));
+                       sizeof(graph::SlotIndex));
         }
       });
       std::reverse(stack.begin() + static_cast<std::ptrdiff_t>(first_new),

@@ -27,20 +27,24 @@ class CcentrWorkload final : public Workload {
   Category category() const override { return Category::kSocialAnalysis; }
 
   RunResult run(RunContext& ctx) const override {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     RunResult result;
     const std::size_t slots = g.slot_count();
 
     // Same pivot sampling scheme as BCentr.
     platform::Xoshiro256 rng(ctx.seed);
-    std::vector<graph::VertexId> pivots;
-    g.for_each_vertex([&](const graph::VertexRecord& v) {
+    std::vector<graph::SlotIndex> pivots;
+    g.for_each_live_slot([&](graph::SlotIndex s) {
       if (static_cast<int>(pivots.size()) < ctx.bc_samples &&
           rng.chance(0.5)) {
-        pivots.push_back(v.id);
+        pivots.push_back(s);
       }
     });
-    if (pivots.empty() && g.num_vertices() > 0) pivots.push_back(ctx.root);
+    if (pivots.empty() && g.num_vertices() > 0) {
+      const graph::SlotIndex root_slot = g.slot_of(ctx.root);
+      if (root_slot == graph::kInvalidSlot) return result;
+      pivots.push_back(root_slot);
+    }
 
     // One single-source Dijkstra, self-contained so pivots can run
     // concurrently. Each pivot writes only its own vertex's property.
@@ -49,10 +53,8 @@ class CcentrWorkload final : public Workload {
       std::uint64_t vertices = 0;
       std::uint64_t edges = 0;
     };
-    auto sssp = [&](graph::VertexId source) {
+    auto sssp = [&](graph::SlotIndex sslot) {
       Partial p;
-      graph::VertexRecord* src = g.find_vertex(source);
-      if (src == nullptr) return p;
 
       std::vector<double> dist(slots,
                                std::numeric_limits<double>::infinity());
@@ -61,8 +63,8 @@ class CcentrWorkload final : public Workload {
       std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                           std::greater<HeapEntry>>
           heap;
-      dist[g.slot_of(source)] = 0.0;
-      heap.emplace(0.0, g.slot_of(source));
+      dist[sslot] = 0.0;
+      heap.emplace(0.0, sslot);
 
       double total_dist = 0.0;
       std::uint64_t reached = 0;
@@ -76,25 +78,23 @@ class CcentrWorkload final : public Workload {
         ++reached;
         ++p.vertices;
 
-        const graph::VertexRecord* v = g.vertex_at(slot);
-        g.for_each_out_edge(
-            *v, [&](const graph::EdgeRecord& e, graph::SlotIndex ts) {
-              ++p.edges;
-              const double candidate = d + e.weight;
-              trace::alu(2);
-              if (candidate < dist[ts]) {
-                dist[ts] = candidate;
-                trace::write(trace::MemKind::kMetadata, &dist[ts],
-                             sizeof(double));
-                heap.emplace(candidate, ts);
-              }
-            });
+        g.for_each_out(slot, [&](graph::SlotIndex ts, double w) {
+          ++p.edges;
+          const double candidate = d + w;
+          trace::alu(2);
+          if (candidate < dist[ts]) {
+            dist[ts] = candidate;
+            trace::write(trace::MemKind::kMetadata, &dist[ts],
+                         sizeof(double));
+            heap.emplace(candidate, ts);
+          }
+        });
       }
 
       p.closeness = (reached > 1 && total_dist > 0)
                         ? static_cast<double>(reached - 1) / total_dist
                         : 0.0;
-      src->props.set_double(props::kCloseness, p.closeness);
+      g.set_double(sslot, props::kCloseness, p.closeness);
       return p;
     };
 

@@ -4,10 +4,10 @@
 // case the paper's authors cite (Xia et al., ICMEW'14).
 //
 // The iteration runs in gather form: a transpose (in-edge list of dense
-// slots, built once through the slot cache) lets each vertex pull its next
-// score as an ordered sum over in-edges, so every slot is written by
+// slots, built once in slot order from the view) lets each vertex pull its
+// next score as an ordered sum over in-edges, so every slot is written by
 // exactly one thread and the floating-point sums — and the checksum — are
-// bit-identical at any thread count.
+// bit-identical at any thread count and on either backend.
 #include <cmath>
 
 #include "trace/access.h"
@@ -30,40 +30,34 @@ class RwrWorkload final : public Workload {
   Category category() const override { return Category::kAnalytics; }
 
   RunResult run(RunContext& ctx) const override {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     RunResult result;
     const std::size_t slots = g.slot_count();
-    if (g.find_vertex(ctx.root) == nullptr) return result;
     const graph::SlotIndex root_slot = g.slot_of(ctx.root);
+    if (root_slot == graph::kInvalidSlot) return result;
     const bool parallel = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
     platform::ThreadPool* pool = parallel ? ctx.pool : nullptr;
 
-    // Transpose in CSR form, sources resolved through the slot cache.
-    // Built in slot order, so each vertex's in-edge list — and therefore
-    // its gather sum order — is deterministic.
+    // Transpose in CSR form. Built in slot order, so each vertex's in-edge
+    // list — and therefore its gather sum order — is deterministic and the
+    // same on both backends.
     std::vector<std::uint32_t> out_degree(slots, 0);
     std::vector<std::size_t> in_offset(slots + 1, 0);
     std::vector<graph::SlotIndex> in_source;
     in_source.reserve(g.num_edges());
-    g.for_each_vertex([&](const graph::VertexRecord& v) {
-      const graph::SlotIndex s = g.slot_of(v.id);
-      out_degree[s] = static_cast<std::uint32_t>(v.out.size());
-      g.for_each_out_edge(
-          v, [&](const graph::EdgeRecord&, graph::SlotIndex ts) {
-            ++in_offset[ts + 1];
-          });
+    g.for_each_live_slot([&](graph::SlotIndex s) {
+      out_degree[s] = static_cast<std::uint32_t>(g.out_degree(s));
+      g.for_each_out(
+          s, [&](graph::SlotIndex ts, double) { ++in_offset[ts + 1]; });
     });
     for (std::size_t s = 0; s < slots; ++s) {
       in_offset[s + 1] += in_offset[s];
     }
     std::vector<std::size_t> cursor(in_offset.begin(), in_offset.end() - 1);
     in_source.resize(g.num_edges());
-    g.for_each_vertex([&](const graph::VertexRecord& v) {
-      const graph::SlotIndex s = g.slot_of(v.id);
-      g.for_each_out_edge(
-          v, [&](const graph::EdgeRecord&, graph::SlotIndex ts) {
-            in_source[cursor[ts]++] = s;
-          });
+    g.for_each_live_slot([&](graph::SlotIndex s) {
+      g.for_each_out(
+          s, [&](graph::SlotIndex ts, double) { in_source[cursor[ts]++] = s; });
     });
 
     std::vector<double> score(slots, 0.0);
@@ -129,10 +123,9 @@ class RwrWorkload final : public Workload {
 
     // Publish scores and checksum (quantized; scores sum to ~1).
     double sum = 0.0;
-    g.for_each_vertex([&](graph::VertexRecord& v) {
-      const double s = score[g.slot_of(v.id)];
-      v.props.set_double(props::kRwrScore, s);
-      sum += s;
+    g.for_each_live_slot([&](graph::SlotIndex s) {
+      g.set_double(s, props::kRwrScore, score[s]);
+      sum += score[s];
     });
     result.checksum =
         static_cast<std::uint64_t>(score[root_slot] * (1 << 20)) +

@@ -1,7 +1,9 @@
 // Graph coloring (GColor): Luby-Jones maximal-independent-set coloring.
 // Each round, every uncolored vertex whose random priority beats all of its
 // uncolored neighbors takes the round's color. Rounds are embarrassingly
-// parallel and level-synchronous.
+// parallel and level-synchronous. Priorities are drawn per slot in
+// ascending slot order, so the assignment — and therefore the coloring —
+// is identical on the dynamic and frozen backends.
 #include <atomic>
 
 #include "platform/rng.h"
@@ -22,7 +24,7 @@ class GcolorWorkload final : public Workload {
   Category category() const override { return Category::kAnalytics; }
 
   RunResult run(RunContext& ctx) const override {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     RunResult result;
     const std::size_t slots = g.slot_count();
 
@@ -31,26 +33,25 @@ class GcolorWorkload final : public Workload {
     std::vector<std::int32_t> color(slots, -1);
     platform::Xoshiro256 rng(ctx.seed);
     std::vector<graph::SlotIndex> uncolored;
-    for (graph::SlotIndex s = 0; s < slots; ++s) {
-      if (g.vertex_at(s) != nullptr) {
-        priority[s] = rng.next();
-        uncolored.push_back(s);
-      }
-    }
+    g.for_each_live_slot([&](graph::SlotIndex s) {
+      priority[s] = rng.next();
+      uncolored.push_back(s);
+    });
 
     std::int32_t round = 0;
     std::vector<graph::SlotIndex> next;
     std::vector<std::uint8_t> selected(slots, 0);
+    // Edge visits accumulate per chunk and merge once per chunk, so the
+    // decide phase never writes shared state from worker threads.
+    std::atomic<std::uint64_t> edge_visits{0};
     while (!uncolored.empty()) {
       next.clear();
 
-      auto decide = [&](graph::SlotIndex s) -> bool {
+      auto decide = [&](graph::SlotIndex s, std::uint64_t& edges) -> bool {
         trace::block(trace::kBlockWorkloadKernel);
-        const graph::VertexRecord* v = g.vertex_at(s);
         bool is_local_max = true;
-        auto check = [&](graph::VertexId nid) {
-          ++result.edges_processed;
-          const graph::SlotIndex ns = g.slot_of(nid);
+        auto check = [&](graph::SlotIndex ns) {
+          ++edges;
           trace::read(trace::MemKind::kMetadata, &priority[ns],
                       sizeof(std::uint64_t));
           // Heavier per-edge work than plain traversal: compare priority
@@ -64,11 +65,9 @@ class GcolorWorkload final : public Workload {
           trace::alu(4);
           if (neighbor_wins) is_local_max = false;
         };
-        g.for_each_out_edge(*v, [&](const graph::EdgeRecord& e) {
-          check(e.target);
-        });
-        g.for_each_in_neighbor(*v,
-                               [&](graph::VertexId src) { check(src); });
+        g.for_each_out(s,
+                       [&](graph::SlotIndex ts, double) { check(ts); });
+        g.for_each_in(s, [&](graph::SlotIndex ss) { check(ss); });
         return is_local_max;
       };
 
@@ -78,12 +77,20 @@ class GcolorWorkload final : public Workload {
         ctx.pool->parallel_for_chunked(
             0, uncolored.size(), 128,
             [&](std::size_t lo, std::size_t hi) {
+              std::uint64_t local_edges = 0;
               for (std::size_t i = lo; i < hi; ++i) {
-                selected[uncolored[i]] = decide(uncolored[i]) ? 1 : 0;
+                selected[uncolored[i]] =
+                    decide(uncolored[i], local_edges) ? 1 : 0;
               }
+              edge_visits.fetch_add(local_edges,
+                                    std::memory_order_relaxed);
             });
       } else {
-        for (const auto s : uncolored) selected[s] = decide(s) ? 1 : 0;
+        std::uint64_t local_edges = 0;
+        for (const auto s : uncolored) {
+          selected[s] = decide(s, local_edges) ? 1 : 0;
+        }
+        edge_visits.fetch_add(local_edges, std::memory_order_relaxed);
       }
 
       // Phase 2: commit colors, build the next round's worklist.
@@ -102,11 +109,11 @@ class GcolorWorkload final : public Workload {
 
     // Publish colors as properties and checksum.
     std::uint64_t color_sum = 0;
-    g.for_each_vertex([&](graph::VertexRecord& v) {
-      const graph::SlotIndex s = g.slot_of(v.id);
-      v.props.set_int(props::kColor, color[s]);
+    g.for_each_live_slot([&](graph::SlotIndex s) {
+      g.set_int(s, props::kColor, color[s]);
       color_sum += static_cast<std::uint64_t>(color[s] + 1);
     });
+    result.edges_processed = edge_visits.load(std::memory_order_relaxed);
     result.checksum =
         color_sum * 31 + static_cast<std::uint64_t>(round + 1);
     return result;

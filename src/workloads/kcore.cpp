@@ -36,7 +36,7 @@ class KcoreWorkload final : public Workload {
 
  private:
   RunResult run_sequential(RunContext& ctx) const {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     RunResult result;
     const std::size_t slots = g.slot_count();
 
@@ -44,9 +44,8 @@ class KcoreWorkload final : public Workload {
     std::vector<std::uint32_t> degree(slots, 0);
     std::size_t max_degree = 0;
     std::size_t live = 0;
-    g.for_each_vertex([&](const graph::VertexRecord& v) {
-      const graph::SlotIndex s = g.slot_of(v.id);
-      degree[s] = static_cast<std::uint32_t>(undirected_degree(v));
+    g.for_each_live_slot([&](graph::SlotIndex s) {
+      degree[s] = static_cast<std::uint32_t>(g.undirected_degree(s));
       trace::write(trace::MemKind::kMetadata, &degree[s],
                    sizeof(std::uint32_t));
       max_degree = std::max<std::size_t>(max_degree, degree[s]);
@@ -55,9 +54,8 @@ class KcoreWorkload final : public Workload {
 
     // Bucket queue (Matula-Beck): bucket[d] holds slots of degree d.
     std::vector<std::vector<graph::SlotIndex>> buckets(max_degree + 1);
-    for (graph::SlotIndex s = 0; s < slots; ++s) {
-      if (g.vertex_at(s) != nullptr) buckets[degree[s]].push_back(s);
-    }
+    g.for_each_live_slot(
+        [&](graph::SlotIndex s) { buckets[degree[s]].push_back(s); });
 
     std::vector<std::uint8_t> removed(slots, 0);
     std::vector<std::uint32_t> core(slots, 0);
@@ -83,7 +81,6 @@ class KcoreWorkload final : public Workload {
       core[s] = current_core;
       ++processed;
 
-      const graph::VertexRecord* v = g.vertex_at(s);
       auto relax = [&](graph::SlotIndex ns) {
         ++result.edges_processed;
         trace::read(trace::MemKind::kMetadata, &removed[ns], 1);
@@ -94,20 +91,15 @@ class KcoreWorkload final : public Workload {
         buckets[degree[ns]].push_back(ns);
         if (degree[ns] < bucket_idx) bucket_idx = degree[ns];
       };
-      g.for_each_out_edge(
-          *v, [&](const graph::EdgeRecord&, graph::SlotIndex ts) {
-            relax(ts);
-          });
-      g.for_each_in_neighbor(*v, [&](graph::VertexId src) {
-        relax(g.slot_of(src));
-      });
+      g.for_each_out(s,
+                     [&](graph::SlotIndex ts, double) { relax(ts); });
+      g.for_each_in(s, [&](graph::SlotIndex ss) { relax(ss); });
     }
 
     // Publish core numbers as vertex properties.
     std::uint64_t core_sum = 0;
-    g.for_each_vertex([&](graph::VertexRecord& v) {
-      const graph::SlotIndex s = g.slot_of(v.id);
-      v.props.set_int(props::kCore, core[s]);
+    g.for_each_live_slot([&](graph::SlotIndex s) {
+      g.set_int(s, props::kCore, core[s]);
       core_sum += core[s];
     });
 
@@ -117,7 +109,7 @@ class KcoreWorkload final : public Workload {
   }
 
   RunResult run_parallel(RunContext& ctx) const {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     platform::ThreadPool& pool = *ctx.pool;
     RunResult result;
     const std::size_t slots = g.slot_count();
@@ -132,16 +124,15 @@ class KcoreWorkload final : public Workload {
         [&](std::size_t lo, std::size_t hi) {
           std::size_t n = 0;
           for (std::size_t s = lo; s < hi; ++s) {
-            const graph::VertexRecord* v =
-                g.vertex_at(static_cast<graph::SlotIndex>(s));
+            const bool is_live =
+                g.is_live(static_cast<graph::SlotIndex>(s));
             degree[s].store(
-                v == nullptr
-                    ? 0
-                    : static_cast<std::uint32_t>(undirected_degree(*v)),
+                is_live ? static_cast<std::uint32_t>(g.undirected_degree(
+                              static_cast<graph::SlotIndex>(s)))
+                        : 0,
                 std::memory_order_relaxed);
-            removed[s].store(v == nullptr ? 1 : 0,
-                             std::memory_order_relaxed);
-            if (v != nullptr) ++n;
+            removed[s].store(is_live ? 0 : 1, std::memory_order_relaxed);
+            if (is_live) ++n;
           }
           return n;
         },
@@ -191,7 +182,6 @@ class KcoreWorkload final : public Workload {
                 const graph::SlotIndex s = curr[i];
                 removed[s].store(1, std::memory_order_relaxed);
                 core[s] = k;
-                const graph::VertexRecord* v = g.vertex_at(s);
                 auto relax = [&](graph::SlotIndex ns) {
                   ++p.edges;
                   if (removed[ns].load(std::memory_order_relaxed)) return;
@@ -199,14 +189,10 @@ class KcoreWorkload final : public Workload {
                       1, std::memory_order_relaxed);
                   if (old == k + 1) p.next.push_back(ns);
                 };
-                g.for_each_out_edge(
-                    *v,
-                    [&](const graph::EdgeRecord&, graph::SlotIndex ts) {
-                      relax(ts);
-                    });
-                g.for_each_in_neighbor(*v, [&](graph::VertexId src) {
-                  relax(g.slot_of(src));
-                });
+                g.for_each_out(
+                    s, [&](graph::SlotIndex ts, double) { relax(ts); });
+                g.for_each_in(s,
+                              [&](graph::SlotIndex ss) { relax(ss); });
               }
               return p;
             },
@@ -229,10 +215,9 @@ class KcoreWorkload final : public Workload {
         [&](std::size_t lo, std::size_t hi) {
           std::uint64_t sum = 0;
           for (std::size_t s = lo; s < hi; ++s) {
-            graph::VertexRecord* v =
-                g.vertex_at(static_cast<graph::SlotIndex>(s));
-            if (v == nullptr) continue;
-            v->props.set_int(props::kCore, core[s]);
+            if (!g.is_live(static_cast<graph::SlotIndex>(s))) continue;
+            g.set_int(static_cast<graph::SlotIndex>(s), props::kCore,
+                      core[s]);
             sum += core[s];
           }
           return sum;

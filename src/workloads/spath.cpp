@@ -5,10 +5,15 @@
 // vertices are bucketed by floor(dist / delta) and buckets settle in
 // ascending order, with label-correcting re-activation inside a bucket.
 //
+// Buckets are explicit worklists: a relaxation that lowers dist[t] pushes t
+// into bucket floor(new_dist / delta), deduplicated by an atomic `queued`
+// flag, so selecting and draining a bucket costs O(active vertices) rather
+// than an O(V) slot-table rescan per round.
+//
 // Both algorithms converge to the same fixed point, dist[v] = min over
 // in-edges of dist[u] + w, evaluated over identical double operands — so
 // the final distance array is bit-identical and the checksum (folded from
-// that array in slot order) is thread-count-invariant.
+// that array in slot order) is thread-count- and representation-invariant.
 #include <atomic>
 #include <cmath>
 #include <queue>
@@ -51,11 +56,11 @@ class SpathWorkload final : public Workload {
   }
 
   RunResult run_sequential(RunContext& ctx) const {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     RunResult result;
 
-    graph::VertexRecord* root = g.find_vertex(ctx.root);
-    if (root == nullptr) return result;
+    const graph::SlotIndex root_slot = g.slot_of(ctx.root);
+    if (root_slot == graph::kInvalidSlot) return result;
 
     using HeapEntry = std::pair<double, graph::SlotIndex>;
     std::priority_queue<HeapEntry, std::vector<HeapEntry>,
@@ -64,8 +69,7 @@ class SpathWorkload final : public Workload {
     std::vector<bool> settled(g.slot_count(), false);
     std::vector<double> dist(g.slot_count(), kInf);
 
-    const graph::SlotIndex root_slot = g.slot_of(ctx.root);
-    root->props.set_double(props::kDistance, 0.0);
+    g.set_double(root_slot, props::kDistance, 0.0);
     dist[root_slot] = 0.0;
     heap.emplace(0.0, root_slot);
 
@@ -81,22 +85,19 @@ class SpathWorkload final : public Workload {
       settled[slot] = true;
       ++result.vertices_processed;
 
-      graph::VertexRecord* v = g.vertex_at(slot);
-      g.for_each_out_edge(
-          *v, [&](const graph::EdgeRecord& e, graph::SlotIndex ts) {
-            ++result.edges_processed;
-            const double candidate = d + e.weight;
-            trace::branch(trace::kBranchCompare, candidate < dist[ts]);
-            trace::alu(2);
-            if (candidate < dist[ts]) {
-              dist[ts] = candidate;
-              graph::VertexRecord* t = g.vertex_at(ts);
-              t->props.set_double(props::kDistance, candidate);
-              heap.emplace(candidate, ts);
-              trace::write(trace::MemKind::kMetadata, &heap.top(),
-                           sizeof(HeapEntry));
-            }
-          });
+      g.for_each_out(slot, [&](graph::SlotIndex ts, double w) {
+        ++result.edges_processed;
+        const double candidate = d + w;
+        trace::branch(trace::kBranchCompare, candidate < dist[ts]);
+        trace::alu(2);
+        if (candidate < dist[ts]) {
+          dist[ts] = candidate;
+          g.set_double(ts, props::kDistance, candidate);
+          heap.emplace(candidate, ts);
+          trace::write(trace::MemKind::kMetadata, &heap.top(),
+                       sizeof(HeapEntry));
+        }
+      });
     }
 
     result.checksum = finalize(dist, result.vertices_processed);
@@ -104,22 +105,22 @@ class SpathWorkload final : public Workload {
   }
 
   RunResult run_parallel(RunContext& ctx) const {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     platform::ThreadPool& pool = *ctx.pool;
     RunResult result;
 
-    const graph::VertexRecord* root = g.find_vertex(ctx.root);
-    if (root == nullptr) return result;
-    const std::size_t slots = g.slot_count();
     const graph::SlotIndex root_slot = g.slot_of(ctx.root);
+    if (root_slot == graph::kInvalidSlot) return result;
+    const std::size_t slots = g.slot_count();
 
     // Bucket width: the mean edge weight keeps bucket counts moderate for
     // both uniform and skewed weight distributions.
     double delta = 1.0;
     if (g.num_edges() > 0) {
       double weight_sum = 0.0;
-      g.for_each_vertex([&](const graph::VertexRecord& v) {
-        for (const graph::EdgeRecord& e : v.out) weight_sum += e.weight;
+      g.for_each_live_slot([&](graph::SlotIndex s) {
+        g.for_each_out(
+            s, [&](graph::SlotIndex, double w) { weight_sum += w; });
       });
       delta = std::max(weight_sum / static_cast<double>(g.num_edges()),
                        1e-6);
@@ -130,6 +131,9 @@ class SpathWorkload final : public Workload {
     // cleared whenever a relaxation lowers that distance (label-correcting
     // re-activation); a vertex is re-expanded until its distance is final.
     std::vector<std::atomic<std::uint8_t>> done(slots);
+    // queued[s] is set while s sits in some bucket worklist; the 0 -> 1
+    // exchange on push keeps each vertex in at most one bucket.
+    std::vector<std::atomic<std::uint8_t>> queued(slots);
     pool.parallel_for_chunked(0, slots, 256,
                               [&](std::size_t lo, std::size_t hi) {
                                 for (std::size_t s = lo; s < hi; ++s) {
@@ -138,93 +142,115 @@ class SpathWorkload final : public Workload {
                                       std::memory_order_relaxed);
                                   done[s].store(0,
                                                 std::memory_order_relaxed);
+                                  queued[s].store(0,
+                                                  std::memory_order_relaxed);
                                 }
                               });
 
     using Worklist = std::vector<graph::SlotIndex>;
+    // Push of (bucket, slot) pairs gathered inside a relaxation round and
+    // merged into the bucket worklists after it.
+    using PushList = std::vector<std::pair<std::uint64_t, graph::SlotIndex>>;
+
+    std::vector<Worklist> buckets(1);
+    buckets[0].push_back(root_slot);
+    queued[root_slot].store(1, std::memory_order_relaxed);
+
+    auto bucket_of = [&](double d) {
+      return static_cast<std::uint64_t>(std::floor(d / delta));
+    };
+    auto merge_pushes = [&](const PushList& pushes) {
+      for (const auto& [b, s] : pushes) {
+        if (b >= buckets.size()) buckets.resize(b + 1);
+        buckets[b].push_back(s);
+      }
+    };
+
     std::uint64_t edges = 0;
+    std::size_t cur = 0;
 
     while (true) {
-      // Next bucket: the smallest floor(dist / delta) over reached,
-      // not-yet-expanded vertices.
-      const std::uint64_t kNoBucket =
-          std::numeric_limits<std::uint64_t>::max();
-      const std::uint64_t bucket = pool.parallel_reduce(
-          0, slots, 256, kNoBucket,
-          [&](std::size_t lo, std::size_t hi) {
-            std::uint64_t best = kNoBucket;
-            for (std::size_t s = lo; s < hi; ++s) {
-              if (done[s].load(std::memory_order_relaxed)) continue;
-              const double d = dist[s].load(std::memory_order_relaxed);
-              if (d < kInf) {
-                best = std::min(
-                    best, static_cast<std::uint64_t>(std::floor(d / delta)));
-              }
-            }
-            return best;
-          },
-          [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
-      if (bucket == kNoBucket) break;
-      const double threshold =
-          static_cast<double>(bucket + 1) * delta;
+      // Advance to the next non-empty bucket. Relaxations can push into
+      // buckets below `cur` (a re-activated vertex whose lowered distance
+      // falls under an already-drained bucket), so scan from the front;
+      // the bucket array stays short (max dist / delta entries).
+      cur = 0;
+      while (cur < buckets.size() && buckets[cur].empty()) ++cur;
+      if (cur == buckets.size()) break;
+      const double threshold = static_cast<double>(cur + 1) * delta;
 
-      // Inner rounds: expand everything currently inside the bucket until
-      // no relaxation re-activates a bucket member.
-      while (true) {
-        Worklist frontier = pool.parallel_reduce(
-            0, slots, 256, Worklist{},
-            [&](std::size_t lo, std::size_t hi) {
-              Worklist w;
-              for (std::size_t s = lo; s < hi; ++s) {
-                if (done[s].load(std::memory_order_relaxed) == 0 &&
-                    dist[s].load(std::memory_order_relaxed) < threshold) {
-                  w.push_back(static_cast<graph::SlotIndex>(s));
-                }
-              }
-              return w;
-            },
-            [](Worklist acc, Worklist p) {
-              acc.insert(acc.end(), p.begin(), p.end());
-              return acc;
-            });
-        if (frontier.empty()) break;
-
-        edges += pool.parallel_reduce(
-            0, frontier.size(), 64, std::uint64_t{0},
-            [&](std::size_t lo, std::size_t hi) {
-              std::uint64_t relaxed = 0;
-              for (std::size_t i = lo; i < hi; ++i) {
-                trace::block(trace::kBlockWorkloadKernel);
-                const graph::SlotIndex s = frontier[i];
-                done[s].store(1, std::memory_order_relaxed);
-                const double d = dist[s].load(std::memory_order_relaxed);
-                const graph::VertexRecord* v = g.vertex_at(s);
-                g.for_each_out_edge(
-                    *v,
-                    [&](const graph::EdgeRecord& e, graph::SlotIndex ts) {
-                      ++relaxed;
-                      const double candidate = d + e.weight;
-                      double cur =
-                          dist[ts].load(std::memory_order_relaxed);
-                      bool lowered = false;
-                      while (candidate < cur) {
-                        if (dist[ts].compare_exchange_weak(
-                                cur, candidate,
-                                std::memory_order_relaxed)) {
-                          lowered = true;
-                          break;
-                        }
-                      }
-                      trace::branch(trace::kBranchCompare, lowered);
-                      if (lowered) {
-                        done[ts].store(0, std::memory_order_relaxed);
-                      }
-                    });
-              }
-              return relaxed;
-            },
-            [](std::uint64_t a, std::uint64_t b) { return a + b; });
+      // Claim the bucket's entries: clear their queued flags and keep the
+      // ones still awaiting expansion. Entries whose distance was lowered
+      // past this bucket while queued are processed here anyway (earlier
+      // expansion is harmless under label-correcting); entries already
+      // done are dropped.
+      Worklist frontier;
+      PushList reseed;
+      for (const graph::SlotIndex s : buckets[cur]) {
+        queued[s].store(0, std::memory_order_relaxed);
+        if (done[s].load(std::memory_order_relaxed) != 0) continue;
+        const double d = dist[s].load(std::memory_order_relaxed);
+        if (d < threshold) {
+          frontier.push_back(s);
+        } else if (d < kInf &&
+                   queued[s].exchange(1, std::memory_order_relaxed) == 0) {
+          // Raced into a later bucket (possible only via stale pushes);
+          // requeue where it now belongs.
+          reseed.emplace_back(bucket_of(d), s);
+        }
       }
+      buckets[cur].clear();
+      merge_pushes(reseed);
+      if (frontier.empty()) continue;
+
+      struct Partial {
+        PushList pushes;
+        std::uint64_t relaxed = 0;
+      };
+      Partial merged = pool.parallel_reduce(
+          0, frontier.size(), 64, Partial{},
+          [&](std::size_t lo, std::size_t hi) {
+            Partial p;
+            for (std::size_t i = lo; i < hi; ++i) {
+              trace::block(trace::kBlockWorkloadKernel);
+              const graph::SlotIndex s = frontier[i];
+              done[s].store(1, std::memory_order_relaxed);
+              const double d = dist[s].load(std::memory_order_relaxed);
+              g.for_each_out(s, [&](graph::SlotIndex ts, double w) {
+                ++p.relaxed;
+                const double candidate = d + w;
+                double curd = dist[ts].load(std::memory_order_relaxed);
+                bool lowered = false;
+                while (candidate < curd) {
+                  if (dist[ts].compare_exchange_weak(
+                          curd, candidate, std::memory_order_relaxed)) {
+                    lowered = true;
+                    break;
+                  }
+                }
+                trace::branch(trace::kBranchCompare, lowered);
+                if (lowered) {
+                  done[ts].store(0, std::memory_order_relaxed);
+                  if (queued[ts].exchange(1, std::memory_order_relaxed) ==
+                      0) {
+                    p.pushes.emplace_back(bucket_of(candidate), ts);
+                    trace::write(trace::MemKind::kMetadata,
+                                 &p.pushes.back(),
+                                 sizeof(p.pushes.back()));
+                  }
+                }
+              });
+            }
+            return p;
+          },
+          [](Partial acc, Partial p) {
+            acc.pushes.insert(acc.pushes.end(), p.pushes.begin(),
+                              p.pushes.end());
+            acc.relaxed += p.relaxed;
+            return acc;
+          });
+      edges += merged.relaxed;
+      merge_pushes(merged.pushes);
     }
 
     // Publish final distances and count reached vertices.
@@ -237,9 +263,8 @@ class SpathWorkload final : public Workload {
             const double d = dist[s].load(std::memory_order_relaxed);
             final_dist[s] = d;
             if (d < kInf) {
-              graph::VertexRecord* v =
-                  g.vertex_at(static_cast<graph::SlotIndex>(s));
-              v->props.set_double(props::kDistance, d);
+              g.set_double(static_cast<graph::SlotIndex>(s),
+                           props::kDistance, d);
               ++n;
             }
           }

@@ -24,23 +24,22 @@ class TcWorkload final : public Workload {
   Category category() const override { return Category::kAnalytics; }
 
   RunResult run(RunContext& ctx) const override {
-    graph::PropertyGraph& g = *ctx.graph;
+    const graph::GraphView g = ctx.view();
     RunResult result;
     const std::size_t slots = g.slot_count();
 
-    // Build per-vertex sorted neighbor snapshots over the undirected view,
+    // Build per-vertex sorted neighbor lists over the undirected view,
     // keeping only higher-slot neighbors (the "forward" orientation that
-    // makes each triangle counted exactly once).
+    // makes each triangle counted exactly once). The lists are sorted and
+    // deduplicated, so the build order contributed by either backend
+    // washes out.
     std::vector<std::vector<graph::SlotIndex>> forward(slots);
-    g.for_each_vertex([&](const graph::VertexRecord& v) {
-      const graph::SlotIndex s = g.slot_of(v.id);
+    g.for_each_live_slot([&](graph::SlotIndex s) {
       auto& list = forward[s];
-      g.for_each_out_edge(*&v, [&](const graph::EdgeRecord& e) {
-        const graph::SlotIndex t = g.slot_of(e.target);
+      g.for_each_out(s, [&](graph::SlotIndex t, double) {
         if (t > s) list.push_back(t);
       });
-      g.for_each_in_neighbor(*&v, [&](graph::VertexId src) {
-        const graph::SlotIndex t = g.slot_of(src);
+      g.for_each_in(s, [&](graph::SlotIndex t) {
         if (t > s) list.push_back(t);
       });
       std::sort(list.begin(), list.end());
@@ -109,10 +108,9 @@ class TcWorkload final : public Workload {
 
     // Publish per-vertex triangle counts.
     std::uint64_t processed = 0;
-    g.for_each_vertex([&](graph::VertexRecord& v) {
-      const graph::SlotIndex s = g.slot_of(v.id);
-      v.props.set_int(props::kTriangles,
-                      static_cast<std::int64_t>(per_vertex[s]));
+    g.for_each_live_slot([&](graph::SlotIndex s) {
+      g.set_int(s, props::kTriangles,
+                static_cast<std::int64_t>(per_vertex[s]));
       ++processed;
     });
 

@@ -68,7 +68,8 @@ class TmorphWorkload final : public Workload {
     for (const auto vid : ids) {
       trace::block(trace::kBlockWorkloadKernel);
       const graph::VertexRecord* v = g.find_vertex(vid);
-      parents.assign(v->in.begin(), v->in.end());
+      parents.clear();
+      for (const graph::InRecord& r : v->in) parents.push_back(r.source);
       std::sort(parents.begin(), parents.end());
       parents.erase(std::unique(parents.begin(), parents.end()),
                     parents.end());

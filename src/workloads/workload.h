@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "datagen/edge_list.h"
+#include "graph/graph_view.h"
 #include "graph/property_graph.h"
+#include "graph/snapshot.h"
 #include "platform/thread_pool.h"
 
 namespace graphbig::workloads {
@@ -56,9 +58,21 @@ inline constexpr graph::PropKey kRwrScore = 12;   // RWR (extension)
 /// them a scratch copy.
 struct RunContext {
   graph::PropertyGraph* graph = nullptr;
+  /// When set, the analytic (non-mutating) workloads traverse this frozen
+  /// snapshot instead of the dynamic graph; CompDyn workloads ignore it
+  /// (mutation requires the dynamic representation). The snapshot must
+  /// have been frozen from a graph topologically identical to `graph`.
+  const graph::GraphSnapshot* snapshot = nullptr;
   platform::ThreadPool* pool = nullptr;  // null -> sequential execution
   std::uint64_t seed = 1;
   graph::VertexId root = 0;
+
+  /// The traversal view the analytic workloads run against: the frozen
+  /// snapshot when present, the dynamic graph otherwise.
+  graph::GraphView view() const {
+    return snapshot != nullptr ? graph::GraphView(*snapshot)
+                               : graph::GraphView(*graph);
+  }
 
   /// GCons: edges to build from. GUp: unused.
   const datagen::EdgeList* edge_list = nullptr;

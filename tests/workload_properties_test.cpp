@@ -115,7 +115,7 @@ TEST_P(WorkloadInvariants, KcoreSubgraphProperty) {
       }
     };
     for (const auto& e : v.out) count(e.target);
-    for (const auto src : v.in) count(src);
+    for (const auto& r : v.in) count(r.source);
     ASSERT_GE(strong_neighbors, k) << "vertex " << v.id;
   });
 }

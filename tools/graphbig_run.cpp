@@ -31,6 +31,9 @@ void print_usage() {
   --dataset <name>       dataset (default: ldbc)
   --scale tiny|small|medium   dataset scale (default: small)
   --threads <n>          CPU threads (default: 1; 0 = all hardware threads)
+  --representation dynamic|frozen   graph representation for analytic
+                         workloads (default: dynamic; frozen traverses an
+                         immutable snapshot)
   --profile              run under the CPU perf model (sequential)
   --gpu                  run on the SIMT GPU simulator
 )";
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
   std::string dataset = "ldbc";
   datagen::Scale scale = datagen::Scale::kSmall;
   int threads = 1;
+  harness::Representation representation = harness::Representation::kDynamic;
   bool profile = false;
   bool gpu = false;
 
@@ -102,6 +106,13 @@ int main(int argc, char** argv) {
       if (threads == 0) {
         threads =
             std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+      }
+    } else if (arg == "--representation") {
+      const std::string r = next();
+      if (!harness::parse_representation(r, &representation)) {
+        std::cerr << "unknown representation: " << r
+                  << " (expected dynamic or frozen)\n";
+        return 2;
       }
     } else if (arg == "--profile") {
       profile = true;
@@ -180,11 +191,18 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto r = harness::run_cpu_timed(*w, bundle, threads);
+  if (representation == harness::Representation::kFrozen &&
+      !harness::supports_frozen(*w)) {
+    std::cout << "note: " << w->acronym()
+              << " mutates the graph or needs a special input; running on "
+                 "the dynamic representation\n";
+  }
+  const auto r = harness::run_cpu_timed(*w, bundle, threads, representation);
   std::cout << w->acronym() << ": checksum " << r.run.checksum << "\n  "
             << harness::fmt_int(r.run.vertices_processed) << " vertices, "
             << harness::fmt_int(r.run.edges_processed)
             << " edges processed in " << platform::format_duration(r.seconds)
-            << " with " << threads << " thread(s)\n";
+            << " with " << threads << " thread(s) ["
+            << harness::to_string(representation) << " representation]\n";
   return 0;
 }
