@@ -1,0 +1,605 @@
+// FrontierEngine: one level-synchronous traversal engine for every
+// frontier-driven CPU workload.
+//
+// The paper's workloads (Section 3, Table 2) share a common skeleton: a
+// set of active vertices is expanded superstep by superstep until a fixed
+// point. Before this engine each workload carried its own copy of that
+// skeleton — its own worklist vectors, its own visited bitmaps, its own
+// chunk/merge scheduling. The engine centralizes three decisions the
+// individual copies could not make well:
+//
+//   1. Frontier representation. A frontier is kept sparse (a vector of
+//      slot indices) while it is small and dense (an atomic bitmap) once
+//      its occupancy crosses slot_count / dense_threshold_den. Either
+//      representation can be materialized from the other on demand, in
+//      ascending slot order, so the choice never changes results.
+//
+//   2. Traversal direction. Each superstep runs either push (expand the
+//      out-edges of active vertices, the classic top-down step) or pull
+//      (scan candidate vertices and probe their in-edges for an active
+//      parent, abandoning the scan at the first hit). Following Beamer's
+//      direction-optimizing heuristic, auto mode pulls when the edge mass
+//      hanging off the frontier exceeds total_edges / alpha — on power-law
+//      graphs the few hub-dominated middle supersteps switch to pull and
+//      touch a fraction of the edges push would.
+//
+//   3. Edge-work scheduling. Superstep work is cut into chunks of roughly
+//      edge_grain edge-endpoints each (degree-weighted, so one hub does
+//      not ride along with thousands of leaves in a single chunk) and
+//      scheduled with ThreadPool::parallel_for_stealing: workers stream
+//      their own chunk blocks and steal half of a straggler's remainder
+//      when they run dry. Chunk boundaries depend only on frontier
+//      content, and per-chunk partial results merge in ascending chunk
+//      order, so checksums are invariant across 1..N threads, push vs
+//      pull, stealing on or off, and dynamic vs frozen backends.
+//
+// Kernels are plugged in as lambdas; the engine owns frontiers, direction
+// choice, chunking, and telemetry. See DESIGN.md section 9.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "platform/bitset.h"
+#include "platform/thread_pool.h"
+#include "trace/access.h"
+
+namespace graphbig::engine {
+
+enum class Direction {
+  kPush,  // always expand out-edges of the frontier
+  kPull,  // always probe in-edges of candidates
+  kAuto,  // Beamer-style per-superstep choice
+};
+
+const char* to_string(Direction d);
+
+/// Parses "push" / "pull" / "auto"; returns false on anything else.
+bool parse_direction(std::string_view s, Direction* out);
+
+struct TraversalOptions {
+  Direction direction = Direction::kAuto;
+  /// Schedule chunks with parallel_for_stealing (else the shared-cursor
+  /// parallel_for_chunked path inside parallel_reduce).
+  bool stealing = true;
+  /// Auto mode pulls when frontier edge mass > total edge mass / alpha.
+  double alpha = 12.0;
+  /// Count both edge directions in degree weights and edge mass (set by
+  /// the workloads that traverse the graph as undirected).
+  bool undirected = false;
+  /// Target edge-endpoints (degree + 1 per vertex) per scheduled chunk.
+  std::size_t edge_grain = 2048;
+  /// A frontier holding more than slot_count / dense_threshold_den slots
+  /// is considered dense (representation policy + telemetry).
+  std::size_t dense_threshold_den = 16;
+};
+
+/// One superstep's record: direction taken, frontier occupancy entering
+/// the step, edges touched, chunks stolen.
+struct StepTelemetry {
+  std::uint32_t step = 0;
+  bool pull = false;
+  bool dense = false;
+  std::uint64_t frontier = 0;
+  std::uint64_t frontier_edges = 0;
+  std::uint64_t activated = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t stolen = 0;
+};
+
+/// Aggregated traversal telemetry. Plain copyable data: harness results
+/// carry it by value. Appends go through record_step(), which serializes
+/// concurrent writers (BCentr runs one inner traversal per pivot in
+/// parallel, all reporting into the pivot loop's shared telemetry).
+struct TraversalTelemetry {
+  static constexpr std::size_t kMaxSteps = 64;
+
+  std::uint64_t supersteps = 0;
+  std::uint64_t push_steps = 0;
+  std::uint64_t pull_steps = 0;
+  std::uint64_t dense_steps = 0;
+  std::uint64_t stolen_chunks = 0;
+  std::uint64_t max_frontier = 0;
+  /// First kMaxSteps per-superstep records (overflow counted above).
+  std::vector<StepTelemetry> steps;
+
+  /// One line for run headers: "12 steps (9 push / 3 pull), peak
+  /// frontier 81920, 14 chunks stolen".
+  std::string summary() const;
+};
+
+/// Thread-safe telemetry append; no-op when t is null.
+void record_step(TraversalTelemetry* t, const StepTelemetry& s);
+
+/// Thread-safe bump of the stolen-chunk counter alone (sweeps and pivot
+/// fan-outs that steal work outside a superstep); no-op when t is null.
+void record_stolen(TraversalTelemetry* t, std::uint64_t stolen);
+
+/// An active-vertex set over a slot space, held sparse (ascending-merged
+/// slot list), dense (atomic bitmap), or both. Conversions materialize in
+/// ascending slot order; neither representation changes what the set is.
+class Frontier {
+ public:
+  /// Empties the frontier and (re)binds it to a slot space.
+  void reset(std::size_t slots);
+
+  std::size_t slot_space() const { return slots_; }
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double occupancy() const {
+    return slots_ == 0 ? 0.0
+                       : static_cast<double>(count_) /
+                             static_cast<double>(slots_);
+  }
+
+  bool has_list() const { return has_list_; }
+  bool has_bits() const { return has_bits_; }
+
+  /// Sparse view; valid only when has_list().
+  const std::vector<graph::SlotIndex>& list() const { return list_; }
+  /// Dense view; valid only when has_bits(). Mutable: pull supersteps mark
+  /// activations concurrently through test_and_set.
+  platform::AtomicBitset& bits() { return bits_; }
+  /// Membership through the dense view; valid only when has_bits().
+  bool test(graph::SlotIndex s) const { return bits_.test(s); }
+
+  /// Sequential insert of a slot not already present (seeding roots).
+  /// Maintains whichever representations are materialized.
+  void insert(graph::SlotIndex s);
+
+  /// The moved-in list becomes the frontier (bits dropped, not cleared).
+  void adopt_list(std::vector<graph::SlotIndex>&& l);
+
+  /// Sizes and clears the bitmap for external concurrent marking and makes
+  /// it the only representation; seal_bits() publishes the final count.
+  void prepare_bits();
+  void seal_bits(std::size_t count) { count_ = count; }
+
+  /// Materializes the missing representation (ascending order; parallel
+  /// through `pool` when given). No-ops when already present.
+  void ensure_list(platform::ThreadPool* pool);
+  void ensure_bits(platform::ThreadPool* pool);
+
+  /// Empties the set, keeping the slot space and capacity.
+  void clear();
+
+  void swap(Frontier& o);
+
+ private:
+  std::size_t slots_ = 0;
+  std::size_t count_ = 0;
+  bool has_list_ = true;  // the canonical empty frontier is an empty list
+  bool has_bits_ = false;
+  std::vector<graph::SlotIndex> list_;
+  platform::AtomicBitset bits_;
+};
+
+/// Per-chunk kernel context: counts edges touched and collects push
+/// activations (emit is only valid inside push kernels).
+struct StepCtx {
+  std::uint64_t edges = 0;
+
+  void emit(graph::SlotIndex s) {
+    out->push_back(s);
+    trace::write(trace::MemKind::kMetadata, &out->back(),
+                 sizeof(graph::SlotIndex));
+  }
+
+  std::vector<graph::SlotIndex>* out = nullptr;
+};
+
+/// Result of one superstep.
+struct StepResult {
+  bool pull = false;
+  std::size_t frontier = 0;   // active slots entering the step
+  std::size_t activated = 0;  // slots activated for the next step
+  std::uint64_t edges = 0;    // edges touched by the kernels
+  std::uint64_t stolen = 0;   // chunks stolen while scheduling
+};
+
+class FrontierEngine {
+ public:
+  /// `pool` may be null (sequential). `telemetry` may be null; it is
+  /// caller-owned and appended to across the engine's lifetime.
+  FrontierEngine(const graph::GraphView& g, platform::ThreadPool* pool,
+                 TraversalOptions opts = {},
+                 TraversalTelemetry* telemetry = nullptr)
+      : g_(g),
+        pool_(pool),
+        opts_(opts),
+        tel_(telemetry),
+        slots_(g.slot_count()) {
+    // Edge mass the pull heuristic compares against: every edge has one
+    // out endpoint; undirected traversals see each edge from both sides.
+    total_edge_mass_ =
+        static_cast<std::uint64_t>(g_.num_edges()) * (opts_.undirected ? 2 : 1);
+    cur_.reset(slots_);
+    next_.reset(slots_);
+  }
+
+  const TraversalOptions& options() const { return opts_; }
+  const graph::GraphView& view() const { return g_; }
+
+  /// Empties the frontier and restarts the superstep counter (telemetry
+  /// keeps accumulating; BCentr reuses one engine across pivots).
+  void restart() {
+    cur_.clear();
+    next_.clear();
+    step_ = 0;
+  }
+
+  bool done() const { return cur_.empty(); }
+  std::size_t active_count() const { return cur_.count(); }
+
+  /// Frontier membership for pull kernels; valid during a pull superstep
+  /// (the engine densifies the frontier before invoking them).
+  bool in_frontier(graph::SlotIndex s) const { return cur_.test(s); }
+
+  /// Direct frontier access (tests, representation round-trips).
+  Frontier& frontier() { return cur_; }
+
+  /// Seeds one slot (must not already be active).
+  void activate(graph::SlotIndex s) { cur_.insert(s); }
+
+  /// The moved-in worklist (duplicate-free) becomes the frontier.
+  void activate_list(std::vector<graph::SlotIndex>&& l) {
+    cur_.adopt_list(std::move(l));
+  }
+
+  /// Rebuilds the frontier as every slot where pred(slot) holds, ascending.
+  /// pred sees every slot in [0, slot_count), live or not. Returns the
+  /// activation count.
+  template <typename Pred>
+  std::size_t activate_where(const Pred& pred) {
+    std::vector<std::size_t> bounds = fixed_bounds(slots_, kScanGrain);
+    auto body = [&](std::size_t c) {
+      std::vector<graph::SlotIndex> out;
+      for (std::size_t s = bounds[c]; s < bounds[c + 1]; ++s) {
+        const auto slot = static_cast<graph::SlotIndex>(s);
+        if (pred(slot)) out.push_back(slot);
+      }
+      return out;
+    };
+    std::vector<graph::SlotIndex> merged = run_chunks(
+        bounds.size() - 1, std::vector<graph::SlotIndex>{}, body,
+        [](std::vector<graph::SlotIndex> a, std::vector<graph::SlotIndex> b) {
+          a.insert(a.end(), b.begin(), b.end());
+          return a;
+        },
+        nullptr);
+    const std::size_t n = merged.size();
+    cur_.adopt_list(std::move(merged));
+    return n;
+  }
+
+  /// Frontier := all live slots.
+  std::size_t activate_all_live() {
+    return activate_where([&](graph::SlotIndex s) { return g_.is_live(s); });
+  }
+
+  /// Push-only superstep. push(slot, ctx) expands one active vertex,
+  /// counting ctx.edges and ctx.emit()-ing activations (the kernel owns
+  /// dedup, e.g. an atomic visited bitmap). The emitted set becomes the
+  /// next frontier.
+  template <typename PushFn>
+  StepResult step(const PushFn& push) {
+    cur_.ensure_list(pool_);
+    std::vector<std::size_t> bounds;
+    const std::uint64_t mass = list_bounds(&bounds);
+    return push_step(push, bounds, mass);
+  }
+
+  /// Direction-optimizing superstep. In addition to push:
+  ///   cand(slot): cheap candidate filter for pull (e.g. "not visited");
+  ///     called only for live slots.
+  ///   pull(slot, ctx): probes the candidate's in-edges (via
+  ///     for_each_in_until + in_frontier) and returns true to activate it.
+  /// Activations from pull land in the dense bitmap; from push in the
+  /// sparse list. Both yield the same set.
+  template <typename PushFn, typename PullFn, typename CandFn>
+  StepResult step(const PushFn& push, const PullFn& pull,
+                  const CandFn& cand) {
+    cur_.ensure_list(pool_);
+    std::vector<std::size_t> bounds;
+    const std::uint64_t mass = list_bounds(&bounds);
+    const bool use_pull =
+        opts_.direction == Direction::kPull ||
+        (opts_.direction == Direction::kAuto &&
+         static_cast<double>(mass) * opts_.alpha >
+             static_cast<double>(total_edge_mass_));
+    if (!use_pull) return push_step(push, bounds, mass);
+    return pull_step(pull, cand, mass);
+  }
+
+  /// Degree-weighted, stealing-scheduled sweep over the current frontier
+  /// without advancing it: chunks start from a copy of `identity`,
+  /// item(slot, partial) folds one vertex in, partials merge in ascending
+  /// chunk order. Backs the non-traversal rounds (GColor decide, DCentr
+  /// sweep, SPath bucket relaxation).
+  template <typename T, typename ItemFn, typename ReduceFn>
+  T process(T identity, const ItemFn& item, const ReduceFn& reduce) {
+    cur_.ensure_list(pool_);
+    const auto& list = cur_.list();
+    std::vector<std::size_t> bounds;
+    list_bounds(&bounds);
+    std::uint64_t stolen = 0;
+    auto body = [&](std::size_t c) {
+      T p = identity;
+      for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+        trace::read(trace::MemKind::kMetadata, &list[i],
+                    sizeof(graph::SlotIndex));
+        item(list[i], p);
+      }
+      return p;
+    };
+    T merged =
+        run_chunks(bounds.size() - 1, std::move(identity), body, reduce,
+                   &stolen);
+    bump_stolen(stolen);
+    return merged;
+  }
+
+  /// Shrinks the frontier to the slots where keep(slot) holds, preserving
+  /// order. Returns the number removed.
+  template <typename Pred>
+  std::size_t filter(const Pred& keep) {
+    cur_.ensure_list(pool_);
+    const auto& list = cur_.list();
+    const std::size_t before = list.size();
+    std::vector<std::size_t> bounds = fixed_bounds(before, kScanGrain);
+    auto body = [&](std::size_t c) {
+      std::vector<graph::SlotIndex> out;
+      for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+        if (keep(list[i])) out.push_back(list[i]);
+      }
+      return out;
+    };
+    std::vector<graph::SlotIndex> kept = run_chunks(
+        bounds.empty() ? 0 : bounds.size() - 1,
+        std::vector<graph::SlotIndex>{}, body,
+        [](std::vector<graph::SlotIndex> a, std::vector<graph::SlotIndex> b) {
+          a.insert(a.end(), b.begin(), b.end());
+          return a;
+        },
+        nullptr);
+    const std::size_t after = kept.size();
+    cur_.adopt_list(std::move(kept));
+    return before - after;
+  }
+
+ private:
+  static constexpr std::size_t kScanGrain = 4096;  // slots per O(1)-work chunk
+
+  /// Degree + 1: the unit of chunk weight (an isolated vertex still costs
+  /// one frontier-entry touch).
+  std::uint64_t push_weight(graph::SlotIndex s) const {
+    return 1 + g_.out_degree(s) +
+           (opts_.undirected ? g_.in_degree(s) : 0);
+  }
+  std::uint64_t pull_weight(graph::SlotIndex s) const {
+    return 1 + g_.in_degree(s) +
+           (opts_.undirected ? g_.out_degree(s) : 0);
+  }
+
+  /// Cuts the current list into chunks of ~edge_grain weight; returns the
+  /// total frontier edge mass (degrees only, the heuristic input).
+  std::uint64_t list_bounds(std::vector<std::size_t>* bounds) const {
+    const auto& list = cur_.list();
+    bounds->clear();
+    bounds->push_back(0);
+    std::uint64_t mass = 0;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const std::uint64_t w = push_weight(list[i]);
+      mass += w - 1;
+      acc += w;
+      if (acc >= opts_.edge_grain) {
+        bounds->push_back(i + 1);
+        acc = 0;
+      }
+    }
+    if (bounds->back() != list.size()) bounds->push_back(list.size());
+    return mass;
+  }
+
+  /// Cuts the whole slot space into ~edge_grain pull-weight chunks. On the
+  /// frozen backend the CSR row-pointer prefixes give chunk boundaries by
+  /// binary search; the dynamic backend walks degrees once.
+  std::vector<std::size_t> slot_bounds() const {
+    std::vector<std::size_t> bounds;
+    bounds.push_back(0);
+    if (g_.has_degree_prefix()) {
+      auto weight_before = [&](std::size_t s) -> std::uint64_t {
+        const auto slot = static_cast<graph::SlotIndex>(s);
+        return g_.in_prefix(slot) +
+               (opts_.undirected ? g_.out_prefix(slot) : 0) + s;
+      };
+      const std::uint64_t total = weight_before(slots_);
+      const std::size_t nchunks = std::max<std::size_t>(
+          1, std::min<std::uint64_t>(slots_, total / opts_.edge_grain));
+      for (std::size_t k = 1; k < nchunks; ++k) {
+        const std::uint64_t target = total / nchunks * k;
+        std::size_t lo = bounds.back();
+        std::size_t hi = slots_;
+        while (lo < hi) {  // first s with weight_before(s) >= target
+          const std::size_t mid = lo + (hi - lo) / 2;
+          if (weight_before(mid) < target) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        bounds.push_back(lo);
+      }
+    } else {
+      std::uint64_t acc = 0;
+      for (std::size_t s = 0; s < slots_; ++s) {
+        acc += pull_weight(static_cast<graph::SlotIndex>(s));
+        if (acc >= opts_.edge_grain) {
+          bounds.push_back(s + 1);
+          acc = 0;
+        }
+      }
+    }
+    if (bounds.back() != slots_) bounds.push_back(slots_);
+    return bounds;
+  }
+
+  static std::vector<std::size_t> fixed_bounds(std::size_t n,
+                                               std::size_t grain) {
+    std::vector<std::size_t> bounds;
+    bounds.push_back(0);
+    for (std::size_t lo = grain; lo < n; lo += grain) bounds.push_back(lo);
+    if (bounds.back() != n) bounds.push_back(n);
+    return bounds;
+  }
+
+  /// Runs body(c) for every chunk id in [0, nchunks), merging the partial
+  /// results in ascending chunk order — parallel through the pool
+  /// (stealing-scheduled when enabled), sequential otherwise. The merge
+  /// order is what keeps results thread-count-invariant.
+  template <typename T, typename Body, typename Reduce>
+  T run_chunks(std::size_t nchunks, T identity, const Body& body,
+               const Reduce& reduce, std::uint64_t* stolen) const {
+    if (stolen != nullptr) *stolen = 0;
+    T acc = std::move(identity);
+    if (nchunks == 0) return acc;
+    if (pool_ == nullptr || pool_->num_threads() == 1 || nchunks == 1) {
+      for (std::size_t c = 0; c < nchunks; ++c) {
+        acc = reduce(std::move(acc), body(c));
+      }
+      return acc;
+    }
+    auto map = [&](std::size_t lo, std::size_t hi) {
+      T p = body(lo);
+      for (std::size_t c = lo + 1; c < hi; ++c) {
+        p = reduce(std::move(p), body(c));
+      }
+      return p;
+    };
+    if (opts_.stealing) {
+      return pool_->parallel_reduce_stealing(0, nchunks, 1, std::move(acc),
+                                             map, reduce, stolen);
+    }
+    return pool_->parallel_reduce(0, nchunks, 1, std::move(acc), map, reduce);
+  }
+
+  template <typename PushFn>
+  StepResult push_step(const PushFn& push,
+                       const std::vector<std::size_t>& bounds,
+                       std::uint64_t mass) {
+    trace::block(trace::kBlockWorkloadKernel);
+    const auto& list = cur_.list();
+    StepResult r;
+    r.frontier = cur_.count();
+    struct Partial {
+      std::vector<graph::SlotIndex> out;
+      std::uint64_t edges = 0;
+    };
+    auto body = [&](std::size_t c) {
+      Partial p;
+      StepCtx ctx;
+      ctx.out = &p.out;
+      for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+        trace::read(trace::MemKind::kMetadata, &list[i],
+                    sizeof(graph::SlotIndex));
+        push(list[i], ctx);
+      }
+      p.edges = ctx.edges;
+      return p;
+    };
+    Partial merged = run_chunks(
+        bounds.size() - 1, Partial{}, body,
+        [](Partial a, Partial b) {
+          a.out.insert(a.out.end(), b.out.begin(), b.out.end());
+          a.edges += b.edges;
+          return a;
+        },
+        &r.stolen);
+    r.pull = false;
+    r.edges = merged.edges;
+    r.activated = merged.out.size();
+    next_.adopt_list(std::move(merged.out));
+    finish_step(r, mass);
+    return r;
+  }
+
+  template <typename PullFn, typename CandFn>
+  StepResult pull_step(const PullFn& pull, const CandFn& cand,
+                       std::uint64_t mass) {
+    trace::block(trace::kBlockWorkloadKernel);
+    cur_.ensure_bits(pool_);
+    next_.prepare_bits();
+    StepResult r;
+    r.frontier = cur_.count();
+    const std::vector<std::size_t> bounds = slot_bounds();
+    struct Partial {
+      std::uint64_t activated = 0;
+      std::uint64_t edges = 0;
+    };
+    auto body = [&](std::size_t c) {
+      Partial p;
+      for (std::size_t s = bounds[c]; s < bounds[c + 1]; ++s) {
+        const auto slot = static_cast<graph::SlotIndex>(s);
+        if (!g_.is_live(slot)) continue;
+        if (!cand(slot)) continue;
+        StepCtx ctx;
+        if (pull(slot, ctx)) {
+          next_.bits().test_and_set(slot);
+          ++p.activated;
+        }
+        p.edges += ctx.edges;
+      }
+      return p;
+    };
+    Partial merged = run_chunks(
+        bounds.size() - 1, Partial{}, body,
+        [](Partial a, Partial b) {
+          a.activated += b.activated;
+          a.edges += b.edges;
+          return a;
+        },
+        &r.stolen);
+    r.pull = true;
+    r.edges = merged.edges;
+    r.activated = merged.activated;
+    next_.seal_bits(merged.activated);
+    finish_step(r, mass);
+    return r;
+  }
+
+  void finish_step(const StepResult& r, std::uint64_t mass) {
+    StepTelemetry st;
+    st.step = step_;
+    st.pull = r.pull;
+    st.dense = opts_.dense_threshold_den != 0 &&
+               r.frontier * opts_.dense_threshold_den >= slots_;
+    st.frontier = r.frontier;
+    st.frontier_edges = mass;
+    st.activated = r.activated;
+    st.edges = r.edges;
+    st.stolen = r.stolen;
+    record_step(tel_, st);
+    cur_.swap(next_);
+    next_.clear();
+    ++step_;
+  }
+
+  void bump_stolen(std::uint64_t stolen);
+
+  graph::GraphView g_;
+  platform::ThreadPool* pool_;
+  TraversalOptions opts_;
+  TraversalTelemetry* tel_;
+  std::size_t slots_;
+  std::uint64_t total_edge_mass_ = 0;
+  std::uint32_t step_ = 0;
+  Frontier cur_;
+  Frontier next_;
+};
+
+}  // namespace graphbig::engine

@@ -106,6 +106,54 @@ class GraphView {
         *v, [&](VertexId, SlotIndex src) { fn(src); });
   }
 
+  /// Early-terminating in-adjacency scan: fn(SlotIndex source) returns
+  /// bool, false stops the walk. This is the pull gap fix: the dynamic
+  /// backend's InRecord slot-cache existed but the view offered no way to
+  /// abandon an in-list mid-scan, so a Beamer-style pull step (stop at the
+  /// first active parent) was impossible through GraphView. Both backends
+  /// walk the same in-list order as for_each_in.
+  template <typename Fn>
+  void for_each_in_until(SlotIndex s, Fn&& fn) const {
+    if (frozen()) {
+      snap_->for_each_in_until(s, fn);
+      return;
+    }
+    const VertexRecord* v = graph_->vertex_at(s);
+    graph_->for_each_in_neighbor_until(
+        *v, [&](VertexId, SlotIndex src) { return fn(src); });
+  }
+
+  /// Early-terminating out-adjacency scan: fn(SlotIndex target, double
+  /// weight) returns bool, false stops (the symmetric-workload pull side
+  /// scans both directions).
+  template <typename Fn>
+  void for_each_out_until(SlotIndex s, Fn&& fn) const {
+    if (frozen()) {
+      snap_->for_each_out_until(s, fn);
+      return;
+    }
+    const VertexRecord* v = graph_->vertex_at(s);
+    graph_->for_each_out_edge_until(
+        *v,
+        [&](const EdgeRecord& e, SlotIndex t) { return fn(t, e.weight); });
+  }
+
+  // ---- degree prefix queries (frontier-engine chunking) ----
+  //
+  // The frozen CSR's row-pointer arrays answer "how many edges do slots
+  // [lo, hi) own" in O(1), which is what lets the frontier engine cut a
+  // dense sweep into equal-edge-weight chunks without walking degrees.
+  // The dynamic backend has no prefix structure; callers fall back to
+  // fixed-width chunks plus work stealing.
+
+  bool has_degree_prefix() const { return frozen(); }
+
+  /// Cumulative out-edge count of slots [0, s); frozen only. s may equal
+  /// slot_count() (total edge count).
+  std::uint64_t out_prefix(SlotIndex s) const { return snap_->out_ptr()[s]; }
+  /// Cumulative in-edge count of slots [0, s); frozen only.
+  std::uint64_t in_prefix(SlotIndex s) const { return snap_->in_ptr()[s]; }
+
   /// Calls fn(SlotIndex) for every live slot, ascending.
   template <typename Fn>
   void for_each_live_slot(Fn&& fn) const {

@@ -299,6 +299,33 @@ class PropertyGraph {
     }
   }
 
+  /// Early-terminating variants: fn returns bool, false stops the scan.
+  /// The pull side of direction-optimized traversal lives on these — a
+  /// pull step abandons a destination's in-list as soon as one active
+  /// parent is found, which is what makes gather cheaper than scatter on
+  /// heavy frontiers. Same slot-cache resolution as the full scans.
+  template <typename Fn>
+  void for_each_out_edge_until(const VertexRecord& v, Fn&& fn) const {
+    fwk::PrimitiveScope scope;
+    trace::block(trace::kBlockTraverseNeighbors);
+    for (const EdgeRecord& e : v.out) {
+      trace::read(trace::MemKind::kTopology, &e, sizeof(EdgeRecord));
+      trace::branch(trace::kBranchLoopCond, true);
+      if (!fn(e, resolve_target_slot(e))) return;
+    }
+  }
+
+  template <typename Fn>
+  void for_each_in_neighbor_until(const VertexRecord& v, Fn&& fn) const {
+    fwk::PrimitiveScope scope;
+    trace::block(trace::kBlockTraverseNeighbors);
+    for (const InRecord& r : v.in) {
+      trace::read(trace::MemKind::kTopology, &r, sizeof(InRecord));
+      trace::branch(trace::kBranchLoopCond, true);
+      if (!fn(r.source, resolve_source_slot(r))) return;
+    }
+  }
+
   /// Calls fn(VertexRecord&) for every live vertex, in slot order.
   template <typename Fn>
   void for_each_vertex(Fn&& fn) {

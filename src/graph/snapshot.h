@@ -164,6 +164,32 @@ class GraphSnapshot {
     }
   }
 
+  /// Early-terminating scans: fn returns bool, false stops. The frozen
+  /// pull path of the frontier engine walks in-rows through these.
+  template <typename Fn>
+  void for_each_out_until(std::uint32_t v, Fn&& fn) const {
+    const std::uint64_t lo = out_ptr_[v];
+    const std::uint64_t hi = out_ptr_[v + 1];
+    for (std::uint64_t e = lo; e < hi; ++e) {
+      trace::read(trace::MemKind::kTopology, &out_dst_[e],
+                  sizeof(std::uint32_t) + sizeof(double));
+      trace::branch(trace::kBranchLoopCond, true);
+      if (!fn(out_dst_[e], out_weight_[e])) return;
+    }
+  }
+
+  template <typename Fn>
+  void for_each_in_until(std::uint32_t v, Fn&& fn) const {
+    const std::uint64_t lo = in_ptr_[v];
+    const std::uint64_t hi = in_ptr_[v + 1];
+    for (std::uint64_t e = lo; e < hi; ++e) {
+      trace::read(trace::MemKind::kTopology, &in_src_[e],
+                  sizeof(std::uint32_t));
+      trace::branch(trace::kBranchLoopCond, true);
+      if (!fn(in_src_[e])) return;
+    }
+  }
+
   /// Mutable algorithm-state columns (topology stays frozen). Const
   /// because concurrent workloads write through a shared const snapshot.
   PropertyColumns& columns() const { return *columns_; }

@@ -137,6 +137,12 @@ CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
   graph::PropertyGraph input = make_input_graph(w, bundle);
   workloads::RunContext ctx = make_cpu_context(w, input, bundle);
 
+  // Profiled runs replay the paper's characterization, which models the
+  // push-style vertex-centric traversal; pin the engine accordingly so the
+  // trace shapes (and therefore the derived metrics) stay comparable.
+  ctx.traversal.direction = engine::Direction::kPush;
+  ctx.traversal.stealing = false;
+
   perfmodel::Profiler profiler(machine);
   CpuProfiledRun out;
   {
@@ -150,9 +156,11 @@ CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
 
 CpuTimedRun run_cpu_timed(const workloads::Workload& w,
                           const DatasetBundle& bundle, int threads,
-                          Representation representation) {
+                          Representation representation,
+                          const engine::TraversalOptions& traversal) {
   graph::PropertyGraph input = make_input_graph(w, bundle);
   workloads::RunContext ctx = make_cpu_context(w, input, bundle);
+  ctx.traversal = traversal;
 
   // Freeze before starting the timer: the measured interval covers the
   // algorithm only, on whichever representation it traverses.
@@ -169,6 +177,7 @@ CpuTimedRun run_cpu_timed(const workloads::Workload& w,
   }
 
   CpuTimedRun out;
+  ctx.telemetry = &out.telemetry;
   platform::WallTimer timer;
   out.run = w.run(ctx);
   out.seconds = timer.seconds();
@@ -179,6 +188,11 @@ FrameworkTimeRun run_cpu_framework_time(const workloads::Workload& w,
                                         const DatasetBundle& bundle) {
   graph::PropertyGraph input = make_input_graph(w, bundle);
   workloads::RunContext ctx = make_cpu_context(w, input, bundle);
+  // Figure 1 measures time inside framework primitives for the paper's
+  // push-style traversal; pull sweeps and chunk scheduling would shift the
+  // split, so pin the engine to the characterized configuration.
+  ctx.traversal.direction = engine::Direction::kPush;
+  ctx.traversal.stealing = false;
 
   graph::fwk::set_accounting(true);
   graph::fwk::reset_thread_time();

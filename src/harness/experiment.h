@@ -69,16 +69,23 @@ CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
 struct CpuTimedRun {
   workloads::RunResult run;
   double seconds = 0;
+  /// Per-superstep traversal telemetry (direction taken, frontier
+  /// occupancy, chunks stolen) from the frontier-engine workloads; empty
+  /// for workloads that do not traverse through the engine.
+  engine::TraversalTelemetry telemetry;
 };
 
 /// Runs a CPU workload with `threads` workers (0 = sequential), untraced.
 /// With Representation::kFrozen, workloads that support it traverse a
 /// snapshot frozen from the input graph (freeze time is excluded from the
 /// measured seconds); others fall back to the dynamic structure.
+/// `traversal` carries the frontier-engine knobs (direction mode, work
+/// stealing); the default is direction-optimizing auto with stealing on.
 CpuTimedRun run_cpu_timed(const workloads::Workload& w,
                           const DatasetBundle& bundle, int threads,
                           Representation representation =
-                              Representation::kDynamic);
+                              Representation::kDynamic,
+                          const engine::TraversalOptions& traversal = {});
 
 /// Figure 1: fraction of execution time spent inside framework primitives.
 struct FrameworkTimeRun {

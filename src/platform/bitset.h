@@ -86,6 +86,13 @@ class AtomicBitset {
 
   std::size_t count() const;
 
+  // Word-granular access for bulk scans (sparse-list materialization in
+  // the frontier engine walks words and extracts set bits ascending).
+  std::size_t num_words() const { return words_.size(); }
+  std::uint64_t word(std::size_t w) const {
+    return words_[w].load(std::memory_order_relaxed);
+  }
+
  private:
   std::size_t bits_ = 0;
   std::vector<std::atomic<std::uint64_t>> words_;

@@ -104,6 +104,125 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   });
 }
 
+namespace {
+
+// A worker's remaining block, packed (lo << 32) | hi-exclusive-of-nothing:
+// [lo, hi) with 32-bit halves so claims and steals are single-word CAS.
+inline std::uint64_t pack_range(std::uint32_t lo, std::uint32_t hi) {
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+inline std::uint32_t range_lo(std::uint64_t r) {
+  return static_cast<std::uint32_t>(r >> 32);
+}
+inline std::uint32_t range_hi(std::uint64_t r) {
+  return static_cast<std::uint32_t>(r);
+}
+
+struct alignas(64) StealSlot {
+  std::atomic<std::uint64_t> range{0};
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for_stealing(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::uint64_t* stolen_chunks) {
+  if (stolen_chunks != nullptr) *stolen_chunks = 0;
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const int nt = num_threads();
+  const std::size_t total = end - begin;
+  if (nt == 1 || total <= grain || end > 0xffffffffull) {
+    // Sequential fallback; the >32-bit guard keeps the packed ranges
+    // sound (never hit by slot/chunk index spaces, which are 32-bit).
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  // One contiguous block per worker.
+  std::vector<StealSlot> slots(static_cast<std::size_t>(nt));
+  const std::size_t per =
+      (total + static_cast<std::size_t>(nt) - 1) / static_cast<std::size_t>(nt);
+  for (int i = 0; i < nt; ++i) {
+    const std::size_t lo =
+        begin + std::min(total, per * static_cast<std::size_t>(i));
+    const std::size_t hi =
+        begin + std::min(total, per * static_cast<std::size_t>(i + 1));
+    slots[static_cast<std::size_t>(i)].range.store(
+        pack_range(static_cast<std::uint32_t>(lo),
+                   static_cast<std::uint32_t>(hi)),
+        std::memory_order_relaxed);
+  }
+  std::atomic<std::uint64_t> stolen{0};
+
+  run_on_all([&](int id, int n) {
+    auto& own = slots[static_cast<std::size_t>(id)];
+    for (;;) {
+      // Claim a grain-sized chunk off the front of the own block.
+      std::uint64_t cur = own.range.load(std::memory_order_acquire);
+      bool claimed = false;
+      while (range_lo(cur) < range_hi(cur)) {
+        const std::uint32_t lo = range_lo(cur);
+        const std::uint32_t hi = range_hi(cur);
+        const std::uint32_t next = static_cast<std::uint32_t>(
+            std::min<std::size_t>(hi, static_cast<std::size_t>(lo) + grain));
+        if (own.range.compare_exchange_weak(cur, pack_range(next, hi),
+                                            std::memory_order_acq_rel)) {
+          fn(lo, next);
+          claimed = true;
+          break;
+        }
+      }
+      if (claimed) continue;
+
+      // Own block drained: steal the back half of a victim's block. A
+      // remainder at or under one grain is taken whole (splitting it
+      // would just bounce a stub around).
+      bool found = false;
+      for (int k = 1; k < n && !found; ++k) {
+        auto& victim = slots[static_cast<std::size_t>(
+            (id + k) % n)];
+        std::uint64_t vcur = victim.range.load(std::memory_order_acquire);
+        while (range_lo(vcur) < range_hi(vcur)) {
+          const std::uint32_t lo = range_lo(vcur);
+          const std::uint32_t hi = range_hi(vcur);
+          if (static_cast<std::size_t>(hi - lo) <= grain) {
+            if (victim.range.compare_exchange_weak(
+                    vcur, pack_range(hi, hi), std::memory_order_acq_rel)) {
+              stolen.fetch_add(1, std::memory_order_relaxed);
+              fn(lo, hi);
+              found = true;
+              break;
+            }
+          } else {
+            const std::uint32_t mid = lo + (hi - lo) / 2;
+            if (victim.range.compare_exchange_weak(
+                    vcur, pack_range(lo, mid), std::memory_order_acq_rel)) {
+              // Adopt [mid, hi) as the new own block; thieves may in turn
+              // split it. Only the owner stores to its own slot, and only
+              // when the slot is empty, so the store cannot clobber a
+              // concurrent steal (a CAS against an empty range never
+              // succeeds).
+              stolen.fetch_add(1, std::memory_order_relaxed);
+              own.range.store(pack_range(mid, hi),
+                              std::memory_order_release);
+              found = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!found) break;  // nothing visible anywhere: this worker is done
+    }
+  });
+  if (stolen_chunks != nullptr) {
+    *stolen_chunks = stolen.load(std::memory_order_relaxed);
+  }
+}
+
 void ThreadPool::parallel_for_chunked(
     std::size_t begin, std::size_t end, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& fn) {

@@ -53,6 +53,24 @@ class ThreadPool {
       std::size_t begin, std::size_t end, std::size_t grain,
       const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Work-stealing parallel loop over [begin, end): the range is split
+  /// into one contiguous block per worker, each worker claims `grain`-sized
+  /// chunks off the front of its own block, and an idle worker steals the
+  /// back half of a victim's remaining block in one CAS. Compared to the
+  /// shared-cursor parallel_for_chunked this keeps claims contention-free
+  /// and contiguous (each worker streams its own block) while still
+  /// rebalancing power-law skew: a worker stuck on a hub's chunk has the
+  /// untouched remainder of its block carved up by the others. Every index
+  /// in [begin, end) is visited exactly once; chunk execution order is
+  /// unspecified. `end` must fit in 32 bits (block bounds are packed into
+  /// one atomic word; slot and chunk index spaces always fit). If
+  /// `stolen_chunks` is non-null it receives the number of successful
+  /// steals (telemetry).
+  void parallel_for_stealing(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::uint64_t* stolen_chunks = nullptr);
+
   /// Chunked parallel map-reduce over [begin, end): `map(lo, hi)` computes
   /// a partial result for one chunk of up to `grain` indices, and the
   /// partials are merged with `reduce(acc, partial)` in ascending chunk
@@ -85,6 +103,44 @@ class ThreadPool {
                                  map(lo, std::min(end, lo + grain));
                            }
                          });
+    for (std::size_t c = 0; c < chunks; ++c) {
+      acc = reduce(std::move(acc), std::move(partial[c]));
+    }
+    return acc;
+  }
+
+  /// parallel_reduce scheduled by parallel_for_stealing instead of the
+  /// shared cursor. Chunk boundaries still depend only on `grain` and the
+  /// merge is still in ascending chunk order, so the result stays
+  /// bit-identical at any thread count — stealing changes which worker
+  /// executes a chunk, never what the chunk is or where its partial lands.
+  template <typename T, typename MapFn, typename ReduceFn>
+  T parallel_reduce_stealing(std::size_t begin, std::size_t end,
+                             std::size_t grain, T identity, const MapFn& map,
+                             const ReduceFn& reduce,
+                             std::uint64_t* stolen_chunks = nullptr) {
+    if (stolen_chunks != nullptr) *stolen_chunks = 0;
+    if (begin >= end) return identity;
+    if (grain == 0) grain = 1;
+    const std::size_t chunks = (end - begin + grain - 1) / grain;
+    T acc = std::move(identity);
+    if (num_threads() == 1 || chunks == 1) {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = begin + c * grain;
+        acc = reduce(std::move(acc), map(lo, std::min(end, lo + grain)));
+      }
+      return acc;
+    }
+    std::vector<T> partial(chunks);
+    parallel_for_stealing(
+        0, chunks, 1,
+        [&](std::size_t clo, std::size_t chi) {
+          for (std::size_t c = clo; c < chi; ++c) {
+            const std::size_t lo = begin + c * grain;
+            partial[c] = map(lo, std::min(end, lo + grain));
+          }
+        },
+        stolen_chunks);
     for (std::size_t c = 0; c < chunks; ++c) {
       acc = reduce(std::move(acc), std::move(partial[c]));
     }

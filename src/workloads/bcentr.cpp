@@ -1,13 +1,20 @@
 // Betweenness centrality (BCentr, social analysis): Brandes' algorithm
 // with sampled pivot sources (Madduri et al.'s parallel variant samples
-// sources the same way). Each pivot runs a BFS computing shortest-path
-// counts, then a reverse dependency accumulation. Pivots are independent,
-// so parallel runs distribute pivots across workers; per-pivot
-// contributions are merged in pivot order (grain-1 parallel_reduce), which
-// keeps the floating-point accumulation — and therefore the checksum —
-// bit-identical at any thread count. The reverse pass walks in-neighbors
-// in list order, which the frozen in-CSR preserves, so the accumulation
-// order is also representation-invariant.
+// sources the same way). Each pivot runs three passes:
+//
+//   1. a level-synchronous BFS through the FrontierEngine computing depths
+//      (direction-optimizing: push or pull per superstep),
+//   2. a canonical sigma pass — shortest-path counts gathered over
+//      in-edges, level by level ascending, slots ascending within a level,
+//   3. a canonical delta pass — dependency accumulation, level by level
+//      descending, slots ascending within a level.
+//
+// Passes 2 and 3 depend only on the depth array, never on frontier
+// discovery order, so the floating-point accumulation — and therefore the
+// checksum — is bit-identical across push/pull/auto, dynamic/frozen, and
+// any thread count. Pivots are independent and distribute across workers
+// (work-stealing, one chunk per pivot); per-pivot contributions merge in
+// pivot order.
 #include <cmath>
 
 #include "platform/rng.h"
@@ -62,74 +69,135 @@ class BcentrWorkload final : public Workload {
       std::vector<std::int32_t> depth(slots, -1);
       std::vector<double> sigma(slots, 0.0);
       p.delta.assign(slots, 0.0);
-      std::vector<graph::SlotIndex> order;  // BFS visit order
-      order.reserve(slots);
 
       depth[sslot] = 0;
       sigma[sslot] = 1.0;
-      order.push_back(sslot);
 
-      // Forward BFS: shortest-path counts.
-      std::size_t head = 0;
-      while (head < order.size()) {
-        trace::block(trace::kBlockWorkloadKernel);
-        const graph::SlotIndex us = order[head++];
-        trace::read(trace::MemKind::kMetadata, &order[head - 1],
-                    sizeof(graph::SlotIndex));
-        g.for_each_out(us, [&](graph::SlotIndex vs, double) {
-          ++p.edges;
-          trace::branch(trace::kBranchVisitedCheck, depth[vs] < 0);
-          if (depth[vs] < 0) {
-            depth[vs] = depth[us] + 1;
-            order.push_back(vs);
-            trace::write(trace::MemKind::kMetadata, &order.back(),
-                         sizeof(graph::SlotIndex));
-          }
-          if (depth[vs] == depth[us] + 1) {
-            sigma[vs] += sigma[us];
-            trace::write(trace::MemKind::kMetadata, &sigma[vs],
-                         sizeof(double));
-            trace::alu(1);
-          }
-        });
+      // Pass 1: depths through the engine. The inner engine runs
+      // sequentially (pool = null) — parallelism is across pivots — but
+      // still honors the requested direction mode.
+      engine::FrontierEngine eng(g, nullptr, ctx.traversal, ctx.telemetry);
+      eng.activate(sslot);
+      std::int32_t level = 0;
+      std::int32_t max_level = 0;
+      std::uint64_t reached = 1;
+      while (!eng.done()) {
+        ++level;
+        auto push = [&](graph::SlotIndex us, engine::StepCtx& sc) {
+          trace::block(trace::kBlockWorkloadKernel);
+          g.for_each_out(us, [&](graph::SlotIndex vs, double) {
+            ++sc.edges;
+            trace::branch(trace::kBranchVisitedCheck, depth[vs] < 0);
+            if (depth[vs] < 0) {
+              depth[vs] = level;
+              sc.emit(vs);
+            }
+          });
+        };
+        auto cand = [&](graph::SlotIndex vs) { return depth[vs] < 0; };
+        auto pull = [&](graph::SlotIndex vs, engine::StepCtx& sc) {
+          bool found = false;
+          g.for_each_in_until(vs, [&](graph::SlotIndex us) {
+            ++sc.edges;
+            const bool active = eng.in_frontier(us);
+            trace::branch(trace::kBranchVisitedCheck, active);
+            if (active) {
+              found = true;
+              return false;
+            }
+            return true;
+          });
+          if (found) depth[vs] = level;
+          return found;
+        };
+        const engine::StepResult r = eng.step(push, pull, cand);
+        p.edges += r.edges;
+        reached += r.activated;
+        if (r.activated > 0) max_level = level;
+      }
+      p.vertices = reached;
+
+      // Levels from the depth array: slots ascending within each level.
+      std::vector<std::vector<graph::SlotIndex>> levels(
+          static_cast<std::size_t>(max_level) + 1);
+      for (std::size_t s = 0; s < slots; ++s) {
+        if (depth[s] >= 0) {
+          levels[static_cast<std::size_t>(depth[s])].push_back(
+              static_cast<graph::SlotIndex>(s));
+        }
       }
 
-      // Reverse accumulation of dependencies.
-      for (std::size_t i = order.size(); i-- > 1;) {
-        trace::block(trace::kBlockWorkloadKernelAux);
-        const graph::SlotIndex ws = order[i];
-        // Predecessors on shortest paths are in-neighbors one level up.
-        g.for_each_in(ws, [&](graph::SlotIndex ps) {
-          trace::branch(trace::kBranchCompare, depth[ps] == depth[ws] - 1);
-          if (depth[ps] == depth[ws] - 1 && sigma[ws] > 0) {
-            p.delta[ps] += sigma[ps] / sigma[ws] * (1.0 + p.delta[ws]);
-            trace::write(trace::MemKind::kMetadata, &p.delta[ps],
-                         sizeof(double));
-            trace::alu(3);
-          }
-        });
+      // Pass 2: shortest-path counts, gathered from predecessors (the
+      // in-neighbors one level up), level-ascending.
+      for (std::size_t l = 1; l < levels.size(); ++l) {
+        for (const graph::SlotIndex vs : levels[l]) {
+          trace::block(trace::kBlockWorkloadKernel);
+          double count = 0.0;
+          g.for_each_in(vs, [&](graph::SlotIndex us) {
+            trace::branch(trace::kBranchCompare,
+                          depth[us] + 1 == depth[vs]);
+            if (depth[us] + 1 == depth[vs]) {
+              count += sigma[us];
+              trace::alu(1);
+            }
+          });
+          sigma[vs] = count;
+          trace::write(trace::MemKind::kMetadata, &sigma[vs],
+                       sizeof(double));
+        }
+      }
+
+      // Pass 3: reverse accumulation of dependencies, level-descending.
+      for (std::size_t l = levels.size(); l-- > 1;) {
+        for (const graph::SlotIndex ws : levels[l]) {
+          trace::block(trace::kBlockWorkloadKernelAux);
+          if (sigma[ws] <= 0.0) continue;
+          g.for_each_in(ws, [&](graph::SlotIndex ps) {
+            trace::branch(trace::kBranchCompare,
+                          depth[ps] == depth[ws] - 1);
+            if (depth[ps] == depth[ws] - 1) {
+              p.delta[ps] += sigma[ps] / sigma[ws] * (1.0 + p.delta[ws]);
+              trace::write(trace::MemKind::kMetadata, &p.delta[ps],
+                           sizeof(double));
+              trace::alu(3);
+            }
+          });
+        }
       }
       // Brandes excludes the source from its own accumulation.
       p.delta[sslot] = 0.0;
-      p.vertices = order.size();
       return p;
     };
 
-    const bool parallel = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
+    auto map = [&](std::size_t lo, std::size_t) { return brandes(pivots[lo]); };
+    auto reduce = [&](Accum acc, Accum p) {
+      if (acc.delta.empty()) acc.delta.assign(slots, 0.0);
+      for (std::size_t s = 0; s < p.delta.size(); ++s) {
+        acc.delta[s] += p.delta[s];
+      }
+      acc.vertices += p.vertices;
+      acc.edges += p.edges;
+      return acc;
+    };
+
     // Grain 1: one chunk per pivot, merged in pivot order so bc[s] is the
     // same ordered sum of per-pivot deltas the sequential loop produces.
-    Accum accum = platform::parallel_reduce(
-        parallel ? ctx.pool : nullptr, 0, pivots.size(), 1, Accum{},
-        [&](std::size_t lo, std::size_t) { return brandes(pivots[lo]); },
-        [&](Accum acc, Accum p) {
-          if (acc.delta.empty()) acc.delta.assign(slots, 0.0);
-          for (std::size_t s = 0; s < p.delta.size(); ++s) {
-            acc.delta[s] += p.delta[s];
-          }
-          acc.vertices += p.vertices;
-          acc.edges += p.edges;
-          return acc;
-        });
+    // Pivot BFS cost is wildly skewed (a hub pivot reaches the whole
+    // graph, a leaf pivot almost nothing), so pivots distribute by work
+    // stealing when enabled.
+    const bool parallel = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
+    Accum accum;
+    if (parallel && ctx.traversal.stealing) {
+      std::uint64_t stolen = 0;
+      accum = ctx.pool->parallel_reduce_stealing(0, pivots.size(), 1,
+                                                 Accum{}, map, reduce,
+                                                 &stolen);
+      engine::record_stolen(ctx.telemetry, stolen);
+    } else {
+      accum = platform::parallel_reduce(parallel ? ctx.pool : nullptr, 0,
+                                        pivots.size(), 1, Accum{}, map,
+                                        reduce);
+    }
     if (accum.delta.empty()) accum.delta.assign(slots, 0.0);
     result.vertices_processed = accum.vertices;
     result.edges_processed = accum.edges;

@@ -1,12 +1,12 @@
 // Breadth-first Search: the most widely used workload of the suite
 // (10 of 21 use cases, Figure 4). Level-synchronous frontier expansion
-// through the GraphView traversal interface; the BFS depth is stored as a
-// vertex property ("program state" in the paper's property-graph model).
-// The frontier carries dense slots and edge expansion resolves targets
-// through the slot cache (dynamic) or the frozen out-CSR (snapshot), so
-// the hot loop performs no hash probes on either backend.
-#include <atomic>
-
+// through the FrontierEngine: push supersteps expand out-edges of the
+// frontier, pull supersteps probe unvisited vertices' in-edges for an
+// active parent (direction-optimizing BFS), and auto mode switches per
+// superstep on frontier edge mass. The BFS depth is stored as a vertex
+// property ("program state" in the paper's property-graph model); depth
+// assignments are identical in every direction mode, so the checksum is
+// invariant across push/pull/auto, dynamic/frozen, and thread counts.
 #include "platform/bitset.h"
 #include "trace/access.h"
 #include "workloads/workload.h"
@@ -35,63 +35,52 @@ class BfsWorkload final : public Workload {
     visited.test_and_set(root_slot);
     g.set_int(root_slot, props::kDepth, 0);
 
-    std::vector<graph::SlotIndex> frontier{root_slot};
-    std::vector<graph::SlotIndex> next;
-    std::int64_t depth = 0;
+    engine::FrontierEngine eng(g, ctx.pool, ctx.traversal, ctx.telemetry);
+    eng.activate(root_slot);
 
+    std::int64_t depth = 0;
     std::uint64_t edges = 0;
     std::uint64_t vertices = 1;
     std::uint64_t depth_sum = 0;
 
-    // Per-chunk expansion state merged by parallel_reduce in chunk order.
-    struct Partial {
-      std::vector<graph::SlotIndex> out;
-      std::uint64_t edges = 0;
-    };
-
-    while (!frontier.empty()) {
+    while (!eng.done()) {
       ++depth;
-      trace::block(trace::kBlockWorkloadKernel);
 
-      auto expand = [&](graph::SlotIndex vslot, Partial& p) {
-        g.for_each_out(vslot, [&](graph::SlotIndex tslot, double) {
-          ++p.edges;
-          const bool first = visited.test_and_set(tslot);
+      auto push = [&](graph::SlotIndex u, engine::StepCtx& sc) {
+        g.for_each_out(u, [&](graph::SlotIndex t, double) {
+          ++sc.edges;
+          const bool first = visited.test_and_set(t);
           trace::branch(trace::kBranchVisitedCheck, first);
           if (first) {
-            g.set_int(tslot, props::kDepth, depth);
-            p.out.push_back(tslot);
-            trace::write(trace::MemKind::kMetadata, &p.out.back(),
-                         sizeof(graph::SlotIndex));
+            g.set_int(t, props::kDepth, depth);
+            sc.emit(t);
           }
         });
       };
+      auto cand = [&](graph::SlotIndex v) { return !visited.test(v); };
+      auto pull = [&](graph::SlotIndex v, engine::StepCtx& sc) {
+        bool found = false;
+        g.for_each_in_until(v, [&](graph::SlotIndex u) {
+          ++sc.edges;
+          const bool active = eng.in_frontier(u);
+          trace::branch(trace::kBranchVisitedCheck, active);
+          if (active) {
+            found = true;
+            return false;  // stop at the first active parent
+          }
+          return true;
+        });
+        if (found) {
+          visited.test_and_set(v);
+          g.set_int(v, props::kDepth, depth);
+        }
+        return found;
+      };
 
-      const bool parallel = ctx.pool != nullptr &&
-                            ctx.pool->num_threads() > 1 &&
-                            frontier.size() > 64;
-      Partial merged = platform::parallel_reduce(
-          parallel ? ctx.pool : nullptr, 0, frontier.size(), 64, Partial{},
-          [&](std::size_t lo, std::size_t hi) {
-            Partial p;
-            for (std::size_t i = lo; i < hi; ++i) {
-              trace::read(trace::MemKind::kMetadata, &frontier[i],
-                          sizeof(graph::SlotIndex));
-              expand(frontier[i], p);
-            }
-            return p;
-          },
-          [](Partial acc, Partial p) {
-            acc.out.insert(acc.out.end(), p.out.begin(), p.out.end());
-            acc.edges += p.edges;
-            return acc;
-          });
-      next.swap(merged.out);
-      edges += merged.edges;
-
-      vertices += next.size();
-      depth_sum += static_cast<std::uint64_t>(depth) * next.size();
-      frontier.swap(next);
+      const engine::StepResult r = eng.step(push, pull, cand);
+      edges += r.edges;
+      vertices += r.activated;
+      depth_sum += static_cast<std::uint64_t>(depth) * r.activated;
     }
 
     result.vertices_processed = vertices;

@@ -1,11 +1,17 @@
 // Connected components (CComp): min-label propagation over the undirected
 // view, per Table 4 (the GPU side uses Soman's algorithm, which is the same
 // fixed-point computation). Every vertex converges to the minimum vertex id
-// of its component, stored as a label property. The fixed point is a
-// property of the graph alone, so sequential and parallel runs — at any
-// thread count, on either graph representation — produce identical labels
-// and an identical checksum.
+// of its component, stored as a label property.
+//
+// Supersteps run through the FrontierEngine: push rounds scatter a
+// vertex's label to its neighbors (CAS-min, round-stamped dedup of the
+// next worklist), pull rounds have every vertex gather the minimum label
+// of its active neighbors (plain store — each vertex is written only by
+// its own chunk). Label propagation is monotone, so the fixed point — and
+// with it the checksum — is a property of the graph alone: identical for
+// any direction mode, thread count, and graph representation.
 #include <atomic>
+#include <limits>
 
 #include "trace/access.h"
 #include "workloads/workload.h"
@@ -42,7 +48,7 @@ class CcompWorkload final : public Workload {
     };
 
     // Every live vertex starts labeled with its own id and active.
-    Worklist frontier = platform::parallel_reduce(
+    Worklist seeds = platform::parallel_reduce(
         pool, 0, slots, 256, Worklist{},
         [&](std::size_t lo, std::size_t hi) {
           Worklist w;
@@ -61,63 +67,69 @@ class CcompWorkload final : public Workload {
         },
         concat);
 
+    engine::TraversalOptions topt = ctx.traversal;
+    topt.undirected = true;  // labels cross edges in both directions
+    engine::FrontierEngine eng(g, pool, topt, ctx.telemetry);
+    eng.activate_list(std::move(seeds));
+
     std::uint64_t round = 0;
     std::uint64_t edges = 0;
-    while (!frontier.empty()) {
+    while (!eng.done()) {
       ++round;
-      struct Partial {
-        Worklist next;
-        std::uint64_t edges = 0;
-      };
-      Partial merged = platform::parallel_reduce(
-          pool, 0, frontier.size(), 64, Partial{},
-          [&](std::size_t lo, std::size_t hi) {
-            Partial p;
-            for (std::size_t i = lo; i < hi; ++i) {
-              trace::block(trace::kBlockWorkloadKernel);
-              const graph::SlotIndex s = frontier[i];
-              trace::read(trace::MemKind::kMetadata, &frontier[i],
-                          sizeof(graph::SlotIndex));
-              const graph::VertexId mine =
-                  label[s].load(std::memory_order_relaxed);
 
-              // Push `mine` to each neighbor; the thread that lowers a
-              // neighbor's label claims it for the next round (the round
-              // stamp keeps each slot queued at most once per round).
-              auto push = [&](graph::SlotIndex ns) {
-                ++p.edges;
-                graph::VertexId cur =
-                    label[ns].load(std::memory_order_relaxed);
-                bool improved = false;
-                while (mine < cur) {
-                  if (label[ns].compare_exchange_weak(
-                          cur, mine, std::memory_order_relaxed)) {
-                    improved = true;
-                    break;
-                  }
-                }
-                trace::branch(trace::kBranchVisitedCheck, improved);
-                if (improved &&
-                    queued[ns].exchange(round, std::memory_order_relaxed) !=
-                        round) {
-                  p.next.push_back(ns);
-                  trace::write(trace::MemKind::kMetadata, &p.next.back(),
-                               sizeof(graph::SlotIndex));
-                }
-              };
-              g.for_each_out(
-                  s, [&](graph::SlotIndex ts, double) { push(ts); });
-              g.for_each_in(s, [&](graph::SlotIndex ss) { push(ss); });
+      // Push: scatter `mine` to each neighbor; the thread that lowers a
+      // neighbor's label claims it for the next round (the round stamp
+      // keeps each slot queued at most once per round).
+      auto push = [&](graph::SlotIndex s, engine::StepCtx& sc) {
+        trace::block(trace::kBlockWorkloadKernel);
+        const graph::VertexId mine = label[s].load(std::memory_order_relaxed);
+        auto relax = [&](graph::SlotIndex ns) {
+          ++sc.edges;
+          graph::VertexId cur = label[ns].load(std::memory_order_relaxed);
+          bool improved = false;
+          while (mine < cur) {
+            if (label[ns].compare_exchange_weak(cur, mine,
+                                                std::memory_order_relaxed)) {
+              improved = true;
+              break;
             }
-            return p;
-          },
-          [](Partial acc, Partial p) {
-            acc.next.insert(acc.next.end(), p.next.begin(), p.next.end());
-            acc.edges += p.edges;
-            return acc;
-          });
-      edges += merged.edges;
-      frontier.swap(merged.next);
+          }
+          trace::branch(trace::kBranchVisitedCheck, improved);
+          if (improved &&
+              queued[ns].exchange(round, std::memory_order_relaxed) != round) {
+            sc.emit(ns);
+          }
+        };
+        g.for_each_out(s, [&](graph::SlotIndex ts, double) { relax(ts); });
+        g.for_each_in(s, [&](graph::SlotIndex ss) { relax(ss); });
+      };
+
+      // Pull: gather the minimum label over active neighbors. Reading a
+      // neighbor's label mid-round only ever sees a smaller (fresher)
+      // value — min-propagation is monotone — so convergence and the
+      // fixed point are unaffected.
+      auto cand = [&](graph::SlotIndex) { return true; };
+      auto pull = [&](graph::SlotIndex v, engine::StepCtx& sc) {
+        trace::block(trace::kBlockWorkloadKernel);
+        const graph::VertexId start = label[v].load(std::memory_order_relaxed);
+        graph::VertexId best = start;
+        auto gather = [&](graph::SlotIndex u) {
+          ++sc.edges;
+          if (eng.in_frontier(u)) {
+            const graph::VertexId lu =
+                label[u].load(std::memory_order_relaxed);
+            if (lu < best) best = lu;
+          }
+        };
+        g.for_each_in(v, [&](graph::SlotIndex ss) { gather(ss); });
+        g.for_each_out(v, [&](graph::SlotIndex ts, double) { gather(ts); });
+        const bool improved = best < start;
+        trace::branch(trace::kBranchVisitedCheck, improved);
+        if (improved) label[v].store(best, std::memory_order_relaxed);
+        return improved;
+      };
+
+      edges += eng.step(push, pull, cand).edges;
     }
 
     // Publish labels and fold the checksum in slot order: a vertex whose

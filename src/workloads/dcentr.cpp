@@ -3,8 +3,6 @@
 // primitives. A single streaming pass over the entire graph with almost no
 // reusable metadata -- which is why DCentr posts the highest L3 MPKI of the
 // whole suite (145.9 in Figure 7) and the lowest L1D hit rate in Figure 9.
-#include <atomic>
-
 #include "trace/access.h"
 #include "workloads/workload.h"
 
@@ -39,41 +37,34 @@ class DcentrWorkload final : public Workload {
       return deg;
     };
 
-    std::uint64_t degree_sum = 0;
+    // One engine sweep over all live slots unifies the sequential and
+    // parallel paths: degree-weighted chunks keep hub vertices from piling
+    // into one chunk, stealing rebalances the skew, and the ascending
+    // chunk merge makes the sum order thread-count-invariant.
+    engine::TraversalOptions topt = ctx.traversal;
+    topt.undirected = true;
+    engine::FrontierEngine eng(g, ctx.pool, topt, ctx.telemetry);
+    eng.activate_all_live();
 
-    if (ctx.pool != nullptr && ctx.pool->num_threads() > 1) {
-      const std::size_t slots = g.slot_count();
-      std::atomic<std::uint64_t> sum{0};
-      std::atomic<std::uint64_t> verts{0};
-      std::atomic<std::uint64_t> edges{0};
-      ctx.pool->parallel_for_chunked(
-          0, slots, 256, [&](std::size_t lo, std::size_t hi) {
-            std::uint64_t local_sum = 0, local_v = 0, local_e = 0;
-            for (std::size_t s = lo; s < hi; ++s) {
-              if (!g.is_live(static_cast<graph::SlotIndex>(s))) continue;
-              const std::int64_t deg =
-                  degree_of(static_cast<graph::SlotIndex>(s));
-              local_sum += static_cast<std::uint64_t>(deg);
-              local_e += static_cast<std::uint64_t>(deg);
-              ++local_v;
-            }
-            sum.fetch_add(local_sum, std::memory_order_relaxed);
-            verts.fetch_add(local_v, std::memory_order_relaxed);
-            edges.fetch_add(local_e, std::memory_order_relaxed);
-          });
-      degree_sum = sum.load();
-      result.vertices_processed = verts.load();
-      result.edges_processed = edges.load();
-    } else {
-      g.for_each_live_slot([&](graph::SlotIndex s) {
-        const std::int64_t deg = degree_of(s);
-        degree_sum += static_cast<std::uint64_t>(deg);
-        result.edges_processed += static_cast<std::uint64_t>(deg);
-        ++result.vertices_processed;
-      });
-    }
+    struct Tally {
+      std::uint64_t sum = 0;
+      std::uint64_t vertices = 0;
+    };
+    const Tally tally = eng.process(
+        Tally{},
+        [&](graph::SlotIndex s, Tally& t) {
+          t.sum += static_cast<std::uint64_t>(degree_of(s));
+          ++t.vertices;
+        },
+        [](Tally a, Tally b) {
+          a.sum += b.sum;
+          a.vertices += b.vertices;
+          return a;
+        });
 
-    result.checksum = degree_sum;
+    result.vertices_processed = tally.vertices;
+    result.edges_processed = tally.sum;
+    result.checksum = tally.sum;
     return result;
   }
 };

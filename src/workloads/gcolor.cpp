@@ -4,8 +4,6 @@
 // parallel and level-synchronous. Priorities are drawn per slot in
 // ascending slot order, so the assignment — and therefore the coloring —
 // is identical on the dynamic and frozen backends.
-#include <atomic>
-
 #include "platform/rng.h"
 #include "trace/access.h"
 #include "workloads/workload.h"
@@ -39,14 +37,21 @@ class GcolorWorkload final : public Workload {
     });
 
     std::int32_t round = 0;
-    std::vector<graph::SlotIndex> next;
     std::vector<std::uint8_t> selected(slots, 0);
-    // Edge visits accumulate per chunk and merge once per chunk, so the
-    // decide phase never writes shared state from worker threads.
-    std::atomic<std::uint64_t> edge_visits{0};
-    while (!uncolored.empty()) {
-      next.clear();
 
+    // The uncolored worklist lives in the frontier engine: each round is a
+    // degree-weighted, stealing-scheduled decide sweep (process), a commit
+    // sweep, and a worklist shrink (filter). Luby-Jones is a symmetric
+    // local-max test, not a frontier expansion, so there is no pull
+    // variant — rounds run the same in every direction mode.
+    engine::TraversalOptions topt = ctx.traversal;
+    topt.undirected = true;
+    engine::FrontierEngine eng(g, ctx.pool, topt, ctx.telemetry);
+    eng.activate_list(std::move(uncolored));
+
+    std::uint64_t edge_visits = 0;
+    auto plus = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+    while (!eng.done()) {
       auto decide = [&](graph::SlotIndex s, std::uint64_t& edges) -> bool {
         trace::block(trace::kBlockWorkloadKernel);
         bool is_local_max = true;
@@ -72,38 +77,27 @@ class GcolorWorkload final : public Workload {
       };
 
       // Phase 1: mark round winners (reads only previous-round state).
-      if (ctx.pool != nullptr && ctx.pool->num_threads() > 1 &&
-          uncolored.size() > 256) {
-        ctx.pool->parallel_for_chunked(
-            0, uncolored.size(), 128,
-            [&](std::size_t lo, std::size_t hi) {
-              std::uint64_t local_edges = 0;
-              for (std::size_t i = lo; i < hi; ++i) {
-                selected[uncolored[i]] =
-                    decide(uncolored[i], local_edges) ? 1 : 0;
-              }
-              edge_visits.fetch_add(local_edges,
-                                    std::memory_order_relaxed);
-            });
-      } else {
-        std::uint64_t local_edges = 0;
-        for (const auto s : uncolored) {
-          selected[s] = decide(s, local_edges) ? 1 : 0;
-        }
-        edge_visits.fetch_add(local_edges, std::memory_order_relaxed);
-      }
+      edge_visits += eng.process(
+          std::uint64_t{0},
+          [&](graph::SlotIndex s, std::uint64_t& edges) {
+            selected[s] = decide(s, edges) ? 1 : 0;
+          },
+          plus);
 
-      // Phase 2: commit colors, build the next round's worklist.
-      for (const auto s : uncolored) {
-        if (selected[s]) {
-          color[s] = round;
-          ++result.vertices_processed;
-        } else {
-          next.push_back(s);
-        }
-      }
-      if (next.size() == uncolored.size()) break;  // defensive: no progress
-      uncolored.swap(next);
+      // Phase 2: commit colors (each slot written by exactly one chunk),
+      // then shrink the worklist to the losers.
+      result.vertices_processed += eng.process(
+          std::uint64_t{0},
+          [&](graph::SlotIndex s, std::uint64_t& colored) {
+            if (selected[s]) {
+              color[s] = round;
+              ++colored;
+            }
+          },
+          plus);
+      const std::size_t colored =
+          eng.filter([&](graph::SlotIndex s) { return selected[s] == 0; });
+      if (colored == 0) break;  // defensive: no progress
       ++round;
     }
 
@@ -113,7 +107,7 @@ class GcolorWorkload final : public Workload {
       g.set_int(s, props::kColor, color[s]);
       color_sum += static_cast<std::uint64_t>(color[s] + 1);
     });
-    result.edges_processed = edge_visits.load(std::memory_order_relaxed);
+    result.edges_processed = edge_visits;
     result.checksum =
         color_sum * 31 + static_cast<std::uint64_t>(round + 1);
     return result;

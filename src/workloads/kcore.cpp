@@ -142,69 +142,40 @@ class KcoreWorkload final : public Workload {
     std::size_t processed = 0;
     std::uint32_t k = 0;
     std::uint32_t degeneracy = 0;
-    std::vector<graph::SlotIndex> curr;
 
-    using Worklist = std::vector<graph::SlotIndex>;
-    auto concat = [](Worklist acc, Worklist p) {
-      acc.insert(acc.end(), p.begin(), p.end());
-      return acc;
+    engine::TraversalOptions topt = ctx.traversal;
+    topt.undirected = true;  // peeling works on the undirected degree view
+    engine::FrontierEngine eng(g, &pool, topt, ctx.telemetry);
+
+    // Peeling is inherently a scatter (strip a vertex, decrement its
+    // neighbors), so sub-rounds run as push-only supersteps: the unique
+    // decrementer that observes degree k+1 emits the neighbor.
+    auto push = [&](graph::SlotIndex s, engine::StepCtx& sc) {
+      removed[s].store(1, std::memory_order_relaxed);
+      core[s] = k;
+      auto relax = [&](graph::SlotIndex ns) {
+        ++sc.edges;
+        if (removed[ns].load(std::memory_order_relaxed)) return;
+        const std::uint32_t old =
+            degree[ns].fetch_sub(1, std::memory_order_relaxed);
+        if (old == k + 1) sc.emit(ns);
+      };
+      g.for_each_out(s, [&](graph::SlotIndex ts, double) { relax(ts); });
+      g.for_each_in(s, [&](graph::SlotIndex ss) { relax(ss); });
     };
 
     while (processed < live) {
       // Concurrent scan: claim every remaining vertex of degree <= k.
-      curr = pool.parallel_reduce(
-          0, slots, 256, Worklist{},
-          [&](std::size_t lo, std::size_t hi) {
-            Worklist w;
-            for (std::size_t s = lo; s < hi; ++s) {
-              if (removed[s].load(std::memory_order_relaxed) == 0 &&
-                  degree[s].load(std::memory_order_relaxed) <= k) {
-                w.push_back(static_cast<graph::SlotIndex>(s));
-              }
-            }
-            return w;
-          },
-          concat);
+      eng.activate_where([&](graph::SlotIndex s) {
+        return removed[s].load(std::memory_order_relaxed) == 0 &&
+               degree[s].load(std::memory_order_relaxed) <= k;
+      });
 
-      // Peel sub-rounds: strip the claimed set, queue neighbors that drop
-      // to exactly k (the unique decrementer that observes k+1 claims).
-      while (!curr.empty()) {
-        processed += curr.size();
-        struct Partial {
-          Worklist next;
-          std::uint64_t edges = 0;
-        };
-        Partial round = pool.parallel_reduce(
-            0, curr.size(), 64, Partial{},
-            [&](std::size_t lo, std::size_t hi) {
-              Partial p;
-              for (std::size_t i = lo; i < hi; ++i) {
-                const graph::SlotIndex s = curr[i];
-                removed[s].store(1, std::memory_order_relaxed);
-                core[s] = k;
-                auto relax = [&](graph::SlotIndex ns) {
-                  ++p.edges;
-                  if (removed[ns].load(std::memory_order_relaxed)) return;
-                  const std::uint32_t old = degree[ns].fetch_sub(
-                      1, std::memory_order_relaxed);
-                  if (old == k + 1) p.next.push_back(ns);
-                };
-                g.for_each_out(
-                    s, [&](graph::SlotIndex ts, double) { relax(ts); });
-                g.for_each_in(s,
-                              [&](graph::SlotIndex ss) { relax(ss); });
-              }
-              return p;
-            },
-            [](Partial acc, Partial p) {
-              acc.next.insert(acc.next.end(), p.next.begin(),
-                              p.next.end());
-              acc.edges += p.edges;
-              return acc;
-            });
-        edges_touched += round.edges;
+      // Peel sub-rounds until the k-shell is exhausted.
+      while (!eng.done()) {
+        processed += eng.active_count();
+        edges_touched += eng.step(push).edges;
         degeneracy = k;
-        curr.swap(round.next);
       }
       ++k;
     }

@@ -166,6 +166,12 @@ class SpathWorkload final : public Workload {
       }
     };
 
+    // Bucket rounds relax through the frontier engine: each drained bucket
+    // becomes the engine frontier and the relaxation sweep runs in
+    // degree-weighted, stealing-scheduled chunks (SPath is a scatter-only
+    // relaxation, so there is no pull variant).
+    engine::FrontierEngine eng(g, &pool, ctx.traversal, ctx.telemetry);
+
     std::uint64_t edges = 0;
     std::size_t cur = 0;
 
@@ -207,41 +213,36 @@ class SpathWorkload final : public Workload {
         PushList pushes;
         std::uint64_t relaxed = 0;
       };
-      Partial merged = pool.parallel_reduce(
-          0, frontier.size(), 64, Partial{},
-          [&](std::size_t lo, std::size_t hi) {
-            Partial p;
-            for (std::size_t i = lo; i < hi; ++i) {
-              trace::block(trace::kBlockWorkloadKernel);
-              const graph::SlotIndex s = frontier[i];
-              done[s].store(1, std::memory_order_relaxed);
-              const double d = dist[s].load(std::memory_order_relaxed);
-              g.for_each_out(s, [&](graph::SlotIndex ts, double w) {
-                ++p.relaxed;
-                const double candidate = d + w;
-                double curd = dist[ts].load(std::memory_order_relaxed);
-                bool lowered = false;
-                while (candidate < curd) {
-                  if (dist[ts].compare_exchange_weak(
-                          curd, candidate, std::memory_order_relaxed)) {
-                    lowered = true;
-                    break;
-                  }
+      eng.activate_list(std::move(frontier));
+      frontier = Worklist{};
+      Partial merged = eng.process(
+          Partial{},
+          [&](graph::SlotIndex s, Partial& p) {
+            trace::block(trace::kBlockWorkloadKernel);
+            done[s].store(1, std::memory_order_relaxed);
+            const double d = dist[s].load(std::memory_order_relaxed);
+            g.for_each_out(s, [&](graph::SlotIndex ts, double w) {
+              ++p.relaxed;
+              const double candidate = d + w;
+              double curd = dist[ts].load(std::memory_order_relaxed);
+              bool lowered = false;
+              while (candidate < curd) {
+                if (dist[ts].compare_exchange_weak(
+                        curd, candidate, std::memory_order_relaxed)) {
+                  lowered = true;
+                  break;
                 }
-                trace::branch(trace::kBranchCompare, lowered);
-                if (lowered) {
-                  done[ts].store(0, std::memory_order_relaxed);
-                  if (queued[ts].exchange(1, std::memory_order_relaxed) ==
-                      0) {
-                    p.pushes.emplace_back(bucket_of(candidate), ts);
-                    trace::write(trace::MemKind::kMetadata,
-                                 &p.pushes.back(),
-                                 sizeof(p.pushes.back()));
-                  }
+              }
+              trace::branch(trace::kBranchCompare, lowered);
+              if (lowered) {
+                done[ts].store(0, std::memory_order_relaxed);
+                if (queued[ts].exchange(1, std::memory_order_relaxed) == 0) {
+                  p.pushes.emplace_back(bucket_of(candidate), ts);
+                  trace::write(trace::MemKind::kMetadata, &p.pushes.back(),
+                               sizeof(p.pushes.back()));
                 }
-              });
-            }
-            return p;
+              }
+            });
           },
           [](Partial acc, Partial p) {
             acc.pushes.insert(acc.pushes.end(), p.pushes.begin(),

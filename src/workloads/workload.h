@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "datagen/edge_list.h"
+#include "engine/frontier_engine.h"
 #include "graph/graph_view.h"
 #include "graph/property_graph.h"
 #include "graph/snapshot.h"
@@ -73,6 +74,15 @@ struct RunContext {
     return snapshot != nullptr ? graph::GraphView(*snapshot)
                                : graph::GraphView(*graph);
   }
+
+  /// Frontier-engine knobs for the level-synchronous workloads: traversal
+  /// direction (push / pull / auto), work stealing, chunk grain. Workloads
+  /// force the fields the algorithm dictates (e.g. undirected edge mass for
+  /// kCore/CComp) and pass the rest through.
+  engine::TraversalOptions traversal;
+  /// When set, the engine appends per-superstep telemetry here
+  /// (direction taken, frontier occupancy, chunks stolen).
+  engine::TraversalTelemetry* telemetry = nullptr;
 
   /// GCons: edges to build from. GUp: unused.
   const datagen::EdgeList* edge_list = nullptr;

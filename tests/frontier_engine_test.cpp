@@ -1,0 +1,396 @@
+// FrontierEngine and work-stealing scheduler tests: exactly-once index
+// coverage for ThreadPool::parallel_for_stealing, bit-identical stealing
+// reductions, sparse<->dense frontier round-trips, and checksum parity of
+// the engine-ported workloads across direction modes, backends, and
+// thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "datagen/generators.h"
+#include "engine/frontier_engine.h"
+#include "graph/graph_view.h"
+#include "graph/snapshot.h"
+#include "platform/thread_pool.h"
+#include "workloads/workload.h"
+
+namespace graphbig {
+namespace {
+
+using graph::PropertyGraph;
+using graph::SlotIndex;
+
+// ---- ThreadPool::parallel_for_stealing ----
+
+TEST(ParallelForStealing, EveryIndexVisitedExactlyOnce) {
+  for (const int threads : {1, 4, 16}) {
+    platform::ThreadPool pool(threads);
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{5}, std::size_t{1000},
+                                std::size_t{4097}}) {
+      for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                      std::size_t{64}, std::size_t{1024}}) {
+        std::vector<std::atomic<std::uint32_t>> hits(n);
+        for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+        pool.parallel_for_stealing(
+            0, n, grain, [&](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) {
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+              }
+            });
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[i].load(), 1u)
+              << "index " << i << " with n=" << n << " grain=" << grain
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelForStealing, NonZeroBeginCoversRange) {
+  platform::ThreadPool pool(4);
+  constexpr std::size_t kBegin = 13;
+  constexpr std::size_t kEnd = 2048;
+  std::vector<std::atomic<std::uint32_t>> hits(kEnd);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  pool.parallel_for_stealing(kBegin, kEnd, 32,
+                             [&](std::size_t lo, std::size_t hi) {
+                               for (std::size_t i = lo; i < hi; ++i) {
+                                 hits[i].fetch_add(
+                                     1, std::memory_order_relaxed);
+                               }
+                             });
+  for (std::size_t i = 0; i < kEnd; ++i) {
+    ASSERT_EQ(hits[i].load(), i >= kBegin ? 1u : 0u) << "index " << i;
+  }
+}
+
+TEST(ParallelForStealing, SkewedWorkIsStolenAndStillExactlyOnce) {
+  platform::ThreadPool pool(16);
+  constexpr std::size_t kN = 2048;
+  // Worker 0's contiguous block gets all the heavy indices; the other
+  // workers drain their cheap blocks and must steal its remainder.
+  std::vector<std::atomic<std::uint32_t>> hits(kN);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  std::uint64_t stolen = 0;
+  pool.parallel_for_stealing(
+      0, kN, 16,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (i < kN / 16) {
+            volatile std::uint64_t sink = 0;
+            for (std::uint64_t k = 0; k < 2000000; ++k) sink += k;
+          }
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      &stolen);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+  }
+  EXPECT_GE(stolen, 1u);
+}
+
+TEST(ParallelReduceStealing, BitIdenticalAcrossThreadCounts) {
+  // Floating-point sum with content-dependent terms: chunk boundaries and
+  // ascending merge order make the result bit-identical at any pool size.
+  auto map = [](std::size_t lo, std::size_t hi) {
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      s += 1.0 / static_cast<double>(i + 1);
+    }
+    return s;
+  };
+  auto reduce = [](double a, double b) { return a + b; };
+
+  platform::ThreadPool seq(1);
+  const double reference =
+      seq.parallel_reduce_stealing(0, 100000, 64, 0.0, map, reduce);
+  for (const int threads : {4, 16}) {
+    platform::ThreadPool pool(threads);
+    const double r =
+        pool.parallel_reduce_stealing(0, 100000, 64, 0.0, map, reduce);
+    EXPECT_EQ(reference, r) << threads << " threads";
+  }
+}
+
+// ---- Frontier representation round-trips ----
+
+std::vector<SlotIndex> every_kth_slot(std::size_t slots, std::size_t k) {
+  std::vector<SlotIndex> out;
+  for (std::size_t s = 0; s < slots; s += k) {
+    out.push_back(static_cast<SlotIndex>(s));
+  }
+  return out;
+}
+
+TEST(Frontier, SparseToDenseToSparseRoundTrip) {
+  // Large enough to exercise the parallel materialization paths
+  // (>1024 list entries, >1024 bitmap words).
+  constexpr std::size_t kSlots = 200000;
+  const std::vector<SlotIndex> members = every_kth_slot(kSlots, 13);
+  platform::ThreadPool pool(4);
+  for (platform::ThreadPool* p : {static_cast<platform::ThreadPool*>(nullptr),
+                                  &pool}) {
+    engine::Frontier f;
+    f.reset(kSlots);
+    f.adopt_list(std::vector<SlotIndex>(members));
+    ASSERT_TRUE(f.has_list());
+    ASSERT_FALSE(f.has_bits());
+    ASSERT_EQ(f.count(), members.size());
+
+    f.ensure_bits(p);
+    ASSERT_TRUE(f.has_bits());
+    for (std::size_t s = 0; s < kSlots; ++s) {
+      ASSERT_EQ(f.test(static_cast<SlotIndex>(s)), s % 13 == 0)
+          << "slot " << s;
+    }
+
+    // Dense -> sparse: mark the same set through the bitmap and
+    // materialize the list; it must come back ascending and identical.
+    engine::Frontier f2;
+    f2.reset(kSlots);
+    f2.prepare_bits();
+    ASSERT_TRUE(f2.has_bits());
+    ASSERT_FALSE(f2.has_list());
+    // Insertion order must not matter: mark back to front.
+    for (std::size_t i = members.size(); i-- > 0;) {
+      f2.bits().test_and_set(members[i]);
+    }
+    f2.seal_bits(members.size());
+    f2.ensure_list(p);
+    ASSERT_TRUE(f2.has_list());
+    EXPECT_EQ(f2.list(), members);
+    EXPECT_EQ(f2.count(), members.size());
+  }
+}
+
+TEST(Frontier, InsertMaintainsBothRepresentations) {
+  engine::Frontier f;
+  f.reset(256);
+  f.insert(7);
+  f.insert(200);
+  EXPECT_EQ(f.count(), 2u);
+  f.ensure_bits(nullptr);
+  f.insert(64);  // both representations live: insert must update both
+  EXPECT_EQ(f.count(), 3u);
+  EXPECT_TRUE(f.test(7));
+  EXPECT_TRUE(f.test(64));
+  EXPECT_TRUE(f.test(200));
+  EXPECT_FALSE(f.test(65));
+  EXPECT_EQ(f.list(), (std::vector<SlotIndex>{7, 200, 64}));
+
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.has_list());
+  EXPECT_FALSE(f.has_bits());
+}
+
+// ---- Engine-level push/pull equivalence ----
+
+TEST(FrontierEngine, PushPullAutoComputeIdenticalBfsDepths) {
+  datagen::RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.edge_factor = 8;
+  PropertyGraph g = datagen::build_property_graph(generate_rmat(cfg));
+  const graph::GraphView gv(g);
+  const SlotIndex root = gv.slot_of(0);
+  ASSERT_NE(root, graph::kInvalidSlot);
+
+  auto bfs_depths = [&](engine::Direction d) {
+    engine::TraversalOptions topt;
+    topt.direction = d;
+    engine::FrontierEngine eng(gv, nullptr, topt);
+    std::vector<std::int32_t> depth(gv.slot_count(), -1);
+    depth[root] = 0;
+    eng.activate(root);
+    std::int32_t level = 0;
+    while (!eng.done()) {
+      ++level;
+      auto push = [&](SlotIndex u, engine::StepCtx& sc) {
+        gv.for_each_out(u, [&](SlotIndex v, double) {
+          ++sc.edges;
+          if (depth[v] < 0) {
+            depth[v] = level;
+            sc.emit(v);
+          }
+        });
+      };
+      auto cand = [&](SlotIndex v) { return depth[v] < 0; };
+      auto pull = [&](SlotIndex v, engine::StepCtx& sc) {
+        bool found = false;
+        gv.for_each_in_until(v, [&](SlotIndex u) {
+          ++sc.edges;
+          if (eng.in_frontier(u)) {
+            found = true;
+            return false;
+          }
+          return true;
+        });
+        if (found) depth[v] = level;
+        return found;
+      };
+      eng.step(push, pull, cand);
+    }
+    return depth;
+  };
+
+  const std::vector<std::int32_t> push_depths =
+      bfs_depths(engine::Direction::kPush);
+  EXPECT_EQ(push_depths, bfs_depths(engine::Direction::kPull));
+  EXPECT_EQ(push_depths, bfs_depths(engine::Direction::kAuto));
+}
+
+// ---- Workload parity: direction x backend x threads ----
+//
+// Every engine-ported workload must produce the same checksum and vertex
+// count no matter which direction mode it runs under, whether it
+// traverses the dynamic structure or a frozen snapshot, and at any thread
+// count (0 = no pool = sequential).
+
+struct ParityReference {
+  std::uint64_t checksum = 0;
+  std::uint64_t vertices = 0;
+};
+
+void expect_engine_parity(const workloads::Workload& w,
+                          const std::vector<engine::Direction>& dirs) {
+  datagen::RmatConfig cfg;
+  cfg.scale = 10;
+  cfg.edge_factor = 8;
+  const datagen::EdgeList el = generate_rmat(cfg);
+
+  bool have_reference = false;
+  ParityReference ref;
+  for (const bool frozen : {false, true}) {
+    for (const int threads : {0, 4, 16}) {
+      for (const engine::Direction d : dirs) {
+        PropertyGraph g = datagen::build_property_graph(el);
+        graph::GraphSnapshot snap;
+        workloads::RunContext ctx;
+        ctx.graph = &g;
+        ctx.root = 0;
+        ctx.seed = 7;
+        ctx.traversal.direction = d;
+        if (frozen) {
+          snap = graph::GraphSnapshot::freeze(g);
+          ctx.snapshot = &snap;
+        }
+        std::unique_ptr<platform::ThreadPool> pool;
+        if (threads > 0) {
+          pool = std::make_unique<platform::ThreadPool>(threads);
+          ctx.pool = pool.get();
+        }
+        const workloads::RunResult r = w.run(ctx);
+        if (!have_reference) {
+          ref.checksum = r.checksum;
+          ref.vertices = r.vertices_processed;
+          have_reference = true;
+          continue;
+        }
+        EXPECT_EQ(r.checksum, ref.checksum)
+            << w.acronym() << " direction=" << engine::to_string(d)
+            << " threads=" << threads
+            << " backend=" << (frozen ? "frozen" : "dynamic");
+        EXPECT_EQ(r.vertices_processed, ref.vertices)
+            << w.acronym() << " direction=" << engine::to_string(d)
+            << " threads=" << threads
+            << " backend=" << (frozen ? "frozen" : "dynamic");
+      }
+    }
+  }
+}
+
+const std::vector<engine::Direction> kAllDirections = {
+    engine::Direction::kPush, engine::Direction::kPull,
+    engine::Direction::kAuto};
+// Scatter-only workloads: direction is a no-op by design; parity across
+// backends and thread counts still must hold.
+const std::vector<engine::Direction> kAutoOnly = {engine::Direction::kAuto};
+
+TEST(EngineParity, BfsAcrossDirectionsBackendsThreads) {
+  expect_engine_parity(workloads::bfs(), kAllDirections);
+}
+
+TEST(EngineParity, CCompAcrossDirectionsBackendsThreads) {
+  expect_engine_parity(workloads::ccomp(), kAllDirections);
+}
+
+TEST(EngineParity, BCentrAcrossDirectionsBackendsThreads) {
+  expect_engine_parity(workloads::bcentr(), kAllDirections);
+}
+
+TEST(EngineParity, KCoreAcrossBackendsThreads) {
+  expect_engine_parity(workloads::kcore(), kAutoOnly);
+}
+
+TEST(EngineParity, GColorAcrossBackendsThreads) {
+  expect_engine_parity(workloads::gcolor(), kAutoOnly);
+}
+
+TEST(EngineParity, SPathAcrossBackendsThreads) {
+  expect_engine_parity(workloads::spath(), kAutoOnly);
+}
+
+TEST(EngineParity, DCentrAcrossBackendsThreads) {
+  expect_engine_parity(workloads::dcentr(), kAutoOnly);
+}
+
+TEST(EngineParity, StealingOnOffSameChecksums) {
+  datagen::RmatConfig cfg;
+  cfg.scale = 10;
+  cfg.edge_factor = 8;
+  const datagen::EdgeList el = generate_rmat(cfg);
+  for (const workloads::Workload* w :
+       {&workloads::bfs(), &workloads::ccomp()}) {
+    std::uint64_t reference = 0;
+    bool first = true;
+    for (const bool steal : {true, false}) {
+      PropertyGraph g = datagen::build_property_graph(el);
+      platform::ThreadPool pool(8);
+      workloads::RunContext ctx;
+      ctx.graph = &g;
+      ctx.root = 0;
+      ctx.seed = 7;
+      ctx.pool = &pool;
+      ctx.traversal.stealing = steal;
+      const workloads::RunResult r = w->run(ctx);
+      if (first) {
+        reference = r.checksum;
+        first = false;
+      } else {
+        EXPECT_EQ(r.checksum, reference) << w->acronym();
+      }
+    }
+  }
+}
+
+TEST(EngineTelemetry, RecordsSuperstepsAndDirections) {
+  datagen::RmatConfig cfg;
+  cfg.scale = 10;
+  cfg.edge_factor = 8;
+  PropertyGraph g = datagen::build_property_graph(generate_rmat(cfg));
+  workloads::RunContext ctx;
+  ctx.graph = &g;
+  ctx.root = 0;
+  ctx.seed = 7;
+  engine::TraversalTelemetry tel;
+  ctx.telemetry = &tel;
+  ctx.traversal.direction = engine::Direction::kAuto;
+  workloads::bfs().run(ctx);
+  EXPECT_GT(tel.supersteps, 0u);
+  EXPECT_EQ(tel.supersteps, tel.push_steps + tel.pull_steps);
+  EXPECT_EQ(tel.steps.size(),
+            std::min<std::size_t>(tel.supersteps,
+                                  engine::TraversalTelemetry::kMaxSteps));
+  // A power-law RMAT at this scale crosses the pull threshold in the
+  // middle supersteps under auto.
+  EXPECT_GT(tel.pull_steps, 0u);
+  EXPECT_FALSE(tel.summary().empty());
+}
+
+}  // namespace
+}  // namespace graphbig

@@ -110,9 +110,33 @@ TEST(WorkloadRegistry, UseCaseCountsMatchFigure4) {
 TEST(Bfs, VisitsReachableVertices) {
   PropertyGraph g = make_path_graph();
   RunContext ctx = ctx_for(g);
+  // Pin push: the edge count below is the push-traversal edge count (pull
+  // sweeps probe a different number of edges for the same result).
+  ctx.traversal.direction = engine::Direction::kPush;
   const RunResult r = bfs().run(ctx);
   EXPECT_EQ(r.vertices_processed, 5u);
   EXPECT_EQ(r.edges_processed, 4u);
+}
+
+TEST(Bfs, DirectionModesAgree) {
+  const engine::Direction modes[] = {engine::Direction::kPush,
+                                     engine::Direction::kPull,
+                                     engine::Direction::kAuto};
+  std::uint64_t checksum = 0;
+  bool first = true;
+  for (const engine::Direction d : modes) {
+    PropertyGraph g = make_path_graph();
+    RunContext ctx = ctx_for(g);
+    ctx.traversal.direction = d;
+    const RunResult r = bfs().run(ctx);
+    EXPECT_EQ(r.vertices_processed, 5u) << engine::to_string(d);
+    if (first) {
+      checksum = r.checksum;
+      first = false;
+    } else {
+      EXPECT_EQ(r.checksum, checksum) << engine::to_string(d);
+    }
+  }
 }
 
 TEST(Bfs, DepthsAreCorrect) {

@@ -34,6 +34,11 @@ void print_usage() {
   --representation dynamic|frozen   graph representation for analytic
                          workloads (default: dynamic; frozen traverses an
                          immutable snapshot)
+  --direction push|pull|auto   traversal direction for frontier-engine
+                         workloads (default: auto = per-superstep
+                         direction-optimizing choice)
+  --steal on|off         work-stealing for degree-weighted edge chunks
+                         (default: on)
   --profile              run under the CPU perf model (sequential)
   --gpu                  run on the SIMT GPU simulator
 )";
@@ -63,6 +68,7 @@ int main(int argc, char** argv) {
   datagen::Scale scale = datagen::Scale::kSmall;
   int threads = 1;
   harness::Representation representation = harness::Representation::kDynamic;
+  engine::TraversalOptions traversal;
   bool profile = false;
   bool gpu = false;
 
@@ -112,6 +118,23 @@ int main(int argc, char** argv) {
       if (!harness::parse_representation(r, &representation)) {
         std::cerr << "unknown representation: " << r
                   << " (expected dynamic or frozen)\n";
+        return 2;
+      }
+    } else if (arg == "--direction") {
+      const std::string d = next();
+      if (!engine::parse_direction(d, &traversal.direction)) {
+        std::cerr << "unknown direction: " << d
+                  << " (expected push, pull, or auto)\n";
+        return 2;
+      }
+    } else if (arg == "--steal") {
+      const std::string s = next();
+      if (s == "on") {
+        traversal.stealing = true;
+      } else if (s == "off") {
+        traversal.stealing = false;
+      } else {
+        std::cerr << "--steal expects on or off\n";
         return 2;
       }
     } else if (arg == "--profile") {
@@ -197,12 +220,20 @@ int main(int argc, char** argv) {
               << " mutates the graph or needs a special input; running on "
                  "the dynamic representation\n";
   }
-  const auto r = harness::run_cpu_timed(*w, bundle, threads, representation);
+  std::cout << "run config: direction=" << engine::to_string(traversal.direction)
+            << " steal=" << (traversal.stealing ? "on" : "off")
+            << " representation=" << harness::to_string(representation)
+            << " threads=" << threads << "\n";
+  const auto r =
+      harness::run_cpu_timed(*w, bundle, threads, representation, traversal);
   std::cout << w->acronym() << ": checksum " << r.run.checksum << "\n  "
             << harness::fmt_int(r.run.vertices_processed) << " vertices, "
             << harness::fmt_int(r.run.edges_processed)
             << " edges processed in " << platform::format_duration(r.seconds)
             << " with " << threads << " thread(s) ["
             << harness::to_string(representation) << " representation]\n";
+  if (r.telemetry.supersteps > 0) {
+    std::cout << "  traversal: " << r.telemetry.summary() << "\n";
+  }
   return 0;
 }
