@@ -1,0 +1,152 @@
+#include "graph/churn.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace graphbig::graph {
+
+const char* to_string(ChurnOp::Kind kind) {
+  switch (kind) {
+    case ChurnOp::Kind::kAddVertex:
+      return "AV";
+    case ChurnOp::Kind::kAddEdge:
+      return "AE";
+    case ChurnOp::Kind::kDeleteEdge:
+      return "DE";
+    case ChurnOp::Kind::kDeleteVertex:
+      return "DV";
+  }
+  return "??";
+}
+
+std::string ChurnBatch::describe(std::size_t max_ops) const {
+  std::ostringstream os;
+  os << "ops=" << ops.size() << " applied=" << applied
+     << " skipped=" << skipped << ": ";
+  const std::size_t shown = std::min(max_ops, ops.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const ChurnOp& op = ops[i];
+    if (i > 0) os << "; ";
+    os << to_string(op.kind) << " " << op.a;
+    if (op.kind == ChurnOp::Kind::kAddEdge) {
+      os << "->" << op.b << " w=" << op.weight;
+    } else if (op.kind == ChurnOp::Kind::kDeleteEdge) {
+      os << "->" << op.b;
+    }
+  }
+  if (shown < ops.size()) os << "; ... (+" << ops.size() - shown << " more)";
+  return os.str();
+}
+
+ChurnDriver::ChurnDriver(const ChurnConfig& config, const PropertyGraph& g)
+    : config_(config), rng_(config.seed) {
+  live_.reserve(g.num_vertices());
+  g.for_each_vertex([&](const VertexRecord& v) {
+    pos_[v.id] = live_.size();
+    live_.push_back(v.id);
+    next_id_ = std::max(next_id_, v.id + 1);
+  });
+}
+
+void ChurnDriver::track_add(VertexId id) {
+  pos_[id] = live_.size();
+  live_.push_back(id);
+}
+
+void ChurnDriver::track_remove(VertexId id) {
+  auto it = pos_.find(id);
+  if (it == pos_.end()) return;
+  const std::size_t idx = it->second;
+  pos_[live_.back()] = idx;
+  live_[idx] = live_.back();
+  live_.pop_back();
+  pos_.erase(it);
+}
+
+ChurnBatch ChurnDriver::apply_batch(PropertyGraph& g) {
+  ChurnBatch batch;
+  batch.ops.reserve(config_.ops);
+  const double total =
+      config_.add_vertex_weight + config_.add_edge_weight +
+      config_.delete_edge_weight + config_.delete_vertex_weight;
+  const double av = config_.add_vertex_weight / total;
+  const double ae = av + config_.add_edge_weight / total;
+  const double de = ae + config_.delete_edge_weight / total;
+
+  for (std::size_t i = 0; i < config_.ops; ++i) {
+    const double r = rng_.uniform();
+    ChurnOp op;
+    if (r < av || live_.size() < 2) {
+      op.kind = ChurnOp::Kind::kAddVertex;
+      op.a = next_id_++;
+    } else if (r < ae) {
+      op.kind = ChurnOp::Kind::kAddEdge;
+      op.a = live_[rng_.bounded(live_.size())];
+      op.b = live_[rng_.bounded(live_.size())];
+      op.weight = rng_.uniform(0.5, 2.0);
+    } else if (r < de) {
+      // Deleting an edge needs an existing one: probe a few live sources
+      // for a non-empty out-list, else degrade to an add so the batch
+      // keeps its op count.
+      op.kind = ChurnOp::Kind::kAddVertex;
+      op.a = next_id_;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const VertexId src = live_[rng_.bounded(live_.size())];
+        const VertexRecord* v = g.find_vertex(src);
+        if (v == nullptr || v->out.empty()) continue;
+        op.kind = ChurnOp::Kind::kDeleteEdge;
+        op.a = src;
+        op.b = v->out[rng_.bounded(v->out.size())].target;
+        break;
+      }
+      if (op.kind == ChurnOp::Kind::kAddVertex) ++next_id_;
+    } else {
+      op.kind = ChurnOp::Kind::kDeleteVertex;
+      op.a = live_[rng_.bounded(live_.size())];
+    }
+
+    bool ok = false;
+    switch (op.kind) {
+      case ChurnOp::Kind::kAddVertex:
+        ok = g.add_vertex(op.a) != nullptr;
+        if (ok) track_add(op.a);
+        break;
+      case ChurnOp::Kind::kAddEdge:
+        ok = g.add_edge(op.a, op.b, op.weight) != nullptr;
+        break;
+      case ChurnOp::Kind::kDeleteEdge:
+        ok = g.delete_edge(op.a, op.b);
+        break;
+      case ChurnOp::Kind::kDeleteVertex:
+        ok = g.delete_vertex(op.a);
+        if (ok) track_remove(op.a);
+        break;
+    }
+    ok ? ++batch.applied : ++batch.skipped;
+    batch.ops.push_back(op);
+  }
+  return batch;
+}
+
+std::size_t replay_batch(const ChurnBatch& batch, PropertyGraph& g) {
+  std::size_t applied = 0;
+  for (const ChurnOp& op : batch.ops) {
+    switch (op.kind) {
+      case ChurnOp::Kind::kAddVertex:
+        if (g.add_vertex(op.a) != nullptr) ++applied;
+        break;
+      case ChurnOp::Kind::kAddEdge:
+        if (g.add_edge(op.a, op.b, op.weight) != nullptr) ++applied;
+        break;
+      case ChurnOp::Kind::kDeleteEdge:
+        if (g.delete_edge(op.a, op.b)) ++applied;
+        break;
+      case ChurnOp::Kind::kDeleteVertex:
+        if (g.delete_vertex(op.a)) ++applied;
+        break;
+    }
+  }
+  return applied;
+}
+
+}  // namespace graphbig::graph

@@ -1,0 +1,89 @@
+// Seeded random mutation driver for GUp/TMorph-style churn phases.
+//
+// The paper's dynamic computation type exists because industrial graphs
+// mutate continuously; ChurnDriver generates reproducible interleavings of
+// vertex/edge adds and deletes against a PropertyGraph, recording every
+// concrete operation it applied. The recorded batch can be replayed
+// verbatim into a second graph (the churn-parity harness's twin-graph
+// oracle: freeze(twin) must structurally equal refresh(primary)) and
+// printed on failure as an actionable repro (seed + op list).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "platform/rng.h"
+
+namespace graphbig::graph {
+
+/// One concrete mutation. `a`/`b` are external vertex ids.
+struct ChurnOp {
+  enum class Kind : std::uint8_t {
+    kAddVertex,    // add vertex a
+    kAddEdge,      // add edge a -> b with `weight`
+    kDeleteEdge,   // delete edge a -> b
+    kDeleteVertex  // delete vertex a (and every incident edge)
+  };
+  Kind kind = Kind::kAddVertex;
+  VertexId a = 0;
+  VertexId b = 0;
+  double weight = 1.0;
+};
+
+const char* to_string(ChurnOp::Kind kind);
+
+/// Mutation mix. Weights need not sum to 1; they are normalized.
+struct ChurnConfig {
+  std::uint64_t seed = 1;
+  std::size_t ops = 256;  // operations per batch
+  double add_vertex_weight = 0.15;
+  double add_edge_weight = 0.55;
+  double delete_edge_weight = 0.20;
+  double delete_vertex_weight = 0.10;
+};
+
+/// The ops one apply_batch() call generated, plus apply outcomes.
+struct ChurnBatch {
+  std::vector<ChurnOp> ops;
+  std::size_t applied = 0;  // ops the graph accepted
+  std::size_t skipped = 0;  // refused (duplicate edge, missing endpoint)
+
+  /// Human-readable op list for failure reports (capped, with a tail
+  /// count, so a fuzz failure stays pasteable).
+  std::string describe(std::size_t max_ops = 64) const;
+};
+
+/// Deterministic churn generator. Maintains a live-id mirror of the graph
+/// so op generation never scans the graph, and draws everything from one
+/// seeded Xoshiro256 stream: same seed + same starting graph -> same op
+/// sequence, batch after batch.
+class ChurnDriver {
+ public:
+  ChurnDriver(const ChurnConfig& config, const PropertyGraph& g);
+
+  /// Generates and applies config.ops mutations to g, returning the
+  /// concrete batch. g must be the graph the driver was constructed
+  /// against (or an identical twin that has replayed all prior batches).
+  ChurnBatch apply_batch(PropertyGraph& g);
+
+  std::uint64_t seed() const { return config_.seed; }
+
+ private:
+  void track_add(VertexId id);
+  void track_remove(VertexId id);
+
+  ChurnConfig config_;
+  platform::Xoshiro256 rng_;
+  std::vector<VertexId> live_;
+  std::unordered_map<VertexId, std::size_t> pos_;
+  VertexId next_id_ = 0;
+};
+
+/// Replays a recorded batch into a twin graph. Returns the number of ops
+/// the twin accepted — equal to batch.applied when the twin is in sync.
+std::size_t replay_batch(const ChurnBatch& batch, PropertyGraph& g);
+
+}  // namespace graphbig::graph

@@ -68,12 +68,29 @@ Csr build_csr(const PropertyGraph& graph) {
 
 Csr build_csr(const GraphSnapshot& snapshot) {
   Csr csr;
-  csr.num_vertices = snapshot.num_vertices();
+
+  // The snapshot keeps one row per dynamic slot (dead rows included, and
+  // possibly indirected after a refresh); the device CSR is dense over
+  // live vertices, so compact rows and remap targets through row order.
+  const std::uint32_t rows = snapshot.row_count();
+  std::vector<std::uint32_t> dense_of_row(rows, ~std::uint32_t{0});
+  std::vector<std::uint32_t> row_of_dense;
+  row_of_dense.reserve(snapshot.num_vertices());
+  for (std::uint32_t v = 0; v < rows; ++v) {
+    if (snapshot.is_live(v)) {
+      dense_of_row[v] = static_cast<std::uint32_t>(row_of_dense.size());
+      row_of_dense.push_back(v);
+    }
+  }
+  csr.num_vertices = static_cast<std::uint32_t>(row_of_dense.size());
   csr.num_edges = snapshot.num_edges();
-  csr.orig_id.assign(snapshot.orig_id(),
-                     snapshot.orig_id() + csr.num_vertices);
-  csr.row_ptr.assign(snapshot.out_ptr(),
-                     snapshot.out_ptr() + csr.num_vertices + 1);
+  csr.orig_id.resize(csr.num_vertices);
+  csr.row_ptr.assign(csr.num_vertices + 1, 0);
+  for (std::uint32_t v = 0; v < csr.num_vertices; ++v) {
+    csr.orig_id[v] = snapshot.id_of(row_of_dense[v]);
+    csr.row_ptr[v + 1] =
+        csr.row_ptr[v] + snapshot.out_degree(row_of_dense[v]);
+  }
   csr.col.resize(csr.num_edges);
   csr.weight.resize(csr.num_edges);
 
@@ -81,19 +98,20 @@ Csr build_csr(const GraphSnapshot& snapshot) {
   // device CSR wants rows sorted by destination (the TC intersection
   // kernels require it).
   for (std::uint32_t v = 0; v < csr.num_vertices; ++v) {
+    const std::uint32_t row = row_of_dense[v];
     const std::uint64_t lo = csr.row_ptr[v];
-    const std::uint64_t hi = csr.row_ptr[v + 1];
-    std::vector<std::uint64_t> order(hi - lo);
+    const std::uint64_t deg = csr.row_ptr[v + 1] - lo;
+    const std::uint32_t* dst = snapshot.out_row(row);
+    const double* w = snapshot.out_weight_row(row);
+    std::vector<std::uint64_t> order(deg);
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(),
               [&](std::uint64_t a, std::uint64_t b) {
-                return snapshot.out_dst()[lo + a] <
-                       snapshot.out_dst()[lo + b];
+                return dst[a] < dst[b];
               });
-    for (std::uint64_t i = 0; i < order.size(); ++i) {
-      csr.col[lo + i] = snapshot.out_dst()[lo + order[i]];
-      csr.weight[lo + i] =
-          static_cast<float>(snapshot.out_weight()[lo + order[i]]);
+    for (std::uint64_t i = 0; i < deg; ++i) {
+      csr.col[lo + i] = dense_of_row[dst[order[i]]];
+      csr.weight[lo + i] = static_cast<float>(w[order[i]]);
     }
   }
   return csr;

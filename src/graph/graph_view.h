@@ -10,11 +10,12 @@
 //
 // The backend branch happens once per traversal call, not per edge, so the
 // inner loops stay tight on both paths. All indices exposed by the view
-// are SlotIndex values: dynamic slots on the dynamic path, dense indices
-// on the frozen path. Because snapshots renumber order-preservingly, the
-// two coincide on tombstone-free graphs and workloads produce bit-identical
-// results on either backend — the dynamic-vs-frozen parity the
-// representation ablation and snapshot tests assert.
+// are SlotIndex values on BOTH paths: the snapshot keeps one row per
+// dynamic slot (dead slots become dead rows), so the index spaces are
+// identical — tombstones or not — and workloads produce bit-identical
+// results on either backend, including after churn followed by an
+// incremental refresh. That is the dynamic-vs-frozen parity the
+// representation ablation, snapshot tests, and churn harness assert.
 #pragma once
 
 #include <cstdint>
@@ -33,10 +34,11 @@ class GraphView {
   bool frozen() const { return snap_ != nullptr; }
 
   /// Size of the slot space: slot table size (dynamic, tombstones
-  /// included) or dense vertex count (frozen). Workloads size their
-  /// per-slot state arrays from this.
+  /// included) or row count (frozen, dead rows included — the snapshot
+  /// keeps one row per dynamic slot). Workloads size their per-slot state
+  /// arrays from this.
   std::size_t slot_count() const {
-    return frozen() ? snap_->num_vertices() : graph_->slot_count();
+    return frozen() ? snap_->row_count() : graph_->slot_count();
   }
 
   std::size_t num_vertices() const {
@@ -46,10 +48,10 @@ class GraphView {
     return frozen() ? snap_->num_edges() : graph_->num_edges();
   }
 
-  /// True when slot s holds a live vertex (always true on the frozen path
-  /// for in-range slots).
+  /// True when slot s holds a live vertex (frozen dead rows mirror the
+  /// dynamic tombstones they froze from).
   bool is_live(SlotIndex s) const {
-    return frozen() ? s < snap_->num_vertices()
+    return frozen() ? s < snap_->row_count() && snap_->is_live(s)
                     : graph_->vertex_at(s) != nullptr;
   }
 
@@ -158,8 +160,8 @@ class GraphView {
   template <typename Fn>
   void for_each_live_slot(Fn&& fn) const {
     if (frozen()) {
-      for (std::uint32_t v = 0; v < snap_->num_vertices(); ++v) {
-        fn(static_cast<SlotIndex>(v));
+      for (std::uint32_t v = 0; v < snap_->row_count(); ++v) {
+        if (snap_->is_live(v)) fn(static_cast<SlotIndex>(v));
       }
       return;
     }

@@ -1,0 +1,139 @@
+// Compact mutation log: what changed in a PropertyGraph since the last
+// freeze()/refresh(), recorded at primitive granularity so an incremental
+// re-freeze (GraphSnapshot::refresh) can rewrite only the CSR rows a
+// mutation batch actually touched.
+//
+// The log is slot-bounded: it only records dirty marks for slots that
+// existed when the log was (re)armed (`base_slot_count_`). Slots are never
+// reused, so anything at or above the base is a *new* slot the refresh
+// discovers by comparing slot counts — which is also what makes
+// add-then-delete of a fresh vertex compose to nothing: neither the add
+// nor the delete of a new slot leaves a dirty mark behind.
+//
+// Each rearm stamps the log with the graph's mutation epoch (the same
+// counter the EdgeRecord/InRecord slot caches are stamped with) and a
+// process-unique serial. A snapshot remembers the serial of the log
+// generation it froze against; on refresh, a serial mismatch means the log
+// no longer describes "mutations since *this* snapshot" (another freeze
+// intervened) and the snapshot falls back to a full rebuild.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace graphbig::graph {
+
+// Redeclarations of the property_graph.h aliases (this header is included
+// by property_graph.h, so it cannot include it back).
+using VertexId = std::uint64_t;
+using SlotIndex = std::uint32_t;
+
+class MutationLog {
+ public:
+  /// (Re)arms the log: clears all recorded state, snapshots the current
+  /// slot count and mutation epoch, and returns a fresh process-unique
+  /// serial. Called by GraphSnapshot::freeze and ::refresh.
+  std::uint64_t rearm(SlotIndex base_slots, std::uint32_t epoch) {
+    static std::atomic<std::uint64_t> next_serial{1};
+    dirty_out_.clear();
+    dirty_in_.clear();
+    deleted_ids_.clear();
+    vertices_added_ = 0;
+    vertices_deleted_ = 0;
+    edges_added_ = 0;
+    edges_deleted_ = 0;
+    base_slot_count_ = base_slots;
+    base_epoch_ = epoch;
+    serial_ = next_serial.fetch_add(1, std::memory_order_relaxed);
+    armed_ = true;
+    return serial_;
+  }
+
+  bool armed() const { return armed_; }
+
+  // ---- recording (called by the PropertyGraph primitives) ----
+
+  void record_add_vertex() {
+    if (!armed_) return;
+    ++vertices_added_;
+  }
+
+  /// A live vertex was tombstoned. Old slots record the id so the
+  /// snapshot's external-id index can drop it; the slot's own rows go
+  /// dirty. New slots never made it into the snapshot, so the delete
+  /// composes away entirely.
+  void record_delete_vertex(SlotIndex slot, VertexId id) {
+    if (!armed_) return;
+    ++vertices_deleted_;
+    if (slot >= base_slot_count_) return;
+    deleted_ids_.push_back(id);
+    dirty_out_.insert(slot);
+    dirty_in_.insert(slot);
+  }
+
+  /// The out-row / in-row of a slot changed (edge added or removed, or a
+  /// neighbor was deleted out from under it).
+  void record_out_touch(SlotIndex slot) {
+    if (!armed_ || slot >= base_slot_count_) return;
+    dirty_out_.insert(slot);
+  }
+  void record_in_touch(SlotIndex slot) {
+    if (!armed_ || slot >= base_slot_count_) return;
+    dirty_in_.insert(slot);
+  }
+
+  void record_add_edge(SlotIndex src, SlotIndex dst) {
+    if (!armed_) return;
+    ++edges_added_;
+    record_out_touch(src);
+    record_in_touch(dst);
+  }
+
+  void record_delete_edge(SlotIndex src, SlotIndex dst) {
+    if (!armed_) return;
+    ++edges_deleted_;
+    record_out_touch(src);
+    record_in_touch(dst);
+  }
+
+  // ---- inspection (refresh + tests) ----
+
+  /// True when nothing has been recorded since the last rearm. Note this
+  /// is about recorded *marks*: mutations confined to new slots keep the
+  /// dirty sets empty but still bump the op counters.
+  bool clean() const {
+    return dirty_out_.empty() && dirty_in_.empty() && deleted_ids_.empty() &&
+           vertices_added_ == 0 && vertices_deleted_ == 0 &&
+           edges_added_ == 0 && edges_deleted_ == 0;
+  }
+
+  SlotIndex base_slot_count() const { return base_slot_count_; }
+  std::uint32_t base_epoch() const { return base_epoch_; }
+  std::uint64_t serial() const { return serial_; }
+
+  const std::unordered_set<SlotIndex>& dirty_out() const { return dirty_out_; }
+  const std::unordered_set<SlotIndex>& dirty_in() const { return dirty_in_; }
+  const std::vector<VertexId>& deleted_ids() const { return deleted_ids_; }
+
+  std::uint64_t vertices_added() const { return vertices_added_; }
+  std::uint64_t vertices_deleted() const { return vertices_deleted_; }
+  std::uint64_t edges_added() const { return edges_added_; }
+  std::uint64_t edges_deleted() const { return edges_deleted_; }
+
+ private:
+  bool armed_ = false;
+  SlotIndex base_slot_count_ = 0;
+  std::uint32_t base_epoch_ = 0;
+  std::uint64_t serial_ = 0;  // 0 = never armed; real serials start at 1
+  std::unordered_set<SlotIndex> dirty_out_;
+  std::unordered_set<SlotIndex> dirty_in_;
+  std::vector<VertexId> deleted_ids_;
+  std::uint64_t vertices_added_ = 0;
+  std::uint64_t vertices_deleted_ = 0;
+  std::uint64_t edges_added_ = 0;
+  std::uint64_t edges_deleted_ = 0;
+};
+
+}  // namespace graphbig::graph

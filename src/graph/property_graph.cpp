@@ -96,6 +96,7 @@ VertexRecord* PropertyGraph::add_vertex(VertexId id) {
   slots_.push_back(std::move(record));
   index_[id] = slot;
   ++num_vertices_;
+  mlog_.record_add_vertex();
   next_auto_id_ = std::max(next_auto_id_, id + 1);
   trace::write(trace::MemKind::kTopology, raw, sizeof(VertexRecord));
   return raw;
@@ -116,15 +117,19 @@ const VertexRecord* PropertyGraph::find_vertex(VertexId id) const {
 bool PropertyGraph::delete_vertex(VertexId id) {
   fwk::PrimitiveScope scope;
   trace::block(trace::kBlockDeleteVertex);
-  VertexRecord* v = find_vertex_impl(id);
-  if (v == nullptr) return false;
+  const SlotIndex vslot = find_slot_impl(id);
+  if (vslot == kInvalidSlot) return false;
+  VertexRecord* v = slots_[vslot].get();
+  mlog_.record_delete_vertex(vslot, id);
 
   // Remove edges v -> t from every target's incoming list. The unlink
   // scans read every element they step over, and the trace reflects that.
   for (const EdgeRecord& e : v->out) {
     trace::read(trace::MemKind::kTopology, &e, sizeof(EdgeRecord));
-    VertexRecord* t = find_vertex_impl(e.target);
+    const SlotIndex tslot = find_slot_impl(e.target);
+    VertexRecord* t = tslot == kInvalidSlot ? nullptr : slots_[tslot].get();
     if (t != nullptr) {
+      mlog_.record_in_touch(tslot);
       auto it = t->in.begin();
       for (; it != t->in.end(); ++it) {
         trace::read(trace::MemKind::kTopology, &*it, sizeof(InRecord));
@@ -145,8 +150,10 @@ bool PropertyGraph::delete_vertex(VertexId id) {
   for (const InRecord& r : v->in) {
     const VertexId src = r.source;
     trace::read(trace::MemKind::kTopology, &r, sizeof(InRecord));
-    VertexRecord* s = find_vertex_impl(src);
+    const SlotIndex sslot = find_slot_impl(src);
+    VertexRecord* s = sslot == kInvalidSlot ? nullptr : slots_[sslot].get();
     if (s == nullptr) continue;
+    mlog_.record_out_touch(sslot);
     auto it = s->out.begin();
     for (; it != s->out.end(); ++it) {
       trace::read(trace::MemKind::kTopology, &*it, sizeof(EdgeRecord));
@@ -200,6 +207,7 @@ EdgeRecord* PropertyGraph::add_edge(VertexId src, VertexId dst,
   s->out.push_back(EdgeRecord(dst, weight, dslot, mutation_epoch_));
   d->in.push_back(InRecord(src, sslot, mutation_epoch_));
   ++num_edges_;
+  mlog_.record_add_edge(sslot, dslot);
   trace::write(trace::MemKind::kTopology, &s->out.back(),
                sizeof(EdgeRecord));
   trace::write(trace::MemKind::kTopology, &d->in.back(), sizeof(InRecord));
@@ -227,12 +235,15 @@ const EdgeRecord* PropertyGraph::find_edge(VertexId src, VertexId dst) const {
 bool PropertyGraph::delete_edge(VertexId src, VertexId dst) {
   fwk::PrimitiveScope scope;
   trace::block(trace::kBlockDeleteEdge);
-  VertexRecord* s = find_vertex_impl(src);
-  VertexRecord* d = find_vertex_impl(dst);
+  const SlotIndex sslot = find_slot_impl(src);
+  const SlotIndex dslot = find_slot_impl(dst);
+  VertexRecord* s = sslot == kInvalidSlot ? nullptr : slots_[sslot].get();
+  VertexRecord* d = dslot == kInvalidSlot ? nullptr : slots_[dslot].get();
   if (s == nullptr || d == nullptr) return false;
   auto it = std::find_if(s->out.begin(), s->out.end(),
                          [&](const EdgeRecord& e) { return e.target == dst; });
   if (it == s->out.end()) return false;
+  mlog_.record_delete_edge(sslot, dslot);
   *it = std::move(s->out.back());
   s->out.pop_back();
   auto in_it =

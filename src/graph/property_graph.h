@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "graph/mutation_log.h"
 #include "graph/property.h"
 #include "platform/timer.h"
 #include "trace/access.h"
@@ -427,6 +428,21 @@ class PropertyGraph {
 
   void set_allow_parallel_edges(bool allow) { allow_parallel_edges_ = allow; }
 
+  // ---- mutation log (incremental re-freeze) ----
+
+  /// Mutations recorded since the log was last armed (by
+  /// GraphSnapshot::freeze / ::refresh). Unarmed before the first freeze,
+  /// so bulk graph construction pays zero recording overhead.
+  const MutationLog& mutation_log() const { return mlog_; }
+
+  /// Clears and re-arms the log at the current slot count / epoch;
+  /// returns the new log serial. Const because snapshots are built from
+  /// const graphs; the log is bookkeeping, not graph state.
+  std::uint64_t rearm_mutation_log() const {
+    return mlog_.rearm(static_cast<SlotIndex>(slots_.size()),
+                       mutation_epoch_);
+  }
+
   /// Checks internal invariants (index consistency, in/out symmetry,
   /// counts). Returns true when consistent; used by tests and debug builds.
   bool validate() const;
@@ -445,6 +461,8 @@ class PropertyGraph {
   // Starts at 1 so the default edge stamp (epoch 0) is never current.
   std::uint32_t mutation_epoch_ = 1;
   bool allow_parallel_edges_ = false;
+  // Armed lazily by the first freeze(); mutable so const freezes can rearm.
+  mutable MutationLog mlog_;
 };
 
 }  // namespace graphbig::graph

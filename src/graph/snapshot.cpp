@@ -1,6 +1,9 @@
 #include "graph/snapshot.h"
 
 #include <cstring>
+#include <string>
+
+#include "platform/timer.h"
 
 namespace graphbig::graph {
 
@@ -54,77 +57,354 @@ std::size_t PropertyColumns::footprint_bytes() const {
 // GraphSnapshot
 // ---------------------------------------------------------------------------
 
-GraphSnapshot GraphSnapshot::freeze(const PropertyGraph& g) {
-  GraphSnapshot snap;
-
-  // Pass 1: dense ids for live slots, order-preserving.
-  const std::size_t slots = g.slot_count();
-  std::vector<SlotIndex> slot_of_dense;
-  std::vector<std::uint32_t> dense_of_slot(slots, ~std::uint32_t{0});
-  slot_of_dense.reserve(g.num_vertices());
-  for (SlotIndex s = 0; s < slots; ++s) {
-    if (g.vertex_at(s) != nullptr) {
-      dense_of_slot[s] = static_cast<std::uint32_t>(slot_of_dense.size());
-      slot_of_dense.push_back(s);
-    }
+const char* to_string(RefreshStats::Kind kind) {
+  switch (kind) {
+    case RefreshStats::Kind::kIncremental:
+      return "incremental";
+    case RefreshStats::Kind::kFullRebuild:
+      return "full-rebuild";
+    case RefreshStats::Kind::kNone:
+      break;
   }
-  const auto n = static_cast<std::uint32_t>(slot_of_dense.size());
-  snap.num_vertices_ = n;
+  return "none";
+}
 
-  auto* out_ptr = arena_array<std::uint64_t>(snap.arena_, n + 1);
-  auto* in_ptr = arena_array<std::uint64_t>(snap.arena_, n + 1);
-  auto* orig_id = arena_array<VertexId>(snap.arena_, n);
+void GraphSnapshot::rebuild_from(const PropertyGraph& g) {
+  arena_.reset();
+  out_rows_ = nullptr;
+  out_wrows_ = nullptr;
+  in_rows_ = nullptr;
+  out_indirect_.clear();
+  in_indirect_.clear();
+  out_indirected_ = 0;
+  in_indirected_ = 0;
+  index_.clear();
 
-  // Pass 2: degrees from both adjacency directions.
-  for (std::uint32_t v = 0; v < n; ++v) {
-    const VertexRecord* rec = g.vertex_at(slot_of_dense[v]);
-    orig_id[v] = rec->id;
-    out_ptr[v + 1] = out_ptr[v] + rec->out.size();
-    in_ptr[v + 1] = in_ptr[v] + rec->in.size();
+  // Pass 1: one row per slot, dead slots included; degrees from both
+  // adjacency directions.
+  const auto rows = static_cast<std::uint32_t>(g.slot_count());
+  row_count_ = rows;
+  num_vertices_ = static_cast<std::uint32_t>(g.num_vertices());
+
+  auto* out_ptr = arena_array<std::uint64_t>(arena_, rows + 1);
+  auto* in_ptr = arena_array<std::uint64_t>(arena_, rows + 1);
+  auto* orig_id = arena_array<VertexId>(arena_, rows);
+  for (std::uint32_t v = 0; v < rows; ++v) {
+    const VertexRecord* rec = g.vertex_at(v);
+    orig_id[v] = rec != nullptr ? rec->id : kInvalidVertex;
+    out_ptr[v + 1] = out_ptr[v] + (rec != nullptr ? rec->out.size() : 0);
+    in_ptr[v + 1] = in_ptr[v] + (rec != nullptr ? rec->in.size() : 0);
   }
-  snap.num_edges_ = out_ptr[n];
+  num_edges_ = out_ptr[rows];
 
-  auto* out_dst = arena_array<std::uint32_t>(snap.arena_, out_ptr[n]);
-  auto* out_weight = arena_array<double>(snap.arena_, out_ptr[n]);
-  auto* in_src = arena_array<std::uint32_t>(snap.arena_, in_ptr[n]);
+  auto* out_dst = arena_array<std::uint32_t>(arena_, out_ptr[rows]);
+  auto* out_weight = arena_array<double>(arena_, out_ptr[rows]);
+  auto* in_src = arena_array<std::uint32_t>(arena_, in_ptr[rows]);
 
-  // Pass 3: copy adjacency verbatim (per-vertex edge order preserved), the
-  // one place the snapshot pays hash probes for stale slot caches.
-  for (std::uint32_t v = 0; v < n; ++v) {
-    const VertexRecord* rec = g.vertex_at(slot_of_dense[v]);
+  // Pass 2: copy adjacency verbatim (per-vertex edge order preserved).
+  // Row index == slot index, so the resolved neighbor slot IS the stored
+  // row id — no renumbering table.
+  for (std::uint32_t v = 0; v < rows; ++v) {
+    const VertexRecord* rec = g.vertex_at(v);
+    if (rec == nullptr) continue;
     std::uint64_t pos = out_ptr[v];
-    g.for_each_out_edge(*rec,
-                        [&](const EdgeRecord& e, SlotIndex tslot) {
-                          out_dst[pos] = dense_of_slot[tslot];
-                          out_weight[pos] = e.weight;
-                          ++pos;
-                        });
+    g.for_each_out_edge(*rec, [&](const EdgeRecord& e, SlotIndex tslot) {
+      out_dst[pos] = tslot;
+      out_weight[pos] = e.weight;
+      ++pos;
+    });
     pos = in_ptr[v];
     g.for_each_in_neighbor(*rec, [&](VertexId, SlotIndex sslot) {
-      in_src[pos++] = dense_of_slot[sslot];
+      in_src[pos++] = sslot;
     });
   }
 
-  snap.out_ptr_ = out_ptr;
-  snap.out_dst_ = out_dst;
-  snap.out_weight_ = out_weight;
-  snap.in_ptr_ = in_ptr;
-  snap.in_src_ = in_src;
-  snap.orig_id_ = orig_id;
+  out_ptr_ = out_ptr;
+  out_dst_ = out_dst;
+  out_weight_ = out_weight;
+  in_ptr_ = in_ptr;
+  in_src_ = in_src;
+  orig_id_ = orig_id;
 
-  snap.index_.reserve(n);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    snap.index_[orig_id[v]] = static_cast<SlotIndex>(v);
+  index_.reserve(num_vertices_);
+  for (std::uint32_t v = 0; v < rows; ++v) {
+    if (orig_id[v] != kInvalidVertex) {
+      index_[orig_id[v]] = static_cast<SlotIndex>(v);
+    }
   }
-  snap.columns_ = std::make_unique<PropertyColumns>(n);
+  columns_ = std::make_unique<PropertyColumns>(rows);
+  base_serial_ = g.rearm_mutation_log();
+}
+
+GraphSnapshot GraphSnapshot::freeze(const PropertyGraph& g) {
+  GraphSnapshot snap;
+  snap.rebuild_from(g);
   return snap;
+}
+
+const RefreshStats& GraphSnapshot::refresh(const PropertyGraph& g,
+                                           const RefreshOptions& opts) {
+  platform::WallTimer timer;
+  RefreshStats stats;
+  const MutationLog& log = g.mutation_log();
+  stats.vertices_deleted =
+      static_cast<std::uint32_t>(log.vertices_deleted());
+
+  auto full_rebuild = [&](const char* reason) -> const RefreshStats& {
+    rebuild_from(g);
+    stats.kind = RefreshStats::Kind::kFullRebuild;
+    stats.fallback_reason = reason;
+    stats.rows_total = row_count_;
+    stats.rows_rewritten = row_count_;
+    stats.rows_added = 0;
+    stats.edges_copied = num_edges_;
+    stats.indirected_fraction = 0.0;
+    stats.seconds = timer.seconds();
+    last_refresh_ = stats;
+    return last_refresh_;
+  };
+
+  // Composition guards: the log must describe "mutations since THIS
+  // snapshot's freeze" — same log generation (serial) and same row base.
+  if (base_serial_ == 0) {
+    return full_rebuild("snapshot has no freeze base");
+  }
+  if (!log.armed() || log.serial() != base_serial_) {
+    return full_rebuild("mutation-log serial mismatch (another freeze "
+                        "rearmed the log)");
+  }
+  if (log.base_slot_count() != row_count_) {
+    return full_rebuild("mutation-log slot base does not match row count");
+  }
+
+  const std::uint32_t old_rows = row_count_;
+  const auto new_rows = static_cast<std::uint32_t>(g.slot_count());
+
+  // Compaction policy: project the indirected-row fraction this merge
+  // would produce; past the threshold the tail-chasing cost (and the tail
+  // space already burned) outweighs an O(V+E) rebuild.
+  std::uint64_t projected_out = out_indirected_;
+  std::uint64_t projected_in = in_indirected_;
+  out_indirect_.resize(new_rows, 0);
+  in_indirect_.resize(new_rows, 0);
+  for (const SlotIndex s : log.dirty_out()) {
+    if (!out_indirect_[s]) ++projected_out;
+  }
+  for (const SlotIndex s : log.dirty_in()) {
+    if (!in_indirect_[s]) ++projected_in;
+  }
+  projected_out += new_rows - old_rows;
+  projected_in += new_rows - old_rows;
+  const double projected_fraction =
+      new_rows == 0 ? 0.0
+                    : static_cast<double>(projected_out + projected_in) /
+                          (2.0 * new_rows);
+  if (projected_fraction > opts.max_indirected_fraction) {
+    return full_rebuild("indirected-row fraction past compaction threshold");
+  }
+
+  // Delta merge. Capture the pre-refresh row accessors: the old arrays
+  // stay alive in the arena, so untouched rows keep their exact bytes and
+  // addresses.
+  const std::uint64_t* old_out_ptr = out_ptr_;
+  const std::uint64_t* old_in_ptr = in_ptr_;
+  const std::uint32_t* old_out_dst = out_dst_;
+  const double* old_out_weight = out_weight_;
+  const std::uint32_t* old_in_src = in_src_;
+  const std::uint32_t* const* old_out_rows = out_rows_;
+  const double* const* old_out_wrows = out_wrows_;
+  const std::uint32_t* const* old_in_rows = in_rows_;
+  auto old_out_row = [&](std::uint32_t v) {
+    return old_out_rows != nullptr ? old_out_rows[v]
+                                   : old_out_dst + old_out_ptr[v];
+  };
+  auto old_out_wrow = [&](std::uint32_t v) {
+    return old_out_wrows != nullptr ? old_out_wrows[v]
+                                    : old_out_weight + old_out_ptr[v];
+  };
+  auto old_in_row = [&](std::uint32_t v) {
+    return old_in_rows != nullptr ? old_in_rows[v]
+                                  : old_in_src + old_in_ptr[v];
+  };
+
+  auto* new_out_ptr = arena_array<std::uint64_t>(arena_, new_rows + 1);
+  auto* new_in_ptr = arena_array<std::uint64_t>(arena_, new_rows + 1);
+  auto* new_orig = arena_array<VertexId>(arena_, new_rows);
+  auto* new_out_rows = arena_array<const std::uint32_t*>(arena_, new_rows);
+  auto* new_out_wrows = arena_array<const double*>(arena_, new_rows);
+  auto* new_in_rows = arena_array<const std::uint32_t*>(arena_, new_rows);
+
+  for (std::uint32_t v = 0; v < new_rows; ++v) {
+    const VertexRecord* rec = g.vertex_at(v);
+    new_orig[v] = rec != nullptr ? rec->id : kInvalidVertex;
+    const std::uint64_t odeg = rec != nullptr ? rec->out.size() : 0;
+    const std::uint64_t ideg = rec != nullptr ? rec->in.size() : 0;
+    new_out_ptr[v + 1] = new_out_ptr[v] + odeg;
+    new_in_ptr[v + 1] = new_in_ptr[v] + ideg;
+
+    const bool is_new = v >= old_rows;
+    const bool out_dirty = is_new || log.dirty_out().count(v) > 0;
+    const bool in_dirty = is_new || log.dirty_in().count(v) > 0;
+    if (!is_new && (out_dirty || in_dirty)) ++stats.rows_rewritten;
+
+    if (out_dirty) {
+      if (!out_indirect_[v]) {
+        out_indirect_[v] = 1;
+        ++out_indirected_;
+      }
+      if (odeg > 0) {
+        auto* dst = arena_array<std::uint32_t>(arena_, odeg);
+        auto* w = arena_array<double>(arena_, odeg);
+        std::uint64_t pos = 0;
+        g.for_each_out_edge(*rec,
+                            [&](const EdgeRecord& e, SlotIndex tslot) {
+                              dst[pos] = tslot;
+                              w[pos] = e.weight;
+                              ++pos;
+                            });
+        new_out_rows[v] = dst;
+        new_out_wrows[v] = w;
+        stats.edges_copied += odeg;
+      } else {
+        new_out_rows[v] = nullptr;
+        new_out_wrows[v] = nullptr;
+      }
+    } else {
+      new_out_rows[v] = old_out_row(v);
+      new_out_wrows[v] = old_out_wrow(v);
+    }
+
+    if (in_dirty) {
+      if (!in_indirect_[v]) {
+        in_indirect_[v] = 1;
+        ++in_indirected_;
+      }
+      if (ideg > 0) {
+        auto* src = arena_array<std::uint32_t>(arena_, ideg);
+        std::uint64_t pos = 0;
+        g.for_each_in_neighbor(*rec, [&](VertexId, SlotIndex sslot) {
+          src[pos++] = sslot;
+        });
+        new_in_rows[v] = src;
+        stats.edges_copied += ideg;
+      } else {
+        new_in_rows[v] = nullptr;
+      }
+    } else {
+      new_in_rows[v] = old_in_row(v);
+    }
+  }
+
+  // Publish the merged topology. The base edge arrays stay as-is;
+  // untouched rows reference them through the indirection tables.
+  out_ptr_ = new_out_ptr;
+  in_ptr_ = new_in_ptr;
+  orig_id_ = new_orig;
+  out_rows_ = new_out_rows;
+  out_wrows_ = new_out_wrows;
+  in_rows_ = new_in_rows;
+  row_count_ = new_rows;
+  num_vertices_ = static_cast<std::uint32_t>(g.num_vertices());
+  num_edges_ = new_out_ptr[new_rows];
+
+  // External-id index: drop deleted ids first — a deleted id re-added
+  // lands in a new slot, and the insertion below must win.
+  for (const VertexId id : log.deleted_ids()) index_.erase(id);
+  for (std::uint32_t v = old_rows; v < new_rows; ++v) {
+    if (new_orig[v] != kInvalidVertex) {
+      index_[new_orig[v]] = static_cast<SlotIndex>(v);
+    }
+  }
+
+  columns_ = std::make_unique<PropertyColumns>(new_rows);
+
+  stats.kind = RefreshStats::Kind::kIncremental;
+  stats.rows_total = new_rows;
+  stats.rows_added = new_rows - old_rows;
+  stats.indirected_fraction =
+      new_rows == 0 ? 0.0
+                    : static_cast<double>(out_indirected_ + in_indirected_) /
+                          (2.0 * new_rows);
+  base_serial_ = g.rearm_mutation_log();
+  stats.seconds = timer.seconds();
+  last_refresh_ = stats;
+  return last_refresh_;
 }
 
 std::size_t GraphSnapshot::footprint_bytes() const {
   return arena_.bytes_allocated() +
          index_.size() * (sizeof(VertexId) + sizeof(SlotIndex) +
                           2 * sizeof(void*)) +
-         columns_->footprint_bytes();
+         out_indirect_.capacity() + in_indirect_.capacity() +
+         (columns_ != nullptr ? columns_->footprint_bytes() : 0);
+}
+
+bool structurally_equal(const GraphSnapshot& a, const GraphSnapshot& b,
+                        std::string* why) {
+  auto fail = [&](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (a.row_count() != b.row_count()) {
+    return fail("row_count " + std::to_string(a.row_count()) + " vs " +
+                std::to_string(b.row_count()));
+  }
+  if (a.num_vertices() != b.num_vertices()) {
+    return fail("num_vertices " + std::to_string(a.num_vertices()) +
+                " vs " + std::to_string(b.num_vertices()));
+  }
+  if (a.num_edges() != b.num_edges()) {
+    return fail("num_edges " + std::to_string(a.num_edges()) + " vs " +
+                std::to_string(b.num_edges()));
+  }
+  for (std::uint32_t v = 0; v < a.row_count(); ++v) {
+    const std::string row = "row " + std::to_string(v);
+    if (a.id_of(v) != b.id_of(v)) {
+      return fail(row + ": orig id " + std::to_string(a.id_of(v)) +
+                  " vs " + std::to_string(b.id_of(v)));
+    }
+    if (a.out_degree(v) != b.out_degree(v)) {
+      return fail(row + ": out degree " + std::to_string(a.out_degree(v)) +
+                  " vs " + std::to_string(b.out_degree(v)));
+    }
+    if (a.in_degree(v) != b.in_degree(v)) {
+      return fail(row + ": in degree " + std::to_string(a.in_degree(v)) +
+                  " vs " + std::to_string(b.in_degree(v)));
+    }
+    const std::uint64_t odeg = a.out_degree(v);
+    const std::uint32_t* da = a.out_row(v);
+    const std::uint32_t* db = b.out_row(v);
+    const double* wa = a.out_weight_row(v);
+    const double* wb = b.out_weight_row(v);
+    for (std::uint64_t e = 0; e < odeg; ++e) {
+      if (da[e] != db[e]) {
+        return fail(row + ": out edge " + std::to_string(e) + " target " +
+                    std::to_string(da[e]) + " vs " + std::to_string(db[e]));
+      }
+      if (std::memcmp(&wa[e], &wb[e], sizeof(double)) != 0) {
+        return fail(row + ": out edge " + std::to_string(e) +
+                    " weight bits differ");
+      }
+    }
+    const std::uint64_t ideg = a.in_degree(v);
+    const std::uint32_t* sa = a.in_row(v);
+    const std::uint32_t* sb = b.in_row(v);
+    for (std::uint64_t e = 0; e < ideg; ++e) {
+      if (sa[e] != sb[e]) {
+        return fail(row + ": in edge " + std::to_string(e) + " source " +
+                    std::to_string(sa[e]) + " vs " + std::to_string(sb[e]));
+      }
+    }
+    if (a.is_live(v)) {
+      const VertexId id = a.id_of(v);
+      if (a.slot_of(id) != v || b.slot_of(id) != v) {
+        return fail(row + ": id index maps " + std::to_string(id) +
+                    " to rows " + std::to_string(a.slot_of(id)) + " / " +
+                    std::to_string(b.slot_of(id)));
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace graphbig::graph

@@ -1,4 +1,5 @@
-// Immutable frozen snapshot of a dynamic property graph.
+// Immutable frozen snapshot of a dynamic property graph, with an
+// incremental re-freeze path.
 //
 // The paper's central representational contrast (Sections 3-4) is the
 // dynamic vertex-centric structure the CPU framework traverses against the
@@ -7,21 +8,33 @@
 //
 //   * an out-CSR (targets + weights, per-vertex edge order preserved),
 //   * an in-CSR (sources, mirroring each vertex's dynamic in-list order),
-//   * the dense-id <-> external-id mapping, and
+//   * the row <-> external-id mapping, and
 //   * mutable property columns for algorithm state,
 //
 // all bump-allocated from one arena so the topology occupies a contiguous,
 // relocatable address range (the prerequisite for per-NUMA-node
 // partitioning and split device transfers). The snapshot's topology is
-// immutable: mutating the source graph after freeze() does not affect it.
+// immutable between freezes: mutating the source graph does not affect it
+// until the owner explicitly calls refresh().
 //
-// Dense indices are assigned to live slots order-preservingly, so on a
-// tombstone-free graph (every harness-built dataset) dense index == slot
-// index and workloads produce bit-identical results on either
-// representation. Per-vertex edge order is copied verbatim from the
-// dynamic adjacency (NOT sorted), which is what keeps floating-point
-// reductions over edges identical between the two paths; the sorted-row
-// device CSR is derived separately (graph::build_csr(const GraphSnapshot&)).
+// Row space: the snapshot keeps ONE ROW PER DYNAMIC SLOT, tombstones
+// included. A dead slot is a zero-degree row whose orig_id is
+// kInvalidVertex; is_live() distinguishes it. Row index therefore always
+// equals slot index, which is what keeps dynamic-vs-frozen results
+// bit-identical (same index space, same iteration order) and — crucially —
+// what lets refresh() leave untouched rows byte-stable: a vertex deletion
+// never renumbers the survivors. Per-vertex edge order is copied verbatim
+// from the dynamic adjacency (NOT sorted); the sorted-row device CSR is
+// derived separately (graph::build_csr(const GraphSnapshot&), which
+// compacts dead rows away).
+//
+// refresh() delta-merges the source graph's MutationLog into the existing
+// arena: rows the log marks dirty (plus rows for new slots) are rewritten
+// into arena tail space and published through a per-row indirection table;
+// every other row keeps its exact bytes and address. When the fraction of
+// indirected rows crosses RefreshOptions::max_indirected_fraction, refresh
+// falls back to a full rebuild (reported via RefreshStats) — the arena
+// tail otherwise grows without bound and row locality degrades.
 #pragma once
 
 #include <array>
@@ -29,6 +42,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -89,14 +103,55 @@ class PropertyColumns {
   std::vector<std::unique_ptr<double[]>> dbl_storage_;
 };
 
+/// How a refresh() resolved, plus the work it did — the telemetry surface
+/// the churn bench and the negative-path tests read.
+struct RefreshStats {
+  enum class Kind {
+    kNone,         // snapshot has never been refreshed
+    kIncremental,  // delta-merge: only dirty/new rows rewritten
+    kFullRebuild,  // fell back to a from-scratch freeze
+  };
+  Kind kind = Kind::kNone;
+  /// Why an incremental merge was refused; "" for incremental refreshes.
+  const char* fallback_reason = "";
+  std::uint32_t rows_total = 0;
+  std::uint32_t rows_rewritten = 0;  // pre-existing rows re-copied to tail
+  std::uint32_t rows_added = 0;      // rows for slots born since the base
+  std::uint32_t vertices_deleted = 0;
+  std::uint64_t edges_copied = 0;
+  /// Fraction of rows (out + in, over 2 * rows_total) served through the
+  /// indirection table after this refresh.
+  double indirected_fraction = 0.0;
+  double seconds = 0.0;
+};
+
+const char* to_string(RefreshStats::Kind kind);
+
+struct RefreshOptions {
+  /// Fall back to a full rebuild once more than this fraction of rows
+  /// would be indirected. 0.0 forces every non-clean refresh to rebuild.
+  double max_indirected_fraction = 0.5;
+};
+
 /// Frozen CSR-backed snapshot of a PropertyGraph. Topology is immutable
-/// after freeze(); property columns are mutable algorithm state.
+/// between freeze()/refresh() calls; property columns are mutable
+/// algorithm state.
 class GraphSnapshot {
  public:
-  /// Builds a snapshot of the current graph. Live slots are renumbered
-  /// densely in slot order; per-vertex out- and in-edge order is copied
-  /// verbatim from the dynamic adjacency.
+  /// Builds a snapshot of the current graph: one row per slot (dead slots
+  /// become zero-degree rows), per-vertex out- and in-edge order copied
+  /// verbatim. Rearms the graph's mutation log, so a later refresh()
+  /// against the same graph can delta-merge.
   static GraphSnapshot freeze(const PropertyGraph& g);
+
+  /// Delta-merges the graph's mutation log into this snapshot. The graph
+  /// must be the one this snapshot was frozen from, with no intervening
+  /// freeze (otherwise — or when the indirected-row fraction would cross
+  /// opts.max_indirected_fraction — the snapshot is fully rebuilt and the
+  /// returned stats say why). Always leaves the snapshot equivalent to
+  /// freeze(g) and rearms the log. Invalidates property columns.
+  const RefreshStats& refresh(const PropertyGraph& g,
+                              const RefreshOptions& opts = {});
 
   /// Empty snapshot (no vertices); assign a freeze() result over it.
   GraphSnapshot() = default;
@@ -106,16 +161,25 @@ class GraphSnapshot {
   GraphSnapshot(const GraphSnapshot&) = delete;
   GraphSnapshot& operator=(const GraphSnapshot&) = delete;
 
+  /// Live vertices (rows whose orig_id is valid).
   std::uint32_t num_vertices() const { return num_vertices_; }
   std::uint64_t num_edges() const { return num_edges_; }
 
-  /// External id of a dense vertex.
+  /// Rows in the snapshot == slot count of the source graph at
+  /// freeze/refresh time (>= num_vertices; dead slots keep their row).
+  std::uint32_t row_count() const { return row_count_; }
+
+  /// True when row v holds a live vertex.
+  bool is_live(std::uint32_t v) const {
+    return orig_id_[v] != kInvalidVertex;
+  }
+
+  /// External id of a row; kInvalidVertex for dead rows.
   VertexId id_of(std::uint32_t v) const { return orig_id_[v]; }
 
-  /// Dense index of an external id; kInvalidSlot when absent at freeze
-  /// time. (Returns SlotIndex because on tombstone-free graphs the dense
-  /// index and the dynamic slot coincide; workloads use them
-  /// interchangeably through GraphView.)
+  /// Row of an external id; kInvalidSlot when absent at freeze time.
+  /// (Returns SlotIndex because row index == dynamic slot index; workloads
+  /// use them interchangeably through GraphView.)
   SlotIndex slot_of(VertexId id) const {
     auto it = index_.find(id);
     return it == index_.end() ? kInvalidSlot : it->second;
@@ -128,7 +192,27 @@ class GraphSnapshot {
     return in_ptr_[v + 1] - in_ptr_[v];
   }
 
-  // Raw frozen arrays (device-CSR conversion, partitioning, tests).
+  // ---- per-row edge storage ----
+  //
+  // Before the first refresh every row lives in the base arrays and
+  // out_row(v) == out_dst() + out_ptr()[v]; after a refresh, rewritten
+  // rows point into arena tail space through the indirection tables. The
+  // row-pointer arrays (out_ptr/in_ptr) always hold true degree prefixes —
+  // they are rebuilt on refresh — so prefix-based chunking stays exact.
+
+  const std::uint32_t* out_row(std::uint32_t v) const {
+    return out_rows_ != nullptr ? out_rows_[v] : out_dst_ + out_ptr_[v];
+  }
+  const double* out_weight_row(std::uint32_t v) const {
+    return out_wrows_ != nullptr ? out_wrows_[v] : out_weight_ + out_ptr_[v];
+  }
+  const std::uint32_t* in_row(std::uint32_t v) const {
+    return in_rows_ != nullptr ? in_rows_[v] : in_src_ + in_ptr_[v];
+  }
+
+  // Raw frozen arrays (device-CSR conversion, partitioning, tests). The
+  // edge arrays (out_dst/out_weight/in_src) describe refreshed rows only
+  // through out_row()/in_row(); the prefix arrays are always current.
   const std::uint64_t* out_ptr() const { return out_ptr_; }
   const std::uint32_t* out_dst() const { return out_dst_; }
   const double* out_weight() const { return out_weight_; }
@@ -136,31 +220,32 @@ class GraphSnapshot {
   const std::uint32_t* in_src() const { return in_src_; }
   const VertexId* orig_id() const { return orig_id_; }
 
-  /// Calls fn(dense target, weight) for each out-edge of v, in the dynamic
+  /// Calls fn(row target, weight) for each out-edge of v, in the dynamic
   /// graph's edge order.
   template <typename Fn>
   void for_each_out(std::uint32_t v, Fn&& fn) const {
-    const std::uint64_t lo = out_ptr_[v];
-    const std::uint64_t hi = out_ptr_[v + 1];
-    for (std::uint64_t e = lo; e < hi; ++e) {
-      trace::read(trace::MemKind::kTopology, &out_dst_[e],
+    const std::uint64_t deg = out_ptr_[v + 1] - out_ptr_[v];
+    const std::uint32_t* dst = out_row(v);
+    const double* w = out_weight_row(v);
+    for (std::uint64_t e = 0; e < deg; ++e) {
+      trace::read(trace::MemKind::kTopology, &dst[e],
                   sizeof(std::uint32_t) + sizeof(double));
       trace::branch(trace::kBranchLoopCond, true);
-      fn(out_dst_[e], out_weight_[e]);
+      fn(dst[e], w[e]);
     }
   }
 
-  /// Calls fn(dense source) for each in-edge of v, in the dynamic graph's
+  /// Calls fn(row source) for each in-edge of v, in the dynamic graph's
   /// in-list order.
   template <typename Fn>
   void for_each_in(std::uint32_t v, Fn&& fn) const {
-    const std::uint64_t lo = in_ptr_[v];
-    const std::uint64_t hi = in_ptr_[v + 1];
-    for (std::uint64_t e = lo; e < hi; ++e) {
-      trace::read(trace::MemKind::kTopology, &in_src_[e],
+    const std::uint64_t deg = in_ptr_[v + 1] - in_ptr_[v];
+    const std::uint32_t* src = in_row(v);
+    for (std::uint64_t e = 0; e < deg; ++e) {
+      trace::read(trace::MemKind::kTopology, &src[e],
                   sizeof(std::uint32_t));
       trace::branch(trace::kBranchLoopCond, true);
-      fn(in_src_[e]);
+      fn(src[e]);
     }
   }
 
@@ -168,25 +253,26 @@ class GraphSnapshot {
   /// pull path of the frontier engine walks in-rows through these.
   template <typename Fn>
   void for_each_out_until(std::uint32_t v, Fn&& fn) const {
-    const std::uint64_t lo = out_ptr_[v];
-    const std::uint64_t hi = out_ptr_[v + 1];
-    for (std::uint64_t e = lo; e < hi; ++e) {
-      trace::read(trace::MemKind::kTopology, &out_dst_[e],
+    const std::uint64_t deg = out_ptr_[v + 1] - out_ptr_[v];
+    const std::uint32_t* dst = out_row(v);
+    const double* w = out_weight_row(v);
+    for (std::uint64_t e = 0; e < deg; ++e) {
+      trace::read(trace::MemKind::kTopology, &dst[e],
                   sizeof(std::uint32_t) + sizeof(double));
       trace::branch(trace::kBranchLoopCond, true);
-      if (!fn(out_dst_[e], out_weight_[e])) return;
+      if (!fn(dst[e], w[e])) return;
     }
   }
 
   template <typename Fn>
   void for_each_in_until(std::uint32_t v, Fn&& fn) const {
-    const std::uint64_t lo = in_ptr_[v];
-    const std::uint64_t hi = in_ptr_[v + 1];
-    for (std::uint64_t e = lo; e < hi; ++e) {
-      trace::read(trace::MemKind::kTopology, &in_src_[e],
+    const std::uint64_t deg = in_ptr_[v + 1] - in_ptr_[v];
+    const std::uint32_t* src = in_row(v);
+    for (std::uint64_t e = 0; e < deg; ++e) {
+      trace::read(trace::MemKind::kTopology, &src[e],
                   sizeof(std::uint32_t));
       trace::branch(trace::kBranchLoopCond, true);
-      if (!fn(in_src_[e])) return;
+      if (!fn(src[e])) return;
     }
   }
 
@@ -194,21 +280,66 @@ class GraphSnapshot {
   /// because concurrent workloads write through a shared const snapshot.
   PropertyColumns& columns() const { return *columns_; }
 
+  /// Drops all column state (fresh zero/fallback reads). refresh() does
+  /// this implicitly; the churn harness calls it between workload runs on
+  /// the same snapshot.
+  void reset_columns() {
+    columns_ = std::make_unique<PropertyColumns>(row_count_);
+  }
+
+  // ---- refresh telemetry ----
+
+  /// Stats of the most recent refresh() (kind kNone before the first).
+  const RefreshStats& last_refresh() const { return last_refresh_; }
+
+  /// Serial of the source graph's mutation-log generation this snapshot
+  /// composes with; 0 for a default-constructed snapshot.
+  std::uint64_t base_serial() const { return base_serial_; }
+
+  /// Rows currently served through the indirection tables (out + in).
+  std::uint64_t rows_indirected() const {
+    return out_indirected_ + in_indirected_;
+  }
+
   /// Resident bytes of the frozen arrays plus materialized columns.
   std::size_t footprint_bytes() const;
 
  private:
+  void rebuild_from(const PropertyGraph& g);
+
   std::uint32_t num_vertices_ = 0;
+  std::uint32_t row_count_ = 0;
   std::uint64_t num_edges_ = 0;
-  const std::uint64_t* out_ptr_ = nullptr;   // n + 1
-  const std::uint32_t* out_dst_ = nullptr;   // m
-  const double* out_weight_ = nullptr;       // m
-  const std::uint64_t* in_ptr_ = nullptr;    // n + 1
-  const std::uint32_t* in_src_ = nullptr;    // m
-  const VertexId* orig_id_ = nullptr;        // n
+  const std::uint64_t* out_ptr_ = nullptr;   // rows + 1
+  const std::uint32_t* out_dst_ = nullptr;   // base edge storage
+  const double* out_weight_ = nullptr;       // base edge storage
+  const std::uint64_t* in_ptr_ = nullptr;    // rows + 1
+  const std::uint32_t* in_src_ = nullptr;    // base edge storage
+  const VertexId* orig_id_ = nullptr;        // rows
+  // Per-row indirection tables, null until the first incremental refresh.
+  const std::uint32_t* const* out_rows_ = nullptr;
+  const double* const* out_wrows_ = nullptr;
+  const std::uint32_t* const* in_rows_ = nullptr;
+  // Which rows point at tail space (size row_count_); kept outside the
+  // arena because they are rewritten wholesale each refresh.
+  std::vector<std::uint8_t> out_indirect_;
+  std::vector<std::uint8_t> in_indirect_;
+  std::uint64_t out_indirected_ = 0;
+  std::uint64_t in_indirected_ = 0;
+  std::uint64_t base_serial_ = 0;
+  RefreshStats last_refresh_;
   std::unordered_map<VertexId, SlotIndex> index_;
   std::unique_ptr<PropertyColumns> columns_;
   platform::Arena arena_;
 };
+
+/// Row-by-row structural comparison of two snapshots: row space, liveness,
+/// external ids, edge sequences (targets, weights, in-sources, in edge
+/// order), id index, and edge/vertex counts. On mismatch, when `why` is
+/// non-null it receives a description of the first divergence. The churn
+/// harness compares an incrementally refreshed snapshot against a fresh
+/// freeze with this.
+bool structurally_equal(const GraphSnapshot& a, const GraphSnapshot& b,
+                        std::string* why = nullptr);
 
 }  // namespace graphbig::graph

@@ -78,6 +78,22 @@ bool supports_frozen(const workloads::Workload& w) {
          !w.needs_dag_input();
 }
 
+const char* to_string(RefreshMode mode) {
+  return mode == RefreshMode::kIncremental ? "incremental" : "full";
+}
+
+bool parse_refresh_mode(const std::string& name, RefreshMode* out) {
+  if (name == "full") {
+    *out = RefreshMode::kFull;
+    return true;
+  }
+  if (name == "incremental") {
+    *out = RefreshMode::kIncremental;
+    return true;
+  }
+  return false;
+}
+
 DatasetBundle load_bundle(datagen::DatasetId id, datagen::Scale scale) {
   DatasetBundle bundle;
   bundle.id = id;
@@ -157,17 +173,53 @@ CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
 CpuTimedRun run_cpu_timed(const workloads::Workload& w,
                           const DatasetBundle& bundle, int threads,
                           Representation representation,
-                          const engine::TraversalOptions& traversal) {
+                          const engine::TraversalOptions& traversal,
+                          RefreshMode refresh_mode, const ChurnPhase& churn) {
   graph::PropertyGraph input = make_input_graph(w, bundle);
   workloads::RunContext ctx = make_cpu_context(w, input, bundle);
   ctx.traversal = traversal;
 
+  CpuTimedRun out;
+
   // Freeze before starting the timer: the measured interval covers the
   // algorithm only, on whichever representation it traverses.
   graph::GraphSnapshot snapshot;
-  if (representation == Representation::kFrozen && supports_frozen(w)) {
+  const bool frozen =
+      representation == Representation::kFrozen && supports_frozen(w);
+  if (frozen) {
     snapshot = graph::GraphSnapshot::freeze(input);
     ctx.snapshot = &snapshot;
+  }
+
+  // Churn phase: mutate the input (both representations see the same
+  // mutated graph, so dynamic/frozen checksums stay comparable), then
+  // bring the snapshot up to date per the refresh mode. Churn + refresh
+  // time is excluded from the measured workload seconds.
+  if (churn.batches > 0) {
+    graph::ChurnDriver driver(churn.config, input);
+    for (int b = 0; b < churn.batches; ++b) {
+      driver.apply_batch(input);
+      if (frozen && refresh_mode == RefreshMode::kIncremental) {
+        platform::WallTimer refresh_timer;
+        out.refresh = snapshot.refresh(input);
+        out.refresh_seconds += refresh_timer.seconds();
+      }
+    }
+    if (frozen && refresh_mode == RefreshMode::kFull) {
+      platform::WallTimer refresh_timer;
+      snapshot = graph::GraphSnapshot::freeze(input);
+      out.refresh_seconds = refresh_timer.seconds();
+      out.refresh.kind = graph::RefreshStats::Kind::kFullRebuild;
+      out.refresh.fallback_reason = "refresh mode: full";
+      out.refresh.rows_total = snapshot.row_count();
+      out.refresh.rows_rewritten = snapshot.row_count();
+      out.refresh.edges_copied = snapshot.num_edges();
+      out.refresh.seconds = out.refresh_seconds;
+    }
+    // The churn may have deleted the preferred root; re-pick from the
+    // mutated graph so every representation traverses from the same live
+    // vertex.
+    if (input.find_vertex(ctx.root) == nullptr) ctx.root = pick_root(input);
   }
 
   std::unique_ptr<platform::ThreadPool> pool;
@@ -176,7 +228,6 @@ CpuTimedRun run_cpu_timed(const workloads::Workload& w,
     ctx.pool = pool.get();
   }
 
-  CpuTimedRun out;
   ctx.telemetry = &out.telemetry;
   platform::WallTimer timer;
   out.run = w.run(ctx);

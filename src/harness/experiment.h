@@ -10,6 +10,7 @@
 #include <string>
 
 #include "datagen/registry.h"
+#include "graph/churn.h"
 #include "graph/csr.h"
 #include "graph/snapshot.h"
 #include "perfmodel/profiler.h"
@@ -34,6 +35,26 @@ bool parse_representation(const std::string& name, Representation* out);
 /// non-mutating, generic dataset input). CompDyn workloads and the
 /// Bayes/DAG-input workloads always use the dynamic representation.
 bool supports_frozen(const workloads::Workload& w);
+
+/// How a frozen snapshot is brought up to date after a churn phase: a full
+/// re-freeze, or GraphSnapshot::refresh's mutation-log delta merge.
+enum class RefreshMode { kFull, kIncremental };
+
+const char* to_string(RefreshMode mode);
+
+/// Parses "full" / "incremental"; false on anything else.
+bool parse_refresh_mode(const std::string& name, RefreshMode* out);
+
+/// A GUp/TMorph-style churn phase run against the workload's input graph
+/// before the analytic phase: `batches` rounds of `config.ops` random
+/// mutations. With Representation::kFrozen the snapshot is brought up to
+/// date per the RefreshMode (incremental: one refresh per batch; full:
+/// one re-freeze at the end); churn + refresh time is reported separately
+/// and excluded from the measured workload seconds.
+struct ChurnPhase {
+  int batches = 0;  // 0 = no churn phase
+  graph::ChurnConfig config;
+};
 
 /// A dataset prepared for both CPU and GPU sides.
 struct DatasetBundle {
@@ -73,6 +94,11 @@ struct CpuTimedRun {
   /// occupancy, chunks stolen) from the frontier-engine workloads; empty
   /// for workloads that do not traverse through the engine.
   engine::TraversalTelemetry telemetry;
+  /// Snapshot refresh telemetry from the churn phase (kind kNone when no
+  /// churn ran or the run was dynamic); `refresh.seconds` covers the last
+  /// refresh, `refresh_seconds` the sum over all batches.
+  graph::RefreshStats refresh;
+  double refresh_seconds = 0;
 };
 
 /// Runs a CPU workload with `threads` workers (0 = sequential), untraced.
@@ -85,7 +111,9 @@ CpuTimedRun run_cpu_timed(const workloads::Workload& w,
                           const DatasetBundle& bundle, int threads,
                           Representation representation =
                               Representation::kDynamic,
-                          const engine::TraversalOptions& traversal = {});
+                          const engine::TraversalOptions& traversal = {},
+                          RefreshMode refresh_mode = RefreshMode::kFull,
+                          const ChurnPhase& churn = {});
 
 /// Figure 1: fraction of execution time spent inside framework primitives.
 struct FrameworkTimeRun {

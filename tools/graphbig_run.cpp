@@ -39,6 +39,13 @@ void print_usage() {
                          direction-optimizing choice)
   --steal on|off         work-stealing for degree-weighted edge chunks
                          (default: on)
+  --refresh full|incremental   run a churn phase before the workload and
+                         bring the frozen snapshot up to date by full
+                         re-freeze or mutation-log delta merge (implies
+                         --churn-batches 4 unless given)
+  --churn-batches <n>    number of churn batches before the workload
+  --churn-ops <n>        mutations per churn batch (default: 512)
+  --churn-seed <n>       churn RNG seed (default: 42)
   --profile              run under the CPU perf model (sequential)
   --gpu                  run on the SIMT GPU simulator
 )";
@@ -69,6 +76,11 @@ int main(int argc, char** argv) {
   int threads = 1;
   harness::Representation representation = harness::Representation::kDynamic;
   engine::TraversalOptions traversal;
+  harness::RefreshMode refresh_mode = harness::RefreshMode::kFull;
+  harness::ChurnPhase churn;
+  churn.config.ops = 512;
+  churn.config.seed = 42;
+  bool refresh_given = false;
   bool profile = false;
   bool gpu = false;
 
@@ -137,6 +149,30 @@ int main(int argc, char** argv) {
         std::cerr << "--steal expects on or off\n";
         return 2;
       }
+    } else if (arg == "--refresh") {
+      const std::string m = next();
+      if (!harness::parse_refresh_mode(m, &refresh_mode)) {
+        std::cerr << "unknown refresh mode: " << m
+                  << " (expected full or incremental)\n";
+        return 2;
+      }
+      refresh_given = true;
+    } else if (arg == "--churn-batches") {
+      churn.batches = std::atoi(next().c_str());
+      if (churn.batches < 0) {
+        std::cerr << "--churn-batches must be >= 0\n";
+        return 2;
+      }
+    } else if (arg == "--churn-ops") {
+      const int ops = std::atoi(next().c_str());
+      if (ops <= 0) {
+        std::cerr << "--churn-ops must be > 0\n";
+        return 2;
+      }
+      churn.config.ops = static_cast<std::size_t>(ops);
+    } else if (arg == "--churn-seed") {
+      churn.config.seed =
+          static_cast<std::uint64_t>(std::atoll(next().c_str()));
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--gpu") {
@@ -220,12 +256,19 @@ int main(int argc, char** argv) {
               << " mutates the graph or needs a special input; running on "
                  "the dynamic representation\n";
   }
+  if (refresh_given && churn.batches == 0) churn.batches = 4;
   std::cout << "run config: direction=" << engine::to_string(traversal.direction)
             << " steal=" << (traversal.stealing ? "on" : "off")
             << " representation=" << harness::to_string(representation)
-            << " threads=" << threads << "\n";
-  const auto r =
-      harness::run_cpu_timed(*w, bundle, threads, representation, traversal);
+            << " threads=" << threads;
+  if (churn.batches > 0) {
+    std::cout << " refresh=" << harness::to_string(refresh_mode)
+              << " churn=" << churn.batches << "x" << churn.config.ops
+              << " (seed " << churn.config.seed << ")";
+  }
+  std::cout << "\n";
+  const auto r = harness::run_cpu_timed(*w, bundle, threads, representation,
+                                        traversal, refresh_mode, churn);
   std::cout << w->acronym() << ": checksum " << r.run.checksum << "\n  "
             << harness::fmt_int(r.run.vertices_processed) << " vertices, "
             << harness::fmt_int(r.run.edges_processed)
@@ -234,6 +277,19 @@ int main(int argc, char** argv) {
             << harness::to_string(representation) << " representation]\n";
   if (r.telemetry.supersteps > 0) {
     std::cout << "  traversal: " << r.telemetry.summary() << "\n";
+  }
+  if (r.refresh.kind != graph::RefreshStats::Kind::kNone) {
+    std::cout << "  refresh: " << graph::to_string(r.refresh.kind);
+    if (r.refresh.kind == graph::RefreshStats::Kind::kFullRebuild) {
+      std::cout << " (" << r.refresh.fallback_reason << ")";
+    }
+    std::cout << " rows=" << r.refresh.rows_total << " rewritten="
+              << r.refresh.rows_rewritten << " added="
+              << r.refresh.rows_added << " edges_copied="
+              << r.refresh.edges_copied << " indirected="
+              << harness::fmt_pct(100.0 * r.refresh.indirected_fraction)
+              << " in " << platform::format_duration(r.refresh_seconds)
+              << " total\n";
   }
   return 0;
 }
