@@ -1,20 +1,38 @@
 // Shared helpers for the figure/table bench binaries: argument parsing
-// (--scale=tiny|small|medium, --csv) and bundle caching.
+// (--scale=tiny|small|medium, --csv, --json-out=<path>), bundle caching,
+// and the machine-readable run-report writer.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/tables.h"
+#include "obs/report.h"
 
 namespace graphbig::bench {
 
 struct BenchArgs {
   datagen::Scale scale = datagen::Scale::kSmall;
   bool csv = false;
+  std::string json_out;  // empty = no run-report file
 };
+
+inline const char* scale_name(datagen::Scale scale) {
+  switch (scale) {
+    case datagen::Scale::kTiny:
+      return "tiny";
+    case datagen::Scale::kSmall:
+      return "small";
+    case datagen::Scale::kMedium:
+      return "medium";
+  }
+  return "?";
+}
 
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
@@ -28,13 +46,50 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.scale = datagen::Scale::kMedium;
     } else if (arg == "--csv") {
       args.csv = true;
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      args.json_out = arg.substr(std::string("--json-out=").size());
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--scale=tiny|small|medium] [--csv]\n";
+                << " [--scale=tiny|small|medium] [--csv]"
+                   " [--json-out=<path>]\n";
       std::exit(0);
     }
   }
   return args;
+}
+
+/// Writes a bench run-report file: {"schema":"graphbig.bench.v1",
+/// "runs":[...]} with one shared metrics-registry snapshot at the top
+/// level (per-run metrics deltas are not separable once runs share a
+/// process). No-op when `path` is empty. Returns false on I/O failure.
+inline bool write_run_reports(const std::string& path,
+                              const std::vector<obs::RunReport>& runs) {
+  if (path.empty()) return true;
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return false;
+  }
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "graphbig.bench.v1");
+  w.key("runs");
+  w.begin_array();
+  for (const obs::RunReport& r : runs) {
+    std::ostringstream one;
+    r.write_json(one, nullptr);
+    std::string doc = one.str();
+    while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+    w.raw(doc);
+  }
+  w.end_array();
+  w.key("metrics");
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::instance().snapshot();
+  obs::write_metrics_json(w, snapshot);
+  w.end_object();
+  os << "\n";
+  return static_cast<bool>(os);
 }
 
 /// Lazily loads and caches dataset bundles within one bench process.

@@ -1,0 +1,106 @@
+// Observability overhead budget: the metrics layer must cost < 2% of
+// wall clock with tracing disabled (ISSUE 5 acceptance bar). The bench
+// runs BFS on twitter at 8 threads with the registry enabled and with
+// GRAPHBIG_OBS off (obs::set_enabled(false)), interleaving the two modes
+// best-of-N so frequency drift hits both equally, and exits non-zero if
+// the instrumented run is more than 2% slower (plus a small absolute
+// epsilon — at smoke scale a run is a few milliseconds and scheduler
+// jitter alone exceeds 2%).
+//
+// It also asserts the zero-perturbation contract: checksums must be
+// bit-identical with observability on and off at 1, 4, and 16 threads.
+//
+// `--smoke` drops to tiny scale / fewer reps for CI.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/tables.h"
+#include "obs/metrics.h"
+#include "workloads/workload.h"
+
+using namespace graphbig;
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  if (smoke) args.scale = datagen::Scale::kTiny;
+  bench::BundleCache bundles(args.scale);
+  const auto& bundle = bundles.get(datagen::DatasetId::kTwitter);
+  const auto* w = workloads::find_workload("BFS");
+
+  const int threads = 8;
+  const int reps = smoke ? 5 : 9;
+
+  auto timed = [&](bool obs_on) {
+    obs::set_enabled(obs_on);
+    const auto r = harness::run_cpu_timed(*w, bundle, threads);
+    return r.seconds;
+  };
+
+  // Warm-up: populate the page cache and fault in the bundle before any
+  // measured run, then interleave on/off pairs ALTERNATING which mode
+  // goes first — the first run of a back-to-back pair starts from an
+  // idle (down-clocked) core, and always giving one mode that slot shows
+  // up as phantom overhead. Best-of-N discards scheduler outliers.
+  timed(true);
+  timed(false);
+  double best_on = 0.0, best_off = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const bool on_first = (i % 2) == 0;
+    const double a = timed(on_first);
+    const double b = timed(!on_first);
+    const double on = on_first ? a : b;
+    const double off = on_first ? b : a;
+    best_on = i == 0 ? on : std::min(best_on, on);
+    best_off = i == 0 ? off : std::min(best_off, off);
+  }
+  obs::set_enabled(true);
+
+  const double overhead =
+      best_off > 0.0 ? (best_on - best_off) / best_off : 0.0;
+  harness::Table t("Observability overhead (BFS, twitter, " +
+                       std::to_string(threads) + " threads, best of " +
+                       std::to_string(reps) + ")",
+                   {"Mode", "Seconds", "Overhead"});
+  t.add_row({"GRAPHBIG_OBS=off", harness::fmt(best_off, 5), "-"});
+  t.add_row({"instrumented", harness::fmt(best_on, 5),
+             harness::fmt_pct(100.0 * overhead)});
+  bench::emit(t, args);
+
+  // Checksum identity: observability must never perturb results.
+  bool identical = true;
+  for (const int nt : {1, 4, 16}) {
+    obs::set_enabled(true);
+    const auto on = harness::run_cpu_timed(*w, bundle, nt);
+    obs::set_enabled(false);
+    const auto off = harness::run_cpu_timed(*w, bundle, nt);
+    obs::set_enabled(true);
+    const bool ok = on.run.checksum == off.run.checksum;
+    identical = identical && ok;
+    std::cout << "checksum @" << nt << " threads: obs-on "
+              << on.run.checksum << " obs-off " << off.run.checksum
+              << (ok ? " (identical)" : " (MISMATCH)") << "\n";
+  }
+  if (!identical) {
+    std::cerr << "FAIL: observability perturbed a checksum\n";
+    return 1;
+  }
+
+  // Absolute epsilon: short runs (smoke is a few ms) sit below the noise
+  // floor where a relative bound is meaningful.
+  constexpr double kEpsilonSeconds = 0.002;
+  if (best_on - best_off > kEpsilonSeconds && overhead > 0.02) {
+    std::cerr << "FAIL: metrics overhead " << harness::fmt(100.0 * overhead, 2)
+              << "% exceeds the 2% budget\n";
+    return 1;
+  }
+  std::cout << "Observability overhead within the 2% budget; checksums "
+               "identical at every thread count.\n";
+  return 0;
+}

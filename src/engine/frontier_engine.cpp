@@ -4,6 +4,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace graphbig::engine {
 
 const char* to_string(Direction d) {
@@ -41,9 +43,52 @@ std::mutex& telemetry_mutex() {
   return m;
 }
 
+// Registry series mirroring the per-run telemetry as process-wide,
+// machine-readable counters (the ISSUE-5 observability surface). Handles
+// are interned once; per-superstep updates are relaxed stores to the
+// calling thread's metric block.
+struct FrontierSeries {
+  obs::Counter supersteps;
+  obs::Counter push_steps;
+  obs::Counter pull_steps;
+  obs::Counter dense_steps;
+  obs::Counter edges;
+  obs::Counter activated;
+  obs::Counter stolen_chunks;
+  obs::Histogram step_frontier;
+};
+
+FrontierSeries& frontier_series() {
+  static FrontierSeries* s = [] {
+    auto& r = obs::MetricsRegistry::instance();
+    return new FrontierSeries{
+        r.counter("frontier.supersteps"),
+        r.counter("frontier.push_steps"),
+        r.counter("frontier.pull_steps"),
+        r.counter("frontier.dense_steps"),
+        r.counter("frontier.edges"),
+        r.counter("frontier.activated"),
+        r.counter("frontier.stolen_chunks"),
+        r.histogram("frontier.step_frontier",
+                    {1, 8, 64, 512, 4096, 32768, 262144, 2097152}),
+    };
+  }();
+  return *s;
+}
+
 }  // namespace
 
 void record_step(TraversalTelemetry* t, const StepTelemetry& s) {
+  if (obs::enabled()) {
+    FrontierSeries& fs = frontier_series();
+    fs.supersteps.inc();
+    (s.pull ? fs.pull_steps : fs.push_steps).inc();
+    if (s.dense) fs.dense_steps.inc();
+    fs.edges.add(s.edges);
+    fs.activated.add(s.activated);
+    fs.stolen_chunks.add(s.stolen);
+    fs.step_frontier.observe(s.frontier);
+  }
   if (t == nullptr) return;
   std::lock_guard<std::mutex> lock(telemetry_mutex());
   ++t->supersteps;
@@ -55,7 +100,13 @@ void record_step(TraversalTelemetry* t, const StepTelemetry& s) {
   if (s.dense) ++t->dense_steps;
   t->stolen_chunks += s.stolen;
   t->max_frontier = std::max(t->max_frontier, s.frontier);
-  if (t->steps.size() < TraversalTelemetry::kMaxSteps) t->steps.push_back(s);
+  if (t->steps.size() < TraversalTelemetry::kMaxSteps) {
+    t->steps.push_back(s);
+  } else {
+    ++t->tail_steps;
+    t->tail_frontier += s.frontier;
+    t->tail_edges += s.edges;
+  }
 }
 
 std::string TraversalTelemetry::summary() const {
@@ -63,6 +114,11 @@ std::string TraversalTelemetry::summary() const {
   os << supersteps << " supersteps (" << push_steps << " push / " << pull_steps
      << " pull, " << dense_steps << " dense), peak frontier " << max_frontier
      << ", " << stolen_chunks << " chunks stolen";
+  if (tail_steps > 0) {
+    os << "; first " << steps.size() << " steps recorded, ... +" << tail_steps
+       << " more steps (frontier sum " << tail_frontier << ", edge sum "
+       << tail_edges << ")";
+  }
   return os.str();
 }
 
@@ -162,7 +218,9 @@ void Frontier::swap(Frontier& o) {
 }
 
 void record_stolen(TraversalTelemetry* t, std::uint64_t stolen) {
-  if (t == nullptr || stolen == 0) return;
+  if (stolen == 0) return;
+  if (obs::enabled()) frontier_series().stolen_chunks.add(stolen);
+  if (t == nullptr) return;
   std::lock_guard<std::mutex> lock(telemetry_mutex());
   t->stolen_chunks += stolen;
 }

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "graph/graph_view.h"
+#include "obs/trace_span.h"
 #include "platform/bitset.h"
 #include "platform/thread_pool.h"
 #include "trace/access.h"
@@ -104,8 +105,15 @@ struct TraversalTelemetry {
   std::uint64_t dense_steps = 0;
   std::uint64_t stolen_chunks = 0;
   std::uint64_t max_frontier = 0;
-  /// First kMaxSteps per-superstep records (overflow counted above).
+  /// First kMaxSteps per-superstep records. High-diameter runs (roadnet
+  /// BFS/SPath have thousands of supersteps) overflow this cap; the tail
+  /// is NOT dropped silently — it is aggregated below so summary() can
+  /// report "... +N more steps" with the mass the tail carried.
   std::vector<StepTelemetry> steps;
+  /// Steps beyond kMaxSteps, with their summed frontier and edge mass.
+  std::uint64_t tail_steps = 0;
+  std::uint64_t tail_frontier = 0;
+  std::uint64_t tail_edges = 0;
 
   /// One line for run headers: "12 steps (9 push / 3 pull), peak
   /// frontier 81920, 14 chunks stolen".
@@ -492,6 +500,7 @@ class FrontierEngine {
   StepResult push_step(const PushFn& push,
                        const std::vector<std::size_t>& bounds,
                        std::uint64_t mass) {
+    obs::ObsSpan span("push_step", step_);
     trace::block(trace::kBlockWorkloadKernel);
     const auto& list = cur_.list();
     StepResult r;
@@ -531,6 +540,7 @@ class FrontierEngine {
   template <typename PullFn, typename CandFn>
   StepResult pull_step(const PullFn& pull, const CandFn& cand,
                        std::uint64_t mass) {
+    obs::ObsSpan span("pull_step", step_);
     trace::block(trace::kBlockWorkloadKernel);
     cur_.ensure_bits(pool_);
     next_.prepare_bits();

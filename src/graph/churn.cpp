@@ -3,7 +3,32 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
+
 namespace graphbig::graph {
+
+namespace {
+
+struct ChurnSeries {
+  obs::Counter batches;
+  obs::Counter ops_applied;
+  obs::Counter ops_skipped;
+};
+
+ChurnSeries& churn_series() {
+  static ChurnSeries* s = [] {
+    auto& r = obs::MetricsRegistry::instance();
+    return new ChurnSeries{
+        r.counter("churn.batches"),
+        r.counter("churn.ops_applied"),
+        r.counter("churn.ops_skipped"),
+    };
+  }();
+  return *s;
+}
+
+}  // namespace
 
 const char* to_string(ChurnOp::Kind kind) {
   switch (kind) {
@@ -64,6 +89,7 @@ void ChurnDriver::track_remove(VertexId id) {
 }
 
 ChurnBatch ChurnDriver::apply_batch(PropertyGraph& g) {
+  obs::ObsSpan span("churn_batch");
   ChurnBatch batch;
   batch.ops.reserve(config_.ops);
   const double total =
@@ -124,6 +150,12 @@ ChurnBatch ChurnDriver::apply_batch(PropertyGraph& g) {
     }
     ok ? ++batch.applied : ++batch.skipped;
     batch.ops.push_back(op);
+  }
+  if (obs::enabled()) {
+    ChurnSeries& cs = churn_series();
+    cs.batches.inc();
+    cs.ops_applied.add(batch.applied);
+    cs.ops_skipped.add(batch.skipped);
   }
   return batch;
 }

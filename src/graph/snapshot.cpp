@@ -3,6 +3,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "platform/timer.h"
 
 namespace graphbig::graph {
@@ -15,6 +17,33 @@ T* arena_array(platform::Arena& arena, std::size_t count) {
   T* p = static_cast<T*>(arena.allocate(count * sizeof(T), alignof(T)));
   std::memset(static_cast<void*>(p), 0, count * sizeof(T));
   return p;
+}
+
+// Registry series for the frozen layer: freeze/refresh counts (split by
+// incremental vs full-rebuild fallback), rewritten-row and copied-edge
+// volume, and the arena footprint as a gauge.
+struct SnapshotSeries {
+  obs::Counter freezes;
+  obs::Counter refreshes_incremental;
+  obs::Counter refreshes_full;
+  obs::Counter rows_rewritten;
+  obs::Counter edges_copied;
+  obs::Gauge arena_bytes;
+};
+
+SnapshotSeries& snapshot_series() {
+  static SnapshotSeries* s = [] {
+    auto& r = obs::MetricsRegistry::instance();
+    return new SnapshotSeries{
+        r.counter("snapshot.freezes"),
+        r.counter("snapshot.refreshes_incremental"),
+        r.counter("snapshot.refreshes_full"),
+        r.counter("snapshot.rows_rewritten"),
+        r.counter("snapshot.edges_copied"),
+        r.gauge("snapshot.arena_bytes"),
+    };
+  }();
+  return *s;
 }
 
 }  // namespace
@@ -137,13 +166,20 @@ void GraphSnapshot::rebuild_from(const PropertyGraph& g) {
 }
 
 GraphSnapshot GraphSnapshot::freeze(const PropertyGraph& g) {
+  obs::ObsSpan span("freeze");
   GraphSnapshot snap;
   snap.rebuild_from(g);
+  if (obs::enabled()) {
+    SnapshotSeries& ss = snapshot_series();
+    ss.freezes.inc();
+    ss.arena_bytes.set(snap.arena_.bytes_allocated());
+  }
   return snap;
 }
 
 const RefreshStats& GraphSnapshot::refresh(const PropertyGraph& g,
                                            const RefreshOptions& opts) {
+  obs::ObsSpan span("refresh");
   platform::WallTimer timer;
   RefreshStats stats;
   const MutationLog& log = g.mutation_log();
@@ -160,6 +196,13 @@ const RefreshStats& GraphSnapshot::refresh(const PropertyGraph& g,
     stats.edges_copied = num_edges_;
     stats.indirected_fraction = 0.0;
     stats.seconds = timer.seconds();
+    if (obs::enabled()) {
+      SnapshotSeries& ss = snapshot_series();
+      ss.refreshes_full.inc();
+      ss.rows_rewritten.add(stats.rows_rewritten);
+      ss.edges_copied.add(stats.edges_copied);
+      ss.arena_bytes.set(arena_.bytes_allocated());
+    }
     last_refresh_ = stats;
     return last_refresh_;
   };
@@ -327,6 +370,13 @@ const RefreshStats& GraphSnapshot::refresh(const PropertyGraph& g,
                           (2.0 * new_rows);
   base_serial_ = g.rearm_mutation_log();
   stats.seconds = timer.seconds();
+  if (obs::enabled()) {
+    SnapshotSeries& ss = snapshot_series();
+    ss.refreshes_incremental.inc();
+    ss.rows_rewritten.add(stats.rows_rewritten);
+    ss.edges_copied.add(stats.edges_copied);
+    ss.arena_bytes.set(arena_.bytes_allocated());
+  }
   last_refresh_ = stats;
   return last_refresh_;
 }

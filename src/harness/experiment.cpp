@@ -4,6 +4,7 @@
 
 #include "bayes/munin.h"
 #include "datagen/generators.h"
+#include "obs/trace_span.h"
 #include "platform/timer.h"
 #include "trace/access.h"
 
@@ -95,6 +96,7 @@ bool parse_refresh_mode(const std::string& name, RefreshMode* out) {
 }
 
 DatasetBundle load_bundle(datagen::DatasetId id, datagen::Scale scale) {
+  obs::ObsSpan span("load_dataset");
   DatasetBundle bundle;
   bundle.id = id;
   bundle.scale = scale;
@@ -149,7 +151,8 @@ workloads::RunContext make_cpu_context(const workloads::Workload& w,
 
 CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
                                 const DatasetBundle& bundle,
-                                const perfmodel::MachineConfig& machine) {
+                                const perfmodel::MachineConfig& machine,
+                                Representation representation) {
   graph::PropertyGraph input = make_input_graph(w, bundle);
   workloads::RunContext ctx = make_cpu_context(w, input, bundle);
 
@@ -158,6 +161,14 @@ CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
   // trace shapes (and therefore the derived metrics) stay comparable.
   ctx.traversal.direction = engine::Direction::kPush;
   ctx.traversal.stealing = false;
+
+  // Freeze before attaching the sink so snapshot construction does not
+  // pollute the modeled access trace.
+  graph::GraphSnapshot snapshot;
+  if (representation == Representation::kFrozen && supports_frozen(w)) {
+    snapshot = graph::GraphSnapshot::freeze(input);
+    ctx.snapshot = &snapshot;
+  }
 
   perfmodel::Profiler profiler(machine);
   CpuProfiledRun out;
@@ -230,7 +241,10 @@ CpuTimedRun run_cpu_timed(const workloads::Workload& w,
 
   ctx.telemetry = &out.telemetry;
   platform::WallTimer timer;
-  out.run = w.run(ctx);
+  {
+    obs::ObsSpan span("workload");
+    out.run = w.run(ctx);
+  }
   out.seconds = timer.seconds();
   return out;
 }

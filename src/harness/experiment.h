@@ -81,10 +81,15 @@ struct CpuProfiledRun {
 
 /// Runs a CPU workload sequentially under the perfmodel profiler. Handles
 /// input routing: GibbsInf gets a MUNIN network, TMorph a DAG-ized copy of
-/// the dataset, CompDyn workloads a scratch copy.
+/// the dataset, CompDyn workloads a scratch copy. With
+/// Representation::kFrozen, workloads that support it traverse a snapshot
+/// frozen from the input graph, so the cache/TLB model prices the frozen
+/// layout; others fall back to the dynamic structure.
 CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
                                 const DatasetBundle& bundle,
-                                const perfmodel::MachineConfig& machine = {});
+                                const perfmodel::MachineConfig& machine = {},
+                                Representation representation =
+                                    Representation::kDynamic);
 
 /// Result of a wall-clock (untraced) CPU run.
 struct CpuTimedRun {

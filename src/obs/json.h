@@ -1,0 +1,140 @@
+// Minimal JSON support for the observability layer: a streaming writer
+// (Chrome trace files, run reports) and a small recursive-descent parser
+// used by the golden-schema tests and the bench tooling to validate what
+// the writer produced. Deliberately tiny — no external dependency, no
+// allocation on the write path beyond the ostream.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace graphbig::obs {
+
+/// Pretty-printing JSON writer with correct string escaping and comma
+/// management. Usage mirrors the document structure:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("name"); w.value("BFS");
+///   w.key("steps"); w.begin_array(); w.value(1); w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() { begin_container('{'); }
+  void end_object() { end_container('}'); }
+  void begin_array() { begin_container('['); }
+  void end_array() { end_container(']'); }
+
+  void key(std::string_view k) {
+    pre_value();
+    write_string(k);
+    os_ << ": ";
+    have_key_ = true;
+  }
+
+  void value(std::string_view s) {
+    pre_value();
+    write_string(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    pre_value();
+    os_ << (b ? "true" : "false");
+  }
+  void value(std::uint64_t v) {
+    pre_value();
+    os_ << v;
+  }
+  void value(std::int64_t v) {
+    pre_value();
+    os_ << v;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(double d);
+  void null() {
+    pre_value();
+    os_ << "null";
+  }
+
+  /// key + value in one call.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// Splices a pre-serialized JSON value verbatim (comma management
+  /// applies; the caller guarantees `json` is itself well-formed). Used to
+  /// embed independently-written RunReport documents into a bench array.
+  void raw(std::string_view json) {
+    pre_value();
+    os_ << json;
+  }
+
+ private:
+  void begin_container(char c) {
+    pre_value();
+    os_ << c;
+    open_.push_back(false);
+  }
+  void end_container(char c) {
+    const bool had_elements = open_.back();
+    open_.pop_back();
+    if (had_elements) {
+      os_ << '\n';
+      indent();
+    }
+    os_ << c;
+  }
+  void pre_value() {
+    if (have_key_) {
+      have_key_ = false;
+      return;
+    }
+    if (!open_.empty()) {
+      if (open_.back()) os_ << ',';
+      os_ << '\n';
+      open_.back() = true;
+      indent();
+    }
+  }
+  void indent() {
+    for (std::size_t i = 0; i < open_.size(); ++i) os_ << "  ";
+  }
+  void write_string(std::string_view s);
+
+  std::ostream& os_;
+  std::vector<bool> open_;  // per open container: any elements yet?
+  bool have_key_ = false;
+};
+
+/// Parsed JSON value (numbers held as double; large integers that need
+/// exact round-trips — checksums — are serialized as strings).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Nested lookup through dotted paths ("config.threads").
+  const JsonValue* find_path(std::string_view path) const;
+};
+
+/// Parses a complete JSON document. Returns false and fills `error`
+/// (when non-null) on malformed input or trailing garbage.
+bool json_parse(std::string_view text, JsonValue* out,
+                std::string* error = nullptr);
+
+}  // namespace graphbig::obs

@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace graphbig::obs {
+
+namespace {
+
+enum class SeriesKind { kCounter, kGauge, kHistogram };
+
+struct Series {
+  std::string name;
+  SeriesKind kind = SeriesKind::kCounter;
+  std::uint32_t base = 0;   // first cell (counter/histogram)
+  std::uint32_t cells = 0;  // cells used (1 counter; nbuckets + sum hist)
+  std::vector<std::uint64_t> bounds;            // histogram only
+  std::atomic<std::uint64_t>* gauge = nullptr;  // gauge only
+};
+
+/// One thread's cells. Cache-line aligned so a block never shares a line
+/// with another thread's block (the cells within a block belong to one
+/// writer, so intra-block layout needs no padding).
+struct alignas(64) ThreadBlock {
+  std::array<std::atomic<std::uint64_t>, MetricsRegistry::kMaxCells> cells{};
+};
+
+struct RegistryState {
+  std::mutex mu;
+  std::vector<Series> series;
+  std::unordered_map<std::string, std::size_t> by_name;
+  std::uint32_t next_cell = 0;
+  std::vector<ThreadBlock*> blocks;
+  // Sums folded in from exited threads' blocks.
+  std::array<std::uint64_t, MetricsRegistry::kMaxCells> retired{};
+  std::deque<std::atomic<std::uint64_t>> gauge_cells;
+};
+
+RegistryState& state() {
+  // Leaked: thread_local destructors (block retirement) may run after
+  // static destructors would have, so the state must outlive everything.
+  static RegistryState* s = new RegistryState();
+  return *s;
+}
+
+[[noreturn]] void die(const char* msg, std::string_view name) {
+  std::fprintf(stderr, "obs::MetricsRegistry: %s ('%.*s')\n", msg,
+               static_cast<int>(name.size()), name.data());
+  std::abort();
+}
+
+Series& intern(std::string_view name, SeriesKind kind,
+               std::uint32_t cells_needed) {
+  RegistryState& s = state();
+  // Caller holds s.mu.
+  auto it = s.by_name.find(std::string(name));
+  if (it != s.by_name.end()) {
+    Series& existing = s.series[it->second];
+    if (existing.kind != kind) die("series kind mismatch", name);
+    return existing;
+  }
+  if (kind != SeriesKind::kGauge &&
+      s.next_cell + cells_needed > MetricsRegistry::kMaxCells) {
+    die("out of metric cells", name);
+  }
+  Series series;
+  series.name = std::string(name);
+  series.kind = kind;
+  if (kind == SeriesKind::kGauge) {
+    s.gauge_cells.emplace_back(0);
+    series.gauge = &s.gauge_cells.back();
+  } else {
+    series.base = s.next_cell;
+    series.cells = cells_needed;
+    s.next_cell += cells_needed;
+  }
+  s.by_name.emplace(series.name, s.series.size());
+  s.series.push_back(std::move(series));
+  return s.series.back();
+}
+
+/// Folds a block's cells into the retired totals and frees it (thread
+/// exit).
+struct ThreadHandle {
+  ThreadBlock* block = nullptr;
+  ~ThreadHandle() {
+    if (block == nullptr) return;
+    RegistryState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (std::size_t c = 0; c < MetricsRegistry::kMaxCells; ++c) {
+      s.retired[c] += block->cells[c].load(std::memory_order_relaxed);
+    }
+    for (auto it = s.blocks.begin(); it != s.blocks.end(); ++it) {
+      if (*it == block) {
+        s.blocks.erase(it);
+        break;
+      }
+    }
+    delete block;
+    detail::t_cells = nullptr;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+bool env_enabled() {
+  const char* v = std::getenv("GRAPHBIG_OBS");
+  if (v == nullptr) return true;
+  return std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0;
+}
+
+std::atomic<std::uint64_t>* register_thread() {
+  static thread_local ThreadHandle handle;
+  if (handle.block == nullptr) {
+    auto* block = new ThreadBlock();
+    RegistryState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.blocks.push_back(block);
+    handle.block = block;
+  }
+  t_cells = handle.block->cells.data();
+  return t_cells;
+}
+
+}  // namespace detail
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* r = new MetricsRegistry();
+  state();  // force state construction alongside the singleton
+  return *r;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return Counter(intern(name, SeriesKind::kCounter, 1).base);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return Gauge(intern(name, SeriesKind::kGauge, 0).gauge);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::vector<std::uint64_t> bounds) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.by_name.find(std::string(name));
+  if (it == s.by_name.end()) {
+    // nbuckets = bounds + overflow, plus one sum cell.
+    const auto cells = static_cast<std::uint32_t>(bounds.size() + 2);
+    Series& series = intern(name, SeriesKind::kHistogram, cells);
+    series.bounds = std::move(bounds);
+  }
+  const Series& series = s.series[s.by_name.at(std::string(name))];
+  if (series.kind != SeriesKind::kHistogram) die("series kind mismatch", name);
+  return Histogram(series.base, series.bounds.data(),
+                   static_cast<std::uint32_t>(series.bounds.size()));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::array<std::uint64_t, kMaxCells> totals = s.retired;
+  for (const ThreadBlock* block : s.blocks) {
+    for (std::size_t c = 0; c < kMaxCells; ++c) {
+      totals[c] += block->cells[c].load(std::memory_order_relaxed);
+    }
+  }
+  MetricsSnapshot out;
+  for (const Series& series : s.series) {
+    switch (series.kind) {
+      case SeriesKind::kCounter:
+        out.counters.emplace_back(series.name, totals[series.base]);
+        break;
+      case SeriesKind::kGauge:
+        out.gauges.emplace_back(
+            series.name, series.gauge->load(std::memory_order_relaxed));
+        break;
+      case SeriesKind::kHistogram: {
+        HistogramSnapshot h;
+        h.bounds = series.bounds;
+        const std::size_t nbuckets = series.bounds.size() + 1;
+        h.counts.resize(nbuckets);
+        for (std::size_t b = 0; b < nbuckets; ++b) {
+          h.counts[b] = totals[series.base + b];
+          h.count += h.counts[b];
+        }
+        h.sum = totals[series.base + nbuckets];
+        out.histograms.emplace_back(series.name, std::move(h));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.retired.fill(0);
+  for (ThreadBlock* block : s.blocks) {
+    for (auto& cell : block->cells) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : s.gauge_cells) g.store(0, std::memory_order_relaxed);
+}
+
+const std::uint64_t* MetricsSnapshot::counter_value(
+    std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const std::uint64_t* MetricsSnapshot::gauge_value(
+    std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace graphbig::obs

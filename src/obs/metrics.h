@@ -1,0 +1,181 @@
+// Process-wide metrics registry with per-thread sharding.
+//
+// The hot paths this instruments (thread-pool dispatch, frontier-engine
+// supersteps, snapshot refreshes, churn batches) run on every worker at
+// once, so a shared atomic per counter would serialize them on one cache
+// line. Instead every thread owns a cache-line-aligned block of cells —
+// one cell per registered series, same padding discipline as the
+// platform/aligned.h device arrays — and an increment is a relaxed load +
+// relaxed store to the thread's own cell: no RMW, no contention, nothing
+// shared but the (read-only) series id. Aggregation is lazy: snapshot()
+// sums the retired totals plus every live block under the registry mutex.
+//
+// Series kinds:
+//   Counter   — monotone u64, per-thread sharded.
+//   Gauge     — last-write-wins u64 (one shared atomic; gauges are
+//               low-frequency: arena bytes after a refresh, not per-edge).
+//   Histogram — fixed bucket bounds chosen at registration, per-thread
+//               sharded bucket cells plus a sum cell.
+//
+// The whole layer is gated on enabled(): GRAPHBIG_OBS=off (or
+// set_enabled(false)) turns every record call into a relaxed flag load +
+// branch, which is what bench_obs_overhead verifies costs < 2%.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace graphbig::obs {
+
+namespace detail {
+
+/// This thread's cell array (registered with the registry on first use).
+/// The pointer lives in a thread_local so the fast path is one TLS load.
+inline thread_local std::atomic<std::uint64_t>* t_cells = nullptr;
+
+/// Slow path: registers a block for the calling thread and returns its
+/// cell array. Defined in metrics.cpp.
+std::atomic<std::uint64_t>* register_thread();
+
+inline std::atomic<std::uint64_t>* cells() {
+  std::atomic<std::uint64_t>* c = t_cells;
+  return c != nullptr ? c : register_thread();
+}
+
+/// Owner-exclusive relaxed bump: each cell is written by exactly one
+/// thread, so no RMW is needed; readers aggregate with relaxed loads.
+inline void bump(std::atomic<std::uint64_t>& cell, std::uint64_t n) {
+  cell.store(cell.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+bool env_enabled();  // GRAPHBIG_OBS != "off" / "0"
+
+inline std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> f{env_enabled()};
+  return f;
+}
+
+}  // namespace detail
+
+/// True when metric recording is on (default; GRAPHBIG_OBS=off disables).
+inline bool enabled() {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+/// Runtime override (bench_obs_overhead flips this to compare modes
+/// in-process; tests pin it on).
+inline void set_enabled(bool on) {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+class MetricsRegistry;
+
+/// Monotone counter handle. Copyable, trivially destructible; typically
+/// held in a function-local static at the instrumentation site.
+class Counter {
+ public:
+  void add(std::uint64_t n) {
+    if (!enabled()) return;
+    detail::bump(detail::cells()[cell_], n);
+  }
+  void inc() { add(1); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint32_t cell) : cell_(cell) {}
+  std::uint32_t cell_;
+};
+
+/// Last-write-wins gauge (shared atomic, relaxed).
+class Gauge {
+ public:
+  void set(std::uint64_t v) {
+    if (!enabled()) return;
+    cell_->store(v, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_;
+};
+
+/// Fixed-bound histogram handle. Bucket i counts observations v with
+/// v <= bounds[i]; the last bucket is the overflow bucket. A sum cell
+/// makes means recoverable from a snapshot.
+class Histogram {
+ public:
+  void observe(std::uint64_t v) {
+    if (!enabled()) return;
+    std::uint32_t b = 0;
+    while (b < nbounds_ && v > bounds_[b]) ++b;
+    std::atomic<std::uint64_t>* cells = detail::cells();
+    detail::bump(cells[base_ + b], 1);
+    detail::bump(cells[base_ + nbounds_ + 1], v);  // sum cell
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::uint32_t base, const std::uint64_t* bounds,
+            std::uint32_t nbounds)
+      : base_(base), bounds_(bounds), nbounds_(nbounds) {}
+  std::uint32_t base_;
+  const std::uint64_t* bounds_;
+  std::uint32_t nbounds_;
+};
+
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+};
+
+/// Aggregated registry state at one point in time.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::uint64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Counter value by name; nullptr when the series does not exist.
+  const std::uint64_t* counter_value(std::string_view name) const;
+  const std::uint64_t* gauge_value(std::string_view name) const;
+  const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+/// Process-wide series registry. Series are interned by name: registering
+/// the same name twice returns a handle to the same cells (the kind must
+/// match — a name collision across kinds aborts, it is a programming
+/// error at an instrumentation site).
+class MetricsRegistry {
+ public:
+  /// Cells available per thread block; series registration beyond this
+  /// aborts (the suite uses a few dozen).
+  static constexpr std::size_t kMaxCells = 1024;
+
+  static MetricsRegistry& instance();
+
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name,
+                      std::vector<std::uint64_t> bounds);
+
+  /// Aggregates retired totals + every live thread block. Concurrent
+  /// writers are read with relaxed loads: values are exact once writers
+  /// have quiesced (joined), approximate while they run.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every counter/gauge/histogram cell (series stay registered).
+  /// Callers must ensure no concurrent writers (bench reset points).
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+};
+
+}  // namespace graphbig::obs

@@ -1,0 +1,59 @@
+// Structured run reports: one JSON document per run carrying the full
+// record — workload, dataset, configuration axes, wall-clock seconds,
+// checksum, traversal telemetry, refresh telemetry, and a metrics-registry
+// snapshot. graphbig_run --json-out writes one; the bench binaries write
+// arrays of them through bench_common.h. The schema is versioned
+// ("graphbig.run.v1") so CI perf-trajectory tooling can parse reports
+// across revisions.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "engine/frontier_engine.h"
+#include "graph/snapshot.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace graphbig::obs {
+
+struct RunReport {
+  std::string workload;
+  std::string dataset;
+  std::string scale;
+
+  // Configuration axes.
+  int threads = 1;
+  std::string representation;  // "dynamic" / "frozen"
+  std::string direction;       // "push" / "pull" / "auto"
+  bool stealing = true;
+  std::string refresh_mode;  // "" when no churn phase ran
+  int churn_batches = 0;
+  std::uint64_t churn_ops = 0;
+  std::uint64_t churn_seed = 0;
+
+  // Results.
+  double seconds = 0.0;
+  std::uint64_t checksum = 0;
+  std::uint64_t vertices_processed = 0;
+  std::uint64_t edges_processed = 0;
+
+  // Telemetry.
+  engine::TraversalTelemetry telemetry;
+  graph::RefreshStats refresh;
+  double refresh_seconds = 0.0;
+
+  /// Serializes the report. When `metrics` is non-null its snapshot is
+  /// embedded under "metrics" (graphbig_run passes the registry snapshot;
+  /// bench arrays hoist one shared snapshot to the top level instead).
+  void write_json(std::ostream& os, const MetricsSnapshot* metrics) const;
+
+  /// write_json with a fresh MetricsRegistry snapshot embedded.
+  std::string to_json() const;
+};
+
+/// Serializes a metrics snapshot as one JSON object (counters, gauges,
+/// histograms). Shared by RunReport and the bench report writer.
+void write_metrics_json(JsonWriter& w, const MetricsSnapshot& snapshot);
+
+}  // namespace graphbig::obs

@@ -1,0 +1,155 @@
+#include "obs/trace_span.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace graphbig::obs {
+
+namespace {
+
+struct SpanBuffer {
+  std::vector<SpanEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct TracerState {
+  std::mutex mu;
+  std::vector<SpanBuffer*> live;
+  std::vector<SpanEvent> retired;
+  std::uint32_t next_tid = 0;
+};
+
+TracerState& state() {
+  static TracerState* s = new TracerState();  // leaked: see metrics.cpp
+  return *s;
+}
+
+/// Thread-local buffer handle; folds events into the retired list on
+/// thread exit so collect_spans never touches a dead thread's storage.
+struct BufferHandle {
+  SpanBuffer* buffer = nullptr;
+  ~BufferHandle() {
+    if (buffer == nullptr) return;
+    TracerState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.retired.insert(s.retired.end(), buffer->events.begin(),
+                     buffer->events.end());
+    for (auto it = s.live.begin(); it != s.live.end(); ++it) {
+      if (*it == buffer) {
+        s.live.erase(it);
+        break;
+      }
+    }
+    delete buffer;
+  }
+};
+
+SpanBuffer& local_buffer() {
+  static thread_local BufferHandle handle;
+  if (handle.buffer == nullptr) {
+    auto* buffer = new SpanBuffer();
+    TracerState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    buffer->tid = s.next_tid++;
+    s.live.push_back(buffer);
+    handle.buffer = buffer;
+  }
+  return *handle.buffer;
+}
+
+}  // namespace
+
+void set_tracing(bool on) {
+  detail::tracing_flag().store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t span_now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+void ObsSpan::begin(const char* name, std::uint64_t arg, bool has_arg) {
+  name_ = name;
+  arg_ = arg;
+  has_arg_ = has_arg;
+  start_ = span_now_ns();
+  active_ = true;
+}
+
+void ObsSpan::end() {
+  SpanBuffer& buffer = local_buffer();
+  SpanEvent e;
+  e.name = name_;
+  e.start_ns = start_;
+  e.end_ns = span_now_ns();
+  e.tid = buffer.tid;
+  e.arg = arg_;
+  e.has_arg = has_arg_;
+  buffer.events.push_back(e);
+  active_ = false;
+}
+
+std::vector<SpanEvent> collect_spans() {
+  TracerState& s = state();
+  std::vector<SpanEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out = s.retired;
+    for (const SpanBuffer* buffer : s.live) {
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.end_ns > b.end_ns;
+            });
+  return out;
+}
+
+void clear_spans() {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.retired.clear();
+  for (SpanBuffer* buffer : s.live) buffer->events.clear();
+}
+
+std::size_t write_chrome_trace(std::ostream& os) {
+  const std::vector<SpanEvent> spans = collect_spans();
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const SpanEvent& e : spans) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("ph", "X");
+    w.kv("pid", 1);
+    w.kv("tid", e.tid);
+    // Chrome trace timestamps and durations are microseconds.
+    w.kv("ts", static_cast<double>(e.start_ns) / 1000.0);
+    w.kv("dur", static_cast<double>(e.end_ns - e.start_ns) / 1000.0);
+    if (e.has_arg) {
+      w.key("args");
+      w.begin_object();
+      w.kv("v", e.arg);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  os << "\n";
+  return spans.size();
+}
+
+}  // namespace graphbig::obs

@@ -1,0 +1,88 @@
+// RAII span tracer emitting Chrome trace-event JSON.
+//
+// ObsSpan scopes mark the phases the run footers can only summarize:
+// dataset load, freeze/refresh, each churn batch, each superstep, each
+// stolen grain. Spans append to a per-thread buffer with no shared state
+// on the record path (the same owner-exclusive discipline as the metrics
+// blocks), and the whole layer is gated on a relaxed flag load: with
+// tracing off (the default) a span scope costs one branch and writes
+// nothing. graphbig_run --trace-out turns it on and serializes the
+// buffers as a Chrome trace-event file loadable in chrome://tracing or
+// Perfetto.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace graphbig::obs {
+
+namespace detail {
+inline std::atomic<bool>& tracing_flag() {
+  static std::atomic<bool> f{false};
+  return f;
+}
+}  // namespace detail
+
+inline bool tracing_enabled() {
+  return detail::tracing_flag().load(std::memory_order_relaxed);
+}
+
+void set_tracing(bool on);
+
+/// Monotonic nanoseconds since the first use in this process (keeps trace
+/// timestamps small and zero-based).
+std::uint64_t span_now_ns();
+
+/// One completed span. `name` must be a string literal (the buffers store
+/// the pointer, not a copy).
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t arg = 0;
+  bool has_arg = false;
+};
+
+/// RAII scope: records [construction, destruction) when tracing is on.
+class ObsSpan {
+ public:
+  explicit ObsSpan(const char* name) {
+    if (tracing_enabled()) begin(name, 0, false);
+  }
+  ObsSpan(const char* name, std::uint64_t arg) {
+    if (tracing_enabled()) begin(name, arg, true);
+  }
+  ~ObsSpan() {
+    if (active_) end();
+  }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  void begin(const char* name, std::uint64_t arg, bool has_arg);
+  void end();
+
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+  std::uint64_t arg_ = 0;
+  bool has_arg_ = false;
+  bool active_ = false;
+};
+
+/// Snapshot of every recorded span (exited threads' buffers + live ones),
+/// sorted by start time (ties: longer span first, so parents precede
+/// children). Call from a quiescent point — worker threads joined or
+/// idle — for an exact set.
+std::vector<SpanEvent> collect_spans();
+
+/// Drops all recorded spans (bench/test isolation).
+void clear_spans();
+
+/// collect_spans() serialized as a Chrome trace-event JSON document.
+/// Returns the number of spans written.
+std::size_t write_chrome_trace(std::ostream& os);
+
+}  // namespace graphbig::obs

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -11,6 +15,37 @@
 namespace graphbig::platform {
 
 namespace {
+
+// Pool-wide registry series: dispatch count, stolen chunks, and the
+// busy/idle split summed over workers. Busy/idle nanoseconds are measured
+// only when the metrics layer is enabled, so the disabled path pays no
+// clock reads.
+struct PoolSeries {
+  obs::Counter dispatches;
+  obs::Counter busy_ns;
+  obs::Counter idle_ns;
+  obs::Counter stolen_chunks;
+};
+
+PoolSeries& pool_series() {
+  static PoolSeries* s = [] {
+    auto& r = obs::MetricsRegistry::instance();
+    return new PoolSeries{
+        r.counter("threadpool.tasks_dispatched"),
+        r.counter("threadpool.busy_ns"),
+        r.counter("threadpool.idle_ns"),
+        r.counter("threadpool.chunks_stolen"),
+    };
+  }();
+  return *s;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 void pin_to_core(unsigned core) {
 #if defined(__linux__)
@@ -53,6 +88,8 @@ void ThreadPool::worker_loop(int id) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(int, int)>* body = nullptr;
+    const bool timed = obs::enabled();
+    const std::uint64_t idle_start = timed ? now_ns() : 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_start_.wait(lock,
@@ -61,7 +98,10 @@ void ThreadPool::worker_loop(int id) {
       seen_epoch = epoch_;
       body = body_;
     }
+    const std::uint64_t busy_start = timed ? now_ns() : 0;
+    if (timed) pool_series().idle_ns.add(busy_start - idle_start);
     (*body)(id, num_threads());
+    if (timed) pool_series().busy_ns.add(now_ns() - busy_start);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) cv_done_.notify_one();
@@ -70,8 +110,12 @@ void ThreadPool::worker_loop(int id) {
 }
 
 void ThreadPool::run_on_all(const std::function<void(int, int)>& fn) {
+  const bool timed = obs::enabled();
+  if (timed) pool_series().dispatches.inc();
   if (workers_.empty()) {
+    const std::uint64_t busy_start = timed ? now_ns() : 0;
     fn(0, 1);
+    if (timed) pool_series().busy_ns.add(now_ns() - busy_start);
     return;
   }
   {
@@ -81,9 +125,13 @@ void ThreadPool::run_on_all(const std::function<void(int, int)>& fn) {
     ++epoch_;
   }
   cv_start_.notify_all();
+  const std::uint64_t busy_start = timed ? now_ns() : 0;
   fn(0, num_threads());
+  if (timed) pool_series().busy_ns.add(now_ns() - busy_start);
+  const std::uint64_t idle_start = timed ? now_ns() : 0;
   std::unique_lock<std::mutex> lock(mutex_);
   cv_done_.wait(lock, [&] { return pending_ == 0; });
+  if (timed) pool_series().idle_ns.add(now_ns() - idle_start);
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -193,6 +241,8 @@ void ThreadPool::parallel_for_stealing(
             if (victim.range.compare_exchange_weak(
                     vcur, pack_range(hi, hi), std::memory_order_acq_rel)) {
               stolen.fetch_add(1, std::memory_order_relaxed);
+              obs::ObsSpan span("steal_grain",
+                               static_cast<std::uint64_t>(hi - lo));
               fn(lo, hi);
               found = true;
               break;
@@ -218,8 +268,12 @@ void ThreadPool::parallel_for_stealing(
       if (!found) break;  // nothing visible anywhere: this worker is done
     }
   });
+  const std::uint64_t total_stolen = stolen.load(std::memory_order_relaxed);
+  if (obs::enabled() && total_stolen > 0) {
+    pool_series().stolen_chunks.add(total_stolen);
+  }
   if (stolen_chunks != nullptr) {
-    *stolen_chunks = stolen.load(std::memory_order_relaxed);
+    *stolen_chunks = total_stolen;
   }
 }
 

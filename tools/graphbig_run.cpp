@@ -10,12 +10,16 @@
 // perf model (--profile), or on the SIMT GPU simulator (--gpu).
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 
 #include "harness/experiment.h"
 #include "harness/tables.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace_span.h"
 #include "workloads/gpu/gpu_workload.h"
 #include "workloads/workload.h"
 
@@ -48,6 +52,13 @@ void print_usage() {
   --churn-seed <n>       churn RNG seed (default: 42)
   --profile              run under the CPU perf model (sequential)
   --gpu                  run on the SIMT GPU simulator
+  --trace-out <path>     write a Chrome trace-event JSON file covering
+                         dataset load, freeze, churn batches, refreshes,
+                         supersteps, and stolen grains (open in
+                         chrome://tracing or Perfetto)
+  --json-out <path>      write a machine-readable run report (schema
+                         graphbig.run.v1) with config, seconds, checksum,
+                         telemetry, and a metrics-registry snapshot
 )";
 }
 
@@ -83,6 +94,9 @@ int main(int argc, char** argv) {
   bool refresh_given = false;
   bool profile = false;
   bool gpu = false;
+  std::string scale_name = "small";
+  std::string trace_out;
+  std::string json_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,6 +116,7 @@ int main(int argc, char** argv) {
       dataset = next();
     } else if (arg == "--scale") {
       const std::string s = next();
+      scale_name = s;
       if (s == "tiny") {
         scale = datagen::Scale::kTiny;
       } else if (s == "small") {
@@ -177,6 +192,10 @@ int main(int argc, char** argv) {
       profile = true;
     } else if (arg == "--gpu") {
       gpu = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--json-out") {
+      json_out = next();
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
@@ -200,6 +219,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Arm the span tracer before the dataset load so the load itself shows
+  // up in the trace. Writes happen after the run, at a quiescent point.
+  if (!trace_out.empty()) obs::set_tracing(true);
+  auto write_trace = [&]() -> bool {
+    if (trace_out.empty()) return true;
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::cerr << "cannot open " << trace_out << " for writing\n";
+      return false;
+    }
+    const std::size_t n = obs::write_chrome_trace(os);
+    std::cout << "wrote " << n << " trace spans to " << trace_out << "\n";
+    return true;
+  };
+
   std::cout << "loading dataset '" << dataset << "'...\n";
   const harness::DatasetBundle bundle = harness::load_bundle(id, scale);
   std::cout << "  " << harness::fmt_int(bundle.csr.num_vertices)
@@ -220,7 +254,11 @@ int main(int argc, char** argv) {
               << platform::format_duration(r.timing.seconds)
               << "  read " << harness::fmt(r.timing.read_throughput_gbs, 1)
               << " GB/s  IPC " << harness::fmt(r.timing.ipc, 3) << "\n";
-    return 0;
+    if (!json_out.empty()) {
+      std::cerr << "--json-out is only supported for timed CPU runs\n";
+      return 2;
+    }
+    return write_trace() ? 0 : 1;
   }
 
   const auto* w = workloads::find_workload(workload);
@@ -230,7 +268,7 @@ int main(int argc, char** argv) {
   }
 
   if (profile) {
-    const auto r = harness::run_cpu_profiled(*w, bundle);
+    const auto r = harness::run_cpu_profiled(*w, bundle, {}, representation);
     std::cout << w->acronym() << " (profiled): checksum "
               << r.run.checksum << "\n"
               << "  instructions " << harness::fmt_int(r.counters.instructions())
@@ -247,7 +285,11 @@ int main(int argc, char** argv) {
               << "  branch miss "
               << harness::fmt_pct(100.0 * r.metrics.branch_miss_rate)
               << "\n";
-    return 0;
+    if (!json_out.empty()) {
+      std::cerr << "--json-out is only supported for timed CPU runs\n";
+      return 2;
+    }
+    return write_trace() ? 0 : 1;
   }
 
   if (representation == harness::Representation::kFrozen &&
@@ -291,5 +333,40 @@ int main(int argc, char** argv) {
               << " in " << platform::format_duration(r.refresh_seconds)
               << " total\n";
   }
-  return 0;
+
+  if (!json_out.empty()) {
+    obs::RunReport report;
+    report.workload = w->acronym();
+    report.dataset = dataset;
+    report.scale = scale_name;
+    report.threads = threads;
+    report.representation = harness::to_string(representation);
+    report.direction = engine::to_string(traversal.direction);
+    report.stealing = traversal.stealing;
+    if (churn.batches > 0) {
+      report.refresh_mode = harness::to_string(refresh_mode);
+      report.churn_batches = churn.batches;
+      report.churn_ops = churn.config.ops;
+      report.churn_seed = churn.config.seed;
+    }
+    report.seconds = r.seconds;
+    report.checksum = r.run.checksum;
+    report.vertices_processed = r.run.vertices_processed;
+    report.edges_processed = r.run.edges_processed;
+    report.telemetry = r.telemetry;
+    report.refresh = r.refresh;
+    report.refresh_seconds = r.refresh_seconds;
+
+    std::ofstream os(json_out);
+    if (!os) {
+      std::cerr << "cannot open " << json_out << " for writing\n";
+      return 1;
+    }
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::instance().snapshot();
+    report.write_json(os, &snapshot);
+    std::cout << "wrote run report to " << json_out << "\n";
+  }
+
+  return write_trace() ? 0 : 1;
 }
