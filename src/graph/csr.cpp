@@ -96,13 +96,24 @@ Csr build_csr(const GraphSnapshot& snapshot) {
 
   // The snapshot keeps the dynamic graph's per-vertex edge order; the
   // device CSR wants rows sorted by destination (the TC intersection
-  // kernels require it).
+  // kernels require it). Rows are decoded through for_each_out rather
+  // than out_row(): a compressed (layouted) snapshot has no raw storage
+  // for encoded rows, and the stored values are logical slot ids under
+  // every layout.
+  std::vector<std::uint32_t> dst;
+  std::vector<double> w;
   for (std::uint32_t v = 0; v < csr.num_vertices; ++v) {
     const std::uint32_t row = row_of_dense[v];
     const std::uint64_t lo = csr.row_ptr[v];
     const std::uint64_t deg = csr.row_ptr[v + 1] - lo;
-    const std::uint32_t* dst = snapshot.out_row(row);
-    const double* w = snapshot.out_weight_row(row);
+    dst.clear();
+    w.clear();
+    dst.reserve(deg);
+    w.reserve(deg);
+    snapshot.for_each_out(row, [&](std::uint32_t t, double weight) {
+      dst.push_back(t);
+      w.push_back(weight);
+    });
     std::vector<std::uint64_t> order(deg);
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(),

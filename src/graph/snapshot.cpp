@@ -1,7 +1,9 @@
 #include "graph/snapshot.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace_span.h"
@@ -98,11 +100,39 @@ const char* to_string(RefreshStats::Kind kind) {
   return "none";
 }
 
+const char* to_string(VertexOrder order) {
+  switch (order) {
+    case VertexOrder::kDegree:
+      return "degree";
+    case VertexOrder::kRcm:
+      return "rcm";
+    case VertexOrder::kNatural:
+      break;
+  }
+  return "natural";
+}
+
+bool parse_vertex_order(const std::string& text, VertexOrder* out) {
+  if (text == "natural") {
+    *out = VertexOrder::kNatural;
+  } else if (text == "degree") {
+    *out = VertexOrder::kDegree;
+  } else if (text == "rcm") {
+    *out = VertexOrder::kRcm;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void GraphSnapshot::rebuild_from(const PropertyGraph& g) {
   arena_.reset();
   out_rows_ = nullptr;
   out_wrows_ = nullptr;
   in_rows_ = nullptr;
+  out_enc_rows_ = nullptr;
+  in_enc_rows_ = nullptr;
+  layout_stats_ = LayoutStats{};
   out_indirect_.clear();
   in_indirect_.clear();
   out_indirected_ = 0;
@@ -110,7 +140,8 @@ void GraphSnapshot::rebuild_from(const PropertyGraph& g) {
   index_.clear();
 
   // Pass 1: one row per slot, dead slots included; degrees from both
-  // adjacency directions.
+  // adjacency directions. These prefixes are LOGICAL (slot-space) and stay
+  // so under every layout — only physical placement is permuted.
   const auto rows = static_cast<std::uint32_t>(g.slot_count());
   row_count_ = rows;
   num_vertices_ = static_cast<std::uint32_t>(g.num_vertices());
@@ -125,35 +156,38 @@ void GraphSnapshot::rebuild_from(const PropertyGraph& g) {
     in_ptr[v + 1] = in_ptr[v] + (rec != nullptr ? rec->in.size() : 0);
   }
   num_edges_ = out_ptr[rows];
-
-  auto* out_dst = arena_array<std::uint32_t>(arena_, out_ptr[rows]);
-  auto* out_weight = arena_array<double>(arena_, out_ptr[rows]);
-  auto* in_src = arena_array<std::uint32_t>(arena_, in_ptr[rows]);
-
-  // Pass 2: copy adjacency verbatim (per-vertex edge order preserved).
-  // Row index == slot index, so the resolved neighbor slot IS the stored
-  // row id — no renumbering table.
-  for (std::uint32_t v = 0; v < rows; ++v) {
-    const VertexRecord* rec = g.vertex_at(v);
-    if (rec == nullptr) continue;
-    std::uint64_t pos = out_ptr[v];
-    g.for_each_out_edge(*rec, [&](const EdgeRecord& e, SlotIndex tslot) {
-      out_dst[pos] = tslot;
-      out_weight[pos] = e.weight;
-      ++pos;
-    });
-    pos = in_ptr[v];
-    g.for_each_in_neighbor(*rec, [&](VertexId, SlotIndex sslot) {
-      in_src[pos++] = sslot;
-    });
-  }
-
   out_ptr_ = out_ptr;
-  out_dst_ = out_dst;
-  out_weight_ = out_weight;
   in_ptr_ = in_ptr;
-  in_src_ = in_src;
   orig_id_ = orig_id;
+
+  if (layout_.natural_raw()) {
+    auto* out_dst = arena_array<std::uint32_t>(arena_, out_ptr[rows]);
+    auto* out_weight = arena_array<double>(arena_, out_ptr[rows]);
+    auto* in_src = arena_array<std::uint32_t>(arena_, in_ptr[rows]);
+
+    // Pass 2: copy adjacency verbatim (per-vertex edge order preserved).
+    // Row index == slot index, so the resolved neighbor slot IS the stored
+    // row id — no renumbering table.
+    for (std::uint32_t v = 0; v < rows; ++v) {
+      const VertexRecord* rec = g.vertex_at(v);
+      if (rec == nullptr) continue;
+      std::uint64_t pos = out_ptr[v];
+      g.for_each_out_edge(*rec, [&](const EdgeRecord& e, SlotIndex tslot) {
+        out_dst[pos] = tslot;
+        out_weight[pos] = e.weight;
+        ++pos;
+      });
+      pos = in_ptr[v];
+      g.for_each_in_neighbor(*rec, [&](VertexId, SlotIndex sslot) {
+        in_src[pos++] = sslot;
+      });
+    }
+    out_dst_ = out_dst;
+    out_weight_ = out_weight;
+    in_src_ = in_src;
+  } else {
+    apply_layout(g);
+  }
 
   index_.reserve(num_vertices_);
   for (std::uint32_t v = 0; v < rows; ++v) {
@@ -165,9 +199,214 @@ void GraphSnapshot::rebuild_from(const PropertyGraph& g) {
   base_serial_ = g.rearm_mutation_log();
 }
 
-GraphSnapshot GraphSnapshot::freeze(const PropertyGraph& g) {
+std::vector<std::uint32_t> GraphSnapshot::build_order(
+    const PropertyGraph& g) const {
+  const std::uint32_t rows = row_count_;
+  std::vector<std::uint32_t> order(rows);
+  for (std::uint32_t v = 0; v < rows; ++v) order[v] = v;
+  if (layout_.order == VertexOrder::kNatural) return order;
+
+  // Hub clustering: descending undirected degree, stable so equal-degree
+  // runs keep slot order (deterministic; dead rows sort last).
+  auto udeg = [&](std::uint32_t v) {
+    return (out_ptr_[v + 1] - out_ptr_[v]) + (in_ptr_[v + 1] - in_ptr_[v]);
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return udeg(a) > udeg(b);
+                   });
+  if (layout_.order == VertexOrder::kDegree) return order;
+
+  // RCM-lite (Cuthill-McKee bands without the reversal): BFS over the
+  // undirected adjacency, seeds taken in descending-degree order so each
+  // component starts at its hub; neighbors enqueue in edge order. Places
+  // topologically adjacent rows in nearby cache lines/pages — the win on
+  // low-degree meshes (road networks) where hub clustering has no hubs to
+  // cluster. Zero-degree and dead rows fall out as singleton seeds at the
+  // end.
+  std::vector<std::uint32_t> bands;
+  bands.reserve(rows);
+  std::vector<std::uint8_t> visited(rows, 0);
+  std::vector<std::uint32_t> queue;
+  for (const std::uint32_t seed : order) {
+    if (visited[seed]) continue;
+    visited[seed] = 1;
+    queue.clear();
+    queue.push_back(seed);
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const std::uint32_t v = queue[qi];
+      bands.push_back(v);
+      const VertexRecord* rec = g.vertex_at(v);
+      if (rec == nullptr) continue;
+      g.for_each_out_edge(*rec, [&](const EdgeRecord&, SlotIndex t) {
+        if (!visited[t]) {
+          visited[t] = 1;
+          queue.push_back(t);
+        }
+      });
+      g.for_each_in_neighbor(*rec, [&](VertexId, SlotIndex s) {
+        if (!visited[s]) {
+          visited[s] = 1;
+          queue.push_back(s);
+        }
+      });
+    }
+  }
+  return bands;
+}
+
+void GraphSnapshot::apply_layout(const PropertyGraph& g) {
+  platform::WallTimer timer;
+  const std::uint32_t rows = row_count_;
+  const std::uint64_t num_in = in_ptr_[rows];
+
+  // Materialize the logical rows once into transient buffers; the arena
+  // receives only the permuted (and possibly encoded) copy.
+  std::vector<std::uint32_t> all_out(num_edges_);
+  std::vector<double> all_w(num_edges_);
+  std::vector<std::uint32_t> all_in(num_in);
+  for (std::uint32_t v = 0; v < rows; ++v) {
+    const VertexRecord* rec = g.vertex_at(v);
+    if (rec == nullptr) continue;
+    std::uint64_t pos = out_ptr_[v];
+    g.for_each_out_edge(*rec, [&](const EdgeRecord& e, SlotIndex tslot) {
+      all_out[pos] = tslot;
+      all_w[pos] = e.weight;
+      ++pos;
+    });
+    pos = in_ptr_[v];
+    g.for_each_in_neighbor(*rec, [&](VertexId, SlotIndex sslot) {
+      all_in[pos++] = sslot;
+    });
+  }
+
+  // order[rank] = slot: the physical placement permutation.
+  const std::vector<std::uint32_t> order = build_order(g);
+
+  // Size pass: per-row storage disposition. enc size 0 = raw row.
+  std::vector<std::uint32_t> out_enc_size(rows, 0);
+  std::vector<std::uint32_t> in_enc_size(rows, 0);
+  std::uint64_t out_raw_total = 0, in_raw_total = 0;
+  std::uint64_t out_enc_total = 0, in_enc_total = 0;
+  for (std::uint32_t v = 0; v < rows; ++v) {
+    const std::uint64_t odeg = out_ptr_[v + 1] - out_ptr_[v];
+    const std::uint64_t ideg = in_ptr_[v + 1] - in_ptr_[v];
+    if (layout_.compress && odeg > 0) {
+      const std::size_t sz =
+          varint::encoded_row_size(all_out.data() + out_ptr_[v], odeg);
+      if (!varint::keep_row_raw(odeg, sz, layout_.hot_row_degree)) {
+        out_enc_size[v] = static_cast<std::uint32_t>(sz);
+      }
+    }
+    if (layout_.compress && ideg > 0) {
+      const std::size_t sz =
+          varint::encoded_row_size(all_in.data() + in_ptr_[v], ideg);
+      if (!varint::keep_row_raw(ideg, sz, layout_.hot_row_degree)) {
+        in_enc_size[v] = static_cast<std::uint32_t>(sz);
+      }
+    }
+    if (out_enc_size[v] != 0) {
+      out_enc_total += out_enc_size[v];
+      ++layout_stats_.rows_compressed;
+    } else {
+      out_raw_total += odeg;
+      if (odeg > 0) ++layout_stats_.rows_raw;
+    }
+    if (in_enc_size[v] != 0) {
+      in_enc_total += in_enc_size[v];
+      ++layout_stats_.rows_compressed;
+    } else {
+      in_raw_total += ideg;
+      if (ideg > 0) ++layout_stats_.rows_raw;
+    }
+  }
+
+  auto* phys_out = arena_array<std::uint32_t>(arena_, out_raw_total);
+  auto* phys_w = arena_array<double>(arena_, num_edges_);
+  auto* phys_in = arena_array<std::uint32_t>(arena_, in_raw_total);
+  auto* enc_out = out_enc_total > 0
+                      ? arena_array<std::uint8_t>(arena_, out_enc_total)
+                      : nullptr;
+  auto* enc_in = in_enc_total > 0
+                     ? arena_array<std::uint8_t>(arena_, in_enc_total)
+                     : nullptr;
+  auto* out_rows = arena_array<const std::uint32_t*>(arena_, rows);
+  auto* out_wrows = arena_array<const double*>(arena_, rows);
+  auto* in_rows = arena_array<const std::uint32_t*>(arena_, rows);
+  auto* out_enc_rows =
+      layout_.compress ? arena_array<const std::uint8_t*>(arena_, rows)
+                       : nullptr;
+  auto* in_enc_rows =
+      layout_.compress ? arena_array<const std::uint8_t*>(arena_, rows)
+                       : nullptr;
+
+  // Placement pass, in rank order: hubs (or BFS bands) land first in the
+  // arena. Weights stay raw doubles for every row, placed alongside.
+  std::uint64_t opos = 0, wpos = 0, ipos = 0, oenc = 0, ienc = 0;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    const std::uint32_t v = order[r];
+    const std::uint64_t odeg = out_ptr_[v + 1] - out_ptr_[v];
+    const std::uint64_t ideg = in_ptr_[v + 1] - in_ptr_[v];
+
+    out_wrows[v] = phys_w + wpos;
+    if (odeg > 0) {
+      std::memcpy(phys_w + wpos, all_w.data() + out_ptr_[v],
+                  odeg * sizeof(double));
+      wpos += odeg;
+    }
+    if (out_enc_size[v] != 0) {
+      varint::encode_row(enc_out + oenc, all_out.data() + out_ptr_[v],
+                         odeg);
+      out_enc_rows[v] = enc_out + oenc;
+      oenc += out_enc_size[v];
+      out_rows[v] = nullptr;
+    } else {
+      if (odeg > 0) {
+        std::memcpy(phys_out + opos, all_out.data() + out_ptr_[v],
+                    odeg * sizeof(std::uint32_t));
+      }
+      out_rows[v] = phys_out + opos;
+      opos += odeg;
+      if (out_enc_rows != nullptr) out_enc_rows[v] = nullptr;
+    }
+    if (in_enc_size[v] != 0) {
+      varint::encode_row(enc_in + ienc, all_in.data() + in_ptr_[v], ideg);
+      in_enc_rows[v] = enc_in + ienc;
+      ienc += in_enc_size[v];
+      in_rows[v] = nullptr;
+    } else {
+      if (ideg > 0) {
+        std::memcpy(phys_in + ipos, all_in.data() + in_ptr_[v],
+                    ideg * sizeof(std::uint32_t));
+      }
+      in_rows[v] = phys_in + ipos;
+      ipos += ideg;
+      if (in_enc_rows != nullptr) in_enc_rows[v] = nullptr;
+    }
+  }
+
+  out_dst_ = phys_out;
+  out_weight_ = phys_w;
+  in_src_ = phys_in;
+  out_rows_ = out_rows;
+  out_wrows_ = out_wrows;
+  in_rows_ = in_rows;
+  out_enc_rows_ = out_enc_rows;
+  in_enc_rows_ = in_enc_rows;
+
+  layout_stats_.adjacency_bytes_raw =
+      (num_edges_ + num_in) * sizeof(std::uint32_t);
+  layout_stats_.adjacency_bytes_stored =
+      (out_raw_total + in_raw_total) * sizeof(std::uint32_t) +
+      out_enc_total + in_enc_total;
+  layout_stats_.seconds = timer.seconds();
+}
+
+GraphSnapshot GraphSnapshot::freeze(const PropertyGraph& g,
+                                    const LayoutOptions& layout) {
   obs::ObsSpan span("freeze");
   GraphSnapshot snap;
+  snap.layout_ = layout;
   snap.rebuild_from(g);
   if (obs::enabled()) {
     SnapshotSeries& ss = snapshot_series();
@@ -207,6 +446,13 @@ const RefreshStats& GraphSnapshot::refresh(const PropertyGraph& g,
     return last_refresh_;
   };
 
+  // Layouted snapshots never delta-merge: an incremental row splice would
+  // interleave unpermuted tail rows into the placement-ordered arena and
+  // leave compressed rows stale. The rebuild re-applies layout_.
+  if (!layout_.natural_raw()) {
+    return full_rebuild("layouted snapshot (reordered/compressed rows) "
+                        "requires full rebuild");
+  }
   // Composition guards: the log must describe "mutations since THIS
   // snapshot's freeze" — same log generation (serial) and same row base.
   if (base_serial_ == 0) {
@@ -421,15 +667,28 @@ bool structurally_equal(const GraphSnapshot& a, const GraphSnapshot& b,
       return fail(row + ": in degree " + std::to_string(a.in_degree(v)) +
                   " vs " + std::to_string(b.in_degree(v)));
     }
+    // Decode through the iteration templates, not raw row pointers:
+    // compressed rows have no raw storage, and this must compare snapshots
+    // across different layouts (the layout-parity tests rely on it).
     const std::uint64_t odeg = a.out_degree(v);
-    const std::uint32_t* da = a.out_row(v);
-    const std::uint32_t* db = b.out_row(v);
-    const double* wa = a.out_weight_row(v);
-    const double* wb = b.out_weight_row(v);
+    std::vector<std::uint32_t> ta, tb;
+    std::vector<double> wa, wb;
+    ta.reserve(odeg);
+    tb.reserve(odeg);
+    wa.reserve(odeg);
+    wb.reserve(odeg);
+    a.for_each_out(v, [&](std::uint32_t t, double w) {
+      ta.push_back(t);
+      wa.push_back(w);
+    });
+    b.for_each_out(v, [&](std::uint32_t t, double w) {
+      tb.push_back(t);
+      wb.push_back(w);
+    });
     for (std::uint64_t e = 0; e < odeg; ++e) {
-      if (da[e] != db[e]) {
+      if (ta[e] != tb[e]) {
         return fail(row + ": out edge " + std::to_string(e) + " target " +
-                    std::to_string(da[e]) + " vs " + std::to_string(db[e]));
+                    std::to_string(ta[e]) + " vs " + std::to_string(tb[e]));
       }
       if (std::memcmp(&wa[e], &wb[e], sizeof(double)) != 0) {
         return fail(row + ": out edge " + std::to_string(e) +
@@ -437,8 +696,11 @@ bool structurally_equal(const GraphSnapshot& a, const GraphSnapshot& b,
       }
     }
     const std::uint64_t ideg = a.in_degree(v);
-    const std::uint32_t* sa = a.in_row(v);
-    const std::uint32_t* sb = b.in_row(v);
+    std::vector<std::uint32_t> sa, sb;
+    sa.reserve(ideg);
+    sb.reserve(ideg);
+    a.for_each_in(v, [&](std::uint32_t s) { sa.push_back(s); });
+    b.for_each_in(v, [&](std::uint32_t s) { sb.push_back(s); });
     for (std::uint64_t e = 0; e < ideg; ++e) {
       if (sa[e] != sb[e]) {
         return fail(row + ": in edge " + std::to_string(e) + " source " +

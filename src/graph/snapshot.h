@@ -35,6 +35,20 @@
 // indirected rows crosses RefreshOptions::max_indirected_fraction, refresh
 // falls back to a full rebuild (reported via RefreshStats) — the arena
 // tail otherwise grows without bound and row locality degrades.
+//
+// Layouts: freeze() optionally applies a cache-oriented layout stage
+// (LayoutOptions). Vertex reordering permutes only the PHYSICAL placement
+// of rows inside the arena — hubs first for degree order, BFS bands for
+// RCM-lite — published through the same per-row pointer tables the
+// refresh path uses. The logical row space (slot indices, stored neighbor
+// values, prefix arrays, id map, per-row edge order) is untouched, which
+// is why every workload checksum is bit-identical across layouts.
+// Compression swaps eligible rows' raw u32 storage for delta-varint blobs
+// (graph/varint.h) decoded by a streaming cursor inside for_each_*; hot
+// high-degree rows and rows the codec cannot shrink stay raw per row.
+// Layouted (non-natural or compressed) snapshots refuse the incremental
+// refresh path: refresh() falls back to a full rebuild that re-applies
+// the layout (reported via RefreshStats::fallback_reason).
 #pragma once
 
 #include <array>
@@ -48,6 +62,7 @@
 
 #include "graph/property.h"
 #include "graph/property_graph.h"
+#include "graph/varint.h"
 #include "platform/arena.h"
 
 namespace graphbig::graph {
@@ -133,6 +148,56 @@ struct RefreshOptions {
   double max_indirected_fraction = 0.5;
 };
 
+/// Physical row placement applied at freeze time. Placement only: logical
+/// row indices and traversal results are identical across orders.
+enum class VertexOrder {
+  kNatural,  // slot order (placement == logical order, today's layout)
+  kDegree,   // hub clustering: descending undirected degree, stable
+  kRcm,      // RCM-lite: BFS bands from the highest-degree vertex
+};
+
+const char* to_string(VertexOrder order);
+
+/// Parses "natural" / "degree" / "rcm"; false on anything else.
+bool parse_vertex_order(const std::string& text, VertexOrder* out);
+
+/// Freeze-time layout policy threaded through freeze()/refresh().
+struct LayoutOptions {
+  VertexOrder order = VertexOrder::kNatural;
+  /// Delta-varint compress adjacency rows (per-row raw fallback).
+  bool compress = false;
+  /// Rows with degree at or past this stay raw even when compress is on
+  /// (hot hub rows trade bytes for decode-free scans).
+  std::uint32_t hot_row_degree = 1024;
+
+  /// True for the default layout — the byte-stable representation the
+  /// incremental refresh path requires.
+  bool natural_raw() const {
+    return order == VertexOrder::kNatural && !compress;
+  }
+};
+
+/// What the layout stage did at the last freeze/rebuild: row disposition
+/// and adjacency byte footprint (the bench's compression-ratio surface).
+/// Counts cover both directions (out + in rows).
+struct LayoutStats {
+  std::uint32_t rows_compressed = 0;
+  std::uint32_t rows_raw = 0;  // raw by policy, hotness, or incompressibility
+  /// Logical adjacency payload: 4 bytes per stored neighbor (out targets +
+  /// in sources), excluding weights and prefix/pointer overhead.
+  std::uint64_t adjacency_bytes_raw = 0;
+  /// Bytes actually resident for the same payload after the layout stage.
+  std::uint64_t adjacency_bytes_stored = 0;
+  double seconds = 0.0;  // layout-stage share of the freeze
+
+  double compression_ratio() const {
+    return adjacency_bytes_stored == 0
+               ? 1.0
+               : static_cast<double>(adjacency_bytes_raw) /
+                     static_cast<double>(adjacency_bytes_stored);
+  }
+};
+
 /// Frozen CSR-backed snapshot of a PropertyGraph. Topology is immutable
 /// between freeze()/refresh() calls; property columns are mutable
 /// algorithm state.
@@ -141,15 +206,20 @@ class GraphSnapshot {
   /// Builds a snapshot of the current graph: one row per slot (dead slots
   /// become zero-degree rows), per-vertex out- and in-edge order copied
   /// verbatim. Rearms the graph's mutation log, so a later refresh()
-  /// against the same graph can delta-merge.
-  static GraphSnapshot freeze(const PropertyGraph& g);
+  /// against the same graph can delta-merge. `layout` selects the physical
+  /// row placement and adjacency encoding; results are identical across
+  /// layouts, only memory behavior differs.
+  static GraphSnapshot freeze(const PropertyGraph& g,
+                              const LayoutOptions& layout = {});
 
   /// Delta-merges the graph's mutation log into this snapshot. The graph
   /// must be the one this snapshot was frozen from, with no intervening
   /// freeze (otherwise — or when the indirected-row fraction would cross
-  /// opts.max_indirected_fraction — the snapshot is fully rebuilt and the
-  /// returned stats say why). Always leaves the snapshot equivalent to
-  /// freeze(g) and rearms the log. Invalidates property columns.
+  /// opts.max_indirected_fraction, or the snapshot carries a non-natural
+  /// or compressed layout — the snapshot is fully rebuilt, re-applying its
+  /// layout, and the returned stats say why). Always leaves the snapshot
+  /// equivalent to freeze(g, layout()) and rearms the log. Invalidates
+  /// property columns.
   const RefreshStats& refresh(const PropertyGraph& g,
                               const RefreshOptions& opts = {});
 
@@ -194,12 +264,19 @@ class GraphSnapshot {
 
   // ---- per-row edge storage ----
   //
-  // Before the first refresh every row lives in the base arrays and
-  // out_row(v) == out_dst() + out_ptr()[v]; after a refresh, rewritten
-  // rows point into arena tail space through the indirection tables. The
-  // row-pointer arrays (out_ptr/in_ptr) always hold true degree prefixes —
-  // they are rebuilt on refresh — so prefix-based chunking stays exact.
+  // In the natural raw layout, before the first refresh, every row lives
+  // in the base arrays and out_row(v) == out_dst() + out_ptr()[v]; after a
+  // refresh, rewritten rows point into arena tail space through the
+  // indirection tables. Layouted snapshots publish EVERY row through the
+  // tables (placement-permuted raw storage), and compressed rows publish a
+  // byte pointer through out_enc_row()/in_enc_row() instead — a non-null
+  // encoded pointer supersedes the raw one. The row-pointer arrays
+  // (out_ptr/in_ptr) always hold true LOGICAL degree prefixes — they are
+  // rebuilt on refresh and never permuted — so prefix-based chunking and
+  // degree queries stay exact under any layout.
 
+  /// Raw neighbor storage for row v; null when the row is compressed
+  /// (use out_enc_row / for_each_out).
   const std::uint32_t* out_row(std::uint32_t v) const {
     return out_rows_ != nullptr ? out_rows_[v] : out_dst_ + out_ptr_[v];
   }
@@ -210,9 +287,19 @@ class GraphSnapshot {
     return in_rows_ != nullptr ? in_rows_[v] : in_src_ + in_ptr_[v];
   }
 
+  /// Delta-varint encoded row bytes; null when the row is stored raw
+  /// (always null for uncompressed layouts).
+  const std::uint8_t* out_enc_row(std::uint32_t v) const {
+    return out_enc_rows_ != nullptr ? out_enc_rows_[v] : nullptr;
+  }
+  const std::uint8_t* in_enc_row(std::uint32_t v) const {
+    return in_enc_rows_ != nullptr ? in_enc_rows_[v] : nullptr;
+  }
+
   // Raw frozen arrays (device-CSR conversion, partitioning, tests). The
-  // edge arrays (out_dst/out_weight/in_src) describe refreshed rows only
-  // through out_row()/in_row(); the prefix arrays are always current.
+  // edge arrays (out_dst/out_weight/in_src) describe refreshed or layouted
+  // rows only through out_row()/in_row()/for_each_*; the prefix arrays are
+  // always current.
   const std::uint64_t* out_ptr() const { return out_ptr_; }
   const std::uint32_t* out_dst() const { return out_dst_; }
   const double* out_weight() const { return out_weight_; }
@@ -221,12 +308,27 @@ class GraphSnapshot {
   const VertexId* orig_id() const { return orig_id_; }
 
   /// Calls fn(row target, weight) for each out-edge of v, in the dynamic
-  /// graph's edge order.
+  /// graph's edge order. Compressed rows stream through the varint
+  /// decoder; the memory trace prices the encoded bytes actually touched,
+  /// so the perfmodel sees the compressed footprint.
   template <typename Fn>
   void for_each_out(std::uint32_t v, Fn&& fn) const {
     const std::uint64_t deg = out_ptr_[v + 1] - out_ptr_[v];
-    const std::uint32_t* dst = out_row(v);
     const double* w = out_weight_row(v);
+    if (const std::uint8_t* enc = out_enc_row(v)) {
+      varint::RowDecoder dec(enc);
+      for (std::uint64_t e = 0; e < deg; ++e) {
+        const std::uint8_t* at = dec.cursor();
+        const std::uint32_t t = dec.next_u32();
+        trace::read(trace::MemKind::kTopology, at,
+                    static_cast<std::size_t>(dec.cursor() - at) +
+                        sizeof(double));
+        trace::branch(trace::kBranchLoopCond, true);
+        fn(t, w[e]);
+      }
+      return;
+    }
+    const std::uint32_t* dst = out_row(v);
     for (std::uint64_t e = 0; e < deg; ++e) {
       trace::read(trace::MemKind::kTopology, &dst[e],
                   sizeof(std::uint32_t) + sizeof(double));
@@ -240,6 +342,18 @@ class GraphSnapshot {
   template <typename Fn>
   void for_each_in(std::uint32_t v, Fn&& fn) const {
     const std::uint64_t deg = in_ptr_[v + 1] - in_ptr_[v];
+    if (const std::uint8_t* enc = in_enc_row(v)) {
+      varint::RowDecoder dec(enc);
+      for (std::uint64_t e = 0; e < deg; ++e) {
+        const std::uint8_t* at = dec.cursor();
+        const std::uint32_t s = dec.next_u32();
+        trace::read(trace::MemKind::kTopology, at,
+                    static_cast<std::size_t>(dec.cursor() - at));
+        trace::branch(trace::kBranchLoopCond, true);
+        fn(s);
+      }
+      return;
+    }
     const std::uint32_t* src = in_row(v);
     for (std::uint64_t e = 0; e < deg; ++e) {
       trace::read(trace::MemKind::kTopology, &src[e],
@@ -254,8 +368,21 @@ class GraphSnapshot {
   template <typename Fn>
   void for_each_out_until(std::uint32_t v, Fn&& fn) const {
     const std::uint64_t deg = out_ptr_[v + 1] - out_ptr_[v];
-    const std::uint32_t* dst = out_row(v);
     const double* w = out_weight_row(v);
+    if (const std::uint8_t* enc = out_enc_row(v)) {
+      varint::RowDecoder dec(enc);
+      for (std::uint64_t e = 0; e < deg; ++e) {
+        const std::uint8_t* at = dec.cursor();
+        const std::uint32_t t = dec.next_u32();
+        trace::read(trace::MemKind::kTopology, at,
+                    static_cast<std::size_t>(dec.cursor() - at) +
+                        sizeof(double));
+        trace::branch(trace::kBranchLoopCond, true);
+        if (!fn(t, w[e])) return;
+      }
+      return;
+    }
+    const std::uint32_t* dst = out_row(v);
     for (std::uint64_t e = 0; e < deg; ++e) {
       trace::read(trace::MemKind::kTopology, &dst[e],
                   sizeof(std::uint32_t) + sizeof(double));
@@ -267,6 +394,18 @@ class GraphSnapshot {
   template <typename Fn>
   void for_each_in_until(std::uint32_t v, Fn&& fn) const {
     const std::uint64_t deg = in_ptr_[v + 1] - in_ptr_[v];
+    if (const std::uint8_t* enc = in_enc_row(v)) {
+      varint::RowDecoder dec(enc);
+      for (std::uint64_t e = 0; e < deg; ++e) {
+        const std::uint8_t* at = dec.cursor();
+        const std::uint32_t s = dec.next_u32();
+        trace::read(trace::MemKind::kTopology, at,
+                    static_cast<std::size_t>(dec.cursor() - at));
+        trace::branch(trace::kBranchLoopCond, true);
+        if (!fn(s)) return;
+      }
+      return;
+    }
     const std::uint32_t* src = in_row(v);
     for (std::uint64_t e = 0; e < deg; ++e) {
       trace::read(trace::MemKind::kTopology, &src[e],
@@ -287,6 +426,16 @@ class GraphSnapshot {
     columns_ = std::make_unique<PropertyColumns>(row_count_);
   }
 
+  // ---- layout ----
+
+  /// The layout policy this snapshot was frozen with (and that refresh
+  /// rebuilds preserve).
+  const LayoutOptions& layout() const { return layout_; }
+
+  /// What the layout stage did at the last freeze/rebuild. All-zero for
+  /// the natural raw layout (no layout stage runs).
+  const LayoutStats& layout_stats() const { return layout_stats_; }
+
   // ---- refresh telemetry ----
 
   /// Stats of the most recent refresh() (kind kNone before the first).
@@ -306,6 +455,10 @@ class GraphSnapshot {
 
  private:
   void rebuild_from(const PropertyGraph& g);
+  /// Layout stage of rebuild_from: physical placement permutation +
+  /// per-row encoding. Consumes the freshly built logical prefix arrays.
+  void apply_layout(const PropertyGraph& g);
+  std::vector<std::uint32_t> build_order(const PropertyGraph& g) const;
 
   std::uint32_t num_vertices_ = 0;
   std::uint32_t row_count_ = 0;
@@ -316,10 +469,17 @@ class GraphSnapshot {
   const std::uint64_t* in_ptr_ = nullptr;    // rows + 1
   const std::uint32_t* in_src_ = nullptr;    // base edge storage
   const VertexId* orig_id_ = nullptr;        // rows
-  // Per-row indirection tables, null until the first incremental refresh.
+  // Per-row indirection tables, null until the first incremental refresh
+  // or layouted freeze (layouts publish every row through them).
   const std::uint32_t* const* out_rows_ = nullptr;
   const double* const* out_wrows_ = nullptr;
   const std::uint32_t* const* in_rows_ = nullptr;
+  // Per-row encoded-blob pointers; non-null entry = row is delta-varint
+  // compressed (supersedes the raw pointer). Null tables for raw layouts.
+  const std::uint8_t* const* out_enc_rows_ = nullptr;
+  const std::uint8_t* const* in_enc_rows_ = nullptr;
+  LayoutOptions layout_;
+  LayoutStats layout_stats_;
   // Which rows point at tail space (size row_count_); kept outside the
   // arena because they are rewritten wholesale each refresh.
   std::vector<std::uint8_t> out_indirect_;

@@ -1,0 +1,137 @@
+// Order-preserving delta-varint codec for snapshot adjacency rows.
+//
+// A row's neighbor sequence is stored as zigzag-encoded deltas between
+// consecutive values, each delta LEB128-varint packed (7 payload bits per
+// byte, high bit = continuation). The running predecessor starts at 0, so
+// the first value is encoded as a delta from 0. Zigzag keeps the scheme
+// order-preserving: rows do NOT have to be sorted, which is what keeps the
+// per-vertex edge order — and with it DFS's visit-order checksum and
+// dynamic-vs-frozen edge-order parity — bit-identical. Sorted natural rows
+// (datagen canonicalizes edge lists ascending) still produce small
+// positive deltas and compress well; reordered or churned rows merely
+// compress less, never incorrectly.
+//
+// Encoded row layout (no length header; the row's degree comes from the
+// snapshot's prefix array):
+//
+//   value[0]          value[1]                 value[deg-1]
+//   +--------------+  +-------------------+    +---------+
+//   | vint(zz(d0)) |  | vint(zz(d1))      | .. | ...     |
+//   +--------------+  +-------------------+    +---------+
+//   d0 = v0 - 0        d1 = v1 - v0             zz = zigzag
+//
+// Decoding is strictly sequential via RowDecoder — a zero-allocation
+// streaming cursor the snapshot's for_each_* templates drive once per
+// edge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace graphbig::graph::varint {
+
+inline constexpr std::size_t kMaxEncodedBytes = 10;  // 64 payload bits / 7
+
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t z) {
+  return static_cast<std::int64_t>(z >> 1) ^
+         -static_cast<std::int64_t>(z & 1);
+}
+
+inline std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+inline std::uint8_t* varint_encode(std::uint8_t* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    *out++ = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  *out++ = static_cast<std::uint8_t>(v);
+  return out;
+}
+
+inline const std::uint8_t* varint_decode(const std::uint8_t* in,
+                                         std::uint64_t* v) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  while (true) {
+    const std::uint8_t b = *in++;
+    value |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  *v = value;
+  return in;
+}
+
+/// Encoded size of a row without materializing it.
+template <typename T>
+std::size_t encoded_row_size(const T* values, std::size_t count) {
+  std::size_t bytes = 0;
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto v = static_cast<std::int64_t>(values[i]);
+    bytes += varint_size(zigzag_encode(v - prev));
+    prev = v;
+  }
+  return bytes;
+}
+
+/// Encodes a row into `out` (which must hold encoded_row_size bytes);
+/// returns one past the last byte written.
+template <typename T>
+std::uint8_t* encode_row(std::uint8_t* out, const T* values,
+                         std::size_t count) {
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto v = static_cast<std::int64_t>(values[i]);
+    out = varint_encode(out, zigzag_encode(v - prev));
+    prev = v;
+  }
+  return out;
+}
+
+/// Streaming row cursor: next() yields the original values in order. The
+/// caller knows the count (snapshot degree); reading past it is undefined.
+/// cursor() exposes the byte position so traversal tracing can price the
+/// bytes actually touched.
+class RowDecoder {
+ public:
+  explicit RowDecoder(const std::uint8_t* encoded) : p_(encoded) {}
+
+  std::uint64_t next() {
+    std::uint64_t z;
+    p_ = varint_decode(p_, &z);
+    prev_ += zigzag_decode(z);
+    return static_cast<std::uint64_t>(prev_);
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next()); }
+
+  const std::uint8_t* cursor() const { return p_; }
+
+ private:
+  const std::uint8_t* p_;
+  std::int64_t prev_ = 0;
+};
+
+/// Per-row fallback policy: a row stays raw when it is hot (degree at or
+/// past `hot_row_degree` — hub rows are scanned constantly and decode-free
+/// access wins) or when encoding would not actually shrink it.
+inline bool keep_row_raw(std::uint64_t degree, std::size_t encoded_bytes,
+                         std::uint32_t hot_row_degree) {
+  if (degree >= hot_row_degree) return true;
+  return encoded_bytes >= degree * sizeof(std::uint32_t);
+}
+
+}  // namespace graphbig::graph::varint

@@ -152,7 +152,8 @@ workloads::RunContext make_cpu_context(const workloads::Workload& w,
 CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
                                 const DatasetBundle& bundle,
                                 const perfmodel::MachineConfig& machine,
-                                Representation representation) {
+                                Representation representation,
+                                const graph::LayoutOptions& layout) {
   graph::PropertyGraph input = make_input_graph(w, bundle);
   workloads::RunContext ctx = make_cpu_context(w, input, bundle);
 
@@ -166,7 +167,7 @@ CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
   // pollute the modeled access trace.
   graph::GraphSnapshot snapshot;
   if (representation == Representation::kFrozen && supports_frozen(w)) {
-    snapshot = graph::GraphSnapshot::freeze(input);
+    snapshot = graph::GraphSnapshot::freeze(input, layout);
     ctx.snapshot = &snapshot;
   }
 
@@ -185,7 +186,8 @@ CpuTimedRun run_cpu_timed(const workloads::Workload& w,
                           const DatasetBundle& bundle, int threads,
                           Representation representation,
                           const engine::TraversalOptions& traversal,
-                          RefreshMode refresh_mode, const ChurnPhase& churn) {
+                          RefreshMode refresh_mode, const ChurnPhase& churn,
+                          const graph::LayoutOptions& layout) {
   graph::PropertyGraph input = make_input_graph(w, bundle);
   workloads::RunContext ctx = make_cpu_context(w, input, bundle);
   ctx.traversal = traversal;
@@ -198,7 +200,7 @@ CpuTimedRun run_cpu_timed(const workloads::Workload& w,
   const bool frozen =
       representation == Representation::kFrozen && supports_frozen(w);
   if (frozen) {
-    snapshot = graph::GraphSnapshot::freeze(input);
+    snapshot = graph::GraphSnapshot::freeze(input, layout);
     ctx.snapshot = &snapshot;
   }
 
@@ -218,7 +220,7 @@ CpuTimedRun run_cpu_timed(const workloads::Workload& w,
     }
     if (frozen && refresh_mode == RefreshMode::kFull) {
       platform::WallTimer refresh_timer;
-      snapshot = graph::GraphSnapshot::freeze(input);
+      snapshot = graph::GraphSnapshot::freeze(input, layout);
       out.refresh_seconds = refresh_timer.seconds();
       out.refresh.kind = graph::RefreshStats::Kind::kFullRebuild;
       out.refresh.fallback_reason = "refresh mode: full";

@@ -84,12 +84,14 @@ struct CpuProfiledRun {
 /// the dataset, CompDyn workloads a scratch copy. With
 /// Representation::kFrozen, workloads that support it traverse a snapshot
 /// frozen from the input graph, so the cache/TLB model prices the frozen
-/// layout; others fall back to the dynamic structure.
+/// layout; others fall back to the dynamic structure. `layout` selects the
+/// snapshot's physical layout (reordering/compression) — frozen runs only.
 CpuProfiledRun run_cpu_profiled(const workloads::Workload& w,
                                 const DatasetBundle& bundle,
                                 const perfmodel::MachineConfig& machine = {},
                                 Representation representation =
-                                    Representation::kDynamic);
+                                    Representation::kDynamic,
+                                const graph::LayoutOptions& layout = {});
 
 /// Result of a wall-clock (untraced) CPU run.
 struct CpuTimedRun {
@@ -112,13 +114,16 @@ struct CpuTimedRun {
 /// measured seconds); others fall back to the dynamic structure.
 /// `traversal` carries the frontier-engine knobs (direction mode, work
 /// stealing); the default is direction-optimizing auto with stealing on.
+/// `layout` selects the snapshot's physical layout (applied at the initial
+/// freeze and preserved across churn refreshes) — frozen runs only.
 CpuTimedRun run_cpu_timed(const workloads::Workload& w,
                           const DatasetBundle& bundle, int threads,
                           Representation representation =
                               Representation::kDynamic,
                           const engine::TraversalOptions& traversal = {},
                           RefreshMode refresh_mode = RefreshMode::kFull,
-                          const ChurnPhase& churn = {});
+                          const ChurnPhase& churn = {},
+                          const graph::LayoutOptions& layout = {});
 
 /// Figure 1: fraction of execution time spent inside framework primitives.
 struct FrameworkTimeRun {

@@ -59,6 +59,8 @@ void RunReport::write_json(std::ostream& os,
   w.kv("representation", representation);
   w.kv("direction", direction);
   w.kv("steal", stealing);
+  w.kv("layout", layout.empty() ? "natural" : layout);
+  w.kv("compress", compress);
   if (!refresh_mode.empty()) {
     w.kv("refresh_mode", refresh_mode);
     w.key("churn");

@@ -27,6 +27,8 @@ struct RunReport {
   std::string representation;  // "dynamic" / "frozen"
   std::string direction;       // "push" / "pull" / "auto"
   bool stealing = true;
+  std::string layout = "natural";  // snapshot vertex order
+  bool compress = false;           // delta-varint adjacency
   std::string refresh_mode;  // "" when no churn phase ran
   int churn_batches = 0;
   std::uint64_t churn_ops = 0;

@@ -210,6 +210,8 @@ TEST(RunReport, GoldenSchemaRoundTrip) {
   report.representation = "frozen";
   report.direction = "auto";
   report.stealing = true;
+  report.layout = "degree";
+  report.compress = true;
   report.refresh_mode = "incremental";
   report.churn_batches = 4;
   report.churn_ops = 512;
@@ -236,6 +238,7 @@ TEST(RunReport, GoldenSchemaRoundTrip) {
   for (const char* path :
        {"schema", "workload", "dataset", "scale", "config.threads",
         "config.representation", "config.direction", "config.steal",
+        "config.layout", "config.compress",
         "config.refresh_mode", "config.churn.batches", "config.churn.ops",
         "config.churn.seed", "result.seconds", "result.checksum",
         "result.vertices_processed", "result.edges_processed",
@@ -251,6 +254,9 @@ TEST(RunReport, GoldenSchemaRoundTrip) {
   EXPECT_EQ(doc.find_path("schema")->str, "graphbig.run.v1");
   EXPECT_EQ(doc.find_path("result.checksum")->str, "9223372036854775811");
   EXPECT_EQ(doc.find_path("config.threads")->number, 4.0);
+  EXPECT_EQ(doc.find_path("config.layout")->str, "degree");
+  EXPECT_EQ(doc.find_path("config.compress")->kind,
+            JsonValue::Kind::kBool);
   EXPECT_EQ(doc.find_path("traversal.supersteps")->number, 1.0);
   EXPECT_EQ(doc.find_path("refresh.kind")->str, "incremental");
   const JsonValue* steps = doc.find_path("traversal.steps");

@@ -43,6 +43,12 @@ void print_usage() {
                          direction-optimizing choice)
   --steal on|off         work-stealing for degree-weighted edge chunks
                          (default: on)
+  --layout natural|degree|rcm   frozen-snapshot vertex placement: natural
+                         slot order, hub-clustering degree sort, or
+                         RCM-lite BFS bands (default: natural; results are
+                         identical, only memory behavior differs)
+  --compress on|off      delta-varint compress frozen adjacency rows, with
+                         a per-row raw fallback for hot rows (default: off)
   --refresh full|incremental   run a churn phase before the workload and
                          bring the frozen snapshot up to date by full
                          re-freeze or mutation-log delta merge (implies
@@ -88,6 +94,7 @@ int main(int argc, char** argv) {
   harness::Representation representation = harness::Representation::kDynamic;
   engine::TraversalOptions traversal;
   harness::RefreshMode refresh_mode = harness::RefreshMode::kFull;
+  graph::LayoutOptions layout;
   harness::ChurnPhase churn;
   churn.config.ops = 512;
   churn.config.seed = 42;
@@ -162,6 +169,23 @@ int main(int argc, char** argv) {
         traversal.stealing = false;
       } else {
         std::cerr << "--steal expects on or off\n";
+        return 2;
+      }
+    } else if (arg == "--layout") {
+      const std::string l = next();
+      if (!graph::parse_vertex_order(l, &layout.order)) {
+        std::cerr << "unknown layout: " << l
+                  << " (expected natural, degree, or rcm)\n";
+        return 2;
+      }
+    } else if (arg == "--compress") {
+      const std::string c = next();
+      if (c == "on") {
+        layout.compress = true;
+      } else if (c == "off") {
+        layout.compress = false;
+      } else {
+        std::cerr << "--compress expects on or off\n";
         return 2;
       }
     } else if (arg == "--refresh") {
@@ -268,7 +292,8 @@ int main(int argc, char** argv) {
   }
 
   if (profile) {
-    const auto r = harness::run_cpu_profiled(*w, bundle, {}, representation);
+    const auto r =
+        harness::run_cpu_profiled(*w, bundle, {}, representation, layout);
     std::cout << w->acronym() << " (profiled): checksum "
               << r.run.checksum << "\n"
               << "  instructions " << harness::fmt_int(r.counters.instructions())
@@ -302,6 +327,8 @@ int main(int argc, char** argv) {
   std::cout << "run config: direction=" << engine::to_string(traversal.direction)
             << " steal=" << (traversal.stealing ? "on" : "off")
             << " representation=" << harness::to_string(representation)
+            << " layout=" << graph::to_string(layout.order)
+            << " compress=" << (layout.compress ? "on" : "off")
             << " threads=" << threads;
   if (churn.batches > 0) {
     std::cout << " refresh=" << harness::to_string(refresh_mode)
@@ -310,7 +337,8 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
   const auto r = harness::run_cpu_timed(*w, bundle, threads, representation,
-                                        traversal, refresh_mode, churn);
+                                        traversal, refresh_mode, churn,
+                                        layout);
   std::cout << w->acronym() << ": checksum " << r.run.checksum << "\n  "
             << harness::fmt_int(r.run.vertices_processed) << " vertices, "
             << harness::fmt_int(r.run.edges_processed)
@@ -343,6 +371,8 @@ int main(int argc, char** argv) {
     report.representation = harness::to_string(representation);
     report.direction = engine::to_string(traversal.direction);
     report.stealing = traversal.stealing;
+    report.layout = graph::to_string(layout.order);
+    report.compress = layout.compress;
     if (churn.batches > 0) {
       report.refresh_mode = harness::to_string(refresh_mode);
       report.churn_batches = churn.batches;
