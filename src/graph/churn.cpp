@@ -64,7 +64,7 @@ std::string ChurnBatch::describe(std::size_t max_ops) const {
 }
 
 ChurnDriver::ChurnDriver(const ChurnConfig& config, const PropertyGraph& g)
-    : config_(config), rng_(config.seed) {
+    : config_(config) {
   live_.reserve(g.num_vertices());
   g.for_each_vertex([&](const VertexRecord& v) {
     pos_[v.id] = live_.size();
@@ -91,6 +91,12 @@ void ChurnDriver::track_remove(VertexId id) {
 ChurnBatch ChurnDriver::apply_batch(PropertyGraph& g) {
   obs::ObsSpan span("churn_batch");
   ChurnBatch batch;
+  batch.serial = next_serial_++;
+  // Split stream: each batch gets an independent generator derived from
+  // (seed, serial), so the op sequence is pinned by the serial alone.
+  platform::SplitMix64 mix(config_.seed ^
+                           (batch.serial * 0x9e3779b97f4a7c15ull));
+  platform::Xoshiro256 rng(mix.next());
   batch.ops.reserve(config_.ops);
   const double total =
       config_.add_vertex_weight + config_.add_edge_weight +
@@ -100,16 +106,16 @@ ChurnBatch ChurnDriver::apply_batch(PropertyGraph& g) {
   const double de = ae + config_.delete_edge_weight / total;
 
   for (std::size_t i = 0; i < config_.ops; ++i) {
-    const double r = rng_.uniform();
+    const double r = rng.uniform();
     ChurnOp op;
     if (r < av || live_.size() < 2) {
       op.kind = ChurnOp::Kind::kAddVertex;
       op.a = next_id_++;
     } else if (r < ae) {
       op.kind = ChurnOp::Kind::kAddEdge;
-      op.a = live_[rng_.bounded(live_.size())];
-      op.b = live_[rng_.bounded(live_.size())];
-      op.weight = rng_.uniform(0.5, 2.0);
+      op.a = live_[rng.bounded(live_.size())];
+      op.b = live_[rng.bounded(live_.size())];
+      op.weight = rng.uniform(0.5, 2.0);
     } else if (r < de) {
       // Deleting an edge needs an existing one: probe a few live sources
       // for a non-empty out-list, else degrade to an add so the batch
@@ -117,18 +123,18 @@ ChurnBatch ChurnDriver::apply_batch(PropertyGraph& g) {
       op.kind = ChurnOp::Kind::kAddVertex;
       op.a = next_id_;
       for (int attempt = 0; attempt < 8; ++attempt) {
-        const VertexId src = live_[rng_.bounded(live_.size())];
+        const VertexId src = live_[rng.bounded(live_.size())];
         const VertexRecord* v = g.find_vertex(src);
         if (v == nullptr || v->out.empty()) continue;
         op.kind = ChurnOp::Kind::kDeleteEdge;
         op.a = src;
-        op.b = v->out[rng_.bounded(v->out.size())].target;
+        op.b = v->out[rng.bounded(v->out.size())].target;
         break;
       }
       if (op.kind == ChurnOp::Kind::kAddVertex) ++next_id_;
     } else {
       op.kind = ChurnOp::Kind::kDeleteVertex;
-      op.a = live_[rng_.bounded(live_.size())];
+      op.a = live_[rng.bounded(live_.size())];
     }
 
     bool ok = false;

@@ -47,6 +47,10 @@ struct ChurnConfig {
 
 /// The ops one apply_batch() call generated, plus apply outcomes.
 struct ChurnBatch {
+  /// Position of this batch in the driver's stream (0, 1, 2, ...). The
+  /// per-batch RNG is derived from (seed, serial), so a recorded serial
+  /// pins the batch to an exact op sequence for replay/verification.
+  std::uint64_t serial = 0;
   std::vector<ChurnOp> ops;
   std::size_t applied = 0;  // ops the graph accepted
   std::size_t skipped = 0;  // refused (duplicate edge, missing endpoint)
@@ -57,26 +61,35 @@ struct ChurnBatch {
 };
 
 /// Deterministic churn generator. Maintains a live-id mirror of the graph
-/// so op generation never scans the graph, and draws everything from one
-/// seeded Xoshiro256 stream: same seed + same starting graph -> same op
-/// sequence, batch after batch.
+/// so op generation never scans the graph (except the bounded delete-edge
+/// probe), and draws each batch from its OWN split RNG stream seeded by
+/// SplitMix64 over (seed, batch serial): the op sequence of batch k
+/// depends only on the seed, the serial k, and the graph state after
+/// batches 0..k-1 — never on wall-clock timing or on how many RNG draws
+/// earlier batches happened to make. Same seed + batches consumed in
+/// serial order => same op stream, which is what makes serve runs (writer
+/// thread pacing batches under load) replayable after the fact.
 class ChurnDriver {
  public:
   ChurnDriver(const ChurnConfig& config, const PropertyGraph& g);
 
   /// Generates and applies config.ops mutations to g, returning the
-  /// concrete batch. g must be the graph the driver was constructed
-  /// against (or an identical twin that has replayed all prior batches).
+  /// concrete batch (stamped with the next stream serial). g must be the
+  /// graph the driver was constructed against (or an identical twin that
+  /// has replayed all prior batches).
   ChurnBatch apply_batch(PropertyGraph& g);
 
   std::uint64_t seed() const { return config_.seed; }
+
+  /// Serial the next apply_batch() call will stamp.
+  std::uint64_t next_serial() const { return next_serial_; }
 
  private:
   void track_add(VertexId id);
   void track_remove(VertexId id);
 
   ChurnConfig config_;
-  platform::Xoshiro256 rng_;
+  std::uint64_t next_serial_ = 0;
   std::vector<VertexId> live_;
   std::unordered_map<VertexId, std::size_t> pos_;
   VertexId next_id_ = 0;

@@ -31,6 +31,14 @@ class GraphView {
   explicit GraphView(PropertyGraph& g) : graph_(&g) {}
   explicit GraphView(const GraphSnapshot& s) : snap_(&s) {}
 
+  /// Frozen view whose algorithm state lives in a caller-owned column set
+  /// instead of the snapshot's shared one. This is the serving path:
+  /// concurrent queries pin ONE immutable snapshot and each brings private
+  /// columns, so set_int/set_double never race across requests. `columns`
+  /// must be sized to s.row_count() and outlive the view.
+  GraphView(const GraphSnapshot& s, PropertyColumns* columns)
+      : snap_(&s), cols_(columns) {}
+
   bool frozen() const { return snap_ != nullptr; }
 
   /// Size of the slot space: slot table size (dynamic, tombstones
@@ -178,33 +186,40 @@ class GraphView {
 
   void set_int(SlotIndex s, PropKey key, std::int64_t v) const {
     if (frozen()) {
-      snap_->columns().set_int(s, key, v);
+      frozen_columns().set_int(s, key, v);
     } else {
       graph_->vertex_at(s)->props.set_int(key, v);
     }
   }
   void set_double(SlotIndex s, PropKey key, double v) const {
     if (frozen()) {
-      snap_->columns().set_double(s, key, v);
+      frozen_columns().set_double(s, key, v);
     } else {
       graph_->vertex_at(s)->props.set_double(key, v);
     }
   }
   std::int64_t get_int(SlotIndex s, PropKey key,
                        std::int64_t fallback = 0) const {
-    if (frozen()) return snap_->columns().get_int(s, key, fallback);
+    if (frozen()) return frozen_columns().get_int(s, key, fallback);
     const VertexRecord* v = graph_->vertex_at(s);
     return v == nullptr ? fallback : v->props.get_int(key, fallback);
   }
   double get_double(SlotIndex s, PropKey key, double fallback = 0.0) const {
-    if (frozen()) return snap_->columns().get_double(s, key, fallback);
+    if (frozen()) return frozen_columns().get_double(s, key, fallback);
     const VertexRecord* v = graph_->vertex_at(s);
     return v == nullptr ? fallback : v->props.get_double(key, fallback);
   }
 
  private:
+  /// Private per-query columns when supplied, the snapshot's shared set
+  /// otherwise.
+  PropertyColumns& frozen_columns() const {
+    return cols_ != nullptr ? *cols_ : snap_->columns();
+  }
+
   PropertyGraph* graph_ = nullptr;
   const GraphSnapshot* snap_ = nullptr;
+  PropertyColumns* cols_ = nullptr;
 };
 
 }  // namespace graphbig::graph

@@ -13,13 +13,25 @@
 // Each rearm stamps the log with the graph's mutation epoch (the same
 // counter the EdgeRecord/InRecord slot caches are stamped with) and a
 // process-unique serial. A snapshot remembers the serial of the log
-// generation it froze against; on refresh, a serial mismatch means the log
-// no longer describes "mutations since *this* snapshot" (another freeze
-// intervened) and the snapshot falls back to a full rebuild.
+// generation it froze against.
+//
+// Generation journal: rearm() archives the outgoing generation into a
+// bounded history (kMaxHistory most recent), so several snapshots of the
+// SAME graph can coexist and each still refresh incrementally:
+// compose_since(base_serial) returns the union of every generation's dirty
+// marks from that serial forward (dirty slots filtered to the base
+// generation's slot bound — anything at or above it is a new slot the
+// refresh discovers by slot-count comparison). This is what lets the
+// serving layer's snapshot pool lag the writer by a few generations and
+// still delta-merge instead of full-rebuilding. Only when the base
+// generation has been evicted from the journal (or the serial belongs to a
+// different graph — serials are process-unique) does composition fail and
+// the snapshot fall back to a full rebuild.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <unordered_set>
 #include <vector>
 
@@ -32,11 +44,41 @@ using SlotIndex = std::uint32_t;
 
 class MutationLog {
  public:
-  /// (Re)arms the log: clears all recorded state, snapshots the current
-  /// slot count and mutation epoch, and returns a fresh process-unique
-  /// serial. Called by GraphSnapshot::freeze and ::refresh.
+  /// Archived generations kept for compose_since. Small: each entry holds
+  /// the dirty marks of one freeze-to-freeze window (bounded by the churn
+  /// batch size in practice).
+  static constexpr std::size_t kMaxHistory = 8;
+
+  /// Union of one or more log generations: everything a refresh needs to
+  /// delta-merge a snapshot whose base serial is up to kMaxHistory
+  /// generations behind the live one.
+  struct ComposedDelta {
+    /// Slot bound of the BASE generation (the one matching the requested
+    /// serial): dirty marks are filtered below it, and it must equal the
+    /// refreshing snapshot's row count.
+    SlotIndex base_slot_count = 0;
+    /// Generations folded in, live one included (1 = snapshot is current).
+    std::uint32_t generations = 0;
+    std::unordered_set<SlotIndex> dirty_out;
+    std::unordered_set<SlotIndex> dirty_in;
+    std::vector<VertexId> deleted_ids;
+    std::uint64_t vertices_deleted = 0;
+  };
+
+  /// (Re)arms the log: archives the outgoing generation into the bounded
+  /// journal, clears live state, snapshots the current slot count and
+  /// mutation epoch, and returns a fresh process-unique serial. Called by
+  /// GraphSnapshot::freeze and ::refresh.
   std::uint64_t rearm(SlotIndex base_slots, std::uint32_t epoch) {
     static std::atomic<std::uint64_t> next_serial{1};
+    if (armed_) {
+      history_.push_back(Generation{serial_, base_slot_count_,
+                                    std::move(dirty_out_),
+                                    std::move(dirty_in_),
+                                    std::move(deleted_ids_),
+                                    vertices_deleted_});
+      while (history_.size() > kMaxHistory) history_.pop_front();
+    }
     dirty_out_.clear();
     dirty_in_.clear();
     deleted_ids_.clear();
@@ -109,6 +151,50 @@ class MutationLog {
            edges_added_ == 0 && edges_deleted_ == 0;
   }
 
+  /// Folds every generation from `base_serial` (inclusive) through the
+  /// live one into `out`. Returns false — and leaves `out` untouched —
+  /// when the base generation is neither live nor in the journal (evicted,
+  /// or a serial from another graph). Dirty marks at or above the base
+  /// generation's slot bound are dropped: those slots are new relative to
+  /// the base snapshot and the refresh rewrites them wholesale anyway.
+  bool compose_since(std::uint64_t base_serial, ComposedDelta* out) const {
+    if (!armed_ || base_serial == 0) return false;
+    std::size_t first = history_.size();  // history_.size() == live only
+    if (base_serial != serial_) {
+      while (first > 0 && history_[first - 1].serial != base_serial) --first;
+      if (first == 0) return false;
+      --first;  // history_[first] is the base generation
+    }
+    ComposedDelta d;
+    d.base_slot_count = first < history_.size()
+                            ? history_[first].base_slot_count
+                            : base_slot_count_;
+    auto fold = [&](const std::unordered_set<SlotIndex>& dout,
+                    const std::unordered_set<SlotIndex>& din,
+                    const std::vector<VertexId>& dels,
+                    std::uint64_t vdel) {
+      for (const SlotIndex s : dout) {
+        if (s < d.base_slot_count) d.dirty_out.insert(s);
+      }
+      for (const SlotIndex s : din) {
+        if (s < d.base_slot_count) d.dirty_in.insert(s);
+      }
+      d.deleted_ids.insert(d.deleted_ids.end(), dels.begin(), dels.end());
+      d.vertices_deleted += vdel;
+      ++d.generations;
+    };
+    for (std::size_t i = first; i < history_.size(); ++i) {
+      fold(history_[i].dirty_out, history_[i].dirty_in,
+           history_[i].deleted_ids, history_[i].vertices_deleted);
+    }
+    fold(dirty_out_, dirty_in_, deleted_ids_, vertices_deleted_);
+    *out = std::move(d);
+    return true;
+  }
+
+  /// Archived generations currently held (tests).
+  std::size_t history_size() const { return history_.size(); }
+
   SlotIndex base_slot_count() const { return base_slot_count_; }
   std::uint32_t base_epoch() const { return base_epoch_; }
   std::uint64_t serial() const { return serial_; }
@@ -123,6 +209,15 @@ class MutationLog {
   std::uint64_t edges_deleted() const { return edges_deleted_; }
 
  private:
+  struct Generation {
+    std::uint64_t serial = 0;
+    SlotIndex base_slot_count = 0;
+    std::unordered_set<SlotIndex> dirty_out;
+    std::unordered_set<SlotIndex> dirty_in;
+    std::vector<VertexId> deleted_ids;
+    std::uint64_t vertices_deleted = 0;
+  };
+
   bool armed_ = false;
   SlotIndex base_slot_count_ = 0;
   std::uint32_t base_epoch_ = 0;
@@ -134,6 +229,7 @@ class MutationLog {
   std::uint64_t vertices_deleted_ = 0;
   std::uint64_t edges_added_ = 0;
   std::uint64_t edges_deleted_ = 0;
+  std::deque<Generation> history_;
 };
 
 }  // namespace graphbig::graph

@@ -453,18 +453,21 @@ const RefreshStats& GraphSnapshot::refresh(const PropertyGraph& g,
     return full_rebuild("layouted snapshot (reordered/compressed rows) "
                         "requires full rebuild");
   }
-  // Composition guards: the log must describe "mutations since THIS
-  // snapshot's freeze" — same log generation (serial) and same row base.
+  // Composition guards: the log (live generation plus its bounded
+  // journal) must cover "mutations since THIS snapshot's freeze".
   if (base_serial_ == 0) {
     return full_rebuild("snapshot has no freeze base");
   }
-  if (!log.armed() || log.serial() != base_serial_) {
-    return full_rebuild("mutation-log serial mismatch (another freeze "
-                        "rearmed the log)");
+  MutationLog::ComposedDelta delta;
+  if (!log.compose_since(base_serial_, &delta)) {
+    return full_rebuild("mutation-log journal does not cover the "
+                        "snapshot's base serial (generation evicted or "
+                        "foreign graph)");
   }
-  if (log.base_slot_count() != row_count_) {
+  if (delta.base_slot_count != row_count_) {
     return full_rebuild("mutation-log slot base does not match row count");
   }
+  stats.vertices_deleted = static_cast<std::uint32_t>(delta.vertices_deleted);
 
   const std::uint32_t old_rows = row_count_;
   const auto new_rows = static_cast<std::uint32_t>(g.slot_count());
@@ -476,10 +479,10 @@ const RefreshStats& GraphSnapshot::refresh(const PropertyGraph& g,
   std::uint64_t projected_in = in_indirected_;
   out_indirect_.resize(new_rows, 0);
   in_indirect_.resize(new_rows, 0);
-  for (const SlotIndex s : log.dirty_out()) {
+  for (const SlotIndex s : delta.dirty_out) {
     if (!out_indirect_[s]) ++projected_out;
   }
-  for (const SlotIndex s : log.dirty_in()) {
+  for (const SlotIndex s : delta.dirty_in) {
     if (!in_indirect_[s]) ++projected_in;
   }
   projected_out += new_rows - old_rows;
@@ -532,8 +535,8 @@ const RefreshStats& GraphSnapshot::refresh(const PropertyGraph& g,
     new_in_ptr[v + 1] = new_in_ptr[v] + ideg;
 
     const bool is_new = v >= old_rows;
-    const bool out_dirty = is_new || log.dirty_out().count(v) > 0;
-    const bool in_dirty = is_new || log.dirty_in().count(v) > 0;
+    const bool out_dirty = is_new || delta.dirty_out.count(v) > 0;
+    const bool in_dirty = is_new || delta.dirty_in.count(v) > 0;
     if (!is_new && (out_dirty || in_dirty)) ++stats.rows_rewritten;
 
     if (out_dirty) {
@@ -598,7 +601,7 @@ const RefreshStats& GraphSnapshot::refresh(const PropertyGraph& g,
 
   // External-id index: drop deleted ids first — a deleted id re-added
   // lands in a new slot, and the insertion below must win.
-  for (const VertexId id : log.deleted_ids()) index_.erase(id);
+  for (const VertexId id : delta.deleted_ids) index_.erase(id);
   for (std::uint32_t v = old_rows; v < new_rows; ++v) {
     if (new_orig[v] != kInvalidVertex) {
       index_[new_orig[v]] = static_cast<SlotIndex>(v);

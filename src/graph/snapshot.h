@@ -213,13 +213,16 @@ class GraphSnapshot {
                               const LayoutOptions& layout = {});
 
   /// Delta-merges the graph's mutation log into this snapshot. The graph
-  /// must be the one this snapshot was frozen from, with no intervening
-  /// freeze (otherwise — or when the indirected-row fraction would cross
-  /// opts.max_indirected_fraction, or the snapshot carries a non-natural
-  /// or compressed layout — the snapshot is fully rebuilt, re-applying its
-  /// layout, and the returned stats say why). Always leaves the snapshot
-  /// equivalent to freeze(g, layout()) and rearms the log. Invalidates
-  /// property columns.
+  /// must be the one this snapshot was frozen from; intervening freezes /
+  /// refreshes are fine as long as the log's bounded generation journal
+  /// still covers this snapshot's base serial (MutationLog::kMaxHistory
+  /// generations — the serving layer's snapshot pool relies on this).
+  /// When the journal has evicted the base generation — or the
+  /// indirected-row fraction would cross opts.max_indirected_fraction, or
+  /// the snapshot carries a non-natural or compressed layout — the
+  /// snapshot is fully rebuilt, re-applying its layout, and the returned
+  /// stats say why. Always leaves the snapshot equivalent to
+  /// freeze(g, layout()) and rearms the log. Invalidates property columns.
   const RefreshStats& refresh(const PropertyGraph& g,
                               const RefreshOptions& opts = {});
 

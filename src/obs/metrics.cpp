@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -214,6 +215,30 @@ void MetricsRegistry::reset() {
     }
   }
   for (auto& g : s.gauge_cells) g.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramSnapshot::value_at_quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based: ceil(q * count), at least 1
+  // so q=0 lands on the first recorded observation's bucket.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    cumulative += counts[b];
+    if (cumulative >= rank) {
+      // Overflow bucket (b == bounds.size()) saturates to the largest
+      // finite bound.
+      return bounds.empty() ? 0
+                            : bounds[b < bounds.size() ? b
+                                                       : bounds.size() - 1];
+    }
+  }
+  return bounds.empty() ? 0 : bounds.back();
 }
 
 const std::uint64_t* MetricsSnapshot::counter_value(

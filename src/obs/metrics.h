@@ -134,6 +134,15 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
+
+  /// Upper bound of the bucket holding the q-th quantile observation
+  /// (rank ceil(q * count), clamped to [1, count]). Conservative by
+  /// construction: the true observation is <= the returned bound.
+  /// Observations that landed in the overflow bucket saturate to the
+  /// largest finite bound — a p999 equal to bounds.back() means "at or
+  /// past the histogram's range", so size the bounds to the tail you care
+  /// about. Returns 0 on an empty histogram. q outside [0, 1] is clamped.
+  std::uint64_t value_at_quantile(double q) const;
 };
 
 /// Aggregated registry state at one point in time.

@@ -1,0 +1,240 @@
+#include "serve/query_frontend.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
+#include "platform/bitset.h"
+#include "workloads/workload.h"
+
+namespace graphbig::serve {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct FrontendSeries {
+  obs::Counter completed;
+  obs::Counter shed;
+  obs::Histogram latency_us;
+};
+
+FrontendSeries& frontend_series() {
+  static FrontendSeries* s = [] {
+    auto& r = obs::MetricsRegistry::instance();
+    return new FrontendSeries{
+        r.counter("serve.queries_completed"),
+        r.counter("serve.queries_shed"),
+        r.histogram("serve.query_latency_us",
+                    {50, 100, 200, 400, 800, 1600, 3200, 6400, 12800,
+                     25600, 51200, 102400, 204800, 409600, 819200,
+                     1638400}),
+    };
+  }();
+  return *s;
+}
+
+/// k-hop neighborhood: BFS truncated after `k` supersteps. Same engine,
+/// same visited discipline, and the same checksum shape as the BFS
+/// workload, but bounded expansion — the "friends of friends" request.
+workloads::RunResult khop_neighborhood(const graph::GraphView& g,
+                                       graph::SlotIndex root_slot, int k,
+                                       engine::TraversalOptions opts) {
+  workloads::RunResult result;
+  platform::AtomicBitset visited(g.slot_count());
+  visited.test_and_set(root_slot);
+
+  engine::FrontierEngine eng(g, nullptr, opts, nullptr);
+  eng.activate(root_slot);
+
+  int depth = 0;
+  std::uint64_t vertices = 1;
+  std::uint64_t edges = 0;
+  std::uint64_t depth_sum = 0;
+  while (!eng.done() && depth < k) {
+    ++depth;
+    auto push = [&](graph::SlotIndex u, engine::StepCtx& sc) {
+      g.for_each_out(u, [&](graph::SlotIndex t, double) {
+        ++sc.edges;
+        if (visited.test_and_set(t)) sc.emit(t);
+      });
+    };
+    const engine::StepResult r = eng.step(push);
+    edges += r.edges;
+    vertices += r.activated;
+    depth_sum += static_cast<std::uint64_t>(depth) * r.activated;
+  }
+  result.vertices_processed = vertices;
+  result.edges_processed = edges;
+  result.checksum = vertices * 1000003u + depth_sum;
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kBfs:
+      return "BFS";
+    case QueryKind::kKHop:
+      return "kHop";
+    case QueryKind::kSPath:
+      return "SPath";
+    case QueryKind::kDCentr:
+      return "DCentr";
+  }
+  return "??";
+}
+
+QueryRecord QueryFrontend::execute(const QueryRequest& req,
+                                   const graph::GraphSnapshot& snap,
+                                   std::uint64_t generation,
+                                   const engine::TraversalOptions& traversal) {
+  QueryRecord rec;
+  rec.id = req.id;
+  rec.kind = req.kind;
+  rec.root = req.root;
+  rec.khop = req.khop;
+  rec.generation = generation;
+
+  // Private per-query algorithm state: many requests share this snapshot.
+  graph::PropertyColumns columns(snap.row_count());
+  workloads::RunContext ctx;
+  ctx.snapshot = &snap;
+  ctx.columns = &columns;
+  ctx.pool = nullptr;  // sequential per request
+  ctx.root = req.root;
+  ctx.traversal = traversal;
+
+  workloads::RunResult result;
+  switch (req.kind) {
+    case QueryKind::kBfs:
+      result = workloads::bfs().run(ctx);
+      break;
+    case QueryKind::kKHop: {
+      const graph::SlotIndex root_slot = snap.slot_of(req.root);
+      if (root_slot != graph::kInvalidSlot) {
+        result = khop_neighborhood(ctx.view(), root_slot, req.khop,
+                                   traversal);
+      }
+      break;
+    }
+    case QueryKind::kSPath:
+      result = workloads::spath().run(ctx);
+      break;
+    case QueryKind::kDCentr:
+      result = workloads::dcentr().run(ctx);
+      break;
+  }
+  rec.checksum = result.checksum;
+  rec.vertices = result.vertices_processed;
+  return rec;
+}
+
+QueryFrontend::QueryFrontend(SnapshotManager& mgr, QueryFrontendOptions opts)
+    : mgr_(mgr), opts_(opts) {
+  if (opts_.workers < 1) opts_.workers = 1;
+  if (opts_.queue_capacity < 1) opts_.queue_capacity = 1;
+  worker_records_.resize(static_cast<std::size_t>(opts_.workers));
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int w = 0; w < opts_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+QueryFrontend::~QueryFrontend() { shutdown(); }
+
+bool QueryFrontend::submit(QueryRequest req) {
+  req.submit_ns = now_ns();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= opts_.queue_capacity) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) frontend_series().shed.inc();
+      return false;
+    }
+    queue_.push_back(req);
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
+  return true;
+}
+
+void QueryFrontend::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && joined_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (!joined_) {
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+    joined_ = true;
+  }
+}
+
+QueryFrontendStats QueryFrontend::stats() const {
+  QueryFrontendStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<QueryRecord> QueryFrontend::take_records() {
+  std::vector<QueryRecord> all;
+  for (auto& per_worker : worker_records_) {
+    all.insert(all.end(), per_worker.begin(), per_worker.end());
+    per_worker.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const QueryRecord& a, const QueryRecord& b) {
+              return a.id < b.id;
+            });
+  return all;
+}
+
+void QueryFrontend::worker_loop(int worker_index) {
+  std::vector<QueryRecord>& records =
+      worker_records_[static_cast<std::size_t>(worker_index)];
+  for (;;) {
+    QueryRequest req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping and drained
+      req = queue_.front();
+      queue_.pop_front();
+    }
+
+    obs::ObsSpan span("serve_query");
+    const std::uint64_t start_ns = now_ns();
+    // Pin the current generation for exactly this request's lifetime.
+    SnapshotManager::Lease lease = mgr_.acquire();
+    QueryRecord rec = execute(req, *lease.snapshot(), lease.generation(),
+                              opts_.traversal);
+    lease.release();
+    const std::uint64_t end_ns = now_ns();
+
+    rec.exec_us = (end_ns - start_ns) / 1000;
+    rec.latency_us =
+        (end_ns - (req.submit_ns != 0 ? req.submit_ns : start_ns)) / 1000;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      FrontendSeries& fs = frontend_series();
+      fs.completed.inc();
+      fs.latency_us.observe(rec.latency_us);
+    }
+    if (opts_.record) records.push_back(rec);
+  }
+}
+
+}  // namespace graphbig::serve

@@ -1,0 +1,111 @@
+#include "serve/serve_report.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace graphbig::serve {
+
+namespace {
+
+// Checksums must round-trip exactly; JSON doubles lose precision above
+// 2^53 (same discipline as graphbig.run.v1).
+std::string u64_string(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+void ServeReport::write_json(std::ostream& os,
+                             const obs::MetricsSnapshot* metrics) const {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "graphbig.serve.v1");
+  w.kv("dataset", dataset);
+  w.kv("scale", scale);
+
+  w.key("config");
+  w.begin_object();
+  w.kv("workers", workers);
+  w.kv("queue_capacity", queue_capacity);
+  w.kv("arrival_rate_qps", arrival_rate_qps);
+  w.kv("target_queries", target_queries);
+  w.kv("query_seed", query_seed);
+  w.kv("khop", khop);
+  w.kv("slots", slots);
+  w.kv("pool_capacity", pool_capacity);
+  w.key("churn");
+  w.begin_object();
+  w.kv("seed", churn_seed);
+  w.kv("ops_per_batch", churn_ops);
+  w.kv("interval_ms", churn_interval_ms);
+  w.end_object();
+  w.end_object();
+
+  w.key("load");
+  w.begin_object();
+  w.kv("offered", offered);
+  w.kv("admitted", admitted);
+  w.kv("shed", shed);
+  w.kv("completed", completed);
+  w.kv("elapsed_s", elapsed_s);
+  w.kv("throughput_qps", throughput_qps);
+  w.end_object();
+
+  w.key("latency_us");
+  w.begin_object();
+  w.kv("p50", p50_us);
+  w.kv("p99", p99_us);
+  w.kv("p999", p999_us);
+  w.kv("mean", mean_us);
+  w.kv("max", max_us);
+  w.end_object();
+
+  w.key("generations");
+  w.begin_object();
+  w.kv("published", generations_published);
+  w.kv("incremental", refresh_incremental);
+  w.kv("full", refresh_full);
+  w.kv("reclaimed", arenas_reclaimed);
+  w.kv("publish_waits", publish_waits);
+  w.kv("final_generation", final_generation);
+  w.kv("churn_batches_applied", churn_batches_applied);
+  w.kv("churn_ops_applied", churn_ops_applied);
+  w.end_object();
+
+  w.key("per_kind");
+  w.begin_object();
+  for (const KindDigest& k : per_kind) {
+    w.key(k.kind);
+    w.begin_object();
+    w.kv("count", k.count);
+    w.kv("checksum_xor", u64_string(k.checksum_xor));
+    w.end_object();
+  }
+  w.end_object();
+
+  if (verified) {
+    w.key("verification");
+    w.begin_object();
+    w.kv("checked", verify_checked);
+    w.kv("mismatches", verify_mismatches);
+    w.end_object();
+  }
+
+  if (metrics != nullptr) {
+    w.key("metrics");
+    obs::write_metrics_json(w, *metrics);
+  }
+
+  w.end_object();
+  os << "\n";
+}
+
+std::string ServeReport::to_json() const {
+  std::ostringstream os;
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::instance().snapshot();
+  write_json(os, &snapshot);
+  return os.str();
+}
+
+}  // namespace graphbig::serve

@@ -1,0 +1,82 @@
+// graphbig.serve.v1: the structured JSON report of one serving run —
+// offered/admitted/shed/completed load, throughput, latency quantiles
+// (p50/p99/p999 via obs::HistogramSnapshot::value_at_quantile), publish
+// and reclamation counts, per-kind checksum digests, and the optional
+// quiesced-replay verification verdict. Written by tools/graphbig_serve.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace graphbig::serve {
+
+struct ServeReport {
+  std::string dataset;
+  std::string scale;
+
+  // Configuration.
+  int workers = 0;
+  std::uint64_t queue_capacity = 0;
+  double arrival_rate_qps = 0.0;
+  std::uint64_t target_queries = 0;
+  std::uint64_t query_seed = 0;
+  int khop = 2;
+  std::uint32_t slots = 0;
+  std::uint32_t pool_capacity = 0;
+  std::uint64_t churn_seed = 0;
+  std::uint64_t churn_ops = 0;
+  double churn_interval_ms = 0.0;
+
+  // Load outcome.
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  double elapsed_s = 0.0;
+  double throughput_qps = 0.0;
+
+  // Latency (microseconds). Quantiles are conservative bucket upper
+  // bounds from the serve.query_latency_us histogram.
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+  double mean_us = 0.0;
+  std::uint64_t max_us = 0;
+
+  // Snapshot generations under churn.
+  std::uint64_t generations_published = 0;
+  std::uint64_t refresh_incremental = 0;
+  std::uint64_t refresh_full = 0;
+  std::uint64_t arenas_reclaimed = 0;
+  std::uint64_t publish_waits = 0;
+  std::uint64_t final_generation = 0;
+  std::uint64_t churn_batches_applied = 0;
+  std::uint64_t churn_ops_applied = 0;
+
+  /// Per query kind: completed count and an order-independent digest
+  /// (XOR over query checksums) — the quick cross-run comparison handle.
+  struct KindDigest {
+    std::string kind;
+    std::uint64_t count = 0;
+    std::uint64_t checksum_xor = 0;
+  };
+  std::vector<KindDigest> per_kind;
+
+  // Quiesced-replay verification (--verify).
+  bool verified = false;
+  std::uint64_t verify_checked = 0;
+  std::uint64_t verify_mismatches = 0;
+
+  /// Serializes the report; embeds `metrics` under "metrics" when
+  /// non-null.
+  void write_json(std::ostream& os, const obs::MetricsSnapshot* metrics) const;
+
+  /// write_json with a fresh registry snapshot embedded.
+  std::string to_json() const;
+};
+
+}  // namespace graphbig::serve

@@ -1,0 +1,206 @@
+#include "serve/snapshot_manager.h"
+
+#include <cassert>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace graphbig::serve {
+
+namespace {
+
+struct ServeSeries {
+  obs::Counter published;
+  obs::Counter refresh_incremental;
+  obs::Counter refresh_full;
+  obs::Counter reclaimed;
+  obs::Gauge reader_pins;
+};
+
+ServeSeries& serve_series() {
+  static ServeSeries* s = [] {
+    auto& r = obs::MetricsRegistry::instance();
+    return new ServeSeries{
+        r.counter("serve.generations_published"),
+        r.counter("serve.refresh_incremental"),
+        r.counter("serve.refresh_full"),
+        r.counter("serve.arenas_reclaimed"),
+        r.gauge("serve.reader_pins"),
+    };
+  }();
+  return *s;
+}
+
+}  // namespace
+
+void SnapshotManager::Lease::release() {
+  if (mgr_ == nullptr) return;
+  mgr_->unpin(slot_);
+  mgr_ = nullptr;
+  snap_ = nullptr;
+}
+
+SnapshotManager::SnapshotManager(const graph::PropertyGraph& g,
+                                 SnapshotManagerOptions opts)
+    : opts_(opts) {
+  if (opts_.slots < 2) opts_.slots = 2;
+  if (opts_.pool_capacity < 1) opts_.pool_capacity = 1;
+  slots_.reserve(opts_.slots);
+  for (std::uint32_t i = 0; i < opts_.slots; ++i) {
+    slots_.push_back(std::make_unique<GenSlot>());
+  }
+  // Generation 0. The spare is frozen second, so ITS base serial is the
+  // live log generation: the first publish() pops it and delta-merges.
+  auto first = std::make_unique<graph::GraphSnapshot>(
+      graph::GraphSnapshot::freeze(g, opts_.layout));
+  auto spare = std::make_unique<graph::GraphSnapshot>(
+      graph::GraphSnapshot::freeze(g, opts_.layout));
+  pool_.push_back(std::move(spare));
+  GenSlot& slot0 = *slots_[0];
+  slot0.snap = first.release();
+  slot0.gen.store(0, std::memory_order_seq_cst);
+  current_gen_.store(0, std::memory_order_seq_cst);
+  stats_.published = 1;
+  stats_.full = 1;  // gen 0 is a from-scratch freeze
+  if (obs::enabled()) {
+    ServeSeries& ss = serve_series();
+    ss.published.inc();
+    ss.refresh_full.inc();
+  }
+}
+
+SnapshotManager::~SnapshotManager() {
+  for (auto& slot_ptr : slots_) {
+    GenSlot& slot = *slot_ptr;
+    slot.gen.store(kNoGen, std::memory_order_seq_cst);
+    while (slot.pins.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+    delete slot.snap;
+    slot.snap = nullptr;
+  }
+}
+
+SnapshotManager::Lease SnapshotManager::acquire() {
+  for (;;) {
+    const std::uint64_t cur = current_gen_.load(std::memory_order_seq_cst);
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>(cur % slots_.size());
+    GenSlot& slot = *slots_[idx];
+    slot.pins.fetch_add(1, std::memory_order_seq_cst);
+    if (slot.gen.load(std::memory_order_seq_cst) == cur) {
+      // Pin landed before any close of this slot: the writer's drain
+      // cannot pass until we unpin, and the acquire-load of `gen` makes
+      // the writer's pre-open `snap` store visible.
+      return Lease(this, idx, slot.snap, cur);
+    }
+    // Slot was recycled under us (we raced a publish several generations
+    // ahead); back out and retry against the new current.
+    slot.pins.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+void SnapshotManager::unpin(std::uint32_t slot) {
+  // seq_cst fetch_sub is the release edge the writer's drain loop
+  // acquires: every read through the lease happens-before the recycle.
+  slots_[slot]->pins.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+std::uint64_t SnapshotManager::live_pins() const {
+  std::uint64_t total = 0;
+  for (const auto& slot : slots_) {
+    total += slot->pins.load(std::memory_order_seq_cst);
+  }
+  return total;
+}
+
+void SnapshotManager::harvest(GenSlot& slot) {
+  assert(slot.gen.load(std::memory_order_seq_cst) == kNoGen);
+  assert(slot.pins.load(std::memory_order_seq_cst) == 0);
+  if (slot.snap == nullptr) return;
+  std::unique_ptr<graph::GraphSnapshot> retired(slot.snap);
+  slot.snap = nullptr;
+  ++stats_.reclaimed;
+  if (obs::enabled()) serve_series().reclaimed.inc();
+  if (pool_.size() < opts_.pool_capacity) {
+    pool_.push_back(std::move(retired));
+  }
+  // else: freed here — past pool capacity the arena is simply released.
+}
+
+void SnapshotManager::drain(GenSlot& slot) {
+  slot.gen.store(kNoGen, std::memory_order_seq_cst);
+  if (slot.pins.load(std::memory_order_seq_cst) != 0) {
+    ++stats_.publish_waits;
+    while (slot.pins.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+  }
+  harvest(slot);
+}
+
+std::size_t SnapshotManager::reclaim_retired() {
+  const std::uint64_t cur = current_gen_.load(std::memory_order_seq_cst);
+  std::size_t harvested = 0;
+  for (auto& slot_ptr : slots_) {
+    GenSlot& slot = *slot_ptr;
+    const std::uint64_t g = slot.gen.load(std::memory_order_seq_cst);
+    if (g != kNoGen) {
+      if (g >= cur) continue;  // current generation stays open
+      slot.gen.store(kNoGen, std::memory_order_seq_cst);
+    }
+    if (slot.snap != nullptr &&
+        slot.pins.load(std::memory_order_seq_cst) == 0) {
+      harvest(slot);
+      ++harvested;
+    }
+  }
+  return harvested;
+}
+
+graph::RefreshStats SnapshotManager::publish(const graph::PropertyGraph& g) {
+  const std::uint64_t next =
+      current_gen_.load(std::memory_order_seq_cst) + 1;
+  GenSlot& target = *slots_[next % slots_.size()];
+
+  // W1+W2: close retired slots, harvest the drained ones.
+  reclaim_retired();
+  // W3: the target slot must be empty before reuse.
+  drain(target);
+
+  // W4: pooled retiree -> refresh (incremental when the journal covers
+  // its base serial); dry pool -> fresh freeze.
+  std::unique_ptr<graph::GraphSnapshot> snap;
+  graph::RefreshStats stats;
+  if (!pool_.empty()) {
+    snap = std::move(pool_.front());
+    pool_.pop_front();
+    stats = snap->refresh(g, opts_.refresh);
+  } else {
+    snap = std::make_unique<graph::GraphSnapshot>(
+        graph::GraphSnapshot::freeze(g, opts_.layout));
+    stats.kind = graph::RefreshStats::Kind::kFullRebuild;
+    stats.fallback_reason = "snapshot pool dry (fresh freeze)";
+    stats.rows_total = snap->row_count();
+    stats.rows_rewritten = snap->row_count();
+    stats.edges_copied = snap->num_edges();
+  }
+  const bool incremental =
+      stats.kind == graph::RefreshStats::Kind::kIncremental;
+  incremental ? ++stats_.incremental : ++stats_.full;
+
+  // W5: open the slot, then move the published pointer.
+  target.snap = snap.release();
+  target.gen.store(next, std::memory_order_seq_cst);
+  current_gen_.store(next, std::memory_order_seq_cst);
+  ++stats_.published;
+  if (obs::enabled()) {
+    ServeSeries& ss = serve_series();
+    ss.published.inc();
+    (incremental ? ss.refresh_incremental : ss.refresh_full).inc();
+    ss.reader_pins.set(live_pins());
+  }
+  return stats;
+}
+
+}  // namespace graphbig::serve

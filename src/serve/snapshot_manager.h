@@ -1,0 +1,202 @@
+// Epoch-based MVCC snapshot manager: the serving layer's bridge between
+// one mutating PropertyGraph and many concurrent analytic readers.
+//
+// The design splits compute from updates (BLADYG-style): a single writer
+// thread applies churn batches to the dynamic graph and publishes frozen
+// GraphSnapshot generations; reader threads pin a generation, run any
+// number of traversals against its immutable CSR, and unpin. No
+// shared_ptr, no per-edge synchronization — the whole protocol is three
+// atomics per generation slot:
+//
+//   gen   — the generation number the slot currently serves, or kNoGen
+//           when the slot is closed (retired, awaiting drain).
+//   pins  — count of readers currently holding the slot.
+//   snap  — the frozen snapshot, written by the writer strictly before
+//           the slot opens and never touched again until it has drained.
+//
+// Reader protocol (acquire):
+//   1. load current_gen
+//   2. pins.fetch_add(1) on slot[current_gen % N]
+//   3. validate slot.gen == current_gen — success means the pin landed
+//      before the writer closed the slot, so the writer's drain wait
+//      (step W3 below) cannot have passed: the arena is safe until the
+//      matching unpin. On mismatch, unpin and retry.
+//
+// Writer protocol (publish):
+//   W1. close every slot whose generation is older than current
+//       (gen := kNoGen) — after this store, no new pin can validate.
+//   W2. harvest closed slots whose pins have reached zero: the arena is
+//       recycled into the refresh pool (or freed past capacity). The
+//       release-fetch_sub in unpin / acquire-load here is the edge that
+//       makes the reader's last access happen-before the recycle.
+//   W3. the target slot (next_gen % N) is drained synchronously: close,
+//       then spin until pins == 0, then harvest.
+//   W4. produce the next snapshot — pop a pooled retiree and
+//       GraphSnapshot::refresh it (incremental when the mutation-log
+//       journal still covers its base serial, guarded full rebuild
+//       otherwise), or freeze from scratch when the pool is dry.
+//   W5. slot.snap := snapshot, then slot.gen := next_gen (release), then
+//       current_gen := next_gen. New readers land on the new generation;
+//       readers still pinning older ones are undisturbed.
+//
+// Invariants (the reclamation fuzz test's contract):
+//   * an arena is never recycled or freed while any reader pins it;
+//   * every retired arena is harvested once its last reader unpins (at
+//     the latest on the next publish or reclaim_retired() call);
+//   * generation numbers strictly increase, so a slot validated against
+//     generation g can never be confused with its later tenants (no ABA).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "graph/snapshot.h"
+
+namespace graphbig::serve {
+
+struct SnapshotManagerOptions {
+  /// Layout applied to published snapshots. Non-natural/compressed
+  /// layouts force every publish onto the full-rebuild path (the layout
+  /// stage has no incremental merge), so serving defaults to natural raw.
+  graph::LayoutOptions layout;
+  graph::RefreshOptions refresh;
+  /// Generation table size (clamped to >= 2). Publishing generation k
+  /// requires slot k % slots to have drained; more slots tolerate
+  /// longer-lived leases without stalling the writer.
+  std::uint32_t slots = 8;
+  /// Retired snapshots kept for refresh reuse; beyond this they are
+  /// freed. Pooled retirees lag the writer by a few generations, which
+  /// the mutation log's bounded journal (kMaxHistory) is sized to cover.
+  std::uint32_t pool_capacity = 4;
+};
+
+/// Writer-side lifetime counters. Written only by the publishing thread;
+/// read them from that thread or after it has quiesced.
+struct SnapshotManagerStats {
+  std::uint64_t published = 0;    // generations made current (gen 0 included)
+  std::uint64_t incremental = 0;  // publishes served by a delta-merge
+  std::uint64_t full = 0;         // publishes that rebuilt (or fresh froze)
+  std::uint64_t reclaimed = 0;    // retired arenas harvested (pooled or freed)
+  std::uint64_t publish_waits = 0;  // publishes that had to spin on a pinned slot
+};
+
+class SnapshotManager {
+ public:
+  static constexpr std::uint64_t kNoGen = ~std::uint64_t{0};
+
+  /// RAII pin on one published generation. Movable, not copyable; the
+  /// snapshot pointer is valid exactly as long as the lease lives.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept { move_from(o); }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        move_from(o);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    bool valid() const { return mgr_ != nullptr; }
+    const graph::GraphSnapshot* snapshot() const { return snap_; }
+    std::uint64_t generation() const { return gen_; }
+
+    /// Unpins early (idempotent).
+    void release();
+
+   private:
+    friend class SnapshotManager;
+    Lease(SnapshotManager* mgr, std::uint32_t slot,
+          const graph::GraphSnapshot* snap, std::uint64_t gen)
+        : mgr_(mgr), slot_(slot), snap_(snap), gen_(gen) {}
+    void move_from(Lease& o) {
+      mgr_ = o.mgr_;
+      slot_ = o.slot_;
+      snap_ = o.snap_;
+      gen_ = o.gen_;
+      o.mgr_ = nullptr;
+      o.snap_ = nullptr;
+    }
+
+    SnapshotManager* mgr_ = nullptr;
+    std::uint32_t slot_ = 0;
+    const graph::GraphSnapshot* snap_ = nullptr;
+    std::uint64_t gen_ = 0;
+  };
+
+  /// Freezes generation 0 from `g` and publishes it, plus one spare
+  /// snapshot seeded into the refresh pool so the first publish() can
+  /// already take the incremental path.
+  explicit SnapshotManager(const graph::PropertyGraph& g,
+                           SnapshotManagerOptions opts = {});
+
+  /// Drains and frees every slot. All leases must be released and the
+  /// writer quiesced before destruction.
+  ~SnapshotManager();
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  // ---- reader side (any thread) ----
+
+  /// Pins the current generation. Never fails; retries across concurrent
+  /// publishes until a pin validates.
+  Lease acquire();
+
+  std::uint64_t current_generation() const {
+    return current_gen_.load(std::memory_order_seq_cst);
+  }
+
+  /// Sum of pins across all slots (racy snapshot; exact once readers
+  /// quiesce).
+  std::uint64_t live_pins() const;
+
+  // ---- writer side (one thread) ----
+
+  /// Publishes the next generation from the graph's current state. Stats
+  /// of the refresh/freeze that produced it are returned by value.
+  graph::RefreshStats publish(const graph::PropertyGraph& g);
+
+  /// Closes and harvests every retired slot whose readers have drained
+  /// (publish does this too; tests and shutdown call it directly).
+  /// Returns the number of arenas harvested.
+  std::size_t reclaim_retired();
+
+  const SnapshotManagerStats& stats() const { return stats_; }
+  const SnapshotManagerOptions& options() const { return opts_; }
+
+ private:
+  struct alignas(64) GenSlot {
+    std::atomic<std::uint64_t> gen{kNoGen};
+    std::atomic<std::uint64_t> pins{0};
+    /// Owned by the slot when non-null. Plain pointer by design: written
+    /// by the writer before the slot opens (release-published via `gen`)
+    /// and recycled only after the drain edge (see file comment).
+    graph::GraphSnapshot* snap = nullptr;
+  };
+
+  friend class Lease;
+
+  void unpin(std::uint32_t slot);
+  /// Recycles a closed, drained slot's snapshot into the pool (or frees
+  /// it past capacity).
+  void harvest(GenSlot& slot);
+  /// Blocks until `slot` is closed, drained, and harvested.
+  void drain(GenSlot& slot);
+
+  SnapshotManagerOptions opts_;
+  std::vector<std::unique_ptr<GenSlot>> slots_;
+  std::atomic<std::uint64_t> current_gen_{0};
+  std::deque<std::unique_ptr<graph::GraphSnapshot>> pool_;
+  SnapshotManagerStats stats_;
+};
+
+}  // namespace graphbig::serve

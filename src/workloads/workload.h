@@ -64,6 +64,12 @@ struct RunContext {
   /// (mutation requires the dynamic representation). The snapshot must
   /// have been frozen from a graph topologically identical to `graph`.
   const graph::GraphSnapshot* snapshot = nullptr;
+  /// When set (frozen runs only), algorithm state reads/writes go to this
+  /// private column set instead of the snapshot's shared one — what lets
+  /// the serving layer run many concurrent queries against one pinned
+  /// immutable snapshot without cross-request races. Must be sized to
+  /// snapshot->row_count().
+  graph::PropertyColumns* columns = nullptr;
   platform::ThreadPool* pool = nullptr;  // null -> sequential execution
   std::uint64_t seed = 1;
   graph::VertexId root = 0;
@@ -71,8 +77,11 @@ struct RunContext {
   /// The traversal view the analytic workloads run against: the frozen
   /// snapshot when present, the dynamic graph otherwise.
   graph::GraphView view() const {
-    return snapshot != nullptr ? graph::GraphView(*snapshot)
-                               : graph::GraphView(*graph);
+    if (snapshot != nullptr) {
+      return columns != nullptr ? graph::GraphView(*snapshot, columns)
+                                : graph::GraphView(*snapshot);
+    }
+    return graph::GraphView(*graph);
   }
 
   /// Frontier-engine knobs for the level-synchronous workloads: traversal

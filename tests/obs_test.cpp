@@ -96,6 +96,57 @@ TEST(MetricsRegistry, HistogramBucketBoundaries) {
   EXPECT_EQ(s->sum, 1u + 10 + 11 + 100 + 101);
 }
 
+TEST(MetricsRegistry, ValueAtQuantileExactBucketBoundaries) {
+  obs::set_enabled(true);
+  auto& registry = MetricsRegistry::instance();
+  obs::Histogram h = registry.histogram("test.quantile_bounds", {10, 100, 1000});
+
+  // Ten observations: 4 in bucket <=10, 3 in (10,100], 2 in (100,1000],
+  // 1 overflow. Quantiles return the bucket's upper bound (conservative).
+  for (const std::uint64_t v : {1, 2, 3, 10, 11, 50, 100, 101, 1000, 5000}) {
+    h.observe(v);
+  }
+  const MetricsSnapshot snap = registry.snapshot();
+  const obs::HistogramSnapshot* s = snap.histogram("test.quantile_bounds");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->count, 10u);
+
+  // rank = ceil(q * 10), clamped to [1, 10]; cumulative counts 4, 7, 9, 10.
+  EXPECT_EQ(s->value_at_quantile(0.0), 10u);    // rank 1 -> bucket 0
+  EXPECT_EQ(s->value_at_quantile(0.40), 10u);   // rank 4: last of bucket 0
+  EXPECT_EQ(s->value_at_quantile(0.41), 100u);  // rank 5: first of bucket 1
+  EXPECT_EQ(s->value_at_quantile(0.70), 100u);  // rank 7: last of bucket 1
+  EXPECT_EQ(s->value_at_quantile(0.90), 1000u);  // rank 9: last of bucket 2
+  // Ranks that land in the overflow bucket saturate to the largest finite
+  // bound — "at or past the histogram's range".
+  EXPECT_EQ(s->value_at_quantile(0.91), 1000u);  // rank 10: overflow
+  EXPECT_EQ(s->value_at_quantile(1.0), 1000u);
+  // Out-of-range q is clamped.
+  EXPECT_EQ(s->value_at_quantile(-1.0), 10u);
+  EXPECT_EQ(s->value_at_quantile(2.0), 1000u);
+}
+
+TEST(MetricsRegistry, ValueAtQuantileSingleObservationAndEmpty) {
+  obs::set_enabled(true);
+  auto& registry = MetricsRegistry::instance();
+  obs::Histogram h = registry.histogram("test.quantile_single", {10, 100});
+  {
+    const MetricsSnapshot empty = registry.snapshot();
+    const obs::HistogramSnapshot* s = empty.histogram("test.quantile_single");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->value_at_quantile(0.5), 0u);  // empty -> 0
+  }
+  h.observe(42);
+  const MetricsSnapshot snap = registry.snapshot();
+  const obs::HistogramSnapshot* s = snap.histogram("test.quantile_single");
+  ASSERT_NE(s, nullptr);
+  // Every quantile of a one-observation histogram is that observation's
+  // bucket bound.
+  EXPECT_EQ(s->value_at_quantile(0.0), 100u);
+  EXPECT_EQ(s->value_at_quantile(0.5), 100u);
+  EXPECT_EQ(s->value_at_quantile(1.0), 100u);
+}
+
 TEST(MetricsRegistry, InternedHandlesShareCells) {
   obs::set_enabled(true);
   auto& registry = MetricsRegistry::instance();
@@ -226,7 +277,8 @@ TEST(RunReport, GoldenSchemaRoundTrip) {
   step.frontier = 1;
   step.edges = 5;
   record_step(&report.telemetry, step);
-  report.refresh.kind = graph::RefreshStats::Kind::kIncremental;
+  report.refresh.kind = graph::RefreshStats::Kind::kFullRebuild;
+  report.refresh.fallback_reason = "indirection threshold exceeded";
   report.refresh.rows_total = 100;
   report.refresh.rows_rewritten = 7;
   report.refresh_seconds = 0.01;
@@ -246,9 +298,9 @@ TEST(RunReport, GoldenSchemaRoundTrip) {
         "traversal.pull_steps", "traversal.dense_steps",
         "traversal.stolen_chunks", "traversal.max_frontier",
         "traversal.tail.steps", "traversal.steps", "refresh.kind",
-        "refresh.rows_total", "refresh.rows_rewritten",
-        "refresh.total_seconds", "metrics.counters", "metrics.gauges",
-        "metrics.histograms"}) {
+        "refresh.fallback_reason", "refresh.rows_total",
+        "refresh.rows_rewritten", "refresh.total_seconds",
+        "metrics.counters", "metrics.gauges", "metrics.histograms"}) {
     EXPECT_NE(doc.find_path(path), nullptr) << "missing key: " << path;
   }
   EXPECT_EQ(doc.find_path("schema")->str, "graphbig.run.v1");
@@ -258,7 +310,11 @@ TEST(RunReport, GoldenSchemaRoundTrip) {
   EXPECT_EQ(doc.find_path("config.compress")->kind,
             JsonValue::Kind::kBool);
   EXPECT_EQ(doc.find_path("traversal.supersteps")->number, 1.0);
-  EXPECT_EQ(doc.find_path("refresh.kind")->str, "incremental");
+  // A full-rebuild refresh must say WHY it fell back — the footer and the
+  // JSON carry the same reason string.
+  EXPECT_EQ(doc.find_path("refresh.kind")->str, "full-rebuild");
+  EXPECT_EQ(doc.find_path("refresh.fallback_reason")->str,
+            "indirection threshold exceeded");
   const JsonValue* steps = doc.find_path("traversal.steps");
   ASSERT_EQ(steps->kind, JsonValue::Kind::kArray);
   ASSERT_EQ(steps->items.size(), 1u);

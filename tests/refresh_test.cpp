@@ -292,7 +292,7 @@ TEST(RefreshTest, ThresholdFallsBackToFullFreeze) {
   EXPECT_TRUE(found);
 }
 
-TEST(RefreshTest, SerialMismatchFallsBack) {
+TEST(RefreshTest, JournalCoversLaggingSnapshot) {
   graph::PropertyGraph g = make_ladder();
   graph::GraphSnapshot first = graph::GraphSnapshot::freeze(g);
   graph::GraphSnapshot second = graph::GraphSnapshot::freeze(g);
@@ -300,16 +300,69 @@ TEST(RefreshTest, SerialMismatchFallsBack) {
 
   // `second` owns the current log generation: incremental.
   EXPECT_EQ(second.refresh(g).kind, graph::RefreshStats::Kind::kIncremental);
-  // `first` froze against a generation that has since been rearmed twice;
-  // its delta no longer describes "changes since first", so it must
-  // rebuild (and say why).
+  // `first` froze against a generation that has since been rearmed twice,
+  // but the bounded journal still covers its base serial: the composed
+  // delta (archived generations plus the pending one) refreshes it
+  // incrementally — the serving pool's pooled-retiree path.
   const graph::RefreshStats& stats = first.refresh(g);
+  EXPECT_EQ(stats.kind, graph::RefreshStats::Kind::kIncremental);
+  std::string why;
+  EXPECT_TRUE(graph::structurally_equal(first, second, &why)) << why;
+}
+
+TEST(RefreshTest, EvictedJournalGenerationFallsBack) {
+  graph::PropertyGraph g = make_ladder();
+  graph::GraphSnapshot stale = graph::GraphSnapshot::freeze(g);
+  // Push the stale snapshot's generation out of the bounded journal: each
+  // refresh of `churner` rearms the log and archives one generation.
+  graph::GraphSnapshot churner = graph::GraphSnapshot::freeze(g);
+  for (std::size_t i = 0; i <= graph::MutationLog::kMaxHistory; ++i) {
+    ASSERT_EQ(churner.refresh(g).kind,
+              graph::RefreshStats::Kind::kIncremental);
+  }
+
+  ASSERT_NE(g.add_edge(0, 7), nullptr);
+  const graph::RefreshStats& stats = stale.refresh(g);
   EXPECT_EQ(stats.kind, graph::RefreshStats::Kind::kFullRebuild);
-  EXPECT_NE(std::string(stats.fallback_reason).find("serial"),
+  EXPECT_NE(std::string(stats.fallback_reason).find("journal"),
             std::string::npos)
       << "reason: " << stats.fallback_reason;
   std::string why;
-  EXPECT_TRUE(graph::structurally_equal(first, second, &why)) << why;
+  EXPECT_TRUE(graph::structurally_equal(
+      stale, graph::GraphSnapshot::freeze(g), &why))
+      << why;
+}
+
+TEST(MutationLogTest, ComposeSinceUnionsArchivedGenerations) {
+  graph::PropertyGraph g = make_ladder();
+  graph::GraphSnapshot first = graph::GraphSnapshot::freeze(g);
+  const std::uint64_t first_serial = g.mutation_log().serial();
+  ASSERT_NE(g.add_edge(0, 3), nullptr);
+
+  graph::GraphSnapshot second = graph::GraphSnapshot::freeze(g);
+  const std::uint64_t second_serial = g.mutation_log().serial();
+  ASSERT_NE(second_serial, first_serial);
+  EXPECT_EQ(g.mutation_log().history_size(), 1u);
+  ASSERT_NE(g.add_edge(1, 4), nullptr);
+
+  // Composing since the CURRENT serial sees only the pending generation.
+  graph::MutationLog::ComposedDelta cur;
+  ASSERT_TRUE(g.mutation_log().compose_since(second_serial, &cur));
+  EXPECT_EQ(cur.generations, 1u);
+  EXPECT_TRUE(cur.dirty_out.count(g.slot_of(1)) > 0);
+  EXPECT_FALSE(cur.dirty_out.count(g.slot_of(0)) > 0);
+
+  // Composing since the ARCHIVED serial unions both generations.
+  graph::MutationLog::ComposedDelta both;
+  ASSERT_TRUE(g.mutation_log().compose_since(first_serial, &both));
+  EXPECT_EQ(both.generations, 2u);
+  EXPECT_TRUE(both.dirty_out.count(g.slot_of(0)) > 0);
+  EXPECT_TRUE(both.dirty_out.count(g.slot_of(1)) > 0);
+
+  // An unknown serial (never armed) is not covered.
+  graph::MutationLog::ComposedDelta none;
+  EXPECT_FALSE(g.mutation_log().compose_since(first_serial - 1, &none));
+  EXPECT_FALSE(g.mutation_log().compose_since(0, &none));
 }
 
 TEST(RefreshTest, NeverFrozenSnapshotFallsBack) {

@@ -1,0 +1,475 @@
+// graphbig_serve: open-loop serving driver — concurrent analytics under
+// churn.
+//
+//   graphbig_serve --dataset ldbc --scale small --workers 4 --rate 2000
+//   graphbig_serve --smoke
+//
+// One writer thread applies seeded churn batches to the dynamic graph and
+// publishes snapshot generations through the epoch-based SnapshotManager;
+// worker threads serve a mixed stream of analytic requests (BFS, k-hop,
+// SPath, DCentr), each pinned to the generation current at execution time.
+// Arrivals are open-loop (fixed rate, bounded admission queue, shed on
+// overflow), the industrial "millions of users" shape rather than the
+// closed-loop benchmark shape.
+//
+// --verify replays the recorded churn batches into a twin graph, freezes
+// it at every generation the run served, re-executes every recorded query
+// quiesced through the SAME QueryFrontend::execute path, and demands
+// bit-identical checksums — the proof that serving under concurrent
+// publishes returned exactly what a stopped world at that generation
+// would have.
+//
+// --smoke is the CI entry: a small fixed run with --verify implied, exit
+// nonzero unless queries completed, checksums verified, and at least one
+// publish took the incremental-refresh path.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "datagen/edge_list.h"
+#include "graph/churn.h"
+#include "harness/experiment.h"
+#include "harness/tables.h"
+#include "obs/metrics.h"
+#include "platform/rng.h"
+#include "serve/query_frontend.h"
+#include "serve/serve_report.h"
+#include "serve/snapshot_manager.h"
+
+using namespace graphbig;
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      R"(usage: graphbig_serve [options]
+  --dataset <name>       dataset (default: ldbc)
+  --scale tiny|small|medium   dataset scale (default: small)
+  --workers <n>          query worker threads (default: 4)
+  --rate <qps>           open-loop arrival rate (default: 2000)
+  --queries <n>          total queries to offer (default: 2000)
+  --khop <k>             hop bound for k-hop requests (default: 2)
+  --queue-capacity <n>   admission queue bound; overflow is shed (default: 256)
+  --slots <n>            snapshot generation table size (default: 8)
+  --pool-capacity <n>    retired snapshots kept for refresh reuse (default: 4)
+  --query-seed <n>       request stream seed (default: 7)
+  --churn-ops <n>        mutations per churn batch (default: 256)
+  --churn-interval-ms <ms>   writer publish cadence (default: 5)
+  --churn-seed <n>       churn RNG seed (default: 42)
+  --verify               after the run, replay recorded churn on a twin
+                         graph and re-run every query quiesced at its
+                         generation; fail on any checksum mismatch
+  --smoke                small fixed CI run (tiny scale, --verify implied;
+                         exit nonzero unless queries completed, checksums
+                         verified, and >=1 incremental refresh happened)
+  --json-out <path>      write a machine-readable serving report (schema
+                         graphbig.serve.v1)
+)";
+}
+
+/// Writer-side journal of the run: recorded batches (the replay script)
+/// and, per published generation, how many batches preceded it. Written
+/// only by the writer thread; read after it joins.
+struct ChurnJournal {
+  std::vector<graph::ChurnBatch> batches;
+  std::unordered_map<std::uint64_t, std::size_t> batches_before_gen;
+  std::uint64_t ops_applied = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset = "ldbc";
+  std::string scale_name = "small";
+  datagen::Scale scale = datagen::Scale::kSmall;
+  int workers = 4;
+  double rate = 2000.0;
+  std::uint64_t target_queries = 2000;
+  int khop = 2;
+  std::size_t queue_capacity = 256;
+  std::uint32_t slots = 8;
+  std::uint32_t pool_capacity = 4;
+  std::uint64_t query_seed = 7;
+  std::size_t churn_ops = 256;
+  double churn_interval_ms = 5.0;
+  std::uint64_t churn_seed = 42;
+  bool verify = false;
+  bool smoke = false;
+  std::string json_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dataset") {
+      dataset = next();
+    } else if (arg == "--scale") {
+      scale_name = next();
+      if (scale_name == "tiny") {
+        scale = datagen::Scale::kTiny;
+      } else if (scale_name == "small") {
+        scale = datagen::Scale::kSmall;
+      } else if (scale_name == "medium") {
+        scale = datagen::Scale::kMedium;
+      } else {
+        std::cerr << "unknown scale: " << scale_name << "\n";
+        return 2;
+      }
+    } else if (arg == "--workers") {
+      workers = std::atoi(next().c_str());
+      if (workers < 1) {
+        std::cerr << "--workers must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--rate") {
+      rate = std::atof(next().c_str());
+      if (rate <= 0) {
+        std::cerr << "--rate must be > 0\n";
+        return 2;
+      }
+    } else if (arg == "--queries") {
+      target_queries = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--khop") {
+      khop = std::atoi(next().c_str());
+      if (khop < 1) {
+        std::cerr << "--khop must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--queue-capacity") {
+      queue_capacity = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--slots") {
+      slots = static_cast<std::uint32_t>(std::atoi(next().c_str()));
+    } else if (arg == "--pool-capacity") {
+      pool_capacity = static_cast<std::uint32_t>(std::atoi(next().c_str()));
+    } else if (arg == "--query-seed") {
+      query_seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--churn-ops") {
+      const int ops = std::atoi(next().c_str());
+      if (ops <= 0) {
+        std::cerr << "--churn-ops must be > 0\n";
+        return 2;
+      }
+      churn_ops = static_cast<std::size_t>(ops);
+    } else if (arg == "--churn-interval-ms") {
+      churn_interval_ms = std::atof(next().c_str());
+      if (churn_interval_ms <= 0) {
+        std::cerr << "--churn-interval-ms must be > 0\n";
+        return 2;
+      }
+    } else if (arg == "--churn-seed") {
+      churn_seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json-out") {
+      json_out = next();
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      print_usage();
+      return 2;
+    }
+  }
+
+  if (smoke) {
+    // Fixed CI configuration: fast, deterministic shape, verified.
+    scale = datagen::Scale::kTiny;
+    scale_name = "tiny";
+    target_queries = 400;
+    rate = 4000.0;
+    churn_interval_ms = 3.0;
+    churn_ops = 128;
+    verify = true;
+  }
+
+  datagen::DatasetId id;
+  try {
+    id = datagen::dataset_by_name(dataset);
+  } catch (const std::exception&) {
+    std::cerr << "unknown dataset: " << dataset << "\n";
+    return 2;
+  }
+
+  std::cout << "loading dataset '" << dataset << "'...\n";
+  harness::DatasetBundle bundle = harness::load_bundle(id, scale);
+  graph::PropertyGraph& live = bundle.graph;
+  std::cout << "  " << harness::fmt_int(live.num_vertices()) << " vertices, "
+            << harness::fmt_int(live.num_edges()) << " edges\n";
+
+  // Roots are drawn from the pre-churn id universe; a root deleted by
+  // churn simply yields an empty traversal (and replays identically).
+  std::vector<graph::VertexId> universe;
+  universe.reserve(live.num_vertices());
+  live.for_each_vertex(
+      [&](const graph::VertexRecord& v) { universe.push_back(v.id); });
+  if (universe.empty()) {
+    std::cerr << "dataset has no vertices\n";
+    return 1;
+  }
+
+  serve::SnapshotManagerOptions mgr_opts;
+  mgr_opts.slots = slots;
+  mgr_opts.pool_capacity = pool_capacity;
+  serve::SnapshotManager mgr(live, mgr_opts);
+
+  graph::ChurnConfig churn_config;
+  churn_config.seed = churn_seed;
+  churn_config.ops = churn_ops;
+  graph::ChurnDriver driver(churn_config, live);
+
+  serve::QueryFrontendOptions fe_opts;
+  fe_opts.workers = workers;
+  fe_opts.queue_capacity = queue_capacity;
+  serve::QueryFrontend frontend(mgr, fe_opts);
+
+  std::cout << "serve config: workers=" << workers << " rate=" << rate
+            << "qps queries=" << target_queries << " queue="
+            << queue_capacity << " slots=" << slots << " pool="
+            << pool_capacity << " churn=" << churn_ops << "ops/"
+            << churn_interval_ms << "ms (seed " << churn_seed
+            << ") query-seed=" << query_seed << "\n";
+
+  // ---- writer thread: churn batch -> publish, on a fixed cadence ----
+  std::atomic<bool> stop_writer{false};
+  ChurnJournal journal;
+  std::thread writer([&] {
+    const auto interval = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(churn_interval_ms));
+    auto next_tick = std::chrono::steady_clock::now() + interval;
+    while (!stop_writer.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_until(next_tick);
+      next_tick += interval;
+      if (stop_writer.load(std::memory_order_relaxed)) break;
+      graph::ChurnBatch batch = driver.apply_batch(live);
+      journal.ops_applied += batch.applied;
+      journal.batches.push_back(std::move(batch));
+      mgr.publish(live);
+      journal.batches_before_gen[mgr.current_generation()] =
+          journal.batches.size();
+    }
+  });
+
+  // ---- open-loop arrivals ----
+  platform::Xoshiro256 qrng(query_seed);
+  const auto arrival_interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / rate));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto next_arrival = t0;
+  for (std::uint64_t i = 0; i < target_queries; ++i) {
+    std::this_thread::sleep_until(next_arrival);
+    next_arrival += arrival_interval;
+    serve::QueryRequest req;
+    req.id = i;
+    const std::uint64_t mix = qrng.bounded(100);
+    req.kind = mix < 40   ? serve::QueryKind::kBfs
+               : mix < 65 ? serve::QueryKind::kKHop
+               : mix < 85 ? serve::QueryKind::kSPath
+                          : serve::QueryKind::kDCentr;
+    req.root = universe[qrng.bounded(universe.size())];
+    req.khop = khop;
+    frontend.submit(req);
+  }
+
+  // Drain: stop admission, finish every admitted query, then quiesce the
+  // writer and harvest what the drained readers were pinning.
+  frontend.shutdown();
+  const auto t1 = std::chrono::steady_clock::now();
+  stop_writer.store(true, std::memory_order_relaxed);
+  writer.join();
+  mgr.reclaim_retired();
+
+  const double elapsed_s =
+      std::chrono::duration<double>(t1 - t0).count();
+  const serve::QueryFrontendStats fe_stats = frontend.stats();
+  const serve::SnapshotManagerStats& mgr_stats = mgr.stats();
+  std::vector<serve::QueryRecord> records = frontend.take_records();
+
+  serve::ServeReport report;
+  report.dataset = dataset;
+  report.scale = scale_name;
+  report.workers = workers;
+  report.queue_capacity = queue_capacity;
+  report.arrival_rate_qps = rate;
+  report.target_queries = target_queries;
+  report.query_seed = query_seed;
+  report.khop = khop;
+  report.slots = slots;
+  report.pool_capacity = pool_capacity;
+  report.churn_seed = churn_seed;
+  report.churn_ops = churn_ops;
+  report.churn_interval_ms = churn_interval_ms;
+  report.offered = target_queries;
+  report.admitted = fe_stats.submitted;
+  report.shed = fe_stats.shed;
+  report.completed = fe_stats.completed;
+  report.elapsed_s = elapsed_s;
+  report.throughput_qps =
+      elapsed_s > 0 ? static_cast<double>(fe_stats.completed) / elapsed_s
+                    : 0.0;
+  report.generations_published = mgr_stats.published;
+  report.refresh_incremental = mgr_stats.incremental;
+  report.refresh_full = mgr_stats.full;
+  report.arenas_reclaimed = mgr_stats.reclaimed;
+  report.publish_waits = mgr_stats.publish_waits;
+  report.final_generation = mgr.current_generation();
+  report.churn_batches_applied = journal.batches.size();
+  report.churn_ops_applied = journal.ops_applied;
+
+  // Latency: quantiles from the serve.query_latency_us histogram
+  // (conservative bucket upper bounds); mean/max exact from the records.
+  const obs::MetricsSnapshot metrics =
+      obs::MetricsRegistry::instance().snapshot();
+  if (const obs::HistogramSnapshot* h =
+          metrics.histogram("serve.query_latency_us")) {
+    report.p50_us = h->value_at_quantile(0.50);
+    report.p99_us = h->value_at_quantile(0.99);
+    report.p999_us = h->value_at_quantile(0.999);
+  }
+  std::uint64_t latency_sum = 0;
+  for (const serve::QueryRecord& r : records) {
+    latency_sum += r.latency_us;
+    report.max_us = std::max(report.max_us, r.latency_us);
+  }
+  report.mean_us = records.empty()
+                       ? 0.0
+                       : static_cast<double>(latency_sum) /
+                             static_cast<double>(records.size());
+
+  // Per-kind digests (order-independent XOR over checksums).
+  std::vector<serve::ServeReport::KindDigest> digests(serve::kQueryKinds);
+  for (std::size_t k = 0; k < serve::kQueryKinds; ++k) {
+    digests[k].kind = serve::to_string(static_cast<serve::QueryKind>(k));
+  }
+  for (const serve::QueryRecord& r : records) {
+    auto& d = digests[static_cast<std::size_t>(r.kind)];
+    ++d.count;
+    d.checksum_xor ^= r.checksum;
+  }
+  report.per_kind = digests;
+
+  std::cout << "served " << fe_stats.completed << "/" << target_queries
+            << " queries (" << fe_stats.shed << " shed) in "
+            << harness::fmt(elapsed_s, 3) << "s — "
+            << harness::fmt(report.throughput_qps, 1) << " qps\n"
+            << "  latency us: p50 " << report.p50_us << "  p99 "
+            << report.p99_us << "  p999 " << report.p999_us << "  mean "
+            << harness::fmt(report.mean_us, 1) << "  max " << report.max_us
+            << "\n"
+            << "  generations: " << mgr_stats.published << " published ("
+            << mgr_stats.incremental << " incremental, " << mgr_stats.full
+            << " full), " << mgr_stats.reclaimed << " arenas reclaimed, "
+            << mgr_stats.publish_waits << " publish waits\n"
+            << "  churn: " << journal.batches.size() << " batches, "
+            << journal.ops_applied << " ops applied, final generation "
+            << report.final_generation << "\n";
+  for (const auto& d : report.per_kind) {
+    std::cout << "    " << d.kind << ": " << d.count << " queries, digest "
+              << d.checksum_xor << "\n";
+  }
+
+  // ---- quiesced-replay verification ----
+  if (verify) {
+    std::cout << "verifying " << records.size()
+              << " query checksums against quiesced replays...\n";
+    report.verified = true;
+    // Group records by the generation they executed against.
+    std::sort(records.begin(), records.end(),
+              [](const serve::QueryRecord& a, const serve::QueryRecord& b) {
+                return a.generation != b.generation
+                           ? a.generation < b.generation
+                           : a.id < b.id;
+              });
+    graph::PropertyGraph twin =
+        datagen::build_property_graph(bundle.edge_list);
+    std::size_t replayed = 0;
+    std::size_t idx = 0;
+    while (idx < records.size()) {
+      const std::uint64_t gen = records[idx].generation;
+      std::size_t prefix = 0;
+      if (gen != 0) {
+        const auto it = journal.batches_before_gen.find(gen);
+        if (it == journal.batches_before_gen.end()) {
+          std::cerr << "  generation " << gen
+                    << " has no recorded batch prefix\n";
+          ++report.verify_mismatches;
+          ++idx;
+          continue;
+        }
+        prefix = it->second;
+      }
+      while (replayed < prefix) {
+        graph::replay_batch(journal.batches[replayed], twin);
+        ++replayed;
+      }
+      const graph::GraphSnapshot snap =
+          graph::GraphSnapshot::freeze(twin, mgr_opts.layout);
+      for (; idx < records.size() && records[idx].generation == gen; ++idx) {
+        const serve::QueryRecord& r = records[idx];
+        serve::QueryRequest req;
+        req.id = r.id;
+        req.kind = r.kind;
+        req.root = r.root;
+        req.khop = r.khop;
+        const serve::QueryRecord redo =
+            serve::QueryFrontend::execute(req, snap, gen, fe_opts.traversal);
+        ++report.verify_checked;
+        if (redo.checksum != r.checksum) {
+          if (report.verify_mismatches < 8) {
+            std::cerr << "  MISMATCH query " << r.id << " ("
+                      << serve::to_string(r.kind) << " root " << r.root
+                      << " gen " << gen << "): served " << r.checksum
+                      << " quiesced " << redo.checksum << "\n";
+          }
+          ++report.verify_mismatches;
+        }
+      }
+    }
+    std::cout << "  " << report.verify_checked << " checked, "
+              << report.verify_mismatches << " mismatches\n";
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::cerr << "cannot open " << json_out << " for writing\n";
+      return 1;
+    }
+    report.write_json(os, &metrics);
+    std::cout << "wrote serve report to " << json_out << "\n";
+  }
+
+  if (report.verify_mismatches > 0) {
+    std::cerr << "FAIL: " << report.verify_mismatches
+              << " checksum mismatches against quiesced replay\n";
+    return 1;
+  }
+  if (smoke) {
+    if (report.completed == 0) {
+      std::cerr << "FAIL: smoke run completed zero queries\n";
+      return 1;
+    }
+    if (report.refresh_incremental == 0) {
+      std::cerr << "FAIL: smoke run took zero incremental refreshes\n";
+      return 1;
+    }
+    std::cout << "smoke OK\n";
+  }
+  return 0;
+}
