@@ -1,0 +1,177 @@
+#include "graph/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace graphbig::graph {
+
+namespace {
+
+// Pool traffic, aggregated across every pool in the process (the
+// disk-parity tests read per-pool Stats; dashboards read these).
+struct PoolSeries {
+  obs::Counter hits;
+  obs::Counter misses;
+  obs::Counter evictions;
+  obs::Counter overflow_reads;
+};
+
+PoolSeries& pool_series() {
+  static PoolSeries* s = [] {
+    auto& r = obs::MetricsRegistry::instance();
+    return new PoolSeries{
+        r.counter("diskpool.hits"),
+        r.counter("diskpool.misses"),
+        r.counter("diskpool.evictions"),
+        r.counter("diskpool.overflow_reads"),
+    };
+  }();
+  return *s;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(const std::uint8_t* base, std::size_t bytes,
+                       const BufferPoolOptions& opts)
+    : base_(base),
+      bytes_(bytes),
+      page_bytes_(opts.page_bytes),
+      page_count_((bytes + opts.page_bytes - 1) / opts.page_bytes) {
+  assert(page_bytes_ >= 64 && (page_bytes_ & (page_bytes_ - 1)) == 0);
+  const std::uint32_t pages = opts.pages == 0 ? 1 : opts.pages;
+  frames_.resize(pages);
+  for (Frame& f : frames_) {
+    f.data = std::make_unique<std::uint8_t[]>(page_bytes_);
+  }
+  resident_.reserve(pages);
+}
+
+std::size_t BufferPool::page_size(std::uint64_t page) const {
+  const std::uint64_t off = page * page_bytes_;
+  const std::uint64_t left = bytes_ - off;
+  return left < page_bytes_ ? static_cast<std::size_t>(left) : page_bytes_;
+}
+
+BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& o) noexcept {
+  if (this != &o) {
+    release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    overflow_ = std::move(o.overflow_);
+    data_ = o.data_;
+    size_ = o.size_;
+    o.pool_ = nullptr;
+    o.frame_ = -1;
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+void BufferPool::PageRef::release() {
+  if (pool_ != nullptr && frame_ >= 0) {
+    pool_->unpin(static_cast<std::size_t>(frame_));
+  }
+  pool_ = nullptr;
+  frame_ = -1;
+  overflow_.reset();
+  data_ = nullptr;
+  size_ = 0;
+}
+
+void BufferPool::unpin(std::size_t frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(frames_[frame].pins > 0);
+  --frames_[frame].pins;
+}
+
+BufferPool::PageRef BufferPool::pin(std::uint64_t page) {
+  assert(page < page_count_);
+  const std::size_t size = page_size(page);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = resident_.find(page);
+    if (it != resident_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.loading) {
+        // Another reader is copying this page in; wait rather than load
+        // it twice into two frames.
+        load_cv_.wait(lock);
+        continue;
+      }
+      ++f.pins;
+      f.ref = true;
+      ++stats_.hits;
+      if (obs::enabled()) pool_series().hits.add(1);
+      PageRef ref;
+      ref.pool_ = this;
+      ref.frame_ = static_cast<std::int64_t>(it->second);
+      ref.data_ = f.data.get();
+      ref.size_ = size;
+      return ref;
+    }
+
+    // Miss: CLOCK sweep for an unpinned frame. Two passes — the first
+    // clears second-chance bits, the second takes the first cold frame.
+    std::size_t victim = frames_.size();
+    for (std::size_t step = 0; step < frames_.size() * 2; ++step) {
+      Frame& f = frames_[clock_hand_];
+      const std::size_t at = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % frames_.size();
+      if (f.pins > 0 || f.loading) continue;
+      if (f.ref) {
+        f.ref = false;
+        continue;
+      }
+      victim = at;
+      break;
+    }
+    if (victim == frames_.size()) {
+      // Every frame pinned or loading: serve a transient private copy
+      // instead of blocking on an eviction that cannot happen.
+      ++stats_.overflow_reads;
+      if (obs::enabled()) pool_series().overflow_reads.add(1);
+      lock.unlock();
+      PageRef ref;
+      ref.overflow_ = std::make_unique<std::uint8_t[]>(size);
+      std::memcpy(ref.overflow_.get(), base_ + page * page_bytes_, size);
+      ref.data_ = ref.overflow_.get();
+      ref.size_ = size;
+      return ref;
+    }
+
+    Frame& f = frames_[victim];
+    if (f.page != ~0ull) {
+      resident_.erase(f.page);
+      ++stats_.evictions;
+      if (obs::enabled()) pool_series().evictions.add(1);
+    }
+    ++stats_.misses;
+    if (obs::enabled()) pool_series().misses.add(1);
+    f.page = page;
+    f.pins = 1;
+    f.ref = true;
+    f.loading = true;
+    resident_[page] = victim;
+    lock.unlock();
+    std::memcpy(f.data.get(), base_ + page * page_bytes_, size);
+    lock.lock();
+    f.loading = false;
+    load_cv_.notify_all();
+    PageRef ref;
+    ref.pool_ = this;
+    ref.frame_ = static_cast<std::int64_t>(victim);
+    ref.data_ = f.data.get();
+    ref.size_ = size;
+    return ref;
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace graphbig::graph

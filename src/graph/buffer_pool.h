@@ -1,0 +1,120 @@
+// Fixed-size page cache over a read-only byte range (the mmap'd snapshot
+// file DiskGraph serves traversals from).
+//
+// The pool is the out-of-core memory budget: a fixed number of frames,
+// each page_bytes wide, cached with CLOCK second-chance eviction. Readers
+// pin(page) and hold the returned PageRef for exactly as long as they
+// dereference into the frame; a pinned frame is never evicted. Concurrent
+// pins of the same absent page coalesce into one load: the first pinner
+// marks the frame loading and copies outside the lock, later pinners wait
+// on a condvar.
+//
+// Deadlock freedom: when every frame is pinned or loading, pin() does not
+// block on an eviction that can never happen — it falls back to a
+// transient overflow read (a private heap copy owned by the PageRef,
+// counted in stats().overflow_reads). Traversal holds at most two pins at
+// once (neighbor stream + weight stream), so any pool of >= 2 pages per
+// concurrent reader runs overflow-free; a 1-page pool merely degrades to
+// direct reads instead of deadlocking.
+//
+// Counters (hits / misses / evictions / overflow_reads) surface both as
+// pool-local Stats for tests and as diskpool.* obs metrics.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace graphbig::graph {
+
+struct BufferPoolOptions {
+  /// Frames resident at once; the pool's entire memory budget.
+  std::uint32_t pages = 64;
+  /// Page width. Power of two, multiple of 64, so 4/8-byte elements in
+  /// the 64-byte-aligned snapshot sections never straddle a page.
+  std::uint32_t page_bytes = 1 << 16;
+};
+
+class BufferPool {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t overflow_reads = 0;
+  };
+
+  /// Serves pages of [base, base + bytes) — typically an mmap'd file.
+  /// The range must outlive the pool.
+  BufferPool(const std::uint8_t* base, std::size_t bytes,
+             const BufferPoolOptions& opts);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pinned view of one page. The frame stays resident until destruction;
+  /// movable so readers can slide a window along a section.
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(PageRef&& o) noexcept { *this = std::move(o); }
+    PageRef& operator=(PageRef&& o) noexcept;
+    ~PageRef() { release(); }
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+
+    const std::uint8_t* data() const { return data_; }
+    /// Valid bytes in this page (short only for the file's last page).
+    std::size_t size() const { return size_; }
+
+   private:
+    friend class BufferPool;
+    void release();
+    BufferPool* pool_ = nullptr;
+    std::int64_t frame_ = -1;  // -1: empty or overflow-backed
+    std::unique_ptr<std::uint8_t[]> overflow_;
+    const std::uint8_t* data_ = nullptr;
+    std::size_t size_ = 0;
+  };
+
+  /// Pins page `page` (file offset page * page_bytes), loading it into a
+  /// frame if absent. Never fails for in-range pages; out-of-range pages
+  /// are a programming error (asserted).
+  PageRef pin(std::uint64_t page);
+
+  std::uint32_t page_bytes() const { return page_bytes_; }
+  std::uint32_t pages() const { return static_cast<std::uint32_t>(frames_.size()); }
+  std::uint64_t page_count() const { return page_count_; }
+
+  Stats stats() const;
+
+ private:
+  struct Frame {
+    std::uint64_t page = ~0ull;
+    std::uint32_t pins = 0;
+    bool ref = false;      // CLOCK second-chance bit
+    bool loading = false;  // copy in flight outside the lock
+    std::unique_ptr<std::uint8_t[]> data;
+  };
+
+  std::size_t page_size(std::uint64_t page) const;
+  void unpin(std::size_t frame);
+
+  const std::uint8_t* base_;
+  std::size_t bytes_;
+  std::uint32_t page_bytes_;
+  std::uint64_t page_count_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable load_cv_;
+  std::vector<Frame> frames_;
+  std::unordered_map<std::uint64_t, std::size_t> resident_;
+  std::size_t clock_hand_ = 0;
+  Stats stats_;
+};
+
+}  // namespace graphbig::graph

@@ -1,0 +1,123 @@
+#include "graph/disk_graph.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+#include "graph/snap_format_internal.h"
+
+namespace graphbig::graph {
+
+DiskGraph::DiskGraph(const std::string& path, const DiskGraphOptions& opts)
+    : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    throw snap::SnapError("cannot open snapshot file '" + path + "'");
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) != 0 || st.st_size <= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw snap::SnapError("cannot stat snapshot file '" + path + "'");
+  }
+  map_bytes_ = static_cast<std::size_t>(st.st_size);
+  void* m = ::mmap(nullptr, map_bytes_, PROT_READ, MAP_PRIVATE, fd_, 0);
+  if (m == MAP_FAILED) {
+    ::close(fd_);
+    fd_ = -1;
+    throw snap::SnapError("cannot mmap snapshot file '" + path + "'");
+  }
+  map_ = static_cast<const std::uint8_t*>(m);
+
+  // Header/table validation plus the full structural pass over the
+  // resident sections — O(rows), no payload bytes touched. The
+  // destructor does not run if the constructor throws, so unmap here.
+  snapdetail::Header h;
+  std::vector<snapdetail::SectionEntry> table;
+  try {
+    snapdetail::parse_header(map_, map_bytes_, map_bytes_, &h, &table);
+    snapdetail::validate_structure(h, table, map_);
+  } catch (...) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_bytes_);
+    ::close(fd_);
+    throw;
+  }
+  info_ = snapdetail::make_info(h, table.data());
+  layout_ = info_.layout;
+
+  auto sec = [&](snap::SectionId id) -> const snapdetail::SectionEntry& {
+    return table[static_cast<std::uint32_t>(id) - 1];
+  };
+  auto resident = [&](snap::SectionId id) {
+    return map_ + sec(id).offset;
+  };
+  using snap::SectionId;
+  out_ptr_ = reinterpret_cast<const std::uint64_t*>(resident(SectionId::kOutPtr));
+  in_ptr_ = reinterpret_cast<const std::uint64_t*>(resident(SectionId::kInPtr));
+  orig_id_ = reinterpret_cast<const VertexId*>(resident(SectionId::kOrigId));
+  out_off_ =
+      reinterpret_cast<const std::uint64_t*>(resident(SectionId::kOutRowOff));
+  wrow_off_ =
+      reinterpret_cast<const std::uint64_t*>(resident(SectionId::kOutWrowOff));
+  in_off_ =
+      reinterpret_cast<const std::uint64_t*>(resident(SectionId::kInRowOff));
+  odst_off_ = sec(SectionId::kOutDst).offset;
+  wsec_off_ = sec(SectionId::kOutWeight).offset;
+  isrc_off_ = sec(SectionId::kInSrc).offset;
+  oenc_off_ = sec(SectionId::kOutEnc).offset;
+  ienc_off_ = sec(SectionId::kInEnc).offset;
+
+  const std::uint64_t* id_map =
+      reinterpret_cast<const std::uint64_t*>(resident(SectionId::kIdMap));
+  index_.reserve(info_.num_vertices);
+  for (std::uint32_t i = 0; i < info_.num_vertices; ++i) {
+    index_.emplace(id_map[2 * i],
+                   static_cast<SlotIndex>(id_map[2 * i + 1]));
+  }
+
+  BufferPoolOptions popts;
+  popts.pages = opts.pool_pages;
+  popts.page_bytes = opts.page_bytes;
+  pool_ = std::make_unique<BufferPool>(map_, map_bytes_, popts);
+
+  // Persisted property columns (resident sections; typically empty for a
+  // freshly saved snapshot) seed the mutable column state, mirroring
+  // load_snapshot().
+  columns_ = std::make_unique<PropertyColumns>(info_.row_count);
+  auto load_cols = [&](SectionId id, auto ensure) {
+    const std::uint8_t* p = resident(id);
+    std::uint32_t ncols;
+    std::memcpy(&ncols, p, 4);
+    p += 8;
+    for (std::uint32_t c = 0; c < ncols; ++c) {
+      std::uint32_t slot;
+      std::memcpy(&slot, p, 4);
+      p += 8;
+      std::memcpy(ensure(slot), p, std::size_t{info_.row_count} * 8);
+      p += std::size_t{info_.row_count} * 8;
+    }
+  };
+  load_cols(SectionId::kColInt,
+            [&](std::uint32_t slot) { return columns_->ensure_int(slot); });
+  load_cols(SectionId::kColDbl,
+            [&](std::uint32_t slot) { return columns_->ensure_double(slot); });
+}
+
+DiskGraph::~DiskGraph() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_bytes_);
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void DiskGraph::reset_columns() {
+  columns_ = std::make_unique<PropertyColumns>(info_.row_count);
+}
+
+}  // namespace graphbig::graph

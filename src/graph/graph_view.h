@@ -1,12 +1,14 @@
-// GraphView: one traversal interface over two graph representations.
+// GraphView: one traversal interface over three graph representations.
 //
 // The analytic workloads traverse graphs exclusively through this view,
-// which dispatches each call to either
+// which dispatches each call to one of
 //
 //   * the dynamic vertex-centric PropertyGraph (pointer-chasing adjacency,
-//     slot-cached target resolution, per-vertex PropertyMaps), or
+//     slot-cached target resolution, per-vertex PropertyMaps),
 //   * a frozen GraphSnapshot (contiguous out/in-CSR, dense property
-//     columns).
+//     columns), or
+//   * an out-of-core DiskGraph (the same CSR served from an mmap'd
+//     graphbig.snap.v1 file through a fixed-size buffer pool).
 //
 // The backend branch happens once per traversal call, not per edge, so the
 // inner loops stay tight on both paths. All indices exposed by the view
@@ -15,11 +17,15 @@
 // identical — tombstones or not — and workloads produce bit-identical
 // results on either backend, including after churn followed by an
 // incremental refresh. That is the dynamic-vs-frozen parity the
-// representation ablation, snapshot tests, and churn harness assert.
+// representation ablation, snapshot tests, and churn harness assert — and
+// because DiskGraph preserves the snapshot's row space and edge order
+// byte-for-byte, the same parity holds for the disk backend (the
+// disk-vs-frozen checksum gate).
 #pragma once
 
 #include <cstdint>
 
+#include "graph/disk_graph.h"
 #include "graph/property_graph.h"
 #include "graph/snapshot.h"
 
@@ -30,6 +36,7 @@ class GraphView {
   GraphView() = default;
   explicit GraphView(PropertyGraph& g) : graph_(&g) {}
   explicit GraphView(const GraphSnapshot& s) : snap_(&s) {}
+  explicit GraphView(const DiskGraph& d) : disk_(&d) {}
 
   /// Frozen view whose algorithm state lives in a caller-owned column set
   /// instead of the snapshot's shared one. This is the serving path:
@@ -38,49 +45,67 @@ class GraphView {
   /// must be sized to s.row_count() and outlive the view.
   GraphView(const GraphSnapshot& s, PropertyColumns* columns)
       : snap_(&s), cols_(columns) {}
+  GraphView(const DiskGraph& d, PropertyColumns* columns)
+      : disk_(&d), cols_(columns) {}
 
-  bool frozen() const { return snap_ != nullptr; }
+  /// True for the CSR-backed backends (snapshot or disk): slot space is
+  /// row space, algorithm state lives in dense columns.
+  bool frozen() const { return snap_ != nullptr || disk_ != nullptr; }
+  /// True when edges are served out-of-core through a buffer pool.
+  bool disk() const { return disk_ != nullptr; }
 
   /// Size of the slot space: slot table size (dynamic, tombstones
   /// included) or row count (frozen, dead rows included — the snapshot
   /// keeps one row per dynamic slot). Workloads size their per-slot state
   /// arrays from this.
   std::size_t slot_count() const {
-    return frozen() ? snap_->row_count() : graph_->slot_count();
+    if (snap_ != nullptr) return snap_->row_count();
+    if (disk_ != nullptr) return disk_->row_count();
+    return graph_->slot_count();
   }
 
   std::size_t num_vertices() const {
-    return frozen() ? snap_->num_vertices() : graph_->num_vertices();
+    if (snap_ != nullptr) return snap_->num_vertices();
+    if (disk_ != nullptr) return disk_->num_vertices();
+    return graph_->num_vertices();
   }
   std::size_t num_edges() const {
-    return frozen() ? snap_->num_edges() : graph_->num_edges();
+    if (snap_ != nullptr) return snap_->num_edges();
+    if (disk_ != nullptr) return disk_->num_edges();
+    return graph_->num_edges();
   }
 
   /// True when slot s holds a live vertex (frozen dead rows mirror the
   /// dynamic tombstones they froze from).
   bool is_live(SlotIndex s) const {
-    return frozen() ? s < snap_->row_count() && snap_->is_live(s)
-                    : graph_->vertex_at(s) != nullptr;
+    if (snap_ != nullptr) return s < snap_->row_count() && snap_->is_live(s);
+    if (disk_ != nullptr) return s < disk_->row_count() && disk_->is_live(s);
+    return graph_->vertex_at(s) != nullptr;
   }
 
   VertexId id_of(SlotIndex s) const {
-    if (frozen()) return snap_->id_of(s);
+    if (snap_ != nullptr) return snap_->id_of(s);
+    if (disk_ != nullptr) return disk_->id_of(s);
     const VertexRecord* v = graph_->vertex_at(s);
     return v == nullptr ? kInvalidVertex : v->id;
   }
 
   /// Slot of a live vertex id, kInvalidSlot when absent.
   SlotIndex slot_of(VertexId id) const {
-    return frozen() ? snap_->slot_of(id) : graph_->slot_of(id);
+    if (snap_ != nullptr) return snap_->slot_of(id);
+    if (disk_ != nullptr) return disk_->slot_of(id);
+    return graph_->slot_of(id);
   }
 
   std::size_t out_degree(SlotIndex s) const {
-    if (frozen()) return snap_->out_degree(s);
+    if (snap_ != nullptr) return snap_->out_degree(s);
+    if (disk_ != nullptr) return disk_->out_degree(s);
     const VertexRecord* v = graph_->vertex_at(s);
     return v == nullptr ? 0 : v->out.size();
   }
   std::size_t in_degree(SlotIndex s) const {
-    if (frozen()) return snap_->in_degree(s);
+    if (snap_ != nullptr) return snap_->in_degree(s);
+    if (disk_ != nullptr) return disk_->in_degree(s);
     const VertexRecord* v = graph_->vertex_at(s);
     return v == nullptr ? 0 : v->in.size();
   }
@@ -94,8 +119,12 @@ class GraphView {
   /// identical edge order on both backends.
   template <typename Fn>
   void for_each_out(SlotIndex s, Fn&& fn) const {
-    if (frozen()) {
+    if (snap_ != nullptr) {
       snap_->for_each_out(s, fn);
+      return;
+    }
+    if (disk_ != nullptr) {
+      disk_->for_each_out(s, fn);
       return;
     }
     const VertexRecord* v = graph_->vertex_at(s);
@@ -107,8 +136,12 @@ class GraphView {
   /// on both backends (the frozen in-CSR mirrors the dynamic in-lists).
   template <typename Fn>
   void for_each_in(SlotIndex s, Fn&& fn) const {
-    if (frozen()) {
+    if (snap_ != nullptr) {
       snap_->for_each_in(s, fn);
+      return;
+    }
+    if (disk_ != nullptr) {
+      disk_->for_each_in(s, fn);
       return;
     }
     const VertexRecord* v = graph_->vertex_at(s);
@@ -124,8 +157,12 @@ class GraphView {
   /// walk the same in-list order as for_each_in.
   template <typename Fn>
   void for_each_in_until(SlotIndex s, Fn&& fn) const {
-    if (frozen()) {
+    if (snap_ != nullptr) {
       snap_->for_each_in_until(s, fn);
+      return;
+    }
+    if (disk_ != nullptr) {
+      disk_->for_each_in_until(s, fn);
       return;
     }
     const VertexRecord* v = graph_->vertex_at(s);
@@ -138,8 +175,12 @@ class GraphView {
   /// scans both directions).
   template <typename Fn>
   void for_each_out_until(SlotIndex s, Fn&& fn) const {
-    if (frozen()) {
+    if (snap_ != nullptr) {
       snap_->for_each_out_until(s, fn);
+      return;
+    }
+    if (disk_ != nullptr) {
+      disk_->for_each_out_until(s, fn);
       return;
     }
     const VertexRecord* v = graph_->vertex_at(s);
@@ -158,18 +199,23 @@ class GraphView {
 
   bool has_degree_prefix() const { return frozen(); }
 
-  /// Cumulative out-edge count of slots [0, s); frozen only. s may equal
-  /// slot_count() (total edge count).
-  std::uint64_t out_prefix(SlotIndex s) const { return snap_->out_ptr()[s]; }
-  /// Cumulative in-edge count of slots [0, s); frozen only.
-  std::uint64_t in_prefix(SlotIndex s) const { return snap_->in_ptr()[s]; }
+  /// Cumulative out-edge count of slots [0, s); frozen/disk only. s may
+  /// equal slot_count() (total edge count).
+  std::uint64_t out_prefix(SlotIndex s) const {
+    return snap_ != nullptr ? snap_->out_ptr()[s] : disk_->out_ptr()[s];
+  }
+  /// Cumulative in-edge count of slots [0, s); frozen/disk only.
+  std::uint64_t in_prefix(SlotIndex s) const {
+    return snap_ != nullptr ? snap_->in_ptr()[s] : disk_->in_ptr()[s];
+  }
 
   /// Calls fn(SlotIndex) for every live slot, ascending.
   template <typename Fn>
   void for_each_live_slot(Fn&& fn) const {
     if (frozen()) {
-      for (std::uint32_t v = 0; v < snap_->row_count(); ++v) {
-        if (snap_->is_live(v)) fn(static_cast<SlotIndex>(v));
+      const std::uint32_t rows = static_cast<std::uint32_t>(slot_count());
+      for (std::uint32_t v = 0; v < rows; ++v) {
+        if (is_live(v)) fn(static_cast<SlotIndex>(v));
       }
       return;
     }
@@ -211,14 +257,16 @@ class GraphView {
   }
 
  private:
-  /// Private per-query columns when supplied, the snapshot's shared set
+  /// Private per-query columns when supplied, the backend's shared set
   /// otherwise.
   PropertyColumns& frozen_columns() const {
-    return cols_ != nullptr ? *cols_ : snap_->columns();
+    if (cols_ != nullptr) return *cols_;
+    return snap_ != nullptr ? snap_->columns() : disk_->columns();
   }
 
   PropertyGraph* graph_ = nullptr;
   const GraphSnapshot* snap_ = nullptr;
+  const DiskGraph* disk_ = nullptr;
   PropertyColumns* cols_ = nullptr;
 };
 

@@ -1,0 +1,162 @@
+// graphbig.snap.v1: versioned, checksummed, mmap-friendly binary
+// serialization of GraphSnapshot.
+//
+// The paper frames graph systems as *stores* serving analytics, yet every
+// run here regenerated its dataset and every snapshot lived and died in
+// RAM. This format makes the frozen representation durable: a fixed
+// little-endian header, a section table, then 64-byte-aligned sections
+// holding the CSR arrays exactly as the snapshot lays them out in its
+// arena — already in the transfer-ready order the SIMT copy path (and a
+// future split-transfer scheme) consumes.
+//
+//   offset 0                128               aligned(64) ...
+//   +--------------------+ +---------------+ +-----------+---+-----------+
+//   | header (128 bytes) | | section table | | section 1 |pad| section 2 |
+//   | magic GBSNAPv1     | | 32 B / entry  | +-----------+---+-----------+
+//   | version, counts,   | | id, offset,   |
+//   | layout, checksums  | | bytes, fnv64  |
+//   +--------------------+ +---------------+
+//
+// Sections (every section is always present; enc/property sections may be
+// zero bytes):
+//
+//   out_ptr / in_ptr   logical degree-prefix arrays, (rows+1) x u64
+//   orig_id            external id per row, rows x u64
+//   out_row_off        per-row storage locator, rows x u64: element offset
+//   out_wrow_off       into the payload section, or (bit 63 set) byte
+//   in_row_off         offset into the matching *_enc section
+//   out_dst / in_src   raw adjacency payload, physical placement order
+//   out_weight         edge weights (always raw doubles), placement order
+//   out_enc / in_enc   delta-varint row blobs (graph/varint.h)
+//   id_map             (id, row) pairs ascending row, num_vertices x 16 B
+//   col_int / col_dbl  materialized property columns by column slot
+//   layout_stats       LayoutStats sans timing
+//
+// The row-offset tables are the load-bearing trick: they persist the
+// snapshot's per-row pointer indirection as section-relative offsets, so
+// physical placement (degree/RCM reordering, refresh tail rows, per-row
+// compression) round-trips byte-exactly AND a pager can locate any row's
+// storage without understanding the placement policy — paging is
+// layout-agnostic by construction (graph/disk_graph.h builds on this).
+//
+// Integrity: every section carries an FNV-1a 64 checksum; the header
+// carries a checksum of the section table and a whole-file checksum
+// (header fields + table, which transitively covers all payloads through
+// the per-section sums). Loaders validate before interpreting anything,
+// and every failure throws SnapError naming the offending section — never
+// a crash, never a silent partial load.
+//
+// Determinism: save() writes payload rows ordered by their in-memory
+// storage address, which preserves the freeze-time physical placement and
+// makes save -> load -> save byte-identical for every layout/compression
+// combination (the round-trip gate snap_format_test enforces). Nothing
+// time- or environment-dependent is written.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/snapshot.h"
+
+namespace graphbig::graph::snap {
+
+/// Schema name recorded in run reports and printed by graphbig_snap.
+inline constexpr const char* kSchemaName = "graphbig.snap.v1";
+
+/// "GBSNAPv1" read as a little-endian u64.
+inline constexpr std::uint64_t kMagic = 0x3176'5041'4E53'4247ull;
+
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kHeaderBytes = 128;
+inline constexpr std::uint32_t kSectionEntryBytes = 32;
+inline constexpr std::uint64_t kSectionAlign = 64;
+
+/// Row-offset table entries with this bit set locate the row in the
+/// encoded-blob section (low bits = byte offset); otherwise the low bits
+/// are an element offset into the raw payload section.
+inline constexpr std::uint64_t kEncodedRowBit = 1ull << 63;
+
+/// Section ids, in file order. Values are stable format ABI.
+enum class SectionId : std::uint32_t {
+  kOutPtr = 1,
+  kInPtr = 2,
+  kOrigId = 3,
+  kOutRowOff = 4,
+  kOutWrowOff = 5,
+  kInRowOff = 6,
+  kOutDst = 7,
+  kOutWeight = 8,
+  kInSrc = 9,
+  kOutEnc = 10,
+  kInEnc = 11,
+  kIdMap = 12,
+  kColInt = 13,
+  kColDbl = 14,
+  kLayoutStats = 15,
+};
+
+inline constexpr std::uint32_t kSectionCount = 15;
+
+/// Human-readable section name ("out_ptr", ...); "unknown" for bad ids.
+const char* section_name(std::uint32_t id);
+
+/// Any structural or integrity failure while reading/validating a
+/// snapshot file. The message names the section (or header field) that
+/// failed — the corruption-fuzz tests assert on that.
+class SnapError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// FNV-1a 64 over a byte range, chainable through `seed`.
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed = 0xCBF29CE484222325ull);
+
+struct SectionInfo {
+  std::uint32_t id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Parsed header + section table of a snapshot file.
+struct SnapInfo {
+  std::uint32_t version = 0;
+  std::uint32_t row_count = 0;
+  std::uint32_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t num_in_edges = 0;
+  LayoutOptions layout;
+  std::uint64_t file_bytes = 0;
+  /// Whole-file checksum (header fields + section table; the table's
+  /// per-section sums transitively cover every payload byte).
+  std::uint64_t file_checksum = 0;
+  std::vector<SectionInfo> sections;
+
+  const SectionInfo* section(SectionId id) const;
+};
+
+/// Serializes the snapshot to `path` (overwrites). Returns the written
+/// file's SnapInfo. Throws SnapError on I/O failure.
+SnapInfo save_snapshot(const GraphSnapshot& s, const std::string& path);
+
+/// Reads, fully validates (structure + every section checksum), and
+/// reconstructs an in-RAM snapshot. The result is traversal-identical to
+/// the snapshot that was saved — same row space, placement, encoding, and
+/// materialized columns; its mutation-log base is cleared, so a later
+/// refresh() against a live graph takes the guarded full rebuild. Throws
+/// SnapError naming the failing section on any corruption.
+GraphSnapshot load_snapshot(const std::string& path, SnapInfo* info = nullptr);
+
+/// Header + section-table read (bounds, table and file checksums); does
+/// NOT touch section payloads — O(1) in graph size. Throws SnapError.
+SnapInfo inspect_snapshot(const std::string& path);
+
+/// inspect + recomputes every section's payload checksum (full file
+/// read). Throws SnapError naming the first mismatching section.
+SnapInfo validate_snapshot(const std::string& path);
+
+}  // namespace graphbig::graph::snap

@@ -1,0 +1,84 @@
+// Internal on-disk structures and validation passes of graphbig.snap.v1,
+// shared between the serializer (snap_format.cpp) and the out-of-core
+// backend (disk_graph.cpp). Not part of the public snap:: API — include
+// snap_format.h for save/load/inspect/validate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/snap_format.h"
+
+namespace graphbig::graph::snapdetail {
+
+/// "section <name>: <what>" — the diagnostic prefix every section-level
+/// SnapError carries (the corruption-fuzz tests match on it).
+inline std::string sec_msg(snap::SectionId id, const char* what) {
+  return std::string("section ") +
+         snap::section_name(static_cast<std::uint32_t>(id)) + ": " + what;
+}
+
+struct Header {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t header_bytes = 0;
+  std::uint32_t section_count = 0;
+  std::uint32_t order = 0;
+  std::uint32_t compress = 0;
+  std::uint32_t hot_row_degree = 0;
+  std::uint32_t row_count = 0;
+  std::uint32_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t num_in_edges = 0;
+  std::uint64_t file_bytes = 0;
+  // Everything above this point ([0, 64)) is covered by file_checksum.
+  std::uint64_t table_checksum = 0;
+  std::uint64_t file_checksum = 0;
+  std::uint8_t reserved[48] = {};
+};
+static_assert(sizeof(Header) == snap::kHeaderBytes);
+static_assert(offsetof(Header, table_checksum) == 64,
+              "file_checksum covers header bytes [0, 64)");
+
+struct SectionEntry {
+  std::uint32_t id = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(SectionEntry) == snap::kSectionEntryBytes);
+
+inline constexpr std::uint64_t kTableOffset = snap::kHeaderBytes;
+inline constexpr std::uint64_t kTableBytes =
+    std::uint64_t{snap::kSectionCount} * snap::kSectionEntryBytes;
+inline constexpr std::uint64_t kFirstSectionOffset =
+    (kTableOffset + kTableBytes + snap::kSectionAlign - 1) &
+    ~(snap::kSectionAlign - 1);
+
+/// Validates the header + section table of a file whose first `avail`
+/// bytes are at `data` and whose true size is `actual_bytes`. Catches:
+/// bad magic/version, malformed header fields, table corruption (table
+/// checksum), header corruption (file checksum), out-of-order or
+/// out-of-bounds sections (naming the first section that does not fit —
+/// this is what turns a truncated file into a section-named diagnostic),
+/// and a header/file size disagreement. Throws snap::SnapError.
+void parse_header(const std::uint8_t* data, std::uint64_t avail,
+                  std::uint64_t actual_bytes, Header* h,
+                  std::vector<SectionEntry>* table);
+
+/// Structural invariants beyond checksums: exact section sizes, monotone
+/// degree prefixes that sum to the header's edge counts, in-bounds row
+/// offsets, well-formed id map and property-column framing. Only touches
+/// the resident (non-payload) sections — O(rows), safe over an mmap'd
+/// file. After this, every index a reader dereferences is in bounds.
+void validate_structure(const Header& h,
+                        const std::vector<SectionEntry>& table,
+                        const std::uint8_t* buf);
+
+/// Public-facing SnapInfo from a validated header + table.
+snap::SnapInfo make_info(const Header& h, const SectionEntry* table);
+
+}  // namespace graphbig::graph::snapdetail

@@ -67,6 +67,8 @@
 
 namespace graphbig::graph {
 
+class SnapshotSerializer;  // snap_format.cpp: binary save/load internals
+
 /// Dense, zero-initialized algorithm-state columns keyed by PropKey.
 ///
 /// The dynamic path stores algorithm state in per-vertex PropertyMaps; the
@@ -100,10 +102,33 @@ class PropertyColumns {
   /// Bytes held by materialized columns.
   std::size_t footprint_bytes() const;
 
+  // ---- serialization surface (snap_format) ----
+  //
+  // Columns are direct-mapped by PropKey % max_column_slots(); the
+  // original key is not retained, so the binary snapshot format persists
+  // columns by slot index (a key equal to the slot maps back to it).
+
+  static constexpr std::size_t max_column_slots() { return 32; }
+  std::uint32_t rows() const { return rows_; }
+
+  /// Base pointer of a materialized column; null when slot is untouched.
+  const std::int64_t* materialized_int(std::size_t slot) const {
+    return int_cols_[slot].load(std::memory_order_acquire);
+  }
+  const double* materialized_double(std::size_t slot) const {
+    return dbl_cols_[slot].load(std::memory_order_acquire);
+  }
+
+  /// Materializes (if needed) and returns the column for bulk writes —
+  /// the snapshot loader memcpys persisted columns back through this.
+  std::int64_t* ensure_int(PropKey key) { return int_col(key); }
+  double* ensure_double(PropKey key) { return dbl_col(key); }
+
  private:
   // PropKeys are small interned integers (workloads::props uses 1..12);
   // columns live in a fixed-size direct-mapped table.
   static constexpr std::size_t kMaxKeys = 32;
+  static_assert(kMaxKeys == 32, "max_column_slots() mirrors kMaxKeys");
 
   static std::size_t slot_for(PropKey key) { return key % kMaxKeys; }
 
@@ -457,6 +482,10 @@ class GraphSnapshot {
   std::size_t footprint_bytes() const;
 
  private:
+  /// The binary snapshot format (graph/snap_format.{h,cpp}) reconstructs a
+  /// snapshot's arena arrays and pointer tables directly from a file image.
+  friend class SnapshotSerializer;
+
   void rebuild_from(const PropertyGraph& g);
   /// Layout stage of rebuild_from: physical placement permutation +
   /// per-row encoding. Consumes the freshly built logical prefix arrays.

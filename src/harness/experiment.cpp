@@ -1,6 +1,10 @@
 #include "harness/experiment.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <stdexcept>
 
 #include "bayes/munin.h"
 #include "datagen/generators.h"
@@ -56,6 +60,36 @@ graph::VertexId pick_root(const graph::PropertyGraph& g) {
   return best;
 }
 
+/// pick_root over stored rows: freeze() assigns rows in the dynamic
+/// graph's iteration order, so scanning rows ascending with a
+/// strictly-greater comparison reproduces pick_root's answer from a
+/// serialized snapshot without the dynamic graph.
+graph::VertexId pick_root_rows(const std::uint64_t* out_ptr,
+                               const graph::VertexId* orig_id,
+                               std::uint32_t rows) {
+  graph::VertexId best = 0;
+  std::uint64_t best_degree = 0;
+  bool found = false;
+  for (std::uint32_t v = 0; v < rows; ++v) {
+    if (orig_id[v] == graph::kInvalidVertex) continue;
+    const std::uint64_t deg = out_ptr[v + 1] - out_ptr[v];
+    if (!found || deg > best_degree) {
+      best = orig_id[v];
+      best_degree = deg;
+      found = true;
+    }
+  }
+  return best;
+}
+
+/// Unique temp-file name in the working directory (not /tmp: runs stay
+/// inside the repo tree) for run_cpu_timed's transient serialization.
+std::string temp_snapshot_name() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ".graphbig-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".snap";
+}
+
 }  // namespace
 
 const char* to_string(Representation rep) {
@@ -95,6 +129,22 @@ bool parse_refresh_mode(const std::string& name, RefreshMode* out) {
   return false;
 }
 
+const char* to_string(Backend backend) {
+  return backend == Backend::kDisk ? "disk" : "frozen";
+}
+
+bool parse_backend(const std::string& name, Backend* out) {
+  if (name == "frozen") {
+    *out = Backend::kFrozen;
+    return true;
+  }
+  if (name == "disk") {
+    *out = Backend::kDisk;
+    return true;
+  }
+  return false;
+}
+
 DatasetBundle load_bundle(datagen::DatasetId id, datagen::Scale scale) {
   obs::ObsSpan span("load_dataset");
   DatasetBundle bundle;
@@ -114,6 +164,47 @@ DatasetBundle load_bundle(datagen::DatasetId id, datagen::Scale scale) {
       bundle.gpu_root = v;
       break;
     }
+  }
+  return bundle;
+}
+
+DatasetBundle load_bundle_from_snapshot(const std::string& path,
+                                        SnapshotLoadMode mode,
+                                        const DiskBackendOptions& disk) {
+  obs::ObsSpan span("load_snapshot");
+  DatasetBundle bundle;
+  bundle.id = datagen::DatasetId::kTwitter;  // provenance is the file, not
+  bundle.scale = datagen::Scale::kTiny;      // a dataset recipe
+  bundle.from_snapshot = true;
+  bundle.snapshot_path = path;
+  bundle.snapshot_format = graph::snap::kSchemaName;
+  if (mode == SnapshotLoadMode::kFull) {
+    graph::snap::SnapInfo info;
+    bundle.snapshot = graph::snap::load_snapshot(path, &info);
+    bundle.snapshot_version = info.version;
+    bundle.snapshot_checksum = info.file_checksum;
+    bundle.csr = graph::build_csr(bundle.snapshot);
+    bundle.sym = graph::symmetrize(bundle.csr);
+    bundle.coo = graph::build_coo(bundle.sym);
+    bundle.root =
+        pick_root_rows(bundle.snapshot.out_ptr(), bundle.snapshot.orig_id(),
+                       bundle.snapshot.row_count());
+    for (std::uint32_t v = 0; v < bundle.csr.num_vertices; ++v) {
+      if (bundle.csr.orig_id[v] == bundle.root) {
+        bundle.gpu_root = v;
+        break;
+      }
+    }
+  } else {
+    graph::DiskGraphOptions dopts;
+    dopts.pool_pages = disk.pool_pages;
+    dopts.page_bytes = disk.page_bytes;
+    bundle.disk = std::make_shared<graph::DiskGraph>(path, dopts);
+    bundle.snapshot_version = bundle.disk->info().version;
+    bundle.snapshot_checksum = bundle.disk->info().file_checksum;
+    bundle.root = pick_root_rows(bundle.disk->out_ptr(),
+                                 bundle.disk->orig_id(),
+                                 bundle.disk->row_count());
   }
   return bundle;
 }
@@ -187,7 +278,8 @@ CpuTimedRun run_cpu_timed(const workloads::Workload& w,
                           Representation representation,
                           const engine::TraversalOptions& traversal,
                           RefreshMode refresh_mode, const ChurnPhase& churn,
-                          const graph::LayoutOptions& layout) {
+                          const graph::LayoutOptions& layout, Backend backend,
+                          const DiskBackendOptions& disk) {
   graph::PropertyGraph input = make_input_graph(w, bundle);
   workloads::RunContext ctx = make_cpu_context(w, input, bundle);
   ctx.traversal = traversal;
@@ -197,11 +289,35 @@ CpuTimedRun run_cpu_timed(const workloads::Workload& w,
   // Freeze before starting the timer: the measured interval covers the
   // algorithm only, on whichever representation it traverses.
   graph::GraphSnapshot snapshot;
+  std::unique_ptr<graph::PropertyColumns> run_columns;
+  std::unique_ptr<graph::DiskGraph> run_disk;
   const bool frozen =
       representation == Representation::kFrozen && supports_frozen(w);
   if (frozen) {
-    snapshot = graph::GraphSnapshot::freeze(input, layout);
-    ctx.snapshot = &snapshot;
+    if (bundle.from_snapshot) {
+      // Snapshot-sourced bundle: no dynamic input exists, so traverse the
+      // bundle's own materialization (shared across runs — algorithm state
+      // goes to a private column set so runs stay independent).
+      if (churn.batches > 0) {
+        throw std::runtime_error(
+            "snapshot-sourced bundles cannot run a churn phase "
+            "(no dynamic input to mutate)");
+      }
+      if (bundle.disk != nullptr) {
+        ctx.disk = bundle.disk.get();
+        run_columns =
+            std::make_unique<graph::PropertyColumns>(bundle.disk->row_count());
+        ctx.columns = run_columns.get();
+      } else {
+        ctx.snapshot = &bundle.snapshot;
+        run_columns = std::make_unique<graph::PropertyColumns>(
+            bundle.snapshot.row_count());
+        ctx.columns = run_columns.get();
+      }
+    } else {
+      snapshot = graph::GraphSnapshot::freeze(input, layout);
+      ctx.snapshot = &snapshot;
+    }
   }
 
   // Churn phase: mutate the input (both representations see the same
@@ -233,6 +349,30 @@ CpuTimedRun run_cpu_timed(const workloads::Workload& w,
     // mutated graph so every representation traverses from the same live
     // vertex.
     if (input.find_vertex(ctx.root) == nullptr) ctx.root = pick_root(input);
+  }
+
+  // Disk backend: serialize the up-to-date snapshot (post-churn) to a
+  // graphbig.snap.v1 file and traverse it out-of-core through the buffer
+  // pool. Serialization + open time is excluded from the measured seconds,
+  // like freeze time. When the caller supplied a file (disk.snapshot_path)
+  // it is traversed directly; otherwise the temp file is unlinked right
+  // after open — the mmap keeps the bytes readable.
+  if (frozen && backend == Backend::kDisk && ctx.disk == nullptr) {
+    std::string snap_path = disk.snapshot_path;
+    std::string temp;
+    if (snap_path.empty()) {
+      temp = temp_snapshot_name();
+      graph::snap::save_snapshot(*ctx.snapshot, temp);
+      snap_path = temp;
+    }
+    graph::DiskGraphOptions dopts;
+    dopts.pool_pages = disk.pool_pages;
+    dopts.page_bytes = disk.page_bytes;
+    run_disk = std::make_unique<graph::DiskGraph>(snap_path, dopts);
+    if (!temp.empty()) ::unlink(temp.c_str());
+    ctx.disk = run_disk.get();
+    ctx.snapshot = nullptr;
+    ctx.columns = nullptr;  // the DiskGraph owns a fresh column set
   }
 
   std::unique_ptr<platform::ThreadPool> pool;

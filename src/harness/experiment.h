@@ -12,6 +12,8 @@
 #include "datagen/registry.h"
 #include "graph/churn.h"
 #include "graph/csr.h"
+#include "graph/disk_graph.h"
+#include "graph/snap_format.h"
 #include "graph/snapshot.h"
 #include "perfmodel/profiler.h"
 #include "platform/thread_pool.h"
@@ -45,6 +47,31 @@ const char* to_string(RefreshMode mode);
 /// Parses "full" / "incremental"; false on anything else.
 bool parse_refresh_mode(const std::string& name, RefreshMode* out);
 
+/// Which physical backend a frozen-representation run traverses: the
+/// in-memory arena snapshot, or the out-of-core DiskGraph (a serialized
+/// graphbig.snap.v1 file behind a fixed-size buffer pool). Both expose the
+/// same row space and edge order, so workload checksums are bit-identical;
+/// only the memory ceiling and access path differ. Ignored for dynamic
+/// runs and for workloads that cannot run frozen.
+enum class Backend { kFrozen, kDisk };
+
+const char* to_string(Backend backend);
+
+/// Parses "frozen" / "disk"; false on anything else.
+bool parse_backend(const std::string& name, Backend* out);
+
+/// Out-of-core knobs for Backend::kDisk runs.
+struct DiskBackendOptions {
+  /// Existing graphbig.snap.v1 file to traverse. Empty = the harness
+  /// serializes the run's own snapshot to a temp file in the working
+  /// directory (deleted after open; the mmap keeps it readable).
+  std::string snapshot_path;
+  /// Buffer-pool budget: pages resident at once.
+  std::uint32_t pool_pages = 64;
+  /// Page width (power of two, >= 64).
+  std::uint32_t page_bytes = 1 << 16;
+};
+
 /// A GUp/TMorph-style churn phase run against the workload's input graph
 /// before the analytic phase: `batches` rounds of `config.ops` random
 /// mutations. With Representation::kFrozen the snapshot is brought up to
@@ -68,9 +95,42 @@ struct DatasetBundle {
   graph::Coo coo;                   // COO of sym (edge-centric kernels)
   graph::VertexId root = 0;         // traversal root: max-out-degree vertex
   std::uint32_t gpu_root = 0;       // same root as dense CSR id
+
+  // Snapshot provenance: set when the bundle was materialized from a
+  // serialized graphbig.snap.v1 file instead of regenerated from a
+  // dataset recipe (satellite 1: --snapshot-in skips datagen entirely).
+  bool from_snapshot = false;
+  std::string snapshot_path;              // source file
+  std::string snapshot_format;            // "graphbig.snap.v1"
+  std::uint32_t snapshot_version = 0;     // format version from the header
+  std::uint64_t snapshot_checksum = 0;    // whole-file FNV-1a checksum
+  /// Out-of-core backend over `snapshot_path`, opened once and shared by
+  /// every run against this bundle (kDiskOnly mode; null otherwise).
+  std::shared_ptr<graph::DiskGraph> disk;
 };
 
 DatasetBundle load_bundle(datagen::DatasetId id, datagen::Scale scale);
+
+/// How much of a snapshot-sourced bundle to materialize.
+enum class SnapshotLoadMode {
+  /// Deserialize into an in-RAM GraphSnapshot and derive the GPU views
+  /// (CSR/sym/COO). No dynamic graph or edge list: only frozen-capable
+  /// workloads and GPU kernels can run.
+  kFull,
+  /// Open the file as a DiskGraph only — O(rows) resident, payloads stay
+  /// on disk. Only frozen-capable workloads with Backend::kDisk can run.
+  kDiskOnly,
+};
+
+/// Loads a bundle from a serialized snapshot, skipping dataset generation
+/// entirely. The traversal root is re-derived from the stored degree
+/// prefixes with the same rule as load_bundle (first live vertex of
+/// maximum out-degree, in id order). Throws snap::SnapError on any
+/// open/validation failure. `disk` carries the pool knobs for kDiskOnly.
+DatasetBundle load_bundle_from_snapshot(
+    const std::string& path,
+    SnapshotLoadMode mode = SnapshotLoadMode::kFull,
+    const DiskBackendOptions& disk = {});
 
 /// Result of a profiled (trace-replayed) CPU run.
 struct CpuProfiledRun {
@@ -116,6 +176,10 @@ struct CpuTimedRun {
 /// stealing); the default is direction-optimizing auto with stealing on.
 /// `layout` selects the snapshot's physical layout (applied at the initial
 /// freeze and preserved across churn refreshes) — frozen runs only.
+/// `backend` selects the frozen run's physical backend: kFrozen traverses
+/// the in-memory snapshot; kDisk serializes it (or reuses the bundle's
+/// DiskGraph / `disk.snapshot_path`) and traverses out-of-core through a
+/// buffer pool sized by `disk`. Backend choice never changes checksums.
 CpuTimedRun run_cpu_timed(const workloads::Workload& w,
                           const DatasetBundle& bundle, int threads,
                           Representation representation =
@@ -123,7 +187,9 @@ CpuTimedRun run_cpu_timed(const workloads::Workload& w,
                           const engine::TraversalOptions& traversal = {},
                           RefreshMode refresh_mode = RefreshMode::kFull,
                           const ChurnPhase& churn = {},
-                          const graph::LayoutOptions& layout = {});
+                          const graph::LayoutOptions& layout = {},
+                          Backend backend = Backend::kFrozen,
+                          const DiskBackendOptions& disk = {});
 
 /// Figure 1: fraction of execution time spent inside framework primitives.
 struct FrameworkTimeRun {

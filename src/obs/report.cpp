@@ -57,6 +57,7 @@ void RunReport::write_json(std::ostream& os,
   w.begin_object();
   w.kv("threads", threads);
   w.kv("representation", representation);
+  w.kv("backend", backend.empty() ? representation : backend);
   w.kv("direction", direction);
   w.kv("steal", stealing);
   w.kv("layout", layout.empty() ? "natural" : layout);
@@ -70,7 +71,18 @@ void RunReport::write_json(std::ostream& os,
     w.kv("seed", churn_seed);
     w.end_object();
   }
+  if (pool_pages > 0) w.kv("pool_pages", pool_pages);
   w.end_object();
+
+  if (!snapshot_format.empty()) {
+    w.key("snapshot");
+    w.begin_object();
+    w.kv("path", snapshot_path);
+    w.kv("format", snapshot_format);
+    w.kv("version", snapshot_version);
+    w.kv("checksum", u64_string(snapshot_checksum));
+    w.end_object();
+  }
 
   w.key("result");
   w.begin_object();

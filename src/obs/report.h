@@ -25,6 +25,7 @@ struct RunReport {
   // Configuration axes.
   int threads = 1;
   std::string representation;  // "dynamic" / "frozen"
+  std::string backend;         // "dynamic" / "frozen" / "disk"
   std::string direction;       // "push" / "pull" / "auto"
   bool stealing = true;
   std::string layout = "natural";  // snapshot vertex order
@@ -33,6 +34,15 @@ struct RunReport {
   int churn_batches = 0;
   std::uint64_t churn_ops = 0;
   std::uint64_t churn_seed = 0;
+  std::uint32_t pool_pages = 0;  // disk backend: buffer-pool budget
+
+  // Snapshot provenance — set when the graph was loaded from (or run
+  // through) a serialized graphbig.snap.v1 file; `snapshot_format` empty
+  // means no snapshot file was involved.
+  std::string snapshot_path;
+  std::string snapshot_format;
+  std::uint32_t snapshot_version = 0;
+  std::uint64_t snapshot_checksum = 0;  // whole-file FNV-1a
 
   // Results.
   double seconds = 0.0;

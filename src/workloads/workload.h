@@ -70,13 +70,23 @@ struct RunContext {
   /// immutable snapshot without cross-request races. Must be sized to
   /// snapshot->row_count().
   graph::PropertyColumns* columns = nullptr;
+  /// When set, the analytic workloads traverse this out-of-core backend
+  /// (mmap'd graphbig.snap.v1 file behind a buffer pool) — it takes
+  /// precedence over `snapshot`. Same row space and edge order as the
+  /// snapshot it was saved from, so results are bit-identical.
+  const graph::DiskGraph* disk = nullptr;
   platform::ThreadPool* pool = nullptr;  // null -> sequential execution
   std::uint64_t seed = 1;
   graph::VertexId root = 0;
 
-  /// The traversal view the analytic workloads run against: the frozen
-  /// snapshot when present, the dynamic graph otherwise.
+  /// The traversal view the analytic workloads run against: the disk
+  /// backend when present, else the frozen snapshot, else the dynamic
+  /// graph.
   graph::GraphView view() const {
+    if (disk != nullptr) {
+      return columns != nullptr ? graph::GraphView(*disk, columns)
+                                : graph::GraphView(*disk);
+    }
     if (snapshot != nullptr) {
       return columns != nullptr ? graph::GraphView(*snapshot, columns)
                                 : graph::GraphView(*snapshot);

@@ -259,10 +259,17 @@ TEST(RunReport, GoldenSchemaRoundTrip) {
   report.scale = "tiny";
   report.threads = 4;
   report.representation = "frozen";
+  report.backend = "disk";
   report.direction = "auto";
   report.stealing = true;
   report.layout = "degree";
   report.compress = true;
+  report.pool_pages = 8;
+  report.snapshot_path = "graph.snap";
+  report.snapshot_format = "graphbig.snap.v1";
+  report.snapshot_version = 1;
+  // Above 2^53, like result.checksum: only the string form round-trips.
+  report.snapshot_checksum = 0x8000000000000007ull;
   report.refresh_mode = "incremental";
   report.churn_batches = 4;
   report.churn_ops = 512;
@@ -289,10 +296,12 @@ TEST(RunReport, GoldenSchemaRoundTrip) {
 
   for (const char* path :
        {"schema", "workload", "dataset", "scale", "config.threads",
-        "config.representation", "config.direction", "config.steal",
-        "config.layout", "config.compress",
+        "config.representation", "config.backend", "config.direction",
+        "config.steal", "config.layout", "config.compress",
         "config.refresh_mode", "config.churn.batches", "config.churn.ops",
-        "config.churn.seed", "result.seconds", "result.checksum",
+        "config.churn.seed", "config.pool_pages", "snapshot.path",
+        "snapshot.format", "snapshot.version", "snapshot.checksum",
+        "result.seconds", "result.checksum",
         "result.vertices_processed", "result.edges_processed",
         "traversal.supersteps", "traversal.push_steps",
         "traversal.pull_steps", "traversal.dense_steps",
@@ -305,6 +314,9 @@ TEST(RunReport, GoldenSchemaRoundTrip) {
   }
   EXPECT_EQ(doc.find_path("schema")->str, "graphbig.run.v1");
   EXPECT_EQ(doc.find_path("result.checksum")->str, "9223372036854775811");
+  EXPECT_EQ(doc.find_path("config.backend")->str, "disk");
+  EXPECT_EQ(doc.find_path("snapshot.format")->str, "graphbig.snap.v1");
+  EXPECT_EQ(doc.find_path("snapshot.checksum")->str, "9223372036854775815");
   EXPECT_EQ(doc.find_path("config.threads")->number, 4.0);
   EXPECT_EQ(doc.find_path("config.layout")->str, "degree");
   EXPECT_EQ(doc.find_path("config.compress")->kind,

@@ -49,6 +49,18 @@ void print_usage() {
                          identical, only memory behavior differs)
   --compress on|off      delta-varint compress frozen adjacency rows, with
                          a per-row raw fallback for hot rows (default: off)
+  --backend frozen|disk  physical backend for frozen runs: the in-memory
+                         snapshot or an out-of-core graphbig.snap.v1 file
+                         traversed through a buffer pool (default: frozen;
+                         checksums are identical either way)
+  --pool-pages <n>       disk backend: buffer-pool pages resident at once
+                         (default: 64; small values force eviction)
+  --snapshot-out <path>  serialize the frozen snapshot (with the requested
+                         --layout/--compress) to a graphbig.snap.v1 file;
+                         without --workload, saves and exits
+  --snapshot-in <path>   load the graph from a serialized snapshot instead
+                         of generating the dataset (implies frozen
+                         representation; no churn/profile)
   --refresh full|incremental   run a churn phase before the workload and
                          bring the frozen snapshot up to date by full
                          re-freeze or mutation-log delta merge (implies
@@ -101,6 +113,10 @@ int main(int argc, char** argv) {
   bool refresh_given = false;
   bool profile = false;
   bool gpu = false;
+  harness::Backend backend = harness::Backend::kFrozen;
+  harness::DiskBackendOptions disk;
+  std::string snapshot_out;
+  std::string snapshot_in;
   std::string scale_name = "small";
   std::string trace_out;
   std::string json_out;
@@ -212,6 +228,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--churn-seed") {
       churn.config.seed =
           static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--backend") {
+      const std::string b = next();
+      if (!harness::parse_backend(b, &backend)) {
+        std::cerr << "unknown backend: " << b
+                  << " (expected frozen or disk)\n";
+        return 2;
+      }
+    } else if (arg == "--pool-pages") {
+      const int pages = std::atoi(next().c_str());
+      if (pages <= 0) {
+        std::cerr << "--pool-pages must be > 0\n";
+        return 2;
+      }
+      disk.pool_pages = static_cast<std::uint32_t>(pages);
+    } else if (arg == "--snapshot-out") {
+      snapshot_out = next();
+    } else if (arg == "--snapshot-in") {
+      snapshot_in = next();
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--gpu") {
@@ -230,17 +264,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (workload.empty()) {
+  if (workload.empty() && snapshot_out.empty()) {
     print_usage();
     return 2;
   }
 
-  datagen::DatasetId id;
-  try {
-    id = datagen::dataset_by_name(dataset);
-  } catch (const std::exception&) {
-    std::cerr << "unknown dataset: " << dataset << "\n";
-    return 2;
+  if (!snapshot_in.empty()) {
+    // Snapshot-sourced runs skip dataset generation entirely; everything
+    // that needs the dynamic input (churn, the perf model's dynamic
+    // traversal) is unavailable.
+    if (profile) {
+      std::cerr << "--snapshot-in cannot be combined with --profile\n";
+      return 2;
+    }
+    if (gpu && backend == harness::Backend::kDisk) {
+      std::cerr << "--snapshot-in --backend disk cannot run GPU workloads "
+                   "(no device CSR is materialized)\n";
+      return 2;
+    }
+    if (churn.batches > 0 || refresh_given) {
+      std::cerr << "--snapshot-in cannot run a churn phase (the serialized "
+                   "snapshot has no dynamic input to mutate)\n";
+      return 2;
+    }
+    representation = harness::Representation::kFrozen;
+  }
+
+  datagen::DatasetId id = datagen::DatasetId::kLdbc;
+  if (snapshot_in.empty()) {
+    try {
+      id = datagen::dataset_by_name(dataset);
+    } catch (const std::exception&) {
+      std::cerr << "unknown dataset: " << dataset << "\n";
+      return 2;
+    }
   }
 
   // Arm the span tracer before the dataset load so the load itself shows
@@ -258,11 +315,63 @@ int main(int argc, char** argv) {
     return true;
   };
 
-  std::cout << "loading dataset '" << dataset << "'...\n";
-  const harness::DatasetBundle bundle = harness::load_bundle(id, scale);
-  std::cout << "  " << harness::fmt_int(bundle.csr.num_vertices)
-            << " vertices, " << harness::fmt_int(bundle.csr.num_edges)
-            << " edges\n";
+  harness::DatasetBundle bundle;
+  if (!snapshot_in.empty()) {
+    std::cout << "loading snapshot '" << snapshot_in << "'...\n";
+    try {
+      bundle = harness::load_bundle_from_snapshot(
+          snapshot_in,
+          backend == harness::Backend::kDisk
+              ? harness::SnapshotLoadMode::kDiskOnly
+              : harness::SnapshotLoadMode::kFull,
+          disk);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+    const std::uint64_t nv = bundle.disk != nullptr
+                                 ? bundle.disk->num_vertices()
+                                 : bundle.snapshot.num_vertices();
+    const std::uint64_t ne = bundle.disk != nullptr
+                                 ? bundle.disk->num_edges()
+                                 : bundle.snapshot.num_edges();
+    std::cout << "  " << harness::fmt_int(nv) << " vertices, "
+              << harness::fmt_int(ne) << " edges [" << bundle.snapshot_format
+              << " v" << bundle.snapshot_version << ", checksum "
+              << bundle.snapshot_checksum << "]\n";
+    dataset = "snapshot";
+    scale_name = "-";
+  } else {
+    std::cout << "loading dataset '" << dataset << "'...\n";
+    bundle = harness::load_bundle(id, scale);
+    std::cout << "  " << harness::fmt_int(bundle.csr.num_vertices)
+              << " vertices, " << harness::fmt_int(bundle.csr.num_edges)
+              << " edges\n";
+  }
+
+  if (!snapshot_out.empty()) {
+    try {
+      if (bundle.from_snapshot) {
+        if (bundle.disk != nullptr) {
+          std::cerr << "--snapshot-out needs an in-RAM snapshot; rerun "
+                       "without --backend disk\n";
+          return 2;
+        }
+        graph::snap::save_snapshot(bundle.snapshot, snapshot_out);
+      } else if (layout.order != graph::VertexOrder::kNatural ||
+                 layout.compress) {
+        graph::snap::save_snapshot(
+            graph::GraphSnapshot::freeze(bundle.graph, layout), snapshot_out);
+      } else {
+        graph::snap::save_snapshot(bundle.snapshot, snapshot_out);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "wrote snapshot to " << snapshot_out << "\n";
+    if (workload.empty()) return write_trace() ? 0 : 1;
+  }
 
   if (gpu) {
     const auto* w = workloads::gpu::find_gpu_workload(workload);
@@ -319,32 +428,51 @@ int main(int argc, char** argv) {
 
   if (representation == harness::Representation::kFrozen &&
       !harness::supports_frozen(*w)) {
+    if (!snapshot_in.empty()) {
+      std::cerr << w->acronym()
+                << " mutates the graph or needs a special input, which a "
+                   "serialized snapshot cannot provide\n";
+      return 2;
+    }
     std::cout << "note: " << w->acronym()
               << " mutates the graph or needs a special input; running on "
                  "the dynamic representation\n";
   }
+  const bool ran_frozen = representation == harness::Representation::kFrozen &&
+                          harness::supports_frozen(*w);
   if (refresh_given && churn.batches == 0) churn.batches = 4;
   std::cout << "run config: direction=" << engine::to_string(traversal.direction)
             << " steal=" << (traversal.stealing ? "on" : "off")
             << " representation=" << harness::to_string(representation)
+            << " backend="
+            << (ran_frozen ? harness::to_string(backend) : "dynamic")
             << " layout=" << graph::to_string(layout.order)
             << " compress=" << (layout.compress ? "on" : "off")
             << " threads=" << threads;
+  if (ran_frozen && backend == harness::Backend::kDisk) {
+    std::cout << " pool-pages=" << disk.pool_pages;
+  }
   if (churn.batches > 0) {
     std::cout << " refresh=" << harness::to_string(refresh_mode)
               << " churn=" << churn.batches << "x" << churn.config.ops
               << " (seed " << churn.config.seed << ")";
   }
   std::cout << "\n";
-  const auto r = harness::run_cpu_timed(*w, bundle, threads, representation,
-                                        traversal, refresh_mode, churn,
-                                        layout);
+  harness::CpuTimedRun r;
+  try {
+    r = harness::run_cpu_timed(*w, bundle, threads, representation, traversal,
+                               refresh_mode, churn, layout, backend, disk);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   std::cout << w->acronym() << ": checksum " << r.run.checksum << "\n  "
             << harness::fmt_int(r.run.vertices_processed) << " vertices, "
             << harness::fmt_int(r.run.edges_processed)
             << " edges processed in " << platform::format_duration(r.seconds)
             << " with " << threads << " thread(s) ["
-            << harness::to_string(representation) << " representation]\n";
+            << (ran_frozen ? harness::to_string(backend) : "dynamic")
+            << " backend]\n";
   if (r.telemetry.supersteps > 0) {
     std::cout << "  traversal: " << r.telemetry.summary() << "\n";
   }
@@ -369,6 +497,16 @@ int main(int argc, char** argv) {
     report.scale = scale_name;
     report.threads = threads;
     report.representation = harness::to_string(representation);
+    report.backend = ran_frozen ? harness::to_string(backend) : "dynamic";
+    if (ran_frozen && backend == harness::Backend::kDisk) {
+      report.pool_pages = disk.pool_pages;
+    }
+    if (bundle.from_snapshot) {
+      report.snapshot_path = bundle.snapshot_path;
+      report.snapshot_format = bundle.snapshot_format;
+      report.snapshot_version = bundle.snapshot_version;
+      report.snapshot_checksum = bundle.snapshot_checksum;
+    }
     report.direction = engine::to_string(traversal.direction);
     report.stealing = traversal.stealing;
     report.layout = graph::to_string(layout.order);
