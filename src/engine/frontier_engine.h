@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/chunking.h"
 #include "graph/graph_view.h"
 #include "obs/trace_span.h"
 #include "platform/bitset.h"
@@ -61,6 +62,19 @@ const char* to_string(Direction d);
 
 /// Parses "push" / "pull" / "auto"; returns false on anything else.
 bool parse_direction(std::string_view s, Direction* out);
+
+/// The Beamer m/alpha direction decision, shared by FrontierEngine and the
+/// linear-algebra backend (src/la): pull when the edge mass hanging off
+/// the frontier exceeds total_edge_mass / alpha. One definition means the
+/// two engines flip direction on exactly the same supersteps — the
+/// decision-parity property tests/la_test.cpp asserts.
+inline bool use_pull_step(Direction direction, std::uint64_t frontier_mass,
+                          double alpha, std::uint64_t total_edge_mass) {
+  return direction == Direction::kPull ||
+         (direction == Direction::kAuto &&
+          static_cast<double>(frontier_mass) * alpha >
+              static_cast<double>(total_edge_mass));
+}
 
 struct TraversalOptions {
   Direction direction = Direction::kAuto;
@@ -123,9 +137,18 @@ struct TraversalTelemetry {
 /// Thread-safe telemetry append; no-op when t is null.
 void record_step(TraversalTelemetry* t, const StepTelemetry& s);
 
+/// record_step without the frontier.* registry series: the telemetry
+/// struct alone is updated. The LA backend uses this — it records its own
+/// la.* series — so one superstep never double-counts into both families.
+void record_step_local(TraversalTelemetry* t, const StepTelemetry& s);
+
 /// Thread-safe bump of the stolen-chunk counter alone (sweeps and pivot
 /// fan-outs that steal work outside a superstep); no-op when t is null.
 void record_stolen(TraversalTelemetry* t, std::uint64_t stolen);
+
+/// record_stolen without the frontier.* registry series (the LA backend's
+/// row reductions account their steals under la.*).
+void record_stolen_local(TraversalTelemetry* t, std::uint64_t stolen);
 
 /// An active-vertex set over a slot space, held sparse (ascending-merged
 /// slot list), dense (atomic bitmap), or both. Conversions materialize in
@@ -315,10 +338,7 @@ class FrontierEngine {
     std::vector<std::size_t> bounds;
     const std::uint64_t mass = list_bounds(&bounds);
     const bool use_pull =
-        opts_.direction == Direction::kPull ||
-        (opts_.direction == Direction::kAuto &&
-         static_cast<double>(mass) * opts_.alpha >
-             static_cast<double>(total_edge_mass_));
+        use_pull_step(opts_.direction, mass, opts_.alpha, total_edge_mass_);
     if (!use_pull) return push_step(push, bounds, mass);
     return pull_step(pull, cand, mass);
   }
@@ -382,118 +402,28 @@ class FrontierEngine {
  private:
   static constexpr std::size_t kScanGrain = 4096;  // slots per O(1)-work chunk
 
-  /// Degree + 1: the unit of chunk weight (an isolated vertex still costs
-  /// one frontier-entry touch).
-  std::uint64_t push_weight(graph::SlotIndex s) const {
-    return 1 + g_.out_degree(s) +
-           (opts_.undirected ? g_.in_degree(s) : 0);
-  }
-  std::uint64_t pull_weight(graph::SlotIndex s) const {
-    return 1 + g_.in_degree(s) +
-           (opts_.undirected ? g_.out_degree(s) : 0);
-  }
+  // Chunk boundaries and the ascending-merge chunk runner live in
+  // engine/chunking.h, shared with the LA backend — identical chunks and
+  // merge order are the bit-identical-by-construction contract between the
+  // two engines.
 
   /// Cuts the current list into chunks of ~edge_grain weight; returns the
   /// total frontier edge mass (degrees only, the heuristic input).
   std::uint64_t list_bounds(std::vector<std::size_t>* bounds) const {
-    const auto& list = cur_.list();
-    bounds->clear();
-    bounds->push_back(0);
-    std::uint64_t mass = 0;
-    std::uint64_t acc = 0;
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      const std::uint64_t w = push_weight(list[i]);
-      mass += w - 1;
-      acc += w;
-      if (acc >= opts_.edge_grain) {
-        bounds->push_back(i + 1);
-        acc = 0;
-      }
-    }
-    if (bounds->back() != list.size()) bounds->push_back(list.size());
-    return mass;
+    return frontier_bounds(g_, cur_.list(), opts_.undirected,
+                           opts_.edge_grain, bounds);
   }
 
-  /// Cuts the whole slot space into ~edge_grain pull-weight chunks. On the
-  /// frozen backend the CSR row-pointer prefixes give chunk boundaries by
-  /// binary search; the dynamic backend walks degrees once.
+  /// Cuts the whole slot space into ~edge_grain pull-weight chunks.
   std::vector<std::size_t> slot_bounds() const {
-    std::vector<std::size_t> bounds;
-    bounds.push_back(0);
-    if (g_.has_degree_prefix()) {
-      auto weight_before = [&](std::size_t s) -> std::uint64_t {
-        const auto slot = static_cast<graph::SlotIndex>(s);
-        return g_.in_prefix(slot) +
-               (opts_.undirected ? g_.out_prefix(slot) : 0) + s;
-      };
-      const std::uint64_t total = weight_before(slots_);
-      const std::size_t nchunks = std::max<std::size_t>(
-          1, std::min<std::uint64_t>(slots_, total / opts_.edge_grain));
-      for (std::size_t k = 1; k < nchunks; ++k) {
-        const std::uint64_t target = total / nchunks * k;
-        std::size_t lo = bounds.back();
-        std::size_t hi = slots_;
-        while (lo < hi) {  // first s with weight_before(s) >= target
-          const std::size_t mid = lo + (hi - lo) / 2;
-          if (weight_before(mid) < target) {
-            lo = mid + 1;
-          } else {
-            hi = mid;
-          }
-        }
-        bounds.push_back(lo);
-      }
-    } else {
-      std::uint64_t acc = 0;
-      for (std::size_t s = 0; s < slots_; ++s) {
-        acc += pull_weight(static_cast<graph::SlotIndex>(s));
-        if (acc >= opts_.edge_grain) {
-          bounds.push_back(s + 1);
-          acc = 0;
-        }
-      }
-    }
-    if (bounds.back() != slots_) bounds.push_back(slots_);
-    return bounds;
+    return slot_space_bounds(g_, slots_, opts_.undirected, opts_.edge_grain);
   }
 
-  static std::vector<std::size_t> fixed_bounds(std::size_t n,
-                                               std::size_t grain) {
-    std::vector<std::size_t> bounds;
-    bounds.push_back(0);
-    for (std::size_t lo = grain; lo < n; lo += grain) bounds.push_back(lo);
-    if (bounds.back() != n) bounds.push_back(n);
-    return bounds;
-  }
-
-  /// Runs body(c) for every chunk id in [0, nchunks), merging the partial
-  /// results in ascending chunk order — parallel through the pool
-  /// (stealing-scheduled when enabled), sequential otherwise. The merge
-  /// order is what keeps results thread-count-invariant.
   template <typename T, typename Body, typename Reduce>
   T run_chunks(std::size_t nchunks, T identity, const Body& body,
                const Reduce& reduce, std::uint64_t* stolen) const {
-    if (stolen != nullptr) *stolen = 0;
-    T acc = std::move(identity);
-    if (nchunks == 0) return acc;
-    if (pool_ == nullptr || pool_->num_threads() == 1 || nchunks == 1) {
-      for (std::size_t c = 0; c < nchunks; ++c) {
-        acc = reduce(std::move(acc), body(c));
-      }
-      return acc;
-    }
-    auto map = [&](std::size_t lo, std::size_t hi) {
-      T p = body(lo);
-      for (std::size_t c = lo + 1; c < hi; ++c) {
-        p = reduce(std::move(p), body(c));
-      }
-      return p;
-    };
-    if (opts_.stealing) {
-      return pool_->parallel_reduce_stealing(0, nchunks, 1, std::move(acc),
-                                             map, reduce, stolen);
-    }
-    return pool_->parallel_reduce(0, nchunks, 1, std::move(acc), map, reduce);
+    return engine::run_chunks(pool_, opts_.stealing, nchunks,
+                              std::move(identity), body, reduce, stolen);
   }
 
   template <typename PushFn>

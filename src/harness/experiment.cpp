@@ -279,10 +279,12 @@ CpuTimedRun run_cpu_timed(const workloads::Workload& w,
                           const engine::TraversalOptions& traversal,
                           RefreshMode refresh_mode, const ChurnPhase& churn,
                           const graph::LayoutOptions& layout, Backend backend,
-                          const DiskBackendOptions& disk) {
+                          const DiskBackendOptions& disk,
+                          workloads::Engine engine) {
   graph::PropertyGraph input = make_input_graph(w, bundle);
   workloads::RunContext ctx = make_cpu_context(w, input, bundle);
   ctx.traversal = traversal;
+  ctx.engine = engine;
 
   CpuTimedRun out;
 

@@ -1,0 +1,66 @@
+#include "la/la_engine.h"
+
+#include "obs/metrics.h"
+
+namespace graphbig::la::detail {
+
+namespace {
+
+// Registry series for the LA backend, the la.* twin of the frontier.*
+// family in engine/frontier_engine.cpp. Separate series — not shared
+// counters — so a metrics scrape can tell which backend executed a run's
+// supersteps; record_la_step pairs them with record_step_local so one
+// superstep never lands in both families.
+struct LaSeries {
+  obs::Counter supersteps;
+  obs::Counter spmspv_steps;
+  obs::Counter spmv_steps;
+  obs::Counter dense_steps;
+  obs::Counter edges;
+  obs::Counter activated;
+  obs::Counter stolen_chunks;
+  obs::Histogram step_nnz;
+};
+
+LaSeries& la_series() {
+  static LaSeries* s = [] {
+    auto& r = obs::MetricsRegistry::instance();
+    return new LaSeries{
+        r.counter("la.supersteps"),
+        r.counter("la.spmspv_steps"),
+        r.counter("la.spmv_steps"),
+        r.counter("la.dense_steps"),
+        r.counter("la.edges"),
+        r.counter("la.activated"),
+        r.counter("la.stolen_chunks"),
+        r.histogram("la.step_nnz",
+                    {1, 8, 64, 512, 4096, 32768, 262144, 2097152}),
+    };
+  }();
+  return *s;
+}
+
+}  // namespace
+
+void record_la_step(engine::TraversalTelemetry* t,
+                    const engine::StepTelemetry& s) {
+  if (obs::enabled()) {
+    LaSeries& ls = la_series();
+    ls.supersteps.inc();
+    (s.pull ? ls.spmv_steps : ls.spmspv_steps).inc();
+    if (s.dense) ls.dense_steps.inc();
+    ls.edges.add(s.edges);
+    ls.activated.add(s.activated);
+    ls.stolen_chunks.add(s.stolen);
+    ls.step_nnz.observe(s.frontier);
+  }
+  engine::record_step_local(t, s);
+}
+
+void record_la_stolen(engine::TraversalTelemetry* t, std::uint64_t stolen) {
+  if (stolen == 0) return;
+  if (obs::enabled()) la_series().stolen_chunks.add(stolen);
+  engine::record_stolen_local(t, stolen);
+}
+
+}  // namespace graphbig::la::detail

@@ -1,0 +1,330 @@
+// LaEngine: the linear-algebra execution backend (masked SpMV / SpMSpV).
+//
+// GraphBLAST's (PAPERS.md) framing of direction-optimized traversal: with
+// the frozen CSR as a sparse matrix A and the active set as a sparse
+// boolean vector x, one superstep is y = ¬mask .* (xᵀ ⊗ A) over a
+// workload-specific semiring (la/semiring.h). When x is sparse the product
+// runs column-wise from x's entries — SpMSpV, the push superstep. When x
+// is heavy the product runs row-wise over masked-in output rows, probing
+// each row's in-edges against a densified x — masked SpMV, the pull
+// superstep. The Beamer m/alpha test that flips a frontier traversal from
+// push to pull is exactly the sparse-vs-dense product selection, so both
+// backends share one decision function (engine::use_pull_step).
+//
+// This engine is deliberately a structural twin of FrontierEngine: it cuts
+// supersteps into the same degree-weighted chunks and merges per-chunk
+// partials in the same ascending order (engine/chunking.h), and its
+// vectors convert between sparse and dense forms through the same
+// machinery (la::SparseVector wraps engine::Frontier). A superstep
+// therefore touches the same logical edges in the same order and folds
+// floating-point partials in the same reduction order as the frontier
+// engine — results are bit-identical by construction, at any thread
+// count, in any direction mode, on any backend or layout. What is NOT
+// shared are the workload kernels: each ported workload carries an
+// independent LA formulation (workloads/*.cpp run_la paths), which is what
+// makes frontier-vs-LA differential fuzzing (tests/
+// backend_parity_harness.h) a real oracle rather than a tautology.
+//
+// Telemetry goes through engine::record_step_local plus this backend's own
+// la.* registry series — one superstep never counts into both the
+// frontier.* and la.* families. See DESIGN.md section 15.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/chunking.h"
+#include "engine/frontier_engine.h"
+#include "graph/graph_view.h"
+#include "la/vector.h"
+#include "obs/trace_span.h"
+#include "platform/thread_pool.h"
+#include "trace/access.h"
+
+namespace graphbig::la {
+
+namespace detail {
+
+/// Bumps the la.* registry series, then appends to the run telemetry via
+/// engine::record_step_local (the frontier.* series is never touched).
+void record_la_step(engine::TraversalTelemetry* t,
+                    const engine::StepTelemetry& s);
+
+/// la.* twin of engine::record_stolen (row sweeps outside a superstep).
+void record_la_stolen(engine::TraversalTelemetry* t, std::uint64_t stolen);
+
+}  // namespace detail
+
+class LaEngine {
+ public:
+  /// `pool` may be null (sequential). `telemetry` is caller-owned and may
+  /// be null; options carry the same direction/alpha/grain knobs as the
+  /// frontier engine so --direction et al. apply to LA runs unchanged.
+  LaEngine(const graph::GraphView& g, platform::ThreadPool* pool,
+           engine::TraversalOptions opts = {},
+           engine::TraversalTelemetry* telemetry = nullptr)
+      : g_(g),
+        pool_(pool),
+        opts_(opts),
+        tel_(telemetry),
+        dim_(g.slot_count()) {
+    // Matrix nnz for the sparse-vs-dense product selection; undirected
+    // workloads see each edge from both endpoints.
+    total_edge_mass_ =
+        static_cast<std::uint64_t>(g_.num_edges()) * (opts_.undirected ? 2 : 1);
+    x_.reset(dim_);
+    y_.reset(dim_);
+  }
+
+  const engine::TraversalOptions& options() const { return opts_; }
+  const graph::GraphView& view() const { return g_; }
+
+  /// Zeroes x and restarts the superstep counter (telemetry accumulates).
+  void restart() {
+    x_.clear();
+    y_.clear();
+    step_ = 0;
+  }
+
+  /// The product has reached its fixed point when x has no entries.
+  bool done() const { return x_.empty(); }
+  std::size_t nnz() const { return x_.nnz(); }
+
+  /// x membership for gather kernels; valid during a masked-SpMV superstep
+  /// (the engine densifies x before invoking them).
+  bool in_x(graph::SlotIndex s) const { return x_.test(s); }
+
+  /// Direct input-vector access (tests, representation round-trips).
+  SparseVector& x() { return x_; }
+
+  /// Seeds one entry of x (must not already be set).
+  void seed(graph::SlotIndex s) { x_.set(s); }
+
+  /// The moved-in (duplicate-free) index list becomes x.
+  void seed_list(std::vector<graph::SlotIndex>&& l) {
+    x_.assign(std::move(l));
+  }
+
+  /// Rebuilds x as every slot where pred(slot) holds, ascending. pred sees
+  /// every slot in [0, dim), live or not. Returns the resulting nnz.
+  template <typename Pred>
+  std::size_t seed_where(const Pred& pred) {
+    std::vector<std::size_t> bounds = engine::fixed_bounds(dim_, kScanGrain);
+    auto body = [&](std::size_t c) {
+      std::vector<graph::SlotIndex> out;
+      for (std::size_t s = bounds[c]; s < bounds[c + 1]; ++s) {
+        const auto slot = static_cast<graph::SlotIndex>(s);
+        if (pred(slot)) out.push_back(slot);
+      }
+      return out;
+    };
+    std::vector<graph::SlotIndex> merged = run_chunks(
+        bounds.size() - 1, std::vector<graph::SlotIndex>{}, body,
+        [](std::vector<graph::SlotIndex> a, std::vector<graph::SlotIndex> b) {
+          a.insert(a.end(), b.begin(), b.end());
+          return a;
+        },
+        nullptr);
+    const std::size_t n = merged.size();
+    x_.assign(std::move(merged));
+    return n;
+  }
+
+  /// x := indicator vector of the live slots.
+  std::size_t seed_all_live() {
+    return seed_where([&](graph::SlotIndex s) { return g_.is_live(s); });
+  }
+
+  /// Sparse-only product y = xᵀ ⊗ A (SpMSpV). scatter(col, ctx) expands
+  /// one stored column of x, counting ctx.edges and ctx.emit()-ing the
+  /// output rows it activates (the kernel owns dedup, e.g. an atomic
+  /// visited bitmap). The emitted rows become the next x.
+  template <typename ScatterFn>
+  engine::StepResult multiply(const ScatterFn& scatter) {
+    x_.to_sparse(pool_);
+    std::vector<std::size_t> bounds;
+    const std::uint64_t mass = engine::frontier_bounds(
+        g_, x_.indices(), opts_.undirected, opts_.edge_grain, &bounds);
+    return spmspv(scatter, bounds, mass);
+  }
+
+  /// Direction-optimized product: SpMSpV while x is light, masked dense
+  /// SpMV once x's edge mass crosses total/alpha (engine::use_pull_step —
+  /// the same decision, on the same inputs, as the frontier engine).
+  ///   mask(row): output-row filter evaluated before the row's dot
+  ///     product (la::StructuralMask or any row predicate); called only
+  ///     for live rows.
+  ///   gather(row, ctx): the row's dot product — probes the row's
+  ///     in-edges (for_each_in_until + in_x) and returns true to set
+  ///     y[row].
+  /// Rows set by gather land in y's dense bitmap; rows emitted by scatter
+  /// in its sparse list. Both materialize the same vector.
+  template <typename ScatterFn, typename GatherFn, typename MaskFn>
+  engine::StepResult multiply(const ScatterFn& scatter, const GatherFn& gather,
+                              const MaskFn& mask) {
+    x_.to_sparse(pool_);
+    std::vector<std::size_t> bounds;
+    const std::uint64_t mass = engine::frontier_bounds(
+        g_, x_.indices(), opts_.undirected, opts_.edge_grain, &bounds);
+    if (!engine::use_pull_step(opts_.direction, mass, opts_.alpha,
+                               total_edge_mass_)) {
+      return spmspv(scatter, bounds, mass);
+    }
+    return spmv(gather, mask, mass);
+  }
+
+  /// Degree-weighted, stealing-scheduled reduction over x's stored rows
+  /// without advancing it: chunks start from a copy of `identity`,
+  /// item(row, partial) folds one row in, partials merge in ascending
+  /// chunk order. Backs the non-traversal rounds (DCentr's degree
+  /// reduction, SPath's bucket relaxation).
+  template <typename T, typename ItemFn, typename ReduceFn>
+  T reduce_rows(T identity, const ItemFn& item, const ReduceFn& reduce) {
+    x_.to_sparse(pool_);
+    const auto& rows = x_.indices();
+    std::vector<std::size_t> bounds;
+    engine::frontier_bounds(g_, rows, opts_.undirected, opts_.edge_grain,
+                            &bounds);
+    std::uint64_t stolen = 0;
+    auto body = [&](std::size_t c) {
+      T p = identity;
+      for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+        trace::read(trace::MemKind::kMetadata, &rows[i],
+                    sizeof(graph::SlotIndex));
+        item(rows[i], p);
+      }
+      return p;
+    };
+    T merged = run_chunks(bounds.size() - 1, std::move(identity), body,
+                          reduce, &stolen);
+    detail::record_la_stolen(tel_, stolen);
+    return merged;
+  }
+
+ private:
+  static constexpr std::size_t kScanGrain = 4096;  // rows per O(1)-work chunk
+
+  template <typename T, typename Body, typename Reduce>
+  T run_chunks(std::size_t nchunks, T identity, const Body& body,
+               const Reduce& reduce, std::uint64_t* stolen) const {
+    return engine::run_chunks(pool_, opts_.stealing, nchunks,
+                              std::move(identity), body, reduce, stolen);
+  }
+
+  template <typename ScatterFn>
+  engine::StepResult spmspv(const ScatterFn& scatter,
+                            const std::vector<std::size_t>& bounds,
+                            std::uint64_t mass) {
+    obs::ObsSpan span("spmspv_step", step_);
+    trace::block(trace::kBlockWorkloadKernel);
+    const auto& cols = x_.indices();
+    engine::StepResult r;
+    r.frontier = x_.nnz();
+    struct Partial {
+      std::vector<graph::SlotIndex> out;
+      std::uint64_t edges = 0;
+    };
+    auto body = [&](std::size_t c) {
+      Partial p;
+      engine::StepCtx ctx;
+      ctx.out = &p.out;
+      for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+        trace::read(trace::MemKind::kMetadata, &cols[i],
+                    sizeof(graph::SlotIndex));
+        scatter(cols[i], ctx);
+      }
+      p.edges = ctx.edges;
+      return p;
+    };
+    Partial merged = run_chunks(
+        bounds.size() - 1, Partial{}, body,
+        [](Partial a, Partial b) {
+          a.out.insert(a.out.end(), b.out.begin(), b.out.end());
+          a.edges += b.edges;
+          return a;
+        },
+        &r.stolen);
+    r.pull = false;
+    r.edges = merged.edges;
+    r.activated = merged.out.size();
+    y_.assign(std::move(merged.out));
+    finish_step(r, mass);
+    return r;
+  }
+
+  template <typename GatherFn, typename MaskFn>
+  engine::StepResult spmv(const GatherFn& gather, const MaskFn& mask,
+                          std::uint64_t mass) {
+    obs::ObsSpan span("spmv_step", step_);
+    trace::block(trace::kBlockWorkloadKernel);
+    x_.to_dense(pool_);
+    y_.prepare_dense();
+    engine::StepResult r;
+    r.frontier = x_.nnz();
+    const std::vector<std::size_t> bounds =
+        engine::slot_space_bounds(g_, dim_, opts_.undirected, opts_.edge_grain);
+    struct Partial {
+      std::uint64_t activated = 0;
+      std::uint64_t edges = 0;
+    };
+    auto body = [&](std::size_t c) {
+      Partial p;
+      for (std::size_t s = bounds[c]; s < bounds[c + 1]; ++s) {
+        const auto row = static_cast<graph::SlotIndex>(s);
+        if (!g_.is_live(row)) continue;
+        if (!mask(row)) continue;
+        engine::StepCtx ctx;
+        if (gather(row, ctx)) {
+          y_.dense_bits().test_and_set(row);
+          ++p.activated;
+        }
+        p.edges += ctx.edges;
+      }
+      return p;
+    };
+    Partial merged = run_chunks(
+        bounds.size() - 1, Partial{}, body,
+        [](Partial a, Partial b) {
+          a.activated += b.activated;
+          a.edges += b.edges;
+          return a;
+        },
+        &r.stolen);
+    r.pull = true;
+    r.edges = merged.edges;
+    r.activated = merged.activated;
+    y_.seal(merged.activated);
+    finish_step(r, mass);
+    return r;
+  }
+
+  void finish_step(const engine::StepResult& r, std::uint64_t mass) {
+    engine::StepTelemetry st;
+    st.step = step_;
+    st.pull = r.pull;
+    st.dense = opts_.dense_threshold_den != 0 &&
+               r.frontier * opts_.dense_threshold_den >= dim_;
+    st.frontier = r.frontier;
+    st.frontier_edges = mass;
+    st.activated = r.activated;
+    st.edges = r.edges;
+    st.stolen = r.stolen;
+    detail::record_la_step(tel_, st);
+    x_.swap(y_);
+    y_.clear();
+    ++step_;
+  }
+
+  graph::GraphView g_;
+  platform::ThreadPool* pool_;
+  engine::TraversalOptions opts_;
+  engine::TraversalTelemetry* tel_;
+  std::size_t dim_;
+  std::uint64_t total_edge_mass_ = 0;
+  std::uint32_t step_ = 0;
+  SparseVector x_;
+  SparseVector y_;
+};
+
+}  // namespace graphbig::la

@@ -1,0 +1,79 @@
+// Semirings for the linear-algebra execution backend.
+//
+// A graph workload in GraphBLAS form is y = mask .* (xᵀ ⊗ A) over a
+// semiring (⊕, ⊗, identity): ⊗ combines an input entry with an edge, ⊕
+// accumulates combined values into an output row. The four ported
+// workloads use:
+//
+//   BFS     — boolean (lor, land):  reachability; the ⊕ is saturating, so
+//             the first arriving contribution wins and the rest are
+//             redundant (pull rows may stop at the first hit).
+//   CComp   — (min, first): label propagation; ⊗ forwards the source's
+//             label, ⊕ keeps the minimum. Monotone, so mid-step reads of
+//             a concurrently lowered label never change the fixed point.
+//   SPath   — (min, +): tentative distance relaxation. ⊗ adds the edge
+//             weight to the source distance IN PATH ORDER (dist[u] + w),
+//             so every candidate double is built from the same operand
+//             sequence on either backend; ⊕ = min over doubles is
+//             order-invariant, which is why the distance fixed point is
+//             bit-identical no matter which engine, direction, or thread
+//             count produced it.
+//   DCentr  — (+, one): a row-degree reduction (each edge contributes 1).
+//
+// The structs below carry those definitions for tests and documentation;
+// the workload kernels inline the same operations against their property
+// columns (the state lives in columns, not in the vector — see
+// la/vector.h).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace graphbig::la {
+
+/// Boolean (lor, land) semiring: BFS reachability.
+struct BoolSemiring {
+  using Value = bool;
+  static constexpr bool identity() { return false; }  // ⊕ identity
+  static constexpr bool combine(bool x, bool edge) { return x && edge; }
+  static constexpr bool accumulate(bool a, bool b) { return a || b; }
+  /// ⊕ saturates at true: once a row is reached, further contributions
+  /// cannot change it (the early-exit license for pull rows).
+  static constexpr bool saturated(bool a) { return a; }
+};
+
+/// (min, first) semiring over vertex labels: CComp label propagation.
+struct MinFirstSemiring {
+  using Value = std::uint64_t;
+  static constexpr std::uint64_t identity() { return ~std::uint64_t{0}; }
+  /// ⊗ forwards the source label; the edge carries no value.
+  static constexpr std::uint64_t combine(std::uint64_t label, double) {
+    return label;
+  }
+  static constexpr std::uint64_t accumulate(std::uint64_t a,
+                                            std::uint64_t b) {
+    return a < b ? a : b;
+  }
+};
+
+/// (min, +) semiring over doubles: SPath distance relaxation.
+struct MinPlusSemiring {
+  using Value = double;
+  static double identity() {
+    return std::numeric_limits<double>::infinity();
+  }
+  static double combine(double dist, double weight) { return dist + weight; }
+  static double accumulate(double a, double b) { return a < b ? a : b; }
+};
+
+/// (+, one) semiring: DCentr degree counting (each edge contributes 1).
+struct PlusOneSemiring {
+  using Value = std::int64_t;
+  static constexpr std::int64_t identity() { return 0; }
+  static constexpr std::int64_t combine(std::int64_t, double) { return 1; }
+  static constexpr std::int64_t accumulate(std::int64_t a, std::int64_t b) {
+    return a + b;
+  }
+};
+
+}  // namespace graphbig::la

@@ -1,0 +1,133 @@
+// Sparse vectors and masks for the linear-algebra execution backend.
+//
+// GraphBLAST's observation (PAPERS.md) is that a traversal frontier IS a
+// sparse boolean vector over the vertex space: push supersteps are
+// sparse-vector × matrix products (SpMSpV) and pull supersteps are masked
+// dense matrix-vector products (masked SpMV). This header gives those
+// objects their linear-algebra names:
+//
+//   * SparseVector — a boolean vector over the slot space, held as a
+//     sorted index list (sparse form) and/or an atomic bitmap (dense
+//     form). It is a thin veneer over engine::Frontier, deliberately: the
+//     two backends must agree on representation-conversion order (sparse
+//     and dense forms materialize in ascending slot order) for their
+//     results to be interchangeable.
+//
+//   * StructuralMask — the mask argument of a masked SpMV. A mask accepts
+//     or rejects output rows before the row's dot product runs (GraphBLAS
+//     "structural mask" semantics: membership only, no stored values).
+//     complement() flips acceptance — BFS's classic mask is ¬visited.
+//
+// Value-carrying vectors are unnecessary here: every ported workload keeps
+// its numeric state (depths, labels, distances) in per-slot columns and
+// uses the vector purely for structure, which is exactly how the frontier
+// engine uses its frontiers. That shared structure is what makes
+// frontier-vs-LA differential testing meaningful.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/frontier_engine.h"
+#include "graph/property_graph.h"
+#include "platform/bitset.h"
+#include "platform/thread_pool.h"
+
+namespace graphbig::la {
+
+/// A boolean vector over [0, dim): the LA twin of engine::Frontier.
+class SparseVector {
+ public:
+  SparseVector() = default;
+  explicit SparseVector(std::size_t dim) { reset(dim); }
+
+  /// Empties the vector and (re)binds it to a dimension.
+  void reset(std::size_t dim) { f_.reset(dim); }
+
+  std::size_t dim() const { return f_.slot_space(); }
+  /// Number of stored (true) entries.
+  std::size_t nnz() const { return f_.count(); }
+  bool empty() const { return f_.empty(); }
+  /// nnz / dim — the density the dense-representation policy keys off.
+  double density() const { return f_.occupancy(); }
+
+  bool has_sparse() const { return f_.has_list(); }
+  bool has_dense() const { return f_.has_bits(); }
+
+  /// Sequential insert of an index not already present.
+  void set(graph::SlotIndex i) { f_.insert(i); }
+
+  /// The moved-in (duplicate-free) index list becomes the vector.
+  void assign(std::vector<graph::SlotIndex>&& indices) {
+    f_.adopt_list(std::move(indices));
+  }
+
+  /// Sparse form: sorted indices of the stored entries. Valid only when
+  /// has_sparse(); call to_sparse() first otherwise.
+  const std::vector<graph::SlotIndex>& indices() const { return f_.list(); }
+
+  /// Dense-form membership probe; valid only when has_dense().
+  bool test(graph::SlotIndex i) const { return f_.test(i); }
+
+  /// Dense form for external concurrent marking (pull supersteps CAS bits
+  /// in); seal(count) publishes the final nnz.
+  platform::AtomicBitset& dense_bits() { return f_.bits(); }
+  void prepare_dense() { f_.prepare_bits(); }
+  void seal(std::size_t nnz) { f_.seal_bits(nnz); }
+
+  /// Materializes the missing representation in ascending index order
+  /// (parallel through `pool` when given). No-op when already present.
+  void to_sparse(platform::ThreadPool* pool = nullptr) {
+    f_.ensure_list(pool);
+  }
+  void to_dense(platform::ThreadPool* pool = nullptr) { f_.ensure_bits(pool); }
+
+  /// Empties the vector, keeping dimension and capacity.
+  void clear() { f_.clear(); }
+
+  void swap(SparseVector& o) { f_.swap(o.f_); }
+
+  /// The underlying frontier (the engines share conversion machinery).
+  engine::Frontier& frontier() { return f_; }
+  const engine::Frontier& frontier() const { return f_; }
+
+ private:
+  engine::Frontier f_;
+};
+
+/// Structural mask over output rows backed by an atomic bitmap the
+/// workload owns (e.g. BFS's visited set). `complemented` selects the
+/// rows NOT in the bitmap — the common "mask out what is already done"
+/// form. A default-constructed mask accepts every row (no mask).
+class StructuralMask {
+ public:
+  StructuralMask() = default;
+  StructuralMask(const platform::AtomicBitset* bits, bool complemented)
+      : bits_(bits), complemented_(complemented) {}
+
+  /// Mask of the rows in `bits`.
+  static StructuralMask of(const platform::AtomicBitset& bits) {
+    return StructuralMask(&bits, false);
+  }
+  /// Mask of the rows NOT in `bits` (GraphBLAS complement descriptor).
+  static StructuralMask complement_of(const platform::AtomicBitset& bits) {
+    return StructuralMask(&bits, true);
+  }
+
+  /// A copy with acceptance flipped.
+  StructuralMask complement() const {
+    return StructuralMask(bits_, !complemented_);
+  }
+
+  bool operator()(graph::SlotIndex row) const {
+    if (bits_ == nullptr) return !complemented_;
+    return bits_->test(row) != complemented_;
+  }
+
+ private:
+  const platform::AtomicBitset* bits_ = nullptr;
+  bool complemented_ = false;
+};
+
+}  // namespace graphbig::la

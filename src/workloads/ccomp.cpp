@@ -3,22 +3,93 @@
 // fixed-point computation). Every vertex converges to the minimum vertex id
 // of its component, stored as a label property.
 //
-// Supersteps run through the FrontierEngine: push rounds scatter a
-// vertex's label to its neighbors (CAS-min, round-stamped dedup of the
-// next worklist), pull rounds have every vertex gather the minimum label
-// of its active neighbors (plain store — each vertex is written only by
-// its own chunk). Label propagation is monotone, so the fixed point — and
-// with it the checksum — is a property of the graph alone: identical for
-// any direction mode, thread count, and graph representation.
+// Two interchangeable formulations. Frontier (engine::FrontierEngine):
+// push rounds scatter a vertex's label to its neighbors (CAS-min,
+// round-stamped dedup of the next worklist), pull rounds have every vertex
+// gather the minimum label of its active neighbors (plain store — each
+// vertex is written only by its own chunk). Linear algebra (la::LaEngine):
+// per round, y = xᵀ ⊗ A over the (min, first) semiring of la/semiring.h —
+// ⊗ forwards the source's label across the symmetrized edge, ⊕ keeps the
+// minimum — executed as SpMSpV while x is light and masked dense SpMV once
+// it is heavy.
+//
+// Label propagation is monotone, so the fixed point — and with it the
+// checksum — is a property of the graph alone: identical for any direction
+// mode, engine, thread count, and graph representation.
 #include <atomic>
 #include <limits>
 
+#include "la/la_engine.h"
 #include "trace/access.h"
 #include "workloads/workload.h"
 
 namespace graphbig::workloads {
 
 namespace {
+
+constexpr graph::VertexId kUnreached =
+    std::numeric_limits<graph::VertexId>::max();
+
+/// Labels every live slot with its own vertex id (dead slots get
+/// kUnreached) and zeroes the round stamps.
+void init_labels(const graph::GraphView& g, platform::ThreadPool* pool,
+                 std::vector<std::atomic<graph::VertexId>>* label,
+                 std::vector<std::atomic<std::uint64_t>>* queued) {
+  const std::size_t slots = g.slot_count();
+  platform::parallel_reduce(
+      pool, 0, slots, 256, 0,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          const auto slot = static_cast<graph::SlotIndex>(s);
+          (*label)[s].store(g.is_live(slot) ? g.id_of(slot) : kUnreached,
+                            std::memory_order_relaxed);
+          (*queued)[s].store(0, std::memory_order_relaxed);
+        }
+        return 0;
+      },
+      [](int a, int) { return a; });
+}
+
+/// Publishes labels to the kLabel property and folds the checksum in slot
+/// order: a vertex whose label is its own id represents its component.
+RunResult finalize(const graph::GraphView& g, platform::ThreadPool* pool,
+                   const std::vector<std::atomic<graph::VertexId>>& label,
+                   std::uint64_t edges) {
+  struct Tally {
+    std::uint64_t components = 0;
+    std::uint64_t label_sum = 0;
+    std::uint64_t vertices = 0;
+  };
+  Tally tally = platform::parallel_reduce(
+      pool, 0, g.slot_count(), 256, Tally{},
+      [&](std::size_t lo, std::size_t hi) {
+        Tally t;
+        for (std::size_t s = lo; s < hi; ++s) {
+          if (!g.is_live(static_cast<graph::SlotIndex>(s))) continue;
+          const graph::VertexId l = label[s].load(std::memory_order_relaxed);
+          g.set_int(static_cast<graph::SlotIndex>(s), props::kLabel,
+                    static_cast<std::int64_t>(l));
+          if (l == g.id_of(static_cast<graph::SlotIndex>(s))) {
+            ++t.components;
+          }
+          t.label_sum += l % 1000003u;
+          ++t.vertices;
+        }
+        return t;
+      },
+      [](Tally acc, Tally t) {
+        acc.components += t.components;
+        acc.label_sum += t.label_sum;
+        acc.vertices += t.vertices;
+        return acc;
+      });
+
+  RunResult result;
+  result.vertices_processed = tally.vertices;
+  result.edges_processed = edges;
+  result.checksum = tally.components * 2654435761u + tally.label_sum;
+  return result;
+}
 
 class CcompWorkload final : public Workload {
  public:
@@ -30,47 +101,24 @@ class CcompWorkload final : public Workload {
   Category category() const override { return Category::kAnalytics; }
 
   RunResult run(RunContext& ctx) const override {
+    return ctx.engine == Engine::kLa ? run_la(ctx) : run_frontier(ctx);
+  }
+
+ private:
+  RunResult run_frontier(RunContext& ctx) const {
     const graph::GraphView g = ctx.view();
-    RunResult result;
     const std::size_t slots = g.slot_count();
     const bool parallel = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
     platform::ThreadPool* pool = parallel ? ctx.pool : nullptr;
 
-    constexpr graph::VertexId kUnreached =
-        std::numeric_limits<graph::VertexId>::max();
     std::vector<std::atomic<graph::VertexId>> label(slots);
     std::vector<std::atomic<std::uint64_t>> queued(slots);
-
-    using Worklist = std::vector<graph::SlotIndex>;
-    auto concat = [](Worklist acc, Worklist p) {
-      acc.insert(acc.end(), p.begin(), p.end());
-      return acc;
-    };
-
-    // Every live vertex starts labeled with its own id and active.
-    Worklist seeds = platform::parallel_reduce(
-        pool, 0, slots, 256, Worklist{},
-        [&](std::size_t lo, std::size_t hi) {
-          Worklist w;
-          for (std::size_t s = lo; s < hi; ++s) {
-            const bool live = g.is_live(static_cast<graph::SlotIndex>(s));
-            label[s].store(
-                live ? g.id_of(static_cast<graph::SlotIndex>(s))
-                     : kUnreached,
-                std::memory_order_relaxed);
-            queued[s].store(0, std::memory_order_relaxed);
-            if (live) {
-              w.push_back(static_cast<graph::SlotIndex>(s));
-            }
-          }
-          return w;
-        },
-        concat);
+    init_labels(g, pool, &label, &queued);
 
     engine::TraversalOptions topt = ctx.traversal;
     topt.undirected = true;  // labels cross edges in both directions
     engine::FrontierEngine eng(g, pool, topt, ctx.telemetry);
-    eng.activate_list(std::move(seeds));
+    eng.activate_all_live();  // every live vertex starts active
 
     std::uint64_t round = 0;
     std::uint64_t edges = 0;
@@ -132,42 +180,88 @@ class CcompWorkload final : public Workload {
       edges += eng.step(push, pull, cand).edges;
     }
 
-    // Publish labels and fold the checksum in slot order: a vertex whose
-    // label is its own id is the representative of its component.
-    struct Tally {
-      std::uint64_t components = 0;
-      std::uint64_t label_sum = 0;
-      std::uint64_t vertices = 0;
-    };
-    Tally tally = platform::parallel_reduce(
-        pool, 0, slots, 256, Tally{},
-        [&](std::size_t lo, std::size_t hi) {
-          Tally t;
-          for (std::size_t s = lo; s < hi; ++s) {
-            if (!g.is_live(static_cast<graph::SlotIndex>(s))) continue;
-            const graph::VertexId l =
-                label[s].load(std::memory_order_relaxed);
-            g.set_int(static_cast<graph::SlotIndex>(s), props::kLabel,
-                      static_cast<std::int64_t>(l));
-            if (l == g.id_of(static_cast<graph::SlotIndex>(s))) {
-              ++t.components;
-            }
-            t.label_sum += l % 1000003u;
-            ++t.vertices;
-          }
-          return t;
-        },
-        [](Tally acc, Tally t) {
-          acc.components += t.components;
-          acc.label_sum += t.label_sum;
-          acc.vertices += t.vertices;
-          return acc;
-        });
+    return finalize(g, pool, label, edges);
+  }
 
-    result.vertices_processed = tally.vertices;
-    result.edges_processed = edges;
-    result.checksum = tally.components * 2654435761u + tally.label_sum;
-    return result;
+  RunResult run_la(RunContext& ctx) const {
+    const graph::GraphView g = ctx.view();
+    const bool parallel = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
+    platform::ThreadPool* pool = parallel ? ctx.pool : nullptr;
+
+    std::vector<std::atomic<graph::VertexId>> label(g.slot_count());
+    std::vector<std::atomic<std::uint64_t>> queued(g.slot_count());
+    init_labels(g, pool, &label, &queued);
+
+    engine::TraversalOptions topt = ctx.traversal;
+    topt.undirected = true;  // A is symmetrized: each edge, both directions
+    la::LaEngine eng(g, pool, topt, ctx.telemetry);
+    eng.seed_all_live();  // x starts as the all-live indicator vector
+
+    std::uint64_t round = 0;
+    std::uint64_t edges = 0;
+    while (!eng.done()) {
+      ++round;
+
+      // SpMSpV column kernel over (min, first): column u contributes
+      // label[u] to every neighboring row; ⊕ = min is the CAS loop. The
+      // row that actually improves joins y (round-stamped, once per
+      // round).
+      auto scatter = [&](graph::SlotIndex u, engine::StepCtx& sc) {
+        trace::block(trace::kBlockWorkloadKernel);
+        const graph::VertexId mine = label[u].load(std::memory_order_relaxed);
+        auto accumulate = [&](graph::SlotIndex row) {
+          ++sc.edges;
+          graph::VertexId cur = label[row].load(std::memory_order_relaxed);
+          bool lowered = false;
+          while (mine < cur) {
+            if (label[row].compare_exchange_weak(cur, mine,
+                                                 std::memory_order_relaxed)) {
+              lowered = true;
+              break;
+            }
+          }
+          trace::branch(trace::kBranchVisitedCheck, lowered);
+          if (lowered &&
+              queued[row].exchange(round, std::memory_order_relaxed) !=
+                  round) {
+            sc.emit(row);
+          }
+        };
+        g.for_each_out(u, [&](graph::SlotIndex ts, double) { accumulate(ts); });
+        g.for_each_in(u, [&](graph::SlotIndex ss) { accumulate(ss); });
+      };
+
+      // Masked-SpMV row kernel: the row's dot product over (min, first)
+      // is the minimum label among the row's neighbors stored in x.
+      // Monotonicity makes mid-step reads of concurrently lowered labels
+      // harmless. The row joins y only if the product improves it.
+      auto gather = [&](graph::SlotIndex row, engine::StepCtx& sc) {
+        trace::block(trace::kBlockWorkloadKernel);
+        const graph::VertexId start =
+            label[row].load(std::memory_order_relaxed);
+        graph::VertexId best = start;
+        auto accumulate = [&](graph::SlotIndex u) {
+          ++sc.edges;
+          if (eng.in_x(u)) {
+            const graph::VertexId lu =
+                label[u].load(std::memory_order_relaxed);
+            if (lu < best) best = lu;
+          }
+        };
+        g.for_each_in(row, [&](graph::SlotIndex ss) { accumulate(ss); });
+        g.for_each_out(row,
+                       [&](graph::SlotIndex ts, double) { accumulate(ts); });
+        const bool lowered = best < start;
+        trace::branch(trace::kBranchVisitedCheck, lowered);
+        if (lowered) label[row].store(best, std::memory_order_relaxed);
+        return lowered;
+      };
+
+      // No structural mask: every row is a candidate output every round.
+      edges += eng.multiply(scatter, gather, la::StructuralMask()).edges;
+    }
+
+    return finalize(g, pool, label, edges);
   }
 };
 

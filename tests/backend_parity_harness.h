@@ -1,0 +1,269 @@
+// Reusable cross-backend differential-parity harness: the fuzz loop
+// behind the frontier-vs-linear-algebra engine tests.
+//
+// The two execution backends (engine::FrontierEngine and la::LaEngine)
+// share chunk boundaries and merge order (engine/chunking.h) but carry
+// INDEPENDENT workload formulations — frontier kernels in
+// workloads/*.cpp's run_frontier paths, semiring kernels in their run_la
+// paths. Each workload's result is a deterministic function of the graph
+// alone (BFS depths, the CComp min-label fixed point, the SPath distance
+// fixed point, DCentr degree sums), so running both engines over the same
+// seeded random graph and demanding bit-identical checksums is a genuine
+// differential oracle: a bug in either formulation breaks the equality.
+//
+// The harness sweeps the full combination matrix for each workload —
+// layouts (natural / degree / compressed) × physical backends (in-memory
+// frozen snapshot / out-of-core DiskGraph) × traversal configs
+// (push / pull / auto) × thread counts × engines — and compares every run
+// against the first frontier run. Every failure message leads with the
+// graph seed, the dataset label, and the concrete configuration, so a
+// fuzz failure is a pasteable repro.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "datagen/edge_list.h"
+#include "engine/frontier_engine.h"
+#include "graph/disk_graph.h"
+#include "graph/graph_view.h"
+#include "graph/snap_format.h"
+#include "graph/snapshot.h"
+#include "platform/rng.h"
+#include "platform/thread_pool.h"
+#include "workloads/workload.h"
+
+namespace graphbig::test {
+
+/// The four workloads carrying an independent linear-algebra formulation
+/// (workloads::supports_la).
+inline const std::vector<std::string>& la_parity_workloads() {
+  static const std::vector<std::string> kAll = {"BFS", "CComp", "SPath",
+                                                "DCentr"};
+  return kAll;
+}
+
+/// Seeded random digraph for the differential fuzz: skewed out-degrees
+/// (every 13th vertex is a hub) and non-uniform weights, so runs exercise
+/// degree-weighted chunk splits, the push/pull flip, and double-valued
+/// relaxations. Same seed, same graph — the repro contract.
+inline datagen::EdgeList random_parity_edges(std::uint64_t seed,
+                                             std::uint32_t vertices,
+                                             std::uint32_t avg_degree) {
+  platform::Xoshiro256 rng(seed);
+  datagen::EdgeList el;
+  el.num_vertices = vertices;
+  el.directed = true;
+  for (std::uint32_t v = 0; v < vertices; ++v) {
+    const std::uint64_t degree =
+        v % 13 == 0 ? std::uint64_t{avg_degree} * 6
+                    : rng.bounded(2 * std::uint64_t{avg_degree} + 1);
+    for (std::uint64_t e = 0; e < degree; ++e) {
+      const auto t = static_cast<std::uint32_t>(rng.bounded(vertices));
+      if (t == v) continue;
+      el.edges.emplace_back(v, t);
+      el.weights.push_back(rng.uniform(0.5, 4.0));
+    }
+  }
+  datagen::canonicalize(el);
+  return el;
+}
+
+struct BackendParityConfig {
+  std::uint64_t seed = 1;
+  /// Label for the repro line ("random(v=400,d=4)", a dataset name, ...).
+  std::string dataset = "random";
+  std::vector<std::string> workloads = la_parity_workloads();
+  /// Traversal configurations each workload runs under (direction/steal).
+  std::vector<engine::TraversalOptions> traversals = {{}};
+  std::vector<int> thread_counts = {1, 4, 16};
+  /// Snapshot physical layouts (vertex order / adjacency compression).
+  std::vector<graph::LayoutOptions> layouts = {{}};
+  /// Also sweep the out-of-core backend (serialized graphbig.snap.v1
+  /// behind a deliberately tiny buffer pool, forcing eviction traffic).
+  bool include_disk = false;
+  std::uint32_t pool_pages = 8;
+  /// Seeded vertex deletions applied before freezing, so the parity also
+  /// covers deleted-slot rows (dead slots in every representation).
+  std::size_t deletions = 0;
+};
+
+class BackendParityHarness {
+ public:
+  BackendParityHarness(const datagen::EdgeList& el,
+                       BackendParityConfig config)
+      : config_(std::move(config)),
+        graph_(datagen::build_property_graph(el)) {
+    if (config_.deletions > 0) {
+      platform::Xoshiro256 rng(config_.seed ^ 0x5851f42d4c957f2dull);
+      std::vector<graph::VertexId> live;
+      graph_.for_each_vertex(
+          [&](const graph::VertexRecord& v) { live.push_back(v.id); });
+      for (std::size_t i = 0; i < config_.deletions && !live.empty(); ++i) {
+        const std::size_t pick = rng.bounded(live.size());
+        graph_.delete_vertex(live[pick]);
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+  }
+
+  /// Runs the full combination matrix. Returns the first failure (with
+  /// seed + dataset + config repro line) or success.
+  ::testing::AssertionResult run() {
+    const graph::VertexId root = pick_root();
+
+    // Freeze each layout once; open its disk twin once. The temp snapshot
+    // file is unlinked right after open — the mmap keeps it readable.
+    struct LayoutCtx {
+      graph::LayoutOptions layout;
+      graph::GraphSnapshot snapshot;
+      std::unique_ptr<graph::DiskGraph> disk;
+    };
+    std::vector<LayoutCtx> layouts;
+    for (const graph::LayoutOptions& layout : config_.layouts) {
+      LayoutCtx lc;
+      lc.layout = layout;
+      lc.snapshot = graph::GraphSnapshot::freeze(graph_, layout);
+      if (config_.include_disk) {
+        const std::string path =
+            ".graphbig-parity-" + std::to_string(::getpid()) + "-" +
+            std::to_string(temp_counter_++) + ".snap";
+        graph::snap::save_snapshot(lc.snapshot, path);
+        graph::DiskGraphOptions dopts;
+        dopts.pool_pages = config_.pool_pages;
+        lc.disk = std::make_unique<graph::DiskGraph>(path, dopts);
+        std::remove(path.c_str());
+      }
+      layouts.push_back(std::move(lc));
+    }
+
+    for (const std::string& acronym : config_.workloads) {
+      const workloads::Workload* w = workloads::find_workload(acronym);
+      if (w == nullptr) {
+        return ::testing::AssertionFailure()
+               << acronym << " is not a known workload";
+      }
+      if (!workloads::supports_la(acronym)) {
+        return ::testing::AssertionFailure()
+               << acronym << " has no linear-algebra formulation — it "
+               << "cannot anchor a cross-engine parity check";
+      }
+      bool have_reference = false;
+      workloads::RunResult reference;
+      for (const LayoutCtx& lc : layouts) {
+        const int backends = lc.disk != nullptr ? 2 : 1;
+        for (int b = 0; b < backends; ++b) {
+          const bool on_disk = b == 1;
+          for (const engine::TraversalOptions& traversal :
+               config_.traversals) {
+            for (const int threads : config_.thread_counts) {
+              for (const workloads::Engine eng :
+                   {workloads::Engine::kFrontier, workloads::Engine::kLa}) {
+                const workloads::RunResult r =
+                    run_one(*w, lc, on_disk, traversal, threads, eng, root);
+                if (!have_reference) {
+                  // First combination is frontier / first layout /
+                  // in-memory / 1 thread: the reference everything else —
+                  // including every LA run — must match bit for bit.
+                  reference = r;
+                  have_reference = true;
+                  continue;
+                }
+                if (r.checksum != reference.checksum ||
+                    r.vertices_processed != reference.vertices_processed) {
+                  return fail(acronym, lc.layout, on_disk, traversal,
+                              threads, eng)
+                         << "checksum " << r.checksum << " (vertices "
+                         << r.vertices_processed << ") vs reference "
+                         << reference.checksum << " (vertices "
+                         << reference.vertices_processed << ")";
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  graph::PropertyGraph& graph() { return graph_; }
+
+ private:
+  ::testing::AssertionResult fail(const std::string& acronym,
+                                  const graph::LayoutOptions& layout,
+                                  bool on_disk,
+                                  const engine::TraversalOptions& traversal,
+                                  int threads, workloads::Engine eng) {
+    return ::testing::AssertionFailure()
+           << "[parity seed=" << config_.seed << " dataset="
+           << config_.dataset << " workload=" << acronym << " layout="
+           << graph::to_string(layout.order) << " compress="
+           << (layout.compress ? "on" : "off") << " backend="
+           << (on_disk ? "disk" : "frozen") << " engine="
+           << workloads::to_string(eng) << " direction="
+           << engine::to_string(traversal.direction) << " steal="
+           << (traversal.stealing ? "on" : "off") << " threads=" << threads
+           << "]\n";
+  }
+
+  platform::ThreadPool* pool(int threads) {
+    if (threads <= 1) return nullptr;
+    auto& slot = pools_[threads];
+    if (slot == nullptr) {
+      slot = std::make_unique<platform::ThreadPool>(threads);
+    }
+    return slot.get();
+  }
+
+  graph::VertexId pick_root() const {
+    graph::VertexId best = 0;
+    std::size_t best_degree = 0;
+    bool found = false;
+    graph_.for_each_vertex([&](const graph::VertexRecord& v) {
+      if (!found || v.out.size() > best_degree) {
+        best = v.id;
+        best_degree = v.out.size();
+        found = true;
+      }
+    });
+    return best;
+  }
+
+  template <typename LayoutCtxT>
+  workloads::RunResult run_one(const workloads::Workload& w,
+                               const LayoutCtxT& lc, bool on_disk,
+                               const engine::TraversalOptions& traversal,
+                               int threads, workloads::Engine eng,
+                               graph::VertexId root) {
+    // A private column set per run: every run starts from blank state
+    // against the shared immutable snapshot / disk image.
+    graph::PropertyColumns columns(lc.snapshot.row_count());
+    workloads::RunContext ctx;
+    ctx.graph = &graph_;
+    ctx.snapshot = &lc.snapshot;
+    ctx.disk = on_disk ? lc.disk.get() : nullptr;
+    ctx.columns = &columns;
+    ctx.pool = pool(threads);
+    ctx.seed = 12345;
+    ctx.root = root;
+    ctx.traversal = traversal;
+    ctx.engine = eng;
+    return w.run(ctx);
+  }
+
+  BackendParityConfig config_;
+  graph::PropertyGraph graph_;
+  std::map<int, std::unique_ptr<platform::ThreadPool>> pools_;
+  int temp_counter_ = 0;
+};
+
+}  // namespace graphbig::test

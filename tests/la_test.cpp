@@ -1,0 +1,312 @@
+// Unit tests for the linear-algebra execution backend (src/la): sparse
+// vector representation round-trips, structural mask semantics, SpMSpV
+// behavior on degenerate rows, the shared push/pull (sparse/dense product)
+// decision, and the cross-backend differential-parity fuzz matrix.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "backend_parity_harness.h"
+#include "datagen/edge_list.h"
+#include "engine/frontier_engine.h"
+#include "graph/graph_view.h"
+#include "la/la_engine.h"
+#include "la/semiring.h"
+#include "la/vector.h"
+#include "platform/bitset.h"
+#include "workloads/workload.h"
+
+namespace graphbig {
+namespace {
+
+// ---- SparseVector ----
+
+TEST(LaVector, StartsEmptyAtDimension) {
+  la::SparseVector x(64);
+  EXPECT_EQ(x.dim(), 64u);
+  EXPECT_EQ(x.nnz(), 0u);
+  EXPECT_TRUE(x.empty());
+  EXPECT_TRUE(x.has_sparse());  // canonical empty form is an empty list
+}
+
+TEST(LaVector, SparseToDenseToSparseRoundTrip) {
+  la::SparseVector x(128);
+  x.assign({3, 17, 64, 127});
+  EXPECT_EQ(x.nnz(), 4u);
+  EXPECT_TRUE(x.has_sparse());
+  EXPECT_FALSE(x.has_dense());
+
+  x.to_dense();
+  EXPECT_TRUE(x.has_dense());
+  for (graph::SlotIndex i : {3u, 17u, 64u, 127u}) EXPECT_TRUE(x.test(i));
+  EXPECT_FALSE(x.test(0));
+  EXPECT_FALSE(x.test(126));
+
+  // Rebuild the sparse form from the dense one: entries must come back in
+  // ascending order (the conversion-order contract both engines rely on).
+  la::SparseVector y(128);
+  y.prepare_dense();
+  for (graph::SlotIndex i : {64u, 3u, 127u, 17u}) {
+    y.dense_bits().test_and_set(i);
+  }
+  y.seal(4);
+  y.to_sparse();
+  EXPECT_EQ(y.indices(), (std::vector<graph::SlotIndex>{3, 17, 64, 127}));
+}
+
+TEST(LaVector, DensityMatchesOccupancy) {
+  la::SparseVector x(100);
+  x.assign({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(x.density(), 0.05);
+  x.clear();
+  EXPECT_DOUBLE_EQ(x.density(), 0.0);
+  EXPECT_TRUE(x.empty());
+}
+
+// ---- StructuralMask ----
+
+TEST(LaMask, DefaultAcceptsEverythingComplementRejects) {
+  const la::StructuralMask all;
+  EXPECT_TRUE(all(0));
+  EXPECT_TRUE(all(41));
+  const la::StructuralMask none = all.complement();
+  EXPECT_FALSE(none(0));
+  EXPECT_FALSE(none(41));
+}
+
+TEST(LaMask, StructuralAndComplementedMembership) {
+  platform::AtomicBitset bits(32);
+  bits.test_and_set(5);
+  bits.test_and_set(9);
+
+  const la::StructuralMask in = la::StructuralMask::of(bits);
+  EXPECT_TRUE(in(5));
+  EXPECT_TRUE(in(9));
+  EXPECT_FALSE(in(6));
+
+  const la::StructuralMask out = la::StructuralMask::complement_of(bits);
+  EXPECT_FALSE(out(5));
+  EXPECT_TRUE(out(6));
+  EXPECT_EQ(out.complement()(5), in(5));
+}
+
+// ---- Semiring definitions ----
+
+TEST(LaSemiring, BooleanSaturates) {
+  EXPECT_FALSE(la::BoolSemiring::identity());
+  EXPECT_TRUE(la::BoolSemiring::accumulate(false, true));
+  EXPECT_TRUE(la::BoolSemiring::saturated(true));
+  EXPECT_FALSE(la::BoolSemiring::saturated(false));
+}
+
+TEST(LaSemiring, MinPlusRelaxes) {
+  const double inf = la::MinPlusSemiring::identity();
+  EXPECT_TRUE(std::isinf(inf));
+  EXPECT_DOUBLE_EQ(la::MinPlusSemiring::combine(1.5, 2.25), 3.75);
+  EXPECT_DOUBLE_EQ(la::MinPlusSemiring::accumulate(3.75, inf), 3.75);
+}
+
+TEST(LaSemiring, MinFirstForwardsLabels) {
+  EXPECT_EQ(la::MinFirstSemiring::combine(7, 3.0), 7u);
+  EXPECT_EQ(la::MinFirstSemiring::accumulate(7, 4), 4u);
+}
+
+TEST(LaSemiring, PlusOneCountsEdges) {
+  EXPECT_EQ(la::PlusOneSemiring::identity(), 0);
+  EXPECT_EQ(la::PlusOneSemiring::combine(99, 2.5), 1);
+  EXPECT_EQ(la::PlusOneSemiring::accumulate(3, 4), 7);
+}
+
+// ---- LaEngine on degenerate rows ----
+
+// Chain 0 -> 1 -> 2 -> 3 plus isolated vertex 4; vertex 2 deleted after
+// build, leaving a dead slot in the middle of the chain.
+graph::PropertyGraph degenerate_graph(graph::SlotIndex* deleted_slot) {
+  datagen::EdgeList el;
+  el.num_vertices = 5;
+  el.directed = true;
+  el.edges = {{0, 1}, {1, 2}, {2, 3}};
+  graph::PropertyGraph g = datagen::build_property_graph(el);
+  *deleted_slot = graph::GraphView(g).slot_of(2);
+  g.delete_vertex(2);
+  return g;
+}
+
+TEST(LaEngineTest, SpMSpVOnZeroDegreeRowTouchesNothing) {
+  graph::SlotIndex deleted_slot = graph::kInvalidSlot;
+  graph::PropertyGraph pg = degenerate_graph(&deleted_slot);
+  const graph::GraphView g(pg);
+
+  la::LaEngine eng(g, nullptr);
+  eng.seed(g.slot_of(4));  // isolated: its matrix column is empty
+  const engine::StepResult r = eng.multiply(
+      [&](graph::SlotIndex u, engine::StepCtx& sc) {
+        g.for_each_out(u, [&](graph::SlotIndex t, double) {
+          ++sc.edges;
+          sc.emit(t);
+        });
+      });
+  EXPECT_EQ(r.edges, 0u);
+  EXPECT_EQ(r.activated, 0u);
+  EXPECT_TRUE(eng.done());
+}
+
+TEST(LaEngineTest, SeedAllLiveSkipsDeletedSlots) {
+  graph::SlotIndex deleted_slot = graph::kInvalidSlot;
+  graph::PropertyGraph pg = degenerate_graph(&deleted_slot);
+  const graph::GraphView g(pg);
+  ASSERT_NE(deleted_slot, graph::kInvalidSlot);
+
+  la::LaEngine eng(g, nullptr);
+  EXPECT_EQ(eng.seed_all_live(), 4u);  // 5 slots, one dead
+  eng.x().to_dense();
+  EXPECT_FALSE(eng.x().test(deleted_slot));
+}
+
+TEST(LaEngineTest, MaskedSpMVSkipsDeadRows) {
+  graph::SlotIndex deleted_slot = graph::kInvalidSlot;
+  graph::PropertyGraph pg = degenerate_graph(&deleted_slot);
+  const graph::GraphView g(pg);
+  ASSERT_NE(deleted_slot, graph::kInvalidSlot);
+
+  engine::TraversalOptions opts;
+  opts.direction = engine::Direction::kPull;  // force the dense product
+  la::LaEngine eng(g, nullptr, opts);
+  eng.seed(g.slot_of(1));
+
+  std::set<graph::SlotIndex> gathered;
+  const engine::StepResult r = eng.multiply(
+      [](graph::SlotIndex, engine::StepCtx&) {},
+      [&](graph::SlotIndex row, engine::StepCtx& sc) {
+        gathered.insert(row);
+        bool any = false;
+        g.for_each_in_until(row, [&](graph::SlotIndex u) {
+          ++sc.edges;
+          if (eng.in_x(u)) {
+            any = true;
+            return false;
+          }
+          return true;
+        });
+        return any;
+      },
+      la::StructuralMask());
+  EXPECT_TRUE(r.pull);
+  // The dead slot's row is filtered before the mask/gather ever run; the
+  // only activated row is 1's out-neighbor 2... which is dead too, so the
+  // product is empty (edge 1->2 leads to a dead row and the in-list of a
+  // dead row is never probed).
+  EXPECT_EQ(gathered.count(deleted_slot), 0u);
+}
+
+// ---- Shared direction decision ----
+
+TEST(LaEngineTest, UsePullStepMatchesBeamerThreshold) {
+  using engine::Direction;
+  EXPECT_TRUE(engine::use_pull_step(Direction::kPull, 0, 12.0, 1000));
+  EXPECT_FALSE(engine::use_pull_step(Direction::kPush, 1000, 12.0, 1000));
+  // Auto: pull once frontier mass * alpha exceeds the total edge mass.
+  EXPECT_FALSE(engine::use_pull_step(Direction::kAuto, 83, 12.0, 1000));
+  EXPECT_TRUE(engine::use_pull_step(Direction::kAuto, 84, 12.0, 1000));
+}
+
+// The m/alpha decision must flip on exactly the same supersteps on both
+// engines: same decision function, same frontier evolution, so the
+// per-step pull flags in the telemetry agree step by step.
+TEST(LaEngineTest, DirectionDecisionParityWithFrontierEngine) {
+  const datagen::EdgeList el = test::random_parity_edges(7, 300, 4);
+  graph::PropertyGraph pg = datagen::build_property_graph(el);
+  const graph::VertexId root = [&] {
+    graph::VertexId best = 0;
+    std::size_t best_degree = 0;
+    pg.for_each_vertex([&](const graph::VertexRecord& v) {
+      if (v.out.size() > best_degree) {
+        best = v.id;
+        best_degree = v.out.size();
+      }
+    });
+    return best;
+  }();
+
+  auto run_bfs = [&](workloads::Engine eng,
+                     engine::TraversalTelemetry* telemetry) {
+    pg.for_each_vertex([](graph::VertexRecord& v) { v.props.clear(); });
+    workloads::RunContext ctx;
+    ctx.graph = &pg;
+    ctx.root = root;
+    ctx.engine = eng;
+    ctx.telemetry = telemetry;
+    return workloads::bfs().run(ctx);
+  };
+
+  engine::TraversalTelemetry frontier_tel;
+  engine::TraversalTelemetry la_tel;
+  const workloads::RunResult a =
+      run_bfs(workloads::Engine::kFrontier, &frontier_tel);
+  const workloads::RunResult b = run_bfs(workloads::Engine::kLa, &la_tel);
+
+  EXPECT_EQ(a.checksum, b.checksum);
+  ASSERT_EQ(frontier_tel.supersteps, la_tel.supersteps);
+  EXPECT_EQ(frontier_tel.push_steps, la_tel.push_steps);
+  EXPECT_EQ(frontier_tel.pull_steps, la_tel.pull_steps);
+  EXPECT_GT(frontier_tel.pull_steps, 0u)
+      << "fuzz graph too small to trigger the pull flip — grow it";
+  ASSERT_EQ(frontier_tel.steps.size(), la_tel.steps.size());
+  for (std::size_t i = 0; i < frontier_tel.steps.size(); ++i) {
+    EXPECT_EQ(frontier_tel.steps[i].pull, la_tel.steps[i].pull)
+        << "engines disagree on direction at superstep " << i;
+    EXPECT_EQ(frontier_tel.steps[i].frontier, la_tel.steps[i].frontier)
+        << "frontier occupancy diverges at superstep " << i;
+  }
+}
+
+// ---- Cross-backend differential parity (the fuzz matrix) ----
+
+std::vector<engine::TraversalOptions> all_directions() {
+  engine::TraversalOptions push;
+  push.direction = engine::Direction::kPush;
+  engine::TraversalOptions pull;
+  pull.direction = engine::Direction::kPull;
+  engine::TraversalOptions autod;
+  autod.direction = engine::Direction::kAuto;
+  return {push, pull, autod};
+}
+
+TEST(BackendParityFuzz, FullMatrixOnSeededRandomGraph) {
+  const std::uint64_t seed = 0xBADC0FFEu;
+  test::BackendParityConfig config;
+  config.seed = seed;
+  config.dataset = "random(v=400,d=4)";
+  config.traversals = all_directions();
+  config.thread_counts = {1, 4, 16};
+  config.layouts = {{}};
+  graph::LayoutOptions degree_compressed;
+  degree_compressed.order = graph::VertexOrder::kDegree;
+  degree_compressed.compress = true;
+  config.layouts.push_back(degree_compressed);
+  config.include_disk = true;
+  config.pool_pages = 8;  // tiny pool: disk runs must evict
+  config.deletions = 6;
+
+  test::BackendParityHarness harness(
+      test::random_parity_edges(seed, 400, 4), config);
+  EXPECT_TRUE(harness.run());
+}
+
+TEST(BackendParityFuzz, SecondSeedSparseGraph) {
+  const std::uint64_t seed = 1337;
+  test::BackendParityConfig config;
+  config.seed = seed;
+  config.dataset = "random(v=600,d=2)";
+  config.traversals = all_directions();
+  config.thread_counts = {1, 4};
+  config.deletions = 10;
+
+  test::BackendParityHarness harness(
+      test::random_parity_edges(seed, 600, 2), config);
+  EXPECT_TRUE(harness.run());
+}
+
+}  // namespace
+}  // namespace graphbig

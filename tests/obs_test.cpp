@@ -260,6 +260,7 @@ TEST(RunReport, GoldenSchemaRoundTrip) {
   report.threads = 4;
   report.representation = "frozen";
   report.backend = "disk";
+  report.engine = "la";
   report.direction = "auto";
   report.stealing = true;
   report.layout = "degree";
@@ -296,8 +297,9 @@ TEST(RunReport, GoldenSchemaRoundTrip) {
 
   for (const char* path :
        {"schema", "workload", "dataset", "scale", "config.threads",
-        "config.representation", "config.backend", "config.direction",
-        "config.steal", "config.layout", "config.compress",
+        "config.representation", "config.backend", "config.engine",
+        "config.direction", "config.steal", "config.layout",
+        "config.compress",
         "config.refresh_mode", "config.churn.batches", "config.churn.ops",
         "config.churn.seed", "config.pool_pages", "snapshot.path",
         "snapshot.format", "snapshot.version", "snapshot.checksum",
@@ -315,6 +317,7 @@ TEST(RunReport, GoldenSchemaRoundTrip) {
   EXPECT_EQ(doc.find_path("schema")->str, "graphbig.run.v1");
   EXPECT_EQ(doc.find_path("result.checksum")->str, "9223372036854775811");
   EXPECT_EQ(doc.find_path("config.backend")->str, "disk");
+  EXPECT_EQ(doc.find_path("config.engine")->str, "la");
   EXPECT_EQ(doc.find_path("snapshot.format")->str, "graphbig.snap.v1");
   EXPECT_EQ(doc.find_path("snapshot.checksum")->str, "9223372036854775815");
   EXPECT_EQ(doc.find_path("config.threads")->number, 4.0);

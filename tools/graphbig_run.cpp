@@ -41,6 +41,10 @@ void print_usage() {
   --direction push|pull|auto   traversal direction for frontier-engine
                          workloads (default: auto = per-superstep
                          direction-optimizing choice)
+  --engine frontier|la   execution backend for BFS/CComp/SPath/DCentr:
+                         vertex-frontier traversal or the linear-algebra
+                         engine (masked SpMV/SpMSpV); checksums are
+                         identical either way (default: frontier)
   --steal on|off         work-stealing for degree-weighted edge chunks
                          (default: on)
   --layout natural|degree|rcm   frozen-snapshot vertex placement: natural
@@ -105,6 +109,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   harness::Representation representation = harness::Representation::kDynamic;
   engine::TraversalOptions traversal;
+  workloads::Engine wl_engine = workloads::Engine::kFrontier;
   harness::RefreshMode refresh_mode = harness::RefreshMode::kFull;
   graph::LayoutOptions layout;
   harness::ChurnPhase churn;
@@ -175,6 +180,13 @@ int main(int argc, char** argv) {
       if (!engine::parse_direction(d, &traversal.direction)) {
         std::cerr << "unknown direction: " << d
                   << " (expected push, pull, or auto)\n";
+        return 2;
+      }
+    } else if (arg == "--engine") {
+      const std::string e = next();
+      if (!workloads::parse_engine(e, &wl_engine)) {
+        std::cerr << "unknown engine: " << e
+                  << " (expected frontier or la)\n";
         return 2;
       }
     } else if (arg == "--steal") {
@@ -440,8 +452,16 @@ int main(int argc, char** argv) {
   }
   const bool ran_frozen = representation == harness::Representation::kFrozen &&
                           harness::supports_frozen(*w);
+  if (wl_engine == workloads::Engine::kLa &&
+      !workloads::supports_la(w->acronym())) {
+    std::cout << "note: " << w->acronym()
+              << " has no linear-algebra formulation; running on the "
+                 "frontier engine\n";
+    wl_engine = workloads::Engine::kFrontier;
+  }
   if (refresh_given && churn.batches == 0) churn.batches = 4;
-  std::cout << "run config: direction=" << engine::to_string(traversal.direction)
+  std::cout << "run config: engine=" << workloads::to_string(wl_engine)
+            << " direction=" << engine::to_string(traversal.direction)
             << " steal=" << (traversal.stealing ? "on" : "off")
             << " representation=" << harness::to_string(representation)
             << " backend="
@@ -461,7 +481,8 @@ int main(int argc, char** argv) {
   harness::CpuTimedRun r;
   try {
     r = harness::run_cpu_timed(*w, bundle, threads, representation, traversal,
-                               refresh_mode, churn, layout, backend, disk);
+                               refresh_mode, churn, layout, backend, disk,
+                               wl_engine);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
@@ -507,6 +528,7 @@ int main(int argc, char** argv) {
       report.snapshot_version = bundle.snapshot_version;
       report.snapshot_checksum = bundle.snapshot_checksum;
     }
+    report.engine = workloads::to_string(wl_engine);
     report.direction = engine::to_string(traversal.direction);
     report.stealing = traversal.stealing;
     report.layout = graph::to_string(layout.order);
