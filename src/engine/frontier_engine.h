@@ -431,6 +431,11 @@ class FrontierEngine {
                        const std::vector<std::size_t>& bounds,
                        std::uint64_t mass) {
     obs::ObsSpan span("push_step", step_);
+    // Serving path: thread this superstep onto the active request's flow
+    // arc so Perfetto links it to the request's submit/pin slices.
+    if (obs::tracing_enabled() && obs::current_trace() != 0) {
+      obs::flow_step("request", obs::current_trace());
+    }
     trace::block(trace::kBlockWorkloadKernel);
     const auto& list = cur_.list();
     StepResult r;
@@ -471,6 +476,9 @@ class FrontierEngine {
   StepResult pull_step(const PullFn& pull, const CandFn& cand,
                        std::uint64_t mass) {
     obs::ObsSpan span("pull_step", step_);
+    if (obs::tracing_enabled() && obs::current_trace() != 0) {
+      obs::flow_step("request", obs::current_trace());
+    }
     trace::block(trace::kBlockWorkloadKernel);
     cur_.ensure_bits(pool_);
     next_.prepare_bits();

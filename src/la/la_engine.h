@@ -217,6 +217,11 @@ class LaEngine {
                             const std::vector<std::size_t>& bounds,
                             std::uint64_t mass) {
     obs::ObsSpan span("spmspv_step", step_);
+    // Serving path: thread this superstep onto the active request's flow
+    // arc (see frontier_engine.h push_step).
+    if (obs::tracing_enabled() && obs::current_trace() != 0) {
+      obs::flow_step("request", obs::current_trace());
+    }
     trace::block(trace::kBlockWorkloadKernel);
     const auto& cols = x_.indices();
     engine::StepResult r;
@@ -257,6 +262,9 @@ class LaEngine {
   engine::StepResult spmv(const GatherFn& gather, const MaskFn& mask,
                           std::uint64_t mass) {
     obs::ObsSpan span("spmv_step", step_);
+    if (obs::tracing_enabled() && obs::current_trace() != 0) {
+      obs::flow_step("request", obs::current_trace());
+    }
     trace::block(trace::kBlockWorkloadKernel);
     x_.to_dense(pool_);
     y_.prepare_dense();

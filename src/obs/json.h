@@ -22,9 +22,14 @@ namespace graphbig::obs {
 ///   w.key("name"); w.value("BFS");
 ///   w.key("steps"); w.begin_array(); w.value(1); w.end_array();
 ///   w.end_object();
+///
+/// Compact mode (JsonWriter(os, /*compact=*/true)) emits no newlines or
+/// indentation — one value per line — for NDJSON streams like
+/// graphbig.stats.v1 where each record must be a single line.
 class JsonWriter {
  public:
-  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  explicit JsonWriter(std::ostream& os, bool compact = false)
+      : os_(os), compact_(compact) {}
 
   void begin_object() { begin_container('{'); }
   void end_object() { end_container('}'); }
@@ -34,7 +39,7 @@ class JsonWriter {
   void key(std::string_view k) {
     pre_value();
     write_string(k);
-    os_ << ": ";
+    os_ << (compact_ ? ":" : ": ");
     have_key_ = true;
   }
 
@@ -87,7 +92,7 @@ class JsonWriter {
   void end_container(char c) {
     const bool had_elements = open_.back();
     open_.pop_back();
-    if (had_elements) {
+    if (had_elements && !compact_) {
       os_ << '\n';
       indent();
     }
@@ -100,9 +105,11 @@ class JsonWriter {
     }
     if (!open_.empty()) {
       if (open_.back()) os_ << ',';
-      os_ << '\n';
+      if (!compact_) {
+        os_ << '\n';
+        indent();
+      }
       open_.back() = true;
-      indent();
     }
   }
   void indent() {
@@ -113,6 +120,7 @@ class JsonWriter {
   std::ostream& os_;
   std::vector<bool> open_;  // per open container: any elements yet?
   bool have_key_ = false;
+  bool compact_ = false;
 };
 
 /// Parsed JSON value (numbers held as double; large integers that need

@@ -1,0 +1,125 @@
+#include "obs/stats_export.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
+
+namespace graphbig::obs {
+
+struct StatsExporter::Impl {
+  std::ofstream file;
+  std::ostream* out = nullptr;
+  std::mutex mu;  // serializes emit_record across start/tick/stop
+  std::condition_variable cv;
+  bool stopping = false;
+};
+
+StatsExporter::StatsExporter(StatsExporterOptions options)
+    : options_(std::move(options)) {
+  if (options_.interval_ms == 0) options_.interval_ms = 1;
+}
+
+StatsExporter::~StatsExporter() {
+  stop();
+  delete impl_;
+}
+
+void StatsExporter::add_section(std::string key,
+                                std::function<void(JsonWriter&)> fn) {
+  sections_.emplace_back(std::move(key), std::move(fn));
+}
+
+bool StatsExporter::start() {
+  if (running_) return true;
+  if (impl_ == nullptr) impl_ = new Impl();
+  impl_->stopping = false;
+  if (options_.path == "-" || options_.path == "stderr") {
+    impl_->out = &std::cerr;
+  } else {
+    impl_->file.open(options_.path, std::ios::out | std::ios::trunc);
+    if (!impl_->file) {
+      std::cerr << "stats exporter: cannot open " << options_.path << "\n";
+      return false;
+    }
+    impl_->out = &impl_->file;
+  }
+  running_ = true;
+  emit_record();
+  thread_ = std::thread([this] { tick_loop(); });
+  return true;
+}
+
+void StatsExporter::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  if (thread_.joinable()) thread_.join();
+  emit_record();  // terminal state
+  if (impl_->file.is_open()) impl_->file.close();
+  impl_->out = nullptr;
+  running_ = false;
+}
+
+void StatsExporter::tick_loop() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  for (;;) {
+    const bool stopping = impl_->cv.wait_for(
+        lock, std::chrono::milliseconds(options_.interval_ms),
+        [this] { return impl_->stopping; });
+    if (stopping) return;
+    lock.unlock();
+    emit_record();
+    lock.lock();
+  }
+}
+
+void StatsExporter::emit_record() {
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  std::ostream& os = *impl_->out;
+  JsonWriter w(os, /*compact=*/true);
+  w.begin_object();
+  w.kv("schema", "graphbig.stats.v1");
+  w.kv("seq", seq_.fetch_add(1, std::memory_order_relaxed));
+  // Process-relative steady-clock milliseconds (same zero as the trace
+  // timestamps, so stats lines and trace slices line up).
+  w.kv("t_ms", static_cast<double>(span_now_ns()) / 1e6);
+  if (!options_.source.empty()) w.kv("source", options_.source);
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : snap.counters) w.kv(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : snap.gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("p50", h.value_at_quantile(0.50));
+    w.kv("p99", h.value_at_quantile(0.99));
+    w.kv("p999", h.value_at_quantile(0.999));
+    w.end_object();
+  }
+  w.end_object();
+  for (const auto& [key, fn] : sections_) {
+    w.key(key);
+    fn(w);
+  }
+  w.end_object();
+  os << "\n" << std::flush;
+}
+
+}  // namespace graphbig::obs

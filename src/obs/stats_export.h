@@ -1,0 +1,89 @@
+// Live stats exporter: a background thread that periodically serializes
+// the metrics registry (plus caller-supplied sections — windowed
+// quantiles, queue depth, SLO state) as newline-delimited JSON, schema
+// `graphbig.stats.v1`. One record per line, compact (no intra-record
+// newlines), flushed after every tick so `tail -f` on the stats file
+// tracks a live server. Destinations: a file path, or "-" / "stderr"
+// for standard error.
+//
+// Record shape (one line):
+//   {"schema":"graphbig.stats.v1","seq":N,"t_ms":...,"source":"...",
+//    "counters":{name:u64,...},"gauges":{...},
+//    "histograms":{name:{"count":..,"sum":..,"p50":..,"p99":..,"p999":..}},
+//    <custom sections>}
+//
+// Lifecycle: start() emits an immediate record (so even a short run
+// yields at least one), then one per interval; stop() joins the thread
+// and emits a final record — begin/end bracketing means the last line
+// always reflects the run's terminal state. Sections are registered
+// before start() and invoked on the exporter thread; they must be safe
+// to call concurrently with the serving path (snapshot-style reads).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace graphbig::obs {
+
+struct StatsExporterOptions {
+  /// Output destination; "-" or "stderr" selects standard error.
+  std::string path;
+  std::uint64_t interval_ms = 1000;
+  /// Free-form origin tag ("graphbig_serve", "graphbig_run").
+  std::string source;
+};
+
+class StatsExporter {
+ public:
+  explicit StatsExporter(StatsExporterOptions options);
+  ~StatsExporter();
+  StatsExporter(const StatsExporter&) = delete;
+  StatsExporter& operator=(const StatsExporter&) = delete;
+
+  /// Registers an extra top-level section: `fn` is called with the writer
+  /// positioned at the record object and must emit exactly one member
+  /// under `key` (w.key(key) is already written; emit the value). Call
+  /// before start().
+  void add_section(std::string key, std::function<void(JsonWriter&)> fn);
+
+  /// Opens the sink, emits the first record, and starts the tick thread.
+  /// Returns false (with a message on stderr) when the file can't be
+  /// opened; the exporter is then inert and stop() is a no-op.
+  bool start();
+
+  /// Joins the tick thread and emits the final record. Idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+
+  /// Records emitted so far (monotone; equals the last "seq" + 1).
+  /// Safe to poll from any thread while the exporter runs.
+  std::uint64_t records_written() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Impl;
+  void emit_record();
+  void tick_loop();
+
+  StatsExporterOptions options_;
+  std::vector<std::pair<std::string, std::function<void(JsonWriter&)>>>
+      sections_;
+  Impl* impl_ = nullptr;
+  std::thread thread_;
+  // Atomic: bumped by whichever thread emits (emission itself is
+  // serialized by the lifecycle) but polled concurrently via
+  // records_written().
+  std::atomic<std::uint64_t> seq_{0};
+  bool running_ = false;
+};
+
+}  // namespace graphbig::obs

@@ -13,6 +13,7 @@ namespace {
 
 struct SpanBuffer {
   std::vector<SpanEvent> events;
+  std::vector<FlowEvent> flows;
   std::uint32_t tid = 0;
 };
 
@@ -20,6 +21,7 @@ struct TracerState {
   std::mutex mu;
   std::vector<SpanBuffer*> live;
   std::vector<SpanEvent> retired;
+  std::vector<FlowEvent> retired_flows;
   std::uint32_t next_tid = 0;
 };
 
@@ -38,6 +40,8 @@ struct BufferHandle {
     std::lock_guard<std::mutex> lock(s.mu);
     s.retired.insert(s.retired.end(), buffer->events.begin(),
                      buffer->events.end());
+    s.retired_flows.insert(s.retired_flows.end(), buffer->flows.begin(),
+                           buffer->flows.end());
     for (auto it = s.live.begin(); it != s.live.end(); ++it) {
       if (*it == buffer) {
         s.live.erase(it);
@@ -61,6 +65,18 @@ SpanBuffer& local_buffer() {
   return *handle.buffer;
 }
 
+void record_flow(const char* name, std::uint64_t id, FlowEvent::Phase phase) {
+  if (!tracing_enabled()) return;
+  SpanBuffer& buffer = local_buffer();
+  FlowEvent e;
+  e.name = name;
+  e.id = id;
+  e.ts_ns = span_now_ns();
+  e.tid = buffer.tid;
+  e.phase = phase;
+  buffer.flows.push_back(e);
+}
+
 }  // namespace
 
 void set_tracing(bool on) {
@@ -76,10 +92,23 @@ std::uint64_t span_now_ns() {
           .count());
 }
 
+void flow_start(const char* name, std::uint64_t id) {
+  record_flow(name, id, FlowEvent::Phase::kStart);
+}
+
+void flow_step(const char* name, std::uint64_t id) {
+  record_flow(name, id, FlowEvent::Phase::kStep);
+}
+
+void flow_end(const char* name, std::uint64_t id) {
+  record_flow(name, id, FlowEvent::Phase::kEnd);
+}
+
 void ObsSpan::begin(const char* name, std::uint64_t arg, bool has_arg) {
   name_ = name;
   arg_ = arg;
   has_arg_ = has_arg;
+  trace_ = current_trace();
   start_ = span_now_ns();
   active_ = true;
 }
@@ -92,6 +121,7 @@ void ObsSpan::end() {
   e.end_ns = span_now_ns();
   e.tid = buffer.tid;
   e.arg = arg_;
+  e.trace = trace_;
   e.has_arg = has_arg_;
   buffer.events.push_back(e);
   active_ = false;
@@ -115,15 +145,38 @@ std::vector<SpanEvent> collect_spans() {
   return out;
 }
 
+std::vector<FlowEvent> collect_flows() {
+  TracerState& s = state();
+  std::vector<FlowEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out = s.retired_flows;
+    for (const SpanBuffer* buffer : s.live) {
+      out.insert(out.end(), buffer->flows.begin(), buffer->flows.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlowEvent& a, const FlowEvent& b) {
+              if (a.id != b.id) return a.id < b.id;
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
 void clear_spans() {
   TracerState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   s.retired.clear();
-  for (SpanBuffer* buffer : s.live) buffer->events.clear();
+  s.retired_flows.clear();
+  for (SpanBuffer* buffer : s.live) {
+    buffer->events.clear();
+    buffer->flows.clear();
+  }
 }
 
 std::size_t write_chrome_trace(std::ostream& os) {
   const std::vector<SpanEvent> spans = collect_spans();
+  const std::vector<FlowEvent> flows = collect_flows();
   JsonWriter w(os);
   w.begin_object();
   w.key("traceEvents");
@@ -137,19 +190,44 @@ std::size_t write_chrome_trace(std::ostream& os) {
     // Chrome trace timestamps and durations are microseconds.
     w.kv("ts", static_cast<double>(e.start_ns) / 1000.0);
     w.kv("dur", static_cast<double>(e.end_ns - e.start_ns) / 1000.0);
-    if (e.has_arg) {
+    if (e.has_arg || e.trace != 0) {
       w.key("args");
       w.begin_object();
-      w.kv("v", e.arg);
+      if (e.has_arg) w.kv("v", e.arg);
+      if (e.trace != 0) w.kv("trace", e.trace);
       w.end_object();
     }
+    w.end_object();
+  }
+  for (const FlowEvent& e : flows) {
+    w.begin_object();
+    w.kv("name", e.name);
+    switch (e.phase) {
+      case FlowEvent::Phase::kStart:
+        w.kv("ph", "s");
+        break;
+      case FlowEvent::Phase::kStep:
+        w.kv("ph", "t");
+        break;
+      case FlowEvent::Phase::kEnd:
+        w.kv("ph", "f");
+        // Bind the arrow head to the enclosing slice rather than the
+        // next slice on the thread.
+        w.kv("bp", "e");
+        break;
+    }
+    w.kv("cat", "request");
+    w.kv("id", e.id);
+    w.kv("pid", 1);
+    w.kv("tid", e.tid);
+    w.kv("ts", static_cast<double>(e.ts_ns) / 1000.0);
     w.end_object();
   }
   w.end_array();
   w.kv("displayTimeUnit", "ms");
   w.end_object();
   os << "\n";
-  return spans.size();
+  return spans.size() + flows.size();
 }
 
 }  // namespace graphbig::obs

@@ -9,6 +9,18 @@
 // nothing. graphbig_run --trace-out turns it on and serializes the
 // buffers as a Chrome trace-event file loadable in chrome://tracing or
 // Perfetto.
+//
+// Request-scoped tracing (serving path): a thread carries an ambient
+// *trace id* — set by ScopedTrace around one request's execution — and
+// every span recorded while it is set is tagged with it, so all the
+// spans one request produced (lease pin, execute, every superstep the
+// engine ran on its behalf) can be grouped without threading an id
+// through every call signature. Flow events (`flow_start` / `flow_step`
+// / `flow_end`, Chrome ph:"s"/"t"/"f") connect the request's journey
+// across threads: the submitting thread opens the flow, the worker that
+// dequeues it steps and closes it, and Perfetto draws the arc between
+// them. Flow events bind to the enclosing duration span at the same
+// timestamp on the same thread, so they must be emitted inside a span.
 #pragma once
 
 #include <atomic>
@@ -23,6 +35,9 @@ inline std::atomic<bool>& tracing_flag() {
   static std::atomic<bool> f{false};
   return f;
 }
+
+/// Ambient per-thread trace id; 0 = no request in scope.
+inline thread_local std::uint64_t t_trace_id = 0;
 }  // namespace detail
 
 inline bool tracing_enabled() {
@@ -30,6 +45,26 @@ inline bool tracing_enabled() {
 }
 
 void set_tracing(bool on);
+
+/// The calling thread's ambient trace id (0 when none).
+inline std::uint64_t current_trace() { return detail::t_trace_id; }
+
+/// Scoped ambient trace id: spans recorded on this thread inside the
+/// scope are tagged with `id`; the previous id is restored on exit
+/// (scopes nest). Ids are caller-chosen; the serving path uses
+/// request id + 1 so id 0 stays "no request".
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(std::uint64_t id) : prev_(detail::t_trace_id) {
+    detail::t_trace_id = id;
+  }
+  ~ScopedTrace() { detail::t_trace_id = prev_; }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
 
 /// Monotonic nanoseconds since the first use in this process (keeps trace
 /// timestamps small and zero-based).
@@ -43,8 +78,27 @@ struct SpanEvent {
   std::uint64_t end_ns = 0;
   std::uint32_t tid = 0;
   std::uint64_t arg = 0;
+  /// Ambient trace id captured at span begin (0 = none).
+  std::uint64_t trace = 0;
   bool has_arg = false;
 };
+
+/// One flow point (Chrome ph:"s"/"t"/"f"): the cross-thread connective
+/// tissue of a request arc. `name` must be a string literal.
+struct FlowEvent {
+  enum class Phase : std::uint8_t { kStart, kStep, kEnd };
+  const char* name = nullptr;
+  std::uint64_t id = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint32_t tid = 0;
+  Phase phase = Phase::kStart;
+};
+
+/// Records a flow point when tracing is on. Emit inside an ObsSpan scope
+/// so the viewer can bind the arrow to a slice.
+void flow_start(const char* name, std::uint64_t id);
+void flow_step(const char* name, std::uint64_t id);
+void flow_end(const char* name, std::uint64_t id);
 
 /// RAII scope: records [construction, destruction) when tracing is on.
 class ObsSpan {
@@ -68,6 +122,7 @@ class ObsSpan {
   const char* name_ = nullptr;
   std::uint64_t start_ = 0;
   std::uint64_t arg_ = 0;
+  std::uint64_t trace_ = 0;
   bool has_arg_ = false;
   bool active_ = false;
 };
@@ -78,11 +133,16 @@ class ObsSpan {
 /// idle — for an exact set.
 std::vector<SpanEvent> collect_spans();
 
-/// Drops all recorded spans (bench/test isolation).
+/// Snapshot of every recorded flow point, sorted by timestamp. Same
+/// quiescence contract as collect_spans.
+std::vector<FlowEvent> collect_flows();
+
+/// Drops all recorded spans and flow events (bench/test isolation).
 void clear_spans();
 
-/// collect_spans() serialized as a Chrome trace-event JSON document.
-/// Returns the number of spans written.
+/// collect_spans() + collect_flows() serialized as a Chrome trace-event
+/// JSON document (spans as ph:"X", flows as ph:"s"/"t"/"f" under cat
+/// "request"). Returns the number of events written.
 std::size_t write_chrome_trace(std::ostream& os);
 
 }  // namespace graphbig::obs

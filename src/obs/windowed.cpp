@@ -1,0 +1,127 @@
+#include "obs/windowed.h"
+
+#include "obs/trace_span.h"
+
+namespace graphbig::obs {
+
+WindowedHistogram::WindowedHistogram(std::vector<std::uint64_t> bounds,
+                                     std::uint64_t slot_ns,
+                                     std::size_t slot_count)
+    : bounds_(std::move(bounds)),
+      slot_ns_(slot_ns == 0 ? 1 : slot_ns),
+      slots_(slot_count == 0 ? 1 : slot_count) {
+  for (Slot& s : slots_) {
+    s.counts =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) s.counts[i] = 0;
+  }
+}
+
+WindowedHistogram::Slot& WindowedHistogram::claim_slot(std::uint64_t now_ns) {
+  const auto period = static_cast<std::int64_t>(now_ns / slot_ns_);
+  Slot& s = slots_[static_cast<std::size_t>(period) % slots_.size()];
+  std::int64_t cur = s.period.load(std::memory_order_acquire);
+  if (cur != period &&
+      s.period.compare_exchange_strong(cur, period,
+                                       std::memory_order_acq_rel)) {
+    // CAS winner zeroes the reclaimed slot. A recorder racing this zero
+    // can lose its sample; a reader can see a partial slot — both are the
+    // documented at-rotation approximation.
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      s.counts[i].store(0, std::memory_order_relaxed);
+    }
+    s.sum.store(0, std::memory_order_release);
+  }
+  return s;
+}
+
+void WindowedHistogram::record(std::uint64_t v) { record_at(v, span_now_ns()); }
+
+void WindowedHistogram::record_at(std::uint64_t v, std::uint64_t now_ns) {
+  Slot& s = claim_slot(now_ns);
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  s.counts[b].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot WindowedHistogram::snapshot() const {
+  return snapshot_at(span_now_ns());
+}
+
+HistogramSnapshot WindowedHistogram::snapshot_at(std::uint64_t now_ns) const {
+  const auto current = static_cast<std::int64_t>(now_ns / slot_ns_);
+  const auto oldest =
+      current - static_cast<std::int64_t>(slots_.size()) + 1;
+  HistogramSnapshot out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  for (const Slot& s : slots_) {
+    const std::int64_t period = s.period.load(std::memory_order_acquire);
+    if (period < oldest || period > current) continue;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      const std::uint64_t c = s.counts[i].load(std::memory_order_relaxed);
+      out.counts[i] += c;
+      out.count += c;
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+SloTracker::SloTracker(std::uint64_t threshold_us, double target,
+                       std::uint64_t slot_ns, std::size_t slot_count)
+    : threshold_us_(threshold_us),
+      target_(target),
+      slot_ns_(slot_ns == 0 ? 1 : slot_ns),
+      slots_(slot_count == 0 ? 1 : slot_count) {}
+
+void SloTracker::record(std::uint64_t latency_us) {
+  record_at(latency_us, span_now_ns());
+}
+
+void SloTracker::record_at(std::uint64_t latency_us, std::uint64_t now_ns) {
+  const auto period = static_cast<std::int64_t>(now_ns / slot_ns_);
+  Slot& s = slots_[static_cast<std::size_t>(period) % slots_.size()];
+  std::int64_t cur = s.period.load(std::memory_order_acquire);
+  if (cur != period &&
+      s.period.compare_exchange_strong(cur, period,
+                                       std::memory_order_acq_rel)) {
+    s.good.store(0, std::memory_order_relaxed);
+    s.bad.store(0, std::memory_order_release);
+  }
+  const bool good = latency_us <= threshold_us_;
+  (good ? s.good : s.bad).fetch_add(1, std::memory_order_relaxed);
+  (good ? good_total_ : bad_total_).fetch_add(1, std::memory_order_relaxed);
+}
+
+SloTracker::Snapshot SloTracker::snapshot() const {
+  return snapshot_at(span_now_ns());
+}
+
+SloTracker::Snapshot SloTracker::snapshot_at(std::uint64_t now_ns) const {
+  const auto current = static_cast<std::int64_t>(now_ns / slot_ns_);
+  const auto oldest =
+      current - static_cast<std::int64_t>(slots_.size()) + 1;
+  Snapshot out;
+  out.threshold_us = threshold_us_;
+  out.target = target_;
+  out.good_total = good_total_.load(std::memory_order_relaxed);
+  out.bad_total = bad_total_.load(std::memory_order_relaxed);
+  for (const Slot& s : slots_) {
+    const std::int64_t period = s.period.load(std::memory_order_acquire);
+    if (period < oldest || period > current) continue;
+    out.window_good += s.good.load(std::memory_order_relaxed);
+    out.window_bad += s.bad.load(std::memory_order_relaxed);
+  }
+  const std::uint64_t total = out.window_good + out.window_bad;
+  const double budget = 1.0 - target_;
+  if (total > 0 && budget > 0.0) {
+    out.burn_rate =
+        (static_cast<double>(out.window_bad) / static_cast<double>(total)) /
+        budget;
+  }
+  return out;
+}
+
+}  // namespace graphbig::obs

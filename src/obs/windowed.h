@@ -1,0 +1,117 @@
+// Rolling-window telemetry: WindowedHistogram and SloTracker.
+//
+// The registry's Histogram (metrics.h) aggregates since process start —
+// exactly the averaged view GraphBIG warns hides behavior: a latency
+// spike during one churn burst vanishes inside a lifetime p99. A
+// WindowedHistogram answers "what does the tail look like *right now*":
+// it keeps a ring of fixed-duration slots, each a full bucket array, and
+// a snapshot merges only the slots that fall inside the last
+// window (slot_count * slot duration), so old samples age out as the
+// ring wraps.
+//
+// Concurrency model: slots hold atomics; record is lock-free. Rotation
+// happens on the recording path (rotate-on-write) and on the read path
+// (rotate-on-read zeroes nothing — stale slots are simply excluded by
+// period check). When a slot's period is stale the first recorder CAS-es
+// the new period in and zeroes the cells; a racing recorder that loses
+// the CAS just adds to the freshly-claimed slot. At the instant of
+// rotation a concurrent reader can observe a partially-zeroed slot —
+// windowed quantiles are approximate at slot boundaries by design (the
+// lifetime registry histograms stay exact). All accesses are atomic, so
+// the races are benign under TSan.
+//
+// Time injection: the *_at(..., now_ns) overloads take an explicit
+// steady-clock timestamp so tests can drive rotation deterministically;
+// the plain overloads stamp span_now_ns().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace graphbig::obs {
+
+/// Fixed-bound histogram over a rolling time window.
+class WindowedHistogram {
+ public:
+  /// `bounds` as in MetricsRegistry::histogram (bucket i counts v <=
+  /// bounds[i], one overflow bucket past the end). The window covers
+  /// `slot_count * slot_ns` nanoseconds, rotating one slot at a time.
+  WindowedHistogram(std::vector<std::uint64_t> bounds, std::uint64_t slot_ns,
+                    std::size_t slot_count);
+
+  void record(std::uint64_t v);
+  void record_at(std::uint64_t v, std::uint64_t now_ns);
+
+  /// Merged histogram over every slot still inside the window ending at
+  /// `now_ns`. Reuses HistogramSnapshot so value_at_quantile applies.
+  HistogramSnapshot snapshot() const;
+  HistogramSnapshot snapshot_at(std::uint64_t now_ns) const;
+
+  /// Window extent in nanoseconds (slot_ns * slot_count).
+  std::uint64_t window_ns() const { return slot_ns_ * slots_.size(); }
+
+ private:
+  struct Slot {
+    /// now_ns / slot_ns of the samples this slot holds; -1 = never used.
+    std::atomic<std::int64_t> period{-1};
+    std::atomic<std::uint64_t> sum{0};
+    /// bounds.size() + 1 cells, overflow last.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+  };
+
+  Slot& claim_slot(std::uint64_t now_ns);
+
+  std::vector<std::uint64_t> bounds_;
+  std::uint64_t slot_ns_;
+  std::vector<Slot> slots_;
+};
+
+/// SLO accounting over a latency threshold: lifetime good/bad totals plus
+/// a rolling-window good/bad ring sharing WindowedHistogram's rotation
+/// scheme. Burn rate is the windowed bad fraction divided by the SLO's
+/// error budget (1 - target): 1.0 means burning budget exactly at the
+/// sustainable rate, >1 means the window is out of SLO.
+class SloTracker {
+ public:
+  /// `target` is the SLO objective (e.g. 0.99 = 99% of requests under
+  /// threshold_us). Window geometry as in WindowedHistogram.
+  SloTracker(std::uint64_t threshold_us, double target, std::uint64_t slot_ns,
+             std::size_t slot_count);
+
+  void record(std::uint64_t latency_us);
+  void record_at(std::uint64_t latency_us, std::uint64_t now_ns);
+
+  struct Snapshot {
+    std::uint64_t threshold_us = 0;
+    double target = 0.0;
+    std::uint64_t good_total = 0;
+    std::uint64_t bad_total = 0;
+    std::uint64_t window_good = 0;
+    std::uint64_t window_bad = 0;
+    /// Windowed bad fraction / (1 - target); 0 when the window is empty.
+    double burn_rate = 0.0;
+  };
+
+  Snapshot snapshot() const;
+  Snapshot snapshot_at(std::uint64_t now_ns) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> period{-1};
+    std::atomic<std::uint64_t> good{0};
+    std::atomic<std::uint64_t> bad{0};
+  };
+
+  std::uint64_t threshold_us_;
+  double target_;
+  std::uint64_t slot_ns_;
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> good_total_{0};
+  std::atomic<std::uint64_t> bad_total_{0};
+};
+
+}  // namespace graphbig::obs

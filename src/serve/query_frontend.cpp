@@ -19,10 +19,21 @@ std::uint64_t now_ns() {
           .count());
 }
 
+/// Shared bucket bounds for the serve latency-ish histograms (50us ..
+/// 1.6s, x2 per bucket) — also the windowed histogram's bounds so the
+/// lifetime and rolling quantiles are directly comparable.
+std::vector<std::uint64_t> latency_bounds() {
+  return {50,    100,   200,    400,    800,    1600,   3200,    6400,
+          12800, 25600, 51200, 102400, 204800, 409600, 819200, 1638400};
+}
+
 struct FrontendSeries {
   obs::Counter completed;
   obs::Counter shed;
   obs::Histogram latency_us;
+  obs::Histogram queue_us;
+  obs::Histogram exec_us;
+  obs::Gauge queue_depth;
 };
 
 FrontendSeries& frontend_series() {
@@ -31,10 +42,10 @@ FrontendSeries& frontend_series() {
     return new FrontendSeries{
         r.counter("serve.queries_completed"),
         r.counter("serve.queries_shed"),
-        r.histogram("serve.query_latency_us",
-                    {50, 100, 200, 400, 800, 1600, 3200, 6400, 12800,
-                     25600, 51200, 102400, 204800, 409600, 819200,
-                     1638400}),
+        r.histogram("serve.query_latency_us", latency_bounds()),
+        r.histogram("serve.queue_us", latency_bounds()),
+        r.histogram("serve.exec_us", latency_bounds()),
+        r.gauge("serve.queue_depth"),
     };
   }();
   return *s;
@@ -138,7 +149,15 @@ QueryRecord QueryFrontend::execute(const QueryRequest& req,
 }
 
 QueryFrontend::QueryFrontend(SnapshotManager& mgr, QueryFrontendOptions opts)
-    : mgr_(mgr), opts_(opts) {
+    : mgr_(mgr),
+      opts_(opts),
+      windowed_latency_(latency_bounds(),
+                        (opts.window_slot_ms == 0 ? 1 : opts.window_slot_ms) *
+                            1000000ull,
+                        opts.window_slots == 0 ? 1 : opts.window_slots),
+      slo_(opts.slo_threshold_us, opts.slo_target,
+           (opts.window_slot_ms == 0 ? 1 : opts.window_slot_ms) * 1000000ull,
+           opts.window_slots == 0 ? 1 : opts.window_slots) {
   if (opts_.workers < 1) opts_.workers = 1;
   if (opts_.queue_capacity < 1) opts_.queue_capacity = 1;
   worker_records_.resize(static_cast<std::size_t>(opts_.workers));
@@ -151,7 +170,13 @@ QueryFrontend::QueryFrontend(SnapshotManager& mgr, QueryFrontendOptions opts)
 QueryFrontend::~QueryFrontend() { shutdown(); }
 
 bool QueryFrontend::submit(QueryRequest req) {
+  // The span + flow_start open this request's trace arc on the submitting
+  // thread; the worker that dequeues it continues (flow_step) and closes
+  // (flow_end) the arc, so Perfetto draws admission->pin->exec as one
+  // connected journey across threads.
+  obs::ObsSpan span("serve_submit", req.id);
   req.submit_ns = now_ns();
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ || queue_.size() >= opts_.queue_capacity) {
@@ -160,7 +185,12 @@ bool QueryFrontend::submit(QueryRequest req) {
       return false;
     }
     queue_.push_back(req);
+    depth = queue_.size();
   }
+  // Only admitted requests open a flow (shed requests would leave a
+  // dangling arrow with no end).
+  obs::flow_start("request", req.id + 1);
+  if (obs::enabled()) frontend_series().queue_depth.set(depth);
   submitted_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
   return true;
@@ -189,6 +219,19 @@ QueryFrontendStats QueryFrontend::stats() const {
   return s;
 }
 
+std::size_t QueryFrontend::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+obs::HistogramSnapshot QueryFrontend::windowed_latency() const {
+  return windowed_latency_.snapshot();
+}
+
+obs::SloTracker::Snapshot QueryFrontend::slo() const {
+  return slo_.snapshot();
+}
+
 std::vector<QueryRecord> QueryFrontend::take_records() {
   std::vector<QueryRecord> all;
   for (auto& per_worker : worker_records_) {
@@ -215,25 +258,60 @@ void QueryFrontend::worker_loop(int worker_index) {
       queue_.pop_front();
     }
 
-    obs::ObsSpan span("serve_query");
-    const std::uint64_t start_ns = now_ns();
-    // Pin the current generation for exactly this request's lifetime.
-    SnapshotManager::Lease lease = mgr_.acquire();
-    QueryRecord rec = execute(req, *lease.snapshot(), lease.generation(),
-                              opts_.traversal);
-    lease.release();
-    const std::uint64_t end_ns = now_ns();
+    // Ambient trace id for this request: every span the worker (and the
+    // engine it calls into) records until completion is tagged with it.
+    // Request id + 1 keeps id 0 meaning "no request in scope".
+    obs::ScopedTrace trace(req.id + 1);
+    obs::ObsSpan span("serve_query", req.id);
+    obs::flow_step("request", req.id + 1);
+    const std::uint64_t dequeue_ns = now_ns();
 
-    rec.exec_us = (end_ns - start_ns) / 1000;
-    rec.latency_us =
-        (end_ns - (req.submit_ns != 0 ? req.submit_ns : start_ns)) / 1000;
+    // Pin the current generation for exactly this request's lifetime.
+    SnapshotManager::Lease lease = [&] {
+      obs::ObsSpan pin_span("lease_pin");
+      return mgr_.acquire();
+    }();
+    const std::uint64_t pin_ns = now_ns();
+
+    QueryRecord rec;
+    {
+      obs::ObsSpan exec_span("execute");
+      rec = execute(req, *lease.snapshot(), lease.generation(),
+                    opts_.traversal);
+    }
+    lease.release();
+    const std::uint64_t exec_ns = now_ns();
+
+    obs::ObsSpan report_span("report");
+    const std::uint64_t submit_ns =
+        req.submit_ns != 0 ? req.submit_ns : dequeue_ns;
+    rec.queue_us = (dequeue_ns - submit_ns) / 1000;
+    rec.pin_us = (pin_ns - dequeue_ns) / 1000;
+    rec.exec_us = (exec_ns - pin_ns) / 1000;
+    // Publish telemetry (the report phase), then stamp its own cost and
+    // the end-to-end sum so latency_us covers every phase.
     completed_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t provisional_latency_us = (exec_ns - submit_ns) / 1000;
+    windowed_latency_.record(provisional_latency_us);
+    slo_.record(provisional_latency_us);
     if (obs::enabled()) {
       FrontendSeries& fs = frontend_series();
       fs.completed.inc();
-      fs.latency_us.observe(rec.latency_us);
+      fs.latency_us.observe(provisional_latency_us);
+      fs.queue_us.observe(rec.queue_us);
+      fs.exec_us.observe(rec.exec_us);
+      std::size_t depth = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        depth = queue_.size();
+      }
+      fs.queue_depth.set(depth);
     }
+    const std::uint64_t report_ns = now_ns();
+    rec.report_us = (report_ns - exec_ns) / 1000;
+    rec.latency_us = (report_ns - submit_ns) / 1000;
     if (opts_.record) records.push_back(rec);
+    obs::flow_end("request", req.id + 1);
   }
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "engine/frontier_engine.h"
+#include "obs/windowed.h"
 #include "serve/snapshot_manager.h"
 
 namespace graphbig::serve {
@@ -66,8 +67,14 @@ struct QueryRecord {
   std::uint64_t generation = 0;
   std::uint64_t checksum = 0;
   std::uint64_t vertices = 0;  // vertices the query touched
-  std::uint64_t latency_us = 0;  // submit -> completion (queue + exec)
-  std::uint64_t exec_us = 0;     // execution only
+  /// Per-phase timings. latency_us is submit -> completion and equals
+  /// queue_us + pin_us + exec_us + report_us up to truncation — kept as
+  /// the compatibility sum; the phases are the attribution surface.
+  std::uint64_t latency_us = 0;  // submit -> completion
+  std::uint64_t queue_us = 0;    // admission queue wait (submit -> dequeue)
+  std::uint64_t pin_us = 0;      // generation lease pin
+  std::uint64_t exec_us = 0;     // query execution only
+  std::uint64_t report_us = 0;   // record + telemetry publication
 };
 
 struct QueryFrontendOptions {
@@ -79,6 +86,14 @@ struct QueryFrontendOptions {
   /// Keep per-query records (the verification/report surface). Off drops
   /// them after metrics are recorded.
   bool record = true;
+  /// Rolling-window telemetry geometry: the windowed latency histogram
+  /// and the SLO ring cover window_slots * window_slot_ms milliseconds.
+  std::uint64_t window_slot_ms = 1000;
+  std::size_t window_slots = 10;
+  /// SLO objective: slo_target of requests complete within
+  /// slo_threshold_us (burn rate is measured against 1 - slo_target).
+  std::uint64_t slo_threshold_us = 100000;
+  double slo_target = 0.99;
 };
 
 /// Live counters (atomics — readable from any thread at any time).
@@ -106,6 +121,16 @@ class QueryFrontend {
 
   QueryFrontendStats stats() const;
 
+  /// Requests currently waiting for a worker.
+  std::size_t queue_depth() const;
+
+  /// Rolling-window latency histogram (last window_slots * window_slot_ms
+  /// ms); readable live from any thread.
+  obs::HistogramSnapshot windowed_latency() const;
+
+  /// Live SLO state (lifetime + windowed good/bad, burn rate).
+  obs::SloTracker::Snapshot slo() const;
+
   /// Completed-query records in id order. Call after shutdown().
   std::vector<QueryRecord> take_records();
 
@@ -123,7 +148,10 @@ class QueryFrontend {
   SnapshotManager& mgr_;
   QueryFrontendOptions opts_;
 
-  std::mutex mu_;
+  obs::WindowedHistogram windowed_latency_;
+  obs::SloTracker slo_;
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<QueryRequest> queue_;
   bool stopping_ = false;

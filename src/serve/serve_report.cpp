@@ -60,6 +60,37 @@ void ServeReport::write_json(std::ostream& os,
   w.kv("max", max_us);
   w.end_object();
 
+  const auto write_phase = [&w](const PhaseQuantiles& q) {
+    w.begin_object();
+    w.kv("p50", q.p50);
+    w.kv("p99", q.p99);
+    w.kv("p999", q.p999);
+    w.kv("max", q.max);
+    w.end_object();
+  };
+  w.key("queue_us");
+  write_phase(queue_us);
+  w.key("exec_us");
+  write_phase(exec_us);
+
+  w.key("windowed");
+  w.begin_object();
+  w.kv("window_s", window_s);
+  w.kv("count", window_count);
+  w.kv("p50", window_p50_us);
+  w.kv("p99", window_p99_us);
+  w.kv("p999", window_p999_us);
+  w.end_object();
+
+  w.key("slo");
+  w.begin_object();
+  w.kv("threshold_us", slo_threshold_us);
+  w.kv("target", slo_target);
+  w.kv("good", slo_good);
+  w.kv("bad", slo_bad);
+  w.kv("burn_rate", slo_burn_rate);
+  w.end_object();
+
   w.key("generations");
   w.begin_object();
   w.kv("published", generations_published);

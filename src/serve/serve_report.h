@@ -47,6 +47,32 @@ struct ServeReport {
   double mean_us = 0.0;
   std::uint64_t max_us = 0;
 
+  /// Per-phase quantiles (schema-additive in graphbig.serve.v1): the
+  /// latency split into admission-queue wait and execution.
+  struct PhaseQuantiles {
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+    std::uint64_t max = 0;
+  };
+  PhaseQuantiles queue_us;
+  PhaseQuantiles exec_us;
+
+  /// Rolling-window view at run end (schema-additive): quantiles over the
+  /// last window_s seconds only, vs the lifetime numbers above.
+  double window_s = 0.0;
+  std::uint64_t window_count = 0;
+  std::uint64_t window_p50_us = 0;
+  std::uint64_t window_p99_us = 0;
+  std::uint64_t window_p999_us = 0;
+
+  /// SLO outcome (schema-additive).
+  std::uint64_t slo_threshold_us = 0;
+  double slo_target = 0.0;
+  std::uint64_t slo_good = 0;
+  std::uint64_t slo_bad = 0;
+  double slo_burn_rate = 0.0;
+
   // Snapshot generations under churn.
   std::uint64_t generations_published = 0;
   std::uint64_t refresh_incremental = 0;

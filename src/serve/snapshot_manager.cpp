@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/trace_span.h"
 
 namespace graphbig::serve {
 
@@ -82,6 +83,9 @@ SnapshotManager::~SnapshotManager() {
 }
 
 SnapshotManager::Lease SnapshotManager::acquire() {
+  // Tagged with the caller's ambient trace id (when a request is in
+  // scope) so a retry storm under publish pressure is attributable.
+  obs::ObsSpan span("snapshot_pin");
   for (;;) {
     const std::uint64_t cur = current_gen_.load(std::memory_order_seq_cst);
     const std::uint32_t idx =

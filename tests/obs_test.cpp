@@ -251,6 +251,105 @@ TEST(SpanTracer, ChromeTraceIsValidJson) {
   obs::clear_spans();
 }
 
+TEST(TraceContext, ScopedTraceTagsSpansAndNestsAndRestores) {
+  obs::clear_spans();
+  obs::set_tracing(true);
+  EXPECT_EQ(obs::current_trace(), 0u);
+  {
+    obs::ScopedTrace outer(7);
+    EXPECT_EQ(obs::current_trace(), 7u);
+    {
+      obs::ObsSpan span("ctx_tagged");
+    }
+    {
+      obs::ScopedTrace inner(9);
+      EXPECT_EQ(obs::current_trace(), 9u);
+      obs::ObsSpan span("ctx_inner");
+    }
+    EXPECT_EQ(obs::current_trace(), 7u);
+  }
+  EXPECT_EQ(obs::current_trace(), 0u);
+  {
+    obs::ObsSpan span("ctx_untagged");
+  }
+  obs::set_tracing(false);
+
+  const std::vector<obs::SpanEvent> spans = obs::collect_spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name, "ctx_tagged");
+  EXPECT_EQ(spans[0].trace, 7u);
+  EXPECT_STREQ(spans[1].name, "ctx_inner");
+  EXPECT_EQ(spans[1].trace, 9u);
+  EXPECT_STREQ(spans[2].name, "ctx_untagged");
+  EXPECT_EQ(spans[2].trace, 0u);
+  obs::clear_spans();
+}
+
+TEST(TraceContext, FlowEventsSerializeAsConnectedArc) {
+  obs::clear_spans();
+  // Flows are gated on tracing just like spans.
+  obs::flow_start("request", 5);
+  EXPECT_TRUE(obs::collect_flows().empty());
+
+  obs::set_tracing(true);
+  {
+    obs::ObsSpan submit("submit_side");
+    obs::flow_start("request", 5);
+  }
+  std::thread worker([] {
+    obs::ScopedTrace trace(5);
+    obs::ObsSpan exec("exec_side");
+    obs::flow_step("request", 5);
+    obs::flow_end("request", 5);
+  });
+  worker.join();
+  obs::set_tracing(false);
+
+  // Worker flows survived the thread join (retired-buffer fold).
+  const std::vector<obs::FlowEvent> flows = obs::collect_flows();
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_EQ(flows[0].phase, obs::FlowEvent::Phase::kStart);
+  EXPECT_EQ(flows[1].phase, obs::FlowEvent::Phase::kStep);
+  EXPECT_EQ(flows[2].phase, obs::FlowEvent::Phase::kEnd);
+  for (const auto& f : flows) EXPECT_EQ(f.id, 5u);
+  EXPECT_NE(flows[0].tid, flows[2].tid);  // crossed threads
+
+  std::ostringstream os;
+  // 2 spans + 3 flow events.
+  EXPECT_EQ(obs::write_chrome_trace(os), 5u);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(os.str(), &doc, &error)) << error;
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int starts = 0;
+  int steps = 0;
+  int ends = 0;
+  for (const JsonValue& e : events->items) {
+    const std::string ph = e.find("ph")->str;
+    if (ph == "s" || ph == "t" || ph == "f") {
+      EXPECT_EQ(e.find("cat")->str, "request");
+      EXPECT_EQ(e.find("id")->number, 5.0);
+      if (ph == "s") ++starts;
+      if (ph == "t") ++steps;
+      if (ph == "f") {
+        ++ends;
+        // f binds to the enclosing slice.
+        ASSERT_NE(e.find("bp"), nullptr);
+        EXPECT_EQ(e.find("bp")->str, "e");
+      }
+    } else if (e.find("name")->str == "exec_side") {
+      // The worker span carries its ambient trace id into args.
+      ASSERT_NE(e.find_path("args.trace"), nullptr);
+      EXPECT_EQ(e.find_path("args.trace")->number, 5.0);
+    }
+  }
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(steps, 1);
+  EXPECT_EQ(ends, 1);
+  obs::clear_spans();
+}
+
 TEST(RunReport, GoldenSchemaRoundTrip) {
   obs::set_enabled(true);
   obs::RunReport report;

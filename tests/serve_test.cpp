@@ -12,7 +12,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -22,8 +24,11 @@
 #include "graph/churn.h"
 #include "graph/property_graph.h"
 #include "graph/snapshot.h"
+#include "obs/json.h"
+#include "obs/trace_span.h"
 #include "platform/rng.h"
 #include "serve/query_frontend.h"
+#include "serve/serve_report.h"
 #include "serve/snapshot_manager.h"
 
 namespace graphbig {
@@ -447,6 +452,160 @@ TEST(ServeParityTest, ServedChecksumsMatchQuiescedReplay) {
     }
   }
   EXPECT_EQ(checked, admitted);
+}
+
+TEST(QueryFrontendTest, WorkerSpansSurviveThreadJoin) {
+  // Regression (trace-flush audit): spans recorded by worker threads that
+  // QueryFrontend joins in shutdown() must still appear in the chrome
+  // trace — the thread-exit fold into the retired buffer is the contract.
+  obs::clear_spans();
+  obs::set_tracing(true);
+
+  graph::PropertyGraph g = tiny_graph();
+  serve::SnapshotManager mgr(g);
+  serve::QueryFrontendOptions opts;
+  opts.workers = 2;
+  {
+    serve::QueryFrontend fe(mgr, opts);
+    const std::vector<graph::VertexId> ids = vertex_universe(g);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      serve::QueryRequest req;
+      req.id = i;
+      req.kind = serve::QueryKind::kBfs;
+      req.root = ids[i % ids.size()];
+      fe.submit(req);
+    }
+    fe.shutdown();  // workers joined here
+  }
+  obs::set_tracing(false);
+
+  std::size_t serve_query_spans = 0;
+  std::size_t pin_spans = 0;
+  std::size_t exec_spans = 0;
+  std::size_t traced_spans = 0;
+  for (const obs::SpanEvent& s : obs::collect_spans()) {
+    const std::string_view name = s.name;
+    if (name == "serve_query") ++serve_query_spans;
+    if (name == "lease_pin") ++pin_spans;
+    if (name == "execute") ++exec_spans;
+    if (s.trace != 0) ++traced_spans;
+  }
+  EXPECT_EQ(serve_query_spans, 8u);
+  EXPECT_EQ(pin_spans, 8u);
+  EXPECT_EQ(exec_spans, 8u);
+  // Every worker-side span carries the request's trace id.
+  EXPECT_GE(traced_spans, 24u);
+
+  // And the serialized trace contains the full flow arc per request.
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::vector<obs::FlowEvent> flows = obs::collect_flows();
+  std::size_t starts = 0;
+  std::size_t ends = 0;
+  for (const obs::FlowEvent& f : flows) {
+    if (f.phase == obs::FlowEvent::Phase::kStart) ++starts;
+    if (f.phase == obs::FlowEvent::Phase::kEnd) ++ends;
+  }
+  EXPECT_EQ(starts, 8u);
+  EXPECT_EQ(ends, 8u);
+  obs::clear_spans();
+}
+
+TEST(QueryFrontendTest, LatencyPhasesSplitAndSum) {
+  graph::PropertyGraph g = tiny_graph();
+  serve::SnapshotManager mgr(g);
+  serve::QueryFrontendOptions opts;
+  opts.workers = 2;
+  serve::QueryFrontend fe(mgr, opts);
+  const std::vector<graph::VertexId> ids = vertex_universe(g);
+  std::uint64_t admitted = 0;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    serve::QueryRequest req;
+    req.id = i;
+    req.kind = serve::QueryKind::kBfs;
+    req.root = ids[i % ids.size()];
+    if (fe.submit(req)) ++admitted;
+  }
+  fe.shutdown();
+  const std::vector<serve::QueryRecord> records = fe.take_records();
+  ASSERT_EQ(records.size(), admitted);
+  for (const serve::QueryRecord& r : records) {
+    // The four phases telescope over the same timestamps, so the floored
+    // sum can undercount latency by at most 1us per interior boundary.
+    const std::uint64_t parts =
+        r.queue_us + r.pin_us + r.exec_us + r.report_us;
+    EXPECT_LE(parts, r.latency_us) << "query " << r.id;
+    EXPECT_LE(r.latency_us, parts + 3) << "query " << r.id;
+    EXPECT_LE(r.exec_us, r.latency_us);
+    EXPECT_LE(r.queue_us, r.latency_us);
+  }
+
+  // Windowed + SLO surfaces reflect the completed queries.
+  const obs::HistogramSnapshot window = fe.windowed_latency();
+  EXPECT_EQ(window.count, admitted);
+  const obs::SloTracker::Snapshot slo = fe.slo();
+  EXPECT_EQ(slo.good_total + slo.bad_total, admitted);
+  EXPECT_EQ(fe.queue_depth(), 0u);
+}
+
+TEST(ServeReportTest, GoldenSchemaRoundTrip) {
+  serve::ServeReport report;
+  report.dataset = "ldbc";
+  report.scale = "tiny";
+  report.workers = 4;
+  report.queue_capacity = 256;
+  report.arrival_rate_qps = 2000.0;
+  report.target_queries = 400;
+  report.completed = 398;
+  report.p50_us = 800;
+  report.p99_us = 6400;
+  report.queue_us.p50 = 100;
+  report.queue_us.p99 = 800;
+  report.queue_us.max = 1234;
+  report.exec_us.p50 = 400;
+  report.exec_us.p99 = 3200;
+  report.window_s = 10.0;
+  report.window_count = 180;
+  report.window_p50_us = 900;
+  report.window_p99_us = 12800;
+  report.slo_threshold_us = 100000;
+  report.slo_target = 0.99;
+  report.slo_good = 396;
+  report.slo_bad = 2;
+  report.slo_burn_rate = 0.5;
+  report.verified = true;
+  report.verify_checked = 398;
+  serve::ServeReport::KindDigest digest;
+  digest.kind = "BFS";
+  digest.count = 100;
+  // Above 2^53: only the string form round-trips.
+  digest.checksum_xor = 0x8000000000000005ull;
+  report.per_kind.push_back(digest);
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(report.to_json(), &doc, &error)) << error;
+  for (const char* path :
+       {"schema", "dataset", "scale", "config.workers",
+        "config.queue_capacity", "config.arrival_rate_qps",
+        "config.churn.seed", "load.offered", "load.admitted", "load.shed",
+        "load.completed", "load.throughput_qps", "latency_us.p50",
+        "latency_us.p99", "latency_us.p999", "latency_us.mean",
+        "latency_us.max", "queue_us.p50", "queue_us.p99", "queue_us.p999",
+        "queue_us.max", "exec_us.p50", "exec_us.p99", "exec_us.p999",
+        "exec_us.max", "windowed.window_s", "windowed.count",
+        "windowed.p50", "windowed.p99", "windowed.p999",
+        "slo.threshold_us", "slo.target", "slo.good", "slo.bad",
+        "slo.burn_rate", "generations.published", "per_kind.BFS.count",
+        "per_kind.BFS.checksum_xor", "verification.checked",
+        "verification.mismatches", "metrics.counters"}) {
+    EXPECT_NE(doc.find_path(path), nullptr) << "missing key: " << path;
+  }
+  EXPECT_EQ(doc.find_path("schema")->str, "graphbig.serve.v1");
+  EXPECT_EQ(doc.find_path("per_kind.BFS.checksum_xor")->str,
+            "9223372036854775813");
+  EXPECT_EQ(doc.find_path("windowed.count")->number, 180.0);
+  EXPECT_EQ(doc.find_path("slo.burn_rate")->number, 0.5);
 }
 
 }  // namespace

@@ -1,0 +1,166 @@
+// StatsExporter: graphbig.stats.v1 NDJSON shape, seq monotonicity,
+// custom sections, begin/end record bracketing, and the compact
+// JsonWriter mode the NDJSON depends on.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/stats_export.h"
+
+namespace {
+
+namespace obs = graphbig::obs;
+
+// PID-qualified: the full graphbig_tests entry and the filtered
+// graphbig_obs entry both run these tests, possibly concurrently under
+// `ctest -j`, and must not clobber each other's output files.
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name + "." +
+         std::to_string(::getpid());
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream is(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(CompactJsonWriter, SingleLineOutput) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, /*compact=*/true);
+  w.begin_object();
+  w.kv("a", 1);
+  w.key("b");
+  w.begin_array();
+  w.value(2);
+  w.value("x");
+  w.end_array();
+  w.key("c");
+  w.begin_object();
+  w.kv("d", 3.5);
+  w.end_object();
+  w.end_object();
+  const std::string text = os.str();
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+  EXPECT_EQ(text, R"({"a":1,"b":[2,"x"],"c":{"d":3.5}})");
+  // Compact output must still parse.
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(text, &doc, &error)) << error;
+  EXPECT_EQ(doc.find("a")->number, 1.0);
+}
+
+TEST(StatsExport, EmitsParsableNdjsonWithSchemaAndSeq) {
+  obs::set_enabled(true);
+  obs::MetricsRegistry::instance().counter("statstest.counter").add(7);
+  const std::string path = temp_path("stats_basic.ndjsonl");
+  obs::StatsExporterOptions so;
+  so.path = path;
+  so.interval_ms = 20;
+  so.source = "stats_test";
+  obs::StatsExporter exporter(so);
+  ASSERT_TRUE(exporter.start());
+  // Poll instead of a fixed sleep: under a loaded `ctest -j` machine the
+  // tick thread can be starved past any fixed budget. Wait for the
+  // begin record plus >=2 ticks, then stop() appends the end record.
+  for (int i = 0; i < 500 && exporter.records_written() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  exporter.stop();
+
+  const std::vector<std::string> lines = read_lines(path);
+  // Begin record + >=1 tick + end record.
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(exporter.records_written(), lines.size());
+  double prev_seq = -1.0;
+  for (const std::string& line : lines) {
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::json_parse(line, &doc, &error)) << error << ": " << line;
+    ASSERT_NE(doc.find("schema"), nullptr);
+    EXPECT_EQ(doc.find("schema")->str, "graphbig.stats.v1");
+    EXPECT_EQ(doc.find("source")->str, "stats_test");
+    ASSERT_NE(doc.find("seq"), nullptr);
+    EXPECT_GT(doc.find("seq")->number, prev_seq);
+    prev_seq = doc.find("seq")->number;
+    EXPECT_NE(doc.find("t_ms"), nullptr);
+    EXPECT_NE(doc.find("counters"), nullptr);
+    EXPECT_NE(doc.find("gauges"), nullptr);
+    EXPECT_NE(doc.find("histograms"), nullptr);
+    ASSERT_NE(doc.find("counters")->find("statstest.counter"), nullptr)
+        << line;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StatsExport, HistogramQuantilesAndSectionsAppear) {
+  obs::set_enabled(true);
+  auto h = obs::MetricsRegistry::instance().histogram("statstest.hist_us",
+                                                      {10, 100, 1000});
+  for (int i = 0; i < 100; ++i) h.observe(5);
+  h.observe(500);
+
+  const std::string path = temp_path("stats_sections.ndjsonl");
+  obs::StatsExporterOptions so;
+  so.path = path;
+  so.interval_ms = 10000;  // only the begin/end records
+  obs::StatsExporter exporter(so);
+  exporter.add_section("custom", [](obs::JsonWriter& w) {
+    w.begin_object();
+    w.kv("answer", 42);
+    w.end_object();
+  });
+  ASSERT_TRUE(exporter.start());
+  exporter.stop();
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_GE(lines.size(), 2u);
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(lines.back(), &doc, &error)) << error;
+  const obs::JsonValue* hist =
+      doc.find("histograms")->find("statstest.hist_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GE(hist->find("count")->number, 101.0);
+  EXPECT_EQ(hist->find("p50")->number, 10.0);
+  // Rank ceil(.99*101)=100 of 101 is still the fast bucket; only p999
+  // reaches the one slow sample.
+  EXPECT_EQ(hist->find("p99")->number, 10.0);
+  EXPECT_EQ(hist->find("p999")->number, 1000.0);
+  ASSERT_NE(doc.find_path("custom.answer"), nullptr);
+  EXPECT_EQ(doc.find_path("custom.answer")->number, 42.0);
+  std::remove(path.c_str());
+}
+
+TEST(StatsExport, StopIsIdempotentAndStartFailsOnBadPath) {
+  obs::StatsExporterOptions bad;
+  bad.path = "/nonexistent-dir-xyz/stats.ndjsonl";
+  obs::StatsExporter broken(bad);
+  EXPECT_FALSE(broken.start());
+  broken.stop();  // no-op, no crash
+
+  obs::StatsExporterOptions so;
+  so.path = temp_path("stats_idem.ndjsonl");
+  so.interval_ms = 10000;
+  obs::StatsExporter exporter(so);
+  ASSERT_TRUE(exporter.start());
+  exporter.stop();
+  exporter.stop();
+  EXPECT_EQ(exporter.records_written(), 2u);  // begin + end exactly once
+  std::remove(so.path.c_str());
+}
+
+}  // namespace

@@ -19,6 +19,7 @@
 #include "harness/tables.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/stats_export.h"
 #include "obs/trace_span.h"
 #include "workloads/gpu/gpu_workload.h"
 #include "workloads/workload.h"
@@ -78,6 +79,10 @@ void print_usage() {
                          dataset load, freeze, churn batches, refreshes,
                          supersteps, and stolen grains (open in
                          chrome://tracing or Perfetto)
+  --stats-out <path>     stream graphbig.stats.v1 NDJSON (live registry
+                         snapshots) to <path>; "-" or "stderr" for
+                         standard error
+  --stats-interval-ms <ms>   stats record cadence (default: 1000)
   --json-out <path>      write a machine-readable run report (schema
                          graphbig.run.v1) with config, seconds, checksum,
                          telemetry, and a metrics-registry snapshot
@@ -125,6 +130,8 @@ int main(int argc, char** argv) {
   std::string scale_name = "small";
   std::string trace_out;
   std::string json_out;
+  std::string stats_out;
+  std::uint64_t stats_interval_ms = 1000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -264,6 +271,14 @@ int main(int argc, char** argv) {
       gpu = true;
     } else if (arg == "--trace-out") {
       trace_out = next();
+    } else if (arg == "--stats-out") {
+      stats_out = next();
+    } else if (arg == "--stats-interval-ms") {
+      stats_interval_ms = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+      if (stats_interval_ms == 0) {
+        std::cerr << "--stats-interval-ms must be > 0\n";
+        return 2;
+      }
     } else if (arg == "--json-out") {
       json_out = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -326,6 +341,18 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << n << " trace spans to " << trace_out << "\n";
     return true;
   };
+
+  // Live stats stream over the whole run (load, freeze, churn, timed
+  // iterations); the destructor emits the terminal record on any exit
+  // path.
+  obs::StatsExporter stats_exporter([&] {
+    obs::StatsExporterOptions so;
+    so.path = stats_out;
+    so.interval_ms = stats_interval_ms;
+    so.source = "graphbig_run";
+    return so;
+  }());
+  if (!stats_out.empty() && !stats_exporter.start()) return 1;
 
   harness::DatasetBundle bundle;
   if (!snapshot_in.empty()) {

@@ -38,6 +38,8 @@
 #include "harness/experiment.h"
 #include "harness/tables.h"
 #include "obs/metrics.h"
+#include "obs/stats_export.h"
+#include "obs/trace_span.h"
 #include "platform/rng.h"
 #include "serve/query_frontend.h"
 #include "serve/serve_report.h"
@@ -71,6 +73,15 @@ void print_usage() {
                          verified, and >=1 incremental refresh happened)
   --json-out <path>      write a machine-readable serving report (schema
                          graphbig.serve.v1)
+  --trace-out <path>     write a Chrome trace (chrome://tracing / Perfetto)
+                         with per-request flow arcs linking submit ->
+                         lease pin -> supersteps across threads
+  --stats-out <path>     stream live graphbig.stats.v1 NDJSON records
+                         (counters, gauges, histogram quantiles, windowed
+                         serve telemetry) to <path>; "-" or "stderr" for
+                         standard error
+  --stats-interval-ms <ms>   stats record cadence (default: 1000)
+  --slo-threshold-us <us>    SLO latency objective (default: 100000)
 )";
 }
 
@@ -103,6 +114,10 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool smoke = false;
   std::string json_out;
+  std::string trace_out;
+  std::string stats_out;
+  std::uint64_t stats_interval_ms = 1000;
+  std::uint64_t slo_threshold_us = 100000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -176,6 +191,18 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--json-out") {
       json_out = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--stats-out") {
+      stats_out = next();
+    } else if (arg == "--stats-interval-ms") {
+      stats_interval_ms = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+      if (stats_interval_ms == 0) {
+        std::cerr << "--stats-interval-ms must be > 0\n";
+        return 2;
+      }
+    } else if (arg == "--slo-threshold-us") {
+      slo_threshold_us = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
@@ -235,7 +262,41 @@ int main(int argc, char** argv) {
   serve::QueryFrontendOptions fe_opts;
   fe_opts.workers = workers;
   fe_opts.queue_capacity = queue_capacity;
+  fe_opts.slo_threshold_us = slo_threshold_us;
   serve::QueryFrontend frontend(mgr, fe_opts);
+
+  // Tracing must be on before any request runs so submit/pin/superstep
+  // spans and the per-request flow arcs are captured.
+  if (!trace_out.empty()) obs::set_tracing(true);
+
+  obs::StatsExporter exporter([&] {
+    obs::StatsExporterOptions so;
+    so.path = stats_out;
+    so.interval_ms = stats_interval_ms;
+    so.source = "graphbig_serve";
+    return so;
+  }());
+  if (!stats_out.empty()) {
+    // Live serve-side section: queue depth and the rolling-window view
+    // (the "what does the tail look like right now" numbers, vs the
+    // lifetime histograms in the registry section).
+    exporter.add_section("serve", [&](obs::JsonWriter& w) {
+      w.begin_object();
+      w.kv("queue_depth", static_cast<std::uint64_t>(frontend.queue_depth()));
+      const obs::HistogramSnapshot wh = frontend.windowed_latency();
+      w.kv("window_count", wh.count);
+      w.kv("window_p50_us", wh.value_at_quantile(0.50));
+      w.kv("window_p99_us", wh.value_at_quantile(0.99));
+      w.kv("window_p999_us", wh.value_at_quantile(0.999));
+      const obs::SloTracker::Snapshot slo = frontend.slo();
+      w.kv("slo_threshold_us", slo.threshold_us);
+      w.kv("slo_good", slo.good_total);
+      w.kv("slo_bad", slo.bad_total);
+      w.kv("slo_burn_rate", slo.burn_rate);
+      w.end_object();
+    });
+    if (!exporter.start()) return 1;
+  }
 
   std::cout << "serve config: workers=" << workers << " rate=" << rate
             << "qps queries=" << target_queries << " queue="
@@ -294,6 +355,23 @@ int main(int argc, char** argv) {
   stop_writer.store(true, std::memory_order_relaxed);
   writer.join();
   mgr.reclaim_retired();
+  // Final stats record reflects the drained terminal state.
+  exporter.stop();
+
+  // Quiescent point: workers are joined (their span buffers folded into
+  // the retired list), so the trace is complete. Written before the
+  // verification replay so replay supersteps don't dilute the file.
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::cerr << "cannot open " << trace_out << " for writing\n";
+      return 1;
+    }
+    const std::size_t events = obs::write_chrome_trace(os);
+    obs::set_tracing(false);
+    std::cout << "wrote " << events << " trace events to " << trace_out
+              << "\n";
+  }
 
   const double elapsed_s =
       std::chrono::duration<double>(t1 - t0).count();
@@ -346,11 +424,40 @@ int main(int argc, char** argv) {
   for (const serve::QueryRecord& r : records) {
     latency_sum += r.latency_us;
     report.max_us = std::max(report.max_us, r.latency_us);
+    report.queue_us.max = std::max(report.queue_us.max, r.queue_us);
+    report.exec_us.max = std::max(report.exec_us.max, r.exec_us);
   }
   report.mean_us = records.empty()
                        ? 0.0
                        : static_cast<double>(latency_sum) /
                              static_cast<double>(records.size());
+
+  // Phase split (queue wait vs execution) from the dedicated histograms.
+  if (const obs::HistogramSnapshot* h = metrics.histogram("serve.queue_us")) {
+    report.queue_us.p50 = h->value_at_quantile(0.50);
+    report.queue_us.p99 = h->value_at_quantile(0.99);
+    report.queue_us.p999 = h->value_at_quantile(0.999);
+  }
+  if (const obs::HistogramSnapshot* h = metrics.histogram("serve.exec_us")) {
+    report.exec_us.p50 = h->value_at_quantile(0.50);
+    report.exec_us.p99 = h->value_at_quantile(0.99);
+    report.exec_us.p999 = h->value_at_quantile(0.999);
+  }
+
+  // Rolling-window view at drain time + SLO outcome.
+  const obs::HistogramSnapshot window = frontend.windowed_latency();
+  report.window_s = static_cast<double>(fe_opts.window_slot_ms) *
+                    static_cast<double>(fe_opts.window_slots) / 1000.0;
+  report.window_count = window.count;
+  report.window_p50_us = window.value_at_quantile(0.50);
+  report.window_p99_us = window.value_at_quantile(0.99);
+  report.window_p999_us = window.value_at_quantile(0.999);
+  const obs::SloTracker::Snapshot slo = frontend.slo();
+  report.slo_threshold_us = slo.threshold_us;
+  report.slo_target = slo.target;
+  report.slo_good = slo.good_total;
+  report.slo_bad = slo.bad_total;
+  report.slo_burn_rate = slo.burn_rate;
 
   // Per-kind digests (order-independent XOR over checksums).
   std::vector<serve::ServeReport::KindDigest> digests(serve::kQueryKinds);
@@ -372,6 +479,16 @@ int main(int argc, char** argv) {
             << report.p99_us << "  p999 " << report.p999_us << "  mean "
             << harness::fmt(report.mean_us, 1) << "  max " << report.max_us
             << "\n"
+            << "  phases us: queue p50 " << report.queue_us.p50 << " p99 "
+            << report.queue_us.p99 << "  exec p50 " << report.exec_us.p50
+            << " p99 " << report.exec_us.p99 << "\n"
+            << "  windowed (" << harness::fmt(report.window_s, 0)
+            << "s): count " << report.window_count << "  p50 "
+            << report.window_p50_us << "  p99 " << report.window_p99_us
+            << "  p999 " << report.window_p999_us << "\n"
+            << "  slo: " << report.slo_good << " good / " << report.slo_bad
+            << " bad at " << report.slo_threshold_us << "us, burn rate "
+            << harness::fmt(report.slo_burn_rate, 2) << "\n"
             << "  generations: " << mgr_stats.published << " published ("
             << mgr_stats.incremental << " incremental, " << mgr_stats.full
             << " full), " << mgr_stats.reclaimed << " arenas reclaimed, "
